@@ -1,0 +1,70 @@
+//! Kernel bench: bilateral filter throughput across stencil sizes, loop
+//! orders, pencil axes, and scheduling (pool vs rayon).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, StencilOrder, StencilSize, ZOrder3};
+use sfc_filters::{bilateral3d, bilateral3d_rayon, BilateralParams, FilterRun};
+
+fn bench_bilateral(c: &mut Criterion) {
+    let n = 40;
+    let dims = Dims3::cube(n);
+    let values = sfc_datagen::mri_phantom(dims, 3, sfc_datagen::PhantomParams::default());
+    let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+
+    // Stencil size sweep, friendly configuration, both layouts.
+    let mut g = c.benchmark_group("stencil_size");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(dims.len() as u64));
+    for size in [StencilSize::R1, StencilSize::R3] {
+        let run = FilterRun {
+            params: BilateralParams::for_size(size, StencilOrder::Xyz),
+            pencil_axis: Axis::X,
+            nthreads: 1,
+        };
+        g.bench_with_input(BenchmarkId::new("a-order", size.label()), &a, |b, grid| {
+            b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+        });
+        g.bench_with_input(BenchmarkId::new("z-order", size.label()), &z, |b, grid| {
+            b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+        });
+    }
+    g.finish();
+
+    // Loop-order sensitivity on array order (xyz friendly vs zyx hostile).
+    let mut g = c.benchmark_group("loop_order_a_order");
+    g.sample_size(10);
+    for order in StencilOrder::PAPER {
+        let run = FilterRun {
+            params: BilateralParams::for_size(StencilSize::R3, order),
+            pencil_axis: Axis::Z,
+            nthreads: 1,
+        };
+        g.bench_with_input(BenchmarkId::new("order", order.name()), &a, |b, grid| {
+            b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+        });
+    }
+    g.finish();
+
+    // Scheduler comparison (hand-rolled pool vs rayon) at 4 threads.
+    let mut g = c.benchmark_group("scheduler");
+    g.sample_size(10);
+    let params = BilateralParams::for_size(StencilSize::R1, StencilOrder::Xyz);
+    let run = FilterRun {
+        params,
+        pencil_axis: Axis::X,
+        nthreads: 4,
+    };
+    g.bench_function("pool_static", |b| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(&z, &run)))
+    });
+    g.bench_function("rayon", |b| {
+        b.iter(|| black_box(bilateral3d_rayon::<_, ArrayOrder3>(&z, &params, Axis::X)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_bilateral);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: Z-order vs Hilbert (DESIGN.md §5). Reissmann et al. 2014
+//! (cited by the paper) found Hilbert's higher index cost erases its
+//! slightly better locality; this bench reproduces the comparison on the
+//! bilateral kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, HilbertOrder3, StencilOrder, ZOrder3};
+use sfc_filters::{bilateral3d, BilateralParams, FilterRun};
+
+fn bench_curves(c: &mut Criterion) {
+    let n = 48;
+    let dims = Dims3::cube(n);
+    let values = sfc_datagen::mri_phantom(dims, 5, sfc_datagen::PhantomParams::default());
+    let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let h: Grid3<f32, HilbertOrder3> = a.convert();
+
+    let run = FilterRun {
+        params: BilateralParams {
+            radius: 2,
+            sigma_spatial: 1.0,
+            sigma_range: 0.1,
+            order: StencilOrder::Zyx,
+        },
+        pencil_axis: Axis::Z,
+        nthreads: 1,
+    };
+
+    let mut g = c.benchmark_group("bilateral_r3_hostile");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("layout", "a-order"), &a, |b, grid| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "z-order"), &z, |b, grid| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "hilbert"), &h, |b, grid| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_curves);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Microbench: traversal direction × layout — the smallest end-to-end
+//! demonstration of the paper's locality claim on real hardware. Summing a
+//! grid along x pencils (friendly) vs z pencils (hostile) under each
+//! layout.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfc_core::{ArrayOrder3, Dims3, Grid3, Layout3, Tiled3, ZOrder3};
+
+fn sum_x_pencils<L: Layout3>(g: &Grid3<f32, L>) -> f32 {
+    let d = g.dims();
+    let mut acc = 0.0f32;
+    for k in 0..d.nz {
+        for j in 0..d.ny {
+            for i in 0..d.nx {
+                acc += g.get(i, j, k);
+            }
+        }
+    }
+    acc
+}
+
+fn sum_z_pencils<L: Layout3>(g: &Grid3<f32, L>) -> f32 {
+    let d = g.dims();
+    let mut acc = 0.0f32;
+    for j in 0..d.ny {
+        for i in 0..d.nx {
+            for k in 0..d.nz {
+                acc += g.get(i, j, k);
+            }
+        }
+    }
+    acc
+}
+
+fn bench_traversal(c: &mut Criterion) {
+    let n = 128; // 8 MB of f32: larger than most L2s
+    let dims = Dims3::cube(n);
+    let a = Grid3::<f32, ArrayOrder3>::from_fn(dims, |i, j, k| (i ^ j ^ k) as f32);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let t: Grid3<f32, Tiled3> = a.convert();
+
+    let mut g = c.benchmark_group("traversal");
+    g.throughput(Throughput::Elements(dims.len() as u64));
+    g.sample_size(10);
+
+    g.bench_with_input(BenchmarkId::new("x_pencils", "a-order"), &a, |b, g_| {
+        b.iter(|| black_box(sum_x_pencils(g_)))
+    });
+    g.bench_with_input(BenchmarkId::new("x_pencils", "z-order"), &z, |b, g_| {
+        b.iter(|| black_box(sum_x_pencils(g_)))
+    });
+    g.bench_with_input(BenchmarkId::new("x_pencils", "tiled"), &t, |b, g_| {
+        b.iter(|| black_box(sum_x_pencils(g_)))
+    });
+    g.bench_with_input(BenchmarkId::new("z_pencils", "a-order"), &a, |b, g_| {
+        b.iter(|| black_box(sum_z_pencils(g_)))
+    });
+    g.bench_with_input(BenchmarkId::new("z_pencils", "z-order"), &z, |b, g_| {
+        b.iter(|| black_box(sum_z_pencils(g_)))
+    });
+    g.bench_with_input(BenchmarkId::new("z_pencils", "tiled"), &t, |b, g_| {
+        b.iter(|| black_box(sum_z_pencils(g_)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traversal);
+criterion_main!(benches);

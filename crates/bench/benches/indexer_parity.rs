@@ -1,0 +1,58 @@
+//! Microbench for the paper's §III-C claim: with both index computations
+//! table-driven, array-order (two lookups + two adds) and Z-order (three
+//! lookups + two ORs) cost "more or less the same", so measured kernel
+//! differences reflect memory layout, not index arithmetic. Hilbert is the
+//! counterexample (O(bits) per access).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfc_core::{ArrayOrder3, Dims3, HilbertOrder3, Layout3, Tiled3, ZOrder3};
+
+fn bench_indexers(c: &mut Criterion) {
+    let dims = Dims3::cube(256);
+    let a = ArrayOrder3::new(dims);
+    let z = ZOrder3::new(dims);
+    let t = Tiled3::new(dims);
+    let h = HilbertOrder3::new(dims);
+
+    // A fixed pseudo-random coordinate stream (identical for all layouts).
+    let mut state = 42u64;
+    let pts: Vec<(usize, usize, usize)> = (0..8192)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (
+                (state >> 10) as usize & 255,
+                (state >> 25) as usize & 255,
+                (state >> 40) as usize & 255,
+            )
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("get_index");
+    g.throughput(Throughput::Elements(pts.len() as u64));
+    macro_rules! bench_layout {
+        ($name:expr, $layout:expr) => {
+            g.bench_function($name, |b| {
+                let l = &$layout;
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for &(i, j, k) in &pts {
+                        acc ^= l.index(black_box(i), black_box(j), black_box(k));
+                    }
+                    acc
+                })
+            });
+        };
+    }
+    bench_layout!("array_order_tables", a);
+    bench_layout!("zorder_tables", z);
+    bench_layout!("tiled_tables", t);
+    bench_layout!("hilbert_per_access", h);
+    g.finish();
+}
+
+criterion_group!(benches, bench_indexers);
+criterion_main!(benches);

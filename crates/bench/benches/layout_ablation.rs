@@ -1,0 +1,87 @@
+//! Ablation: Z-order vs the blocked/tiled layout (Pascucci & Frank 2001's
+//! third comparator; DESIGN.md §5) on both paper kernels, friendly and
+//! hostile access patterns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, StencilOrder, Tiled3, ZOrder3};
+use sfc_filters::{bilateral3d, gaussian_separable3d, BilateralParams, FilterRun};
+use sfc_volrend::{render, RenderOpts, TransferFunction};
+
+fn bench_layout_ablation(c: &mut Criterion) {
+    let n = 48;
+    let dims = Dims3::cube(n);
+    let values = sfc_datagen::combustion_field(dims, 9, sfc_datagen::CombustionParams::default());
+    let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let t: Grid3<f32, Tiled3> = a.convert();
+
+    // Hostile stencil configuration.
+    let run = FilterRun {
+        params: BilateralParams {
+            radius: 1,
+            sigma_spatial: 1.0,
+            sigma_range: 0.1,
+            order: StencilOrder::Zyx,
+        },
+        pencil_axis: Axis::Z,
+        nthreads: 1,
+    };
+    let mut g = c.benchmark_group("bilateral_r1_hostile");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("layout", "a-order"), &a, |b, grid| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "z-order"), &z, |b, grid| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "tiled"), &t, |b, grid| {
+        b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(grid, &run)))
+    });
+    g.finish();
+
+    // Oblique-view rendering.
+    let cams = sfc_volrend::orbit_viewpoints(
+        8,
+        sfc_volrend::vec3(n as f32 / 2.0, n as f32 / 2.0, n as f32 / 2.0),
+        n as f32 * 2.2,
+        sfc_volrend::Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        96,
+        96,
+    );
+    let tf = TransferFunction::fire();
+    let opts = RenderOpts::default();
+    let mut g = c.benchmark_group("volrend_oblique_view2");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("layout", "a-order"), &a, |b, grid| {
+        b.iter(|| black_box(render(grid, &cams[2], &tf, &opts)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "z-order"), &z, |b, grid| {
+        b.iter(|| black_box(render(grid, &cams[2], &tf, &opts)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "tiled"), &t, |b, grid| {
+        b.iter(|| black_box(render(grid, &cams[2], &tf, &opts)))
+    });
+    g.finish();
+
+    // Separable Gaussian: three sweeps along different axes — under array
+    // order the z pass dominates; under Z-order all passes behave alike.
+    let mut g = c.benchmark_group("separable_gaussian_r2");
+    g.sample_size(10);
+    g.bench_with_input(BenchmarkId::new("layout", "a-order"), &a, |b, grid| {
+        b.iter(|| black_box(gaussian_separable3d(grid, 2, 1.3, 1)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "z-order"), &z, |b, grid| {
+        b.iter(|| black_box(gaussian_separable3d(grid, 2, 1.3, 1)))
+    });
+    g.bench_with_input(BenchmarkId::new("layout", "tiled"), &t, |b, grid| {
+        b.iter(|| black_box(gaussian_separable3d(grid, 2, 1.3, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_layout_ablation);
+criterion_main!(benches);

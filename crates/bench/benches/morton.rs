@@ -1,0 +1,100 @@
+//! Microbench: Morton/Hilbert codec cost — magic-bits vs byte-LUT vs the
+//! paper's per-axis table scheme (DESIGN.md §5, "LUT indexer vs magic-bits").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfc_core::hilbert::hilbert3_encode;
+use sfc_core::morton::{morton3_decode, morton3_encode, morton3_encode_lut};
+use sfc_core::{Dims3, Layout3, ZOrder3};
+
+fn coords(n: usize) -> Vec<(u32, u32, u32)> {
+    // Deterministic pseudo-random coordinates within a 512^3 domain.
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let x = (state >> 13) as u32 & 511;
+            let y = (state >> 27) as u32 & 511;
+            let z = (state >> 41) as u32 & 511;
+            (x, y, z)
+        })
+        .collect()
+}
+
+fn bench_codecs(c: &mut Criterion) {
+    let pts = coords(4096);
+    let mut g = c.benchmark_group("morton3_encode");
+    g.throughput(Throughput::Elements(pts.len() as u64));
+
+    g.bench_function("magic_bits", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &pts {
+                acc ^= morton3_encode(black_box(x), black_box(y), black_box(z));
+            }
+            acc
+        })
+    });
+
+    g.bench_function("byte_lut", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &pts {
+                acc ^= morton3_encode_lut(black_box(x), black_box(y), black_box(z));
+            }
+            acc
+        })
+    });
+
+    // The paper's scheme: three per-axis tables, built once.
+    let layout = ZOrder3::new(Dims3::cube(512));
+    g.bench_function("per_axis_tables", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &(x, y, z) in &pts {
+                acc ^= layout.index(
+                    black_box(x as usize),
+                    black_box(y as usize),
+                    black_box(z as usize),
+                );
+            }
+            acc
+        })
+    });
+
+    g.bench_function("hilbert_skilling", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for &(x, y, z) in &pts {
+                acc ^= hilbert3_encode(black_box(x), black_box(y), black_box(z), 9);
+            }
+            acc
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("morton3_decode");
+    let indices: Vec<u64> = (0..4096u64).map(|i| i * 32771 % (1 << 27)).collect();
+    g.throughput(Throughput::Elements(indices.len() as u64));
+    g.bench_with_input(
+        BenchmarkId::new("magic_bits", indices.len()),
+        &indices,
+        |b, idx| {
+            b.iter(|| {
+                let mut acc = 0u32;
+                for &m in idx {
+                    let (x, y, z) = morton3_decode(black_box(m));
+                    acc = acc.wrapping_add(x ^ y ^ z);
+                }
+                acc
+            })
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench_codecs);
+criterion_main!(benches);

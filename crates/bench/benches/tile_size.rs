@@ -1,0 +1,45 @@
+//! Ablation: output-image tile size for the raycaster. The paper fixes
+//! 32×32 after a prior tuning study (Bethel & Howison 2012); this bench
+//! regenerates that sensitivity curve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use sfc_core::{Dims3, Grid3, ZOrder3};
+use sfc_volrend::{orbit_viewpoints, render, Projection, RenderOpts, TransferFunction};
+
+fn bench_tile_size(c: &mut Criterion) {
+    let n = 64;
+    let dims = Dims3::cube(n);
+    let values = sfc_datagen::combustion_field(dims, 7, sfc_datagen::CombustionParams::default());
+    let z: Grid3<f32, ZOrder3> = Grid3::from_row_major(dims, &values);
+
+    let cams = orbit_viewpoints(
+        8,
+        sfc_volrend::vec3(n as f32 / 2.0, n as f32 / 2.0, n as f32 / 2.0),
+        n as f32 * 2.2,
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        128,
+        128,
+    );
+    let tf = TransferFunction::fire();
+
+    let mut g = c.benchmark_group("tile_size");
+    g.sample_size(10);
+    for tile in [8usize, 16, 32, 64, 128] {
+        let opts = RenderOpts {
+            tile,
+            nthreads: 4,
+            ..Default::default()
+        };
+        g.bench_with_input(BenchmarkId::from_parameter(tile), &tile, |b, _| {
+            b.iter(|| black_box(render(&z, &cams[1], &tf, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tile_size);
+criterion_main!(benches);

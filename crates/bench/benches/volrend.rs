@@ -1,0 +1,46 @@
+//! Kernel bench: raycaster throughput — aligned vs oblique viewpoints per
+//! layout (the Fig. 4 effect as a native measurement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use sfc_core::{ArrayOrder3, Dims3, Grid3, ZOrder3};
+use sfc_volrend::{orbit_viewpoints, render, Projection, RenderOpts, TransferFunction};
+
+fn bench_volrend(c: &mut Criterion) {
+    let n = 64;
+    let dims = Dims3::cube(n);
+    let values = sfc_datagen::combustion_field(dims, 7, sfc_datagen::CombustionParams::default());
+    let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+
+    let image = 128;
+    let cams = orbit_viewpoints(
+        8,
+        sfc_volrend::vec3(n as f32 / 2.0, n as f32 / 2.0, n as f32 / 2.0),
+        n as f32 * 2.2,
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        image,
+        image,
+    );
+    let tf = TransferFunction::fire();
+    let opts = RenderOpts::default();
+
+    let mut g = c.benchmark_group("render_viewpoint");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((image * image) as u64));
+    for (label, v) in [("aligned_v0", 0usize), ("oblique_v2", 2), ("diagonal_v1", 1)] {
+        g.bench_with_input(BenchmarkId::new("a-order", label), &a, |b, grid| {
+            b.iter(|| black_box(render(grid, &cams[v], &tf, &opts)))
+        });
+        g.bench_with_input(BenchmarkId::new("z-order", label), &z, |b, grid| {
+            b.iter(|| black_box(render(grid, &cams[v], &tf, &opts)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_volrend);
+criterion_main!(benches);

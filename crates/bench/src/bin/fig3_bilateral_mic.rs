@@ -1,0 +1,47 @@
+//! Reproduces **Figure 3**: bilateral filter on the MIC (Knight's Corner)
+//! model — scaled relative difference of runtime (left) and
+//! `L2_DATA_READ_MISS_MEM_FILL` (right), rows = the six paper
+//! configurations, columns = thread counts {59, 118, 177, 236} on 59
+//! cores (hardware threads share a core's private caches).
+//!
+//! `cargo run -p sfc-bench --release --bin fig3_bilateral_mic -- [--size 64] [--quick] [--csv DIR]`
+
+use sfc_bench::{
+    banner, build_bilateral_inputs, emit_figure, paper_rows, run_bilateral_figure,
+};
+use sfc_harness::Args;
+use sfc_memsim::{mic_knc, scaled, shift_for_volume_edge};
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_usize("size", 64);
+    let quick = args.has("quick");
+    let csv = args.get("csv").map(PathBuf::from);
+
+    let base = mic_knc();
+    let threads = if quick {
+        vec![59, 236]
+    } else {
+        args.get_usize_list("threads", &base.concurrency)
+    };
+    let mut rows = paper_rows();
+    if quick {
+        rows.truncate(4);
+    }
+    let plat = scaled(&base, shift_for_volume_edge(n));
+
+    banner(
+        "Figure 3 — Bilat3d, MIC: scaled relative difference Z- vs A-order",
+        "512^3 MRI volume, 60-core Intel MIC/KNC, L2_DATA_READ_MISS_MEM_FILL counter",
+        &format!(
+            "{n}^3 synthetic MRI phantom, cache model {} (L1 {}B / L2 {}B per core, no L3; 59 cores x up to 4 hw threads sharing private caches)",
+            plat.name, plat.hierarchy.l1.size_bytes, plat.hierarchy.l2.size_bytes,
+        ),
+    );
+
+    let inputs = build_bilateral_inputs(n, 2024);
+    let fig = run_bilateral_figure(&inputs, &rows, &threads, &plat, true);
+    println!();
+    emit_figure("fig3", &[&fig.runtime_ds, &fig.counter_ds, &fig.l2_accesses_ds], 2, csv.as_deref());
+}

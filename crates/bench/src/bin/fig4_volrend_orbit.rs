@@ -1,0 +1,110 @@
+//! Reproduces **Figure 4**: volume rendering on the Ivy Bridge model —
+//! absolute runtime (left chart) and `PAPI_L3_TCA` (right chart) per
+//! viewpoint 0–7, array order vs Z-order, at one concurrency.
+//!
+//! Array order is at its best at viewpoints 0 and 4 (rays parallel to x)
+//! and degrades as the orbit misaligns rays from memory; Z-order is flat.
+//!
+//! `cargo run -p sfc-bench --release --bin fig4_volrend_orbit -- [--size 64] [--image 128] [--threads 12] [--csv DIR] [--native]`
+
+use sfc_bench::{banner, build_volrend_inputs, emit_figure, paper_orbit, run_orbit_series};
+use sfc_harness::{scaled_relative_difference, Args, PaperTable};
+use sfc_memsim::{ivy_bridge, scaled, shift_for_volume_edge};
+use sfc_volrend::RenderOpts;
+use std::path::PathBuf;
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_usize("size", 64);
+    let image = args.get_usize("image", n); // 1 ray per voxel face, as at 512^2/512^3
+    let threads = args.get_usize("threads", 12);
+    let csv = args.get("csv").map(PathBuf::from);
+
+    let plat = scaled(&ivy_bridge(), shift_for_volume_edge(n));
+    banner(
+        "Figure 4 — Volrend, Ivy Bridge: absolute runtime and PAPI_L3_TCA vs viewpoint",
+        "512^3 combustion volume, one configuration, viewpoints 0-7",
+        &format!("{n}^3 synthetic combustion field, {image}^2 image, {threads} threads, model {}", plat.name),
+    );
+
+    let inputs = build_volrend_inputs(n, 7);
+    // --ortho renders the paper's §III-B contrast case: orthographic rays
+    // all share one slope, so each viewpoint is purely good or purely bad
+    // for array order.
+    let cams = if args.has("ortho") {
+        sfc_bench::ortho_orbit(n, image)
+    } else {
+        paper_orbit(n, image)
+    };
+    // tile = image/16 preserves the paper's 256-tile decomposition
+    // (their 32^2 tiles on a 512^2 framebuffer).
+    let opts = RenderOpts {
+        nthreads: threads,
+        tile: args.get_usize("tile", (image / 16).max(4)),
+        ..Default::default()
+    };
+    let series = run_orbit_series(&inputs, &cams, &opts, threads, &plat, true);
+
+    let rows: Vec<String> = (0..cams.len()).map(|v| v.to_string()).collect();
+    let mut runtime = PaperTable::new(
+        "Modeled runtime (Mcycles) vs viewpoint",
+        "viewpoint",
+        rows.clone(),
+        vec!["a-order".into(), "z-order".into(), "ds".into()],
+    );
+    let mut counter = PaperTable::new(
+        format!("{} vs viewpoint", plat.counter_name),
+        "viewpoint",
+        rows,
+        vec!["a-order".into(), "z-order".into(), "ds".into()],
+    );
+    for v in 0..cams.len() {
+        runtime.set(v, 0, series.runtime_a[v] / 1e6);
+        runtime.set(v, 1, series.runtime_z[v] / 1e6);
+        runtime.set(
+            v,
+            2,
+            scaled_relative_difference(series.runtime_a[v], series.runtime_z[v]),
+        );
+        counter.set(v, 0, series.counter_a[v] as f64);
+        counter.set(v, 1, series.counter_z[v] as f64);
+        counter.set(
+            v,
+            2,
+            scaled_relative_difference(series.counter_a[v] as f64, series.counter_z[v] as f64),
+        );
+    }
+    println!();
+    emit_figure("fig4", &[&runtime, &counter], 2, csv.as_deref());
+
+    if args.has("native") {
+        native_orbit(&inputs, &cams, &opts);
+    }
+}
+
+fn native_orbit(
+    inputs: &sfc_bench::VolrendInputs,
+    cams: &[sfc_volrend::Camera],
+    opts: &RenderOpts,
+) {
+    use sfc_volrend::TransferFunction;
+    let tf = TransferFunction::fire();
+    let mut t = PaperTable::new(
+        "Native wall-clock (ms) vs viewpoint",
+        "viewpoint",
+        (0..cams.len()).map(|v| v.to_string()).collect(),
+        vec!["a-order".into(), "z-order".into(), "ds".into()],
+    );
+    for (v, cam) in cams.iter().enumerate() {
+        let (_, ta) = sfc_harness::time_once(|| sfc_volrend::render(&inputs.a, cam, &tf, opts));
+        let (_, tz) = sfc_harness::time_once(|| sfc_volrend::render(&inputs.z, cam, &tf, opts));
+        t.set(v, 0, ta.as_secs_f64() * 1e3);
+        t.set(v, 1, tz.as_secs_f64() * 1e3);
+        t.set(
+            v,
+            2,
+            scaled_relative_difference(ta.as_secs_f64(), tz.as_secs_f64()),
+        );
+    }
+    println!("{}", t.render_text(2));
+}

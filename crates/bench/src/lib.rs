@@ -1,0 +1,36 @@
+//! # sfc-bench — paper figure reproduction and microbenchmarks
+//!
+//! One binary per evaluation figure (run with `--release`):
+//!
+//! | binary | paper figure | contents |
+//! |---|---|---|
+//! | `fig1_alignment` | Fig. 1 | ray/layout alignment illustration, quantified |
+//! | `fig2_bilateral_ivb` | Fig. 2 | bilateral `ds` grid, Ivy Bridge model |
+//! | `fig3_bilateral_mic` | Fig. 3 | bilateral `ds` grid, MIC model |
+//! | `fig4_volrend_orbit` | Fig. 4 | per-viewpoint absolute series |
+//! | `fig5_volrend_ivb` | Fig. 5 | volrend `ds` grid, Ivy Bridge model |
+//! | `fig6_volrend_mic` | Fig. 6 | volrend `ds` grid, MIC model |
+//!
+//! Common flags: `--size N` (volume edge, default 64), `--csv DIR`
+//! (persist tables), `--quick` (reduced grid for smoke runs),
+//! `--native` (additionally measure native wall-clock per row).
+//!
+//! Criterion microbenches (`cargo bench`) cover the ablations listed in
+//! DESIGN.md §5: codec cost, indexer parity, traversal patterns, curve and
+//! layout comparisons, kernel throughput, and tile-size sensitivity.
+
+#![warn(missing_docs)]
+
+pub mod bilateral_exp;
+pub mod output;
+pub mod volrend_exp;
+
+pub use bilateral_exp::{
+    build_inputs as build_bilateral_inputs, paper_rows, run_bilateral_figure,
+    BilateralFigure, BilateralInputs,
+};
+pub use output::{banner, emit_figure};
+pub use volrend_exp::{
+    build_inputs as build_volrend_inputs, ortho_orbit, paper_orbit, run_orbit_series,
+    run_volrend_figure, OrbitSeries, VolrendFigure, VolrendInputs,
+};

@@ -1,0 +1,50 @@
+//! Output helpers shared by the figure binaries.
+
+use std::path::Path;
+
+use sfc_harness::PaperTable;
+
+/// Print a figure's two tables and optionally persist them as CSV.
+pub fn emit_figure(
+    figure_id: &str,
+    tables: &[&PaperTable],
+    precision: usize,
+    csv_dir: Option<&Path>,
+) {
+    for t in tables {
+        println!("{}", t.render_text(precision));
+    }
+    if let Some(dir) = csv_dir {
+        std::fs::create_dir_all(dir).expect("create csv output directory");
+        for (idx, t) in tables.iter().enumerate() {
+            let path = dir.join(format!("{figure_id}_{idx}.csv"));
+            std::fs::write(&path, t.render_csv()).expect("write csv");
+            println!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Standard experiment banner: what runs, at what scale, on which model.
+pub fn banner(figure: &str, paper_setup: &str, ours: &str) {
+    println!("== {figure} ==");
+    println!("paper setup:  {paper_setup}");
+    println!("this run:     {ours}");
+    println!("(ds = (a - z)/z; positive means Z-order wins; see DESIGN.md)");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_files_written() {
+        let mut t = PaperTable::new("T", "r", vec!["a".into()], vec!["1".into()]);
+        t.set(0, 0, 1.5);
+        let dir = std::env::temp_dir().join(format!("sfc_out_{}", std::process::id()));
+        emit_figure("figX", &[&t], 2, Some(&dir));
+        let content = std::fs::read_to_string(dir.join("figX_0.csv")).unwrap();
+        assert!(content.contains("1.5"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

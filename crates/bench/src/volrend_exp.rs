@@ -1,0 +1,210 @@
+//! Shared machinery for the volume-rendering figures (paper Figs. 4–6).
+
+use sfc_core::{ArrayOrder3, Dims3, Grid3, ZOrder3};
+use sfc_datagen::{combustion_field, CombustionParams};
+use sfc_harness::{scaled_relative_difference, PaperTable};
+use sfc_memsim::Platform;
+use sfc_volrend::{
+    orbit_viewpoints, simulate_render_counters, vec3, Camera, Projection, RenderOpts,
+    TransferFunction,
+};
+
+/// Both layouts of the combustion-field input volume.
+pub struct VolrendInputs {
+    /// Array-order copy.
+    pub a: Grid3<f32, ArrayOrder3>,
+    /// Z-order copy (identical logical contents).
+    pub z: Grid3<f32, ZOrder3>,
+}
+
+/// Synthesize the field once and lay it out both ways.
+pub fn build_inputs(n: usize, seed: u64) -> VolrendInputs {
+    let dims = Dims3::cube(n);
+    let values = combustion_field(dims, seed, CombustionParams::default());
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    VolrendInputs { a, z }
+}
+
+/// The paper's 8-viewpoint orbit for a cubic volume of edge `n` with a
+/// square output image of edge `image` (perspective projection, as in the
+/// paper's evaluation).
+pub fn paper_orbit(n: usize, image: usize) -> Vec<Camera> {
+    orbit(n, image, Projection::Perspective {
+        fov_y: 40f32.to_radians(),
+    })
+}
+
+/// Same orbit under orthographic projection (all rays share one slope —
+/// the "fully structured" contrast case the paper describes in §III-B).
+pub fn ortho_orbit(n: usize, image: usize) -> Vec<Camera> {
+    orbit(n, image, Projection::Orthographic {
+        height: n as f32 * 1.3,
+    })
+}
+
+fn orbit(n: usize, image: usize, projection: Projection) -> Vec<Camera> {
+    let c = n as f32 / 2.0;
+    orbit_viewpoints(8, vec3(c, c, c), n as f32 * 2.2, projection, image, image)
+}
+
+/// Per-viewpoint absolute measurements for Fig. 4's two line charts.
+pub struct OrbitSeries {
+    /// Modeled runtime (cycles), array order, per viewpoint.
+    pub runtime_a: Vec<f64>,
+    /// Modeled runtime (cycles), Z-order, per viewpoint.
+    pub runtime_z: Vec<f64>,
+    /// Platform counter, array order, per viewpoint.
+    pub counter_a: Vec<u64>,
+    /// Platform counter, Z-order, per viewpoint.
+    pub counter_z: Vec<u64>,
+}
+
+/// Measure the absolute per-viewpoint series (Fig. 4) at one concurrency.
+pub fn run_orbit_series(
+    inputs: &VolrendInputs,
+    cams: &[Camera],
+    opts: &RenderOpts,
+    nthreads: usize,
+    platform: &Platform,
+    progress: bool,
+) -> OrbitSeries {
+    let tf = TransferFunction::fire();
+    let mut out = OrbitSeries {
+        runtime_a: Vec::new(),
+        runtime_z: Vec::new(),
+        counter_a: Vec::new(),
+        counter_z: Vec::new(),
+    };
+    for (v, cam) in cams.iter().enumerate() {
+        let ra = simulate_render_counters(&inputs.a, cam, &tf, opts, nthreads, platform);
+        let rz = simulate_render_counters(&inputs.z, cam, &tf, opts, nthreads, platform);
+        out.runtime_a.push(ra.modeled_runtime_cycles(&platform.cost));
+        out.runtime_z.push(rz.modeled_runtime_cycles(&platform.cost));
+        out.counter_a.push(platform.counter_value(&ra));
+        out.counter_z.push(platform.counter_value(&rz));
+        if progress {
+            eprintln!(
+                "  viewpoint {v}: a={} z={} ({})",
+                out.counter_a[v], out.counter_z[v], platform.counter_name
+            );
+        }
+    }
+    out
+}
+
+/// One `ds` figure: viewpoints × thread counts (Figs. 5–6).
+pub struct VolrendFigure {
+    /// Modeled-runtime `ds` table.
+    pub runtime_ds: PaperTable,
+    /// Counter `ds` table.
+    pub counter_ds: PaperTable,
+    /// Auxiliary: `ds` of total L2 accesses (= L1 misses).
+    pub l2_accesses_ds: PaperTable,
+}
+
+/// Run the full viewpoint × concurrency grid.
+pub fn run_volrend_figure(
+    inputs: &VolrendInputs,
+    cams: &[Camera],
+    opts: &RenderOpts,
+    threads: &[usize],
+    platform: &Platform,
+    progress: bool,
+) -> VolrendFigure {
+    let tf = TransferFunction::fire();
+    let row_labels: Vec<String> = (0..cams.len()).map(|v| v.to_string()).collect();
+    let col_labels: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
+    let mut runtime_ds = PaperTable::new(
+        format!("Runtime (modeled), scaled relative difference Z- vs A-order — {}", platform.name),
+        "viewpoint",
+        row_labels.clone(),
+        col_labels.clone(),
+    );
+    let mut counter_ds = PaperTable::new(
+        format!("{}, scaled relative difference Z- vs A-order — {}", platform.counter_name, platform.name),
+        "viewpoint",
+        row_labels.clone(),
+        col_labels.clone(),
+    );
+    let mut l2_accesses_ds = PaperTable::new(
+        format!("L2 total accesses (= L1 misses), scaled relative difference — {}", platform.name),
+        "viewpoint",
+        row_labels,
+        col_labels,
+    );
+    for (r, cam) in cams.iter().enumerate() {
+        for (c, &nthreads) in threads.iter().enumerate() {
+            let ra = simulate_render_counters(&inputs.a, cam, &tf, opts, nthreads, platform);
+            let rz = simulate_render_counters(&inputs.z, cam, &tf, opts, nthreads, platform);
+            let rt = scaled_relative_difference(
+                ra.modeled_runtime_cycles(&platform.cost),
+                rz.modeled_runtime_cycles(&platform.cost),
+            );
+            let cnt = scaled_relative_difference(
+                platform.counter_value(&ra) as f64,
+                platform.counter_value(&rz) as f64,
+            );
+            runtime_ds.set(r, c, rt);
+            counter_ds.set(r, c, cnt);
+            l2_accesses_ds.set(
+                r,
+                c,
+                scaled_relative_difference(
+                    ra.total().l2.accesses as f64,
+                    rz.total().l2.accesses as f64,
+                ),
+            );
+            if progress {
+                eprintln!(
+                    "  viewpoint {r} threads={nthreads:<4} ds(runtime)={rt:6.2} ds(counter)={cnt:8.2}"
+                );
+            }
+        }
+    }
+    VolrendFigure {
+        runtime_ds,
+        counter_ds,
+        l2_accesses_ds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_memsim::{platform, scaled};
+
+    #[test]
+    fn orbit_cameras_count() {
+        assert_eq!(paper_orbit(32, 16).len(), 8);
+    }
+
+    #[test]
+    fn tiny_orbit_series_shapes() {
+        let inputs = build_inputs(16, 3);
+        let cams = paper_orbit(16, 16);
+        let plat = scaled(&platform::ivy_bridge(), 15);
+        let opts = RenderOpts {
+            tile: 8,
+            ..Default::default()
+        };
+        let s = run_orbit_series(&inputs, &cams, &opts, 2, &plat, false);
+        assert_eq!(s.counter_a.len(), 8);
+        assert!(s.counter_a.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn tiny_figure_shape() {
+        let inputs = build_inputs(16, 3);
+        let cams = paper_orbit(16, 16);
+        let plat = scaled(&platform::mic_knc(), 15);
+        let opts = RenderOpts {
+            tile: 8,
+            ..Default::default()
+        };
+        let fig =
+            run_volrend_figure(&inputs, &cams[..2], &opts, &[2, 4], &plat, false);
+        assert_eq!(fig.counter_ds.cells.len(), 2);
+        assert_eq!(fig.counter_ds.cells[0].len(), 2);
+    }
+}

@@ -1,0 +1,247 @@
+//! Dimension types for 2D and 3D structured grids.
+
+/// Dimensions of a 3D structured grid (`nx` is the fastest-varying axis in
+/// array order, matching the paper's convention where `A[i,j,k]` has `i`
+/// contiguous in memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dims3 {
+    /// Extent along the fastest-varying (x) axis.
+    pub nx: usize,
+    /// Extent along the middle (y) axis.
+    pub ny: usize,
+    /// Extent along the slowest-varying (z) axis.
+    pub nz: usize,
+}
+
+impl Dims3 {
+    /// Create a new dimension triple.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero: empty grids have no meaningful layout.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be non-zero");
+        Self { nx, ny, nz }
+    }
+
+    /// A cube with equal extent on all axes.
+    pub fn cube(n: usize) -> Self {
+        Self::new(n, n, n)
+    }
+
+    /// Number of logical elements (`nx * ny * nz`).
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Structured grids are never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if the coordinate triple lies inside the grid.
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize, k: usize) -> bool {
+        i < self.nx && j < self.ny && k < self.nz
+    }
+
+    /// The largest extent over the three axes.
+    pub fn max_extent(&self) -> usize {
+        self.nx.max(self.ny).max(self.nz)
+    }
+
+    /// Iterate all coordinates in array order (`i` fastest).
+    pub fn iter(self) -> impl Iterator<Item = (usize, usize, usize)> {
+        let d = self;
+        (0..d.nz).flat_map(move |k| {
+            (0..d.ny).flat_map(move |j| (0..d.nx).map(move |i| (i, j, k)))
+        })
+    }
+}
+
+/// Dimensions of a 2D structured grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Dims2 {
+    /// Extent along the fastest-varying (x) axis.
+    pub nx: usize,
+    /// Extent along the slower (y) axis.
+    pub ny: usize,
+}
+
+impl Dims2 {
+    /// Create a new dimension pair.
+    ///
+    /// # Panics
+    /// Panics if any extent is zero.
+    pub fn new(nx: usize, ny: usize) -> Self {
+        assert!(nx > 0 && ny > 0, "grid extents must be non-zero");
+        Self { nx, ny }
+    }
+
+    /// A square with equal extents.
+    pub fn square(n: usize) -> Self {
+        Self::new(n, n)
+    }
+
+    /// Number of logical elements (`nx * ny`).
+    pub fn len(&self) -> usize {
+        self.nx * self.ny
+    }
+
+    /// Structured grids are never empty (enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// True if the coordinate pair lies inside the grid.
+    #[inline]
+    pub fn contains(&self, i: usize, j: usize) -> bool {
+        i < self.nx && j < self.ny
+    }
+
+    /// Iterate all coordinates in array order (`i` fastest).
+    pub fn iter(self) -> impl Iterator<Item = (usize, usize)> {
+        let d = self;
+        (0..d.ny).flat_map(move |j| (0..d.nx).map(move |i| (i, j)))
+    }
+}
+
+/// Round `n` up to the next power of two (identity for powers of two).
+///
+/// This is the padding rule the paper describes in §V: SFC indexing requires
+/// the backing buffer to be an even power of two along each axis.
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Number of bits needed to index `n` positions (`ceil(log2(n))`, 0 for n<=1).
+#[inline]
+pub fn bits_for(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+/// The three grid axes. Used to select pencil orientation and loop order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Axis {
+    /// Fastest-varying axis in array order.
+    X,
+    /// Middle axis.
+    Y,
+    /// Slowest-varying axis in array order.
+    Z,
+}
+
+impl Axis {
+    /// All three axes in `X`, `Y`, `Z` order.
+    pub const ALL: [Axis; 3] = [Axis::X, Axis::Y, Axis::Z];
+
+    /// Extent of this axis within `dims`.
+    pub fn extent(&self, dims: Dims3) -> usize {
+        match self {
+            Axis::X => dims.nx,
+            Axis::Y => dims.ny,
+            Axis::Z => dims.nz,
+        }
+    }
+
+    /// Short lowercase name ("x", "y", "z").
+    pub fn name(&self) -> &'static str {
+        match self {
+            Axis::X => "x",
+            Axis::Y => "y",
+            Axis::Z => "z",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims3_len_and_contains() {
+        let d = Dims3::new(4, 5, 6);
+        assert_eq!(d.len(), 120);
+        assert!(d.contains(3, 4, 5));
+        assert!(!d.contains(4, 0, 0));
+        assert!(!d.contains(0, 5, 0));
+        assert!(!d.contains(0, 0, 6));
+    }
+
+    #[test]
+    fn dims3_cube() {
+        assert_eq!(Dims3::cube(8), Dims3::new(8, 8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dims3_zero_extent_panics() {
+        Dims3::new(4, 0, 4);
+    }
+
+    #[test]
+    fn dims3_iter_is_array_order() {
+        let d = Dims3::new(2, 2, 2);
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(
+            v,
+            vec![
+                (0, 0, 0),
+                (1, 0, 0),
+                (0, 1, 0),
+                (1, 1, 0),
+                (0, 0, 1),
+                (1, 0, 1),
+                (0, 1, 1),
+                (1, 1, 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn dims2_basics() {
+        let d = Dims2::new(3, 2);
+        assert_eq!(d.len(), 6);
+        assert!(d.contains(2, 1));
+        assert!(!d.contains(3, 0));
+        let v: Vec<_> = d.iter().collect();
+        assert_eq!(v, vec![(0, 0), (1, 0), (2, 0), (0, 1), (1, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(511), 512);
+        assert_eq!(next_pow2(512), 512);
+        assert_eq!(next_pow2(513), 1024);
+    }
+
+    #[test]
+    fn bits_for_values() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 0);
+        assert_eq!(bits_for(2), 1);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 2);
+        assert_eq!(bits_for(5), 3);
+        assert_eq!(bits_for(512), 9);
+    }
+
+    #[test]
+    fn axis_extents() {
+        let d = Dims3::new(2, 3, 4);
+        assert_eq!(Axis::X.extent(d), 2);
+        assert_eq!(Axis::Y.extent(d), 3);
+        assert_eq!(Axis::Z.extent(d), 4);
+        assert_eq!(Axis::Z.name(), "z");
+    }
+}

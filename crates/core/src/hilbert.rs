@@ -1,0 +1,260 @@
+//! Hilbert curve encoding and decoding in 2 and 3 dimensions.
+//!
+//! The paper's background section (citing Reissmann et al. 2014) observes
+//! that the Hilbert curve has slightly better locality than Z-order but a
+//! substantially more expensive index computation, which in practice erases
+//! the locality gain. We implement it so the `curve_ablation` bench can
+//! reproduce that trade-off.
+//!
+//! Implementation: John Skilling, "Programming the Hilbert curve", AIP
+//! Conference Proceedings 707 (2004) — the "transpose" form, generalized
+//! over dimension `N` and per-axis bit count `bits`.
+
+/// Convert axis coordinates into the transposed Hilbert representation
+/// in place. `bits` is the per-axis order of the curve.
+fn axes_to_transpose<const N: usize>(x: &mut [u32; N], bits: u32) {
+    if bits == 0 {
+        return;
+    }
+    let m = 1u32 << (bits - 1);
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..N {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of the first axis
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t; // exchange low bits with the first axis
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..N {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[N - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Convert the transposed Hilbert representation back into axis coordinates
+/// in place.
+fn transpose_to_axes<const N: usize>(x: &mut [u32; N], bits: u32) {
+    if bits == 0 {
+        return;
+    }
+    let n = 2u32 << (bits - 1);
+    // Gray decode by H ^ (H/2).
+    let mut t = x[N - 1] >> 1;
+    for i in (1..N).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != n {
+        let p = q - 1;
+        for i in (0..N).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Pack the transposed representation into a single linear index:
+/// the most significant index bit is the top bit of `x[0]`, then the top
+/// bit of `x[1]`, and so on, descending through bit planes.
+fn transpose_to_index<const N: usize>(x: &[u32; N], bits: u32) -> u64 {
+    let mut h = 0u64;
+    for b in (0..bits).rev() {
+        for v in x.iter() {
+            h = (h << 1) | (((v >> b) & 1) as u64);
+        }
+    }
+    h
+}
+
+/// Unpack a linear index into the transposed representation (inverse of
+/// [`transpose_to_index`]).
+fn index_to_transpose<const N: usize>(h: u64, bits: u32) -> [u32; N] {
+    let mut x = [0u32; N];
+    let mut pos = N as u32 * bits;
+    for b in (0..bits).rev() {
+        for v in x.iter_mut() {
+            pos -= 1;
+            *v |= (((h >> pos) & 1) as u32) << b;
+        }
+    }
+    x
+}
+
+/// Encode an N-dimensional coordinate on a `2^bits` hypercube into its
+/// Hilbert curve index.
+///
+/// # Panics
+/// Debug-asserts every coordinate fits in `bits` bits and that the total
+/// index fits in 64 bits.
+pub fn hilbert_encode<const N: usize>(coords: [u32; N], bits: u32) -> u64 {
+    debug_assert!(N as u32 * bits <= 64, "index exceeds 64 bits");
+    debug_assert!(
+        coords.iter().all(|&c| bits == 32 || c < (1u32 << bits)),
+        "coordinate out of range for curve order"
+    );
+    let mut x = coords;
+    axes_to_transpose(&mut x, bits);
+    transpose_to_index(&x, bits)
+}
+
+/// Decode a Hilbert curve index back into an N-dimensional coordinate.
+pub fn hilbert_decode<const N: usize>(h: u64, bits: u32) -> [u32; N] {
+    let mut x = index_to_transpose::<N>(h, bits);
+    transpose_to_axes(&mut x, bits);
+    x
+}
+
+/// Encode a 2D coordinate on a `2^bits` square.
+#[inline]
+pub fn hilbert2_encode(x: u32, y: u32, bits: u32) -> u64 {
+    hilbert_encode([x, y], bits)
+}
+
+/// Decode a 2D Hilbert index.
+#[inline]
+pub fn hilbert2_decode(h: u64, bits: u32) -> (u32, u32) {
+    let [x, y] = hilbert_decode::<2>(h, bits);
+    (x, y)
+}
+
+/// Encode a 3D coordinate on a `2^bits` cube.
+#[inline]
+pub fn hilbert3_encode(x: u32, y: u32, z: u32, bits: u32) -> u64 {
+    hilbert_encode([x, y, z], bits)
+}
+
+/// Decode a 3D Hilbert index.
+#[inline]
+pub fn hilbert3_decode(h: u64, bits: u32) -> (u32, u32, u32) {
+    let [x, y, z] = hilbert_decode::<3>(h, bits);
+    (x, y, z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn manhattan<const N: usize>(a: [u32; N], b: [u32; N]) -> u32 {
+        a.iter().zip(b.iter()).map(|(&p, &q)| p.abs_diff(q)).sum()
+    }
+
+    #[test]
+    fn roundtrip_2d_exhaustive() {
+        for bits in 1..=5u32 {
+            let n = 1u32 << bits;
+            for y in 0..n {
+                for x in 0..n {
+                    let h = hilbert2_encode(x, y, bits);
+                    assert_eq!(hilbert2_decode(h, bits), (x, y));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d_exhaustive() {
+        for bits in 1..=3u32 {
+            let n = 1u32 << bits;
+            for z in 0..n {
+                for y in 0..n {
+                    for x in 0..n {
+                        let h = hilbert3_encode(x, y, z, bits);
+                        assert_eq!(hilbert3_decode(h, bits), (x, y, z));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bijection_2d() {
+        let bits = 4;
+        let n = 1usize << bits;
+        let mut seen = vec![false; n * n];
+        for y in 0..n as u32 {
+            for x in 0..n as u32 {
+                let h = hilbert2_encode(x, y, bits) as usize;
+                assert!(h < n * n);
+                assert!(!seen[h]);
+                seen[h] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hilbert_adjacency_2d() {
+        // The defining Hilbert property: consecutive curve positions are
+        // unit Manhattan distance apart.
+        let bits = 5;
+        let total = 1u64 << (2 * bits);
+        let mut prev = hilbert_decode::<2>(0, bits);
+        for h in 1..total {
+            let cur = hilbert_decode::<2>(h, bits);
+            assert_eq!(manhattan(prev, cur), 1, "step {h} is not adjacent");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn hilbert_adjacency_3d() {
+        let bits = 3;
+        let total = 1u64 << (3 * bits);
+        let mut prev = hilbert_decode::<3>(0, bits);
+        for h in 1..total {
+            let cur = hilbert_decode::<3>(h, bits);
+            assert_eq!(manhattan(prev, cur), 1, "step {h} is not adjacent");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn starts_at_origin() {
+        assert_eq!(hilbert2_decode(0, 4), (0, 0));
+        assert_eq!(hilbert3_decode(0, 4), (0, 0, 0));
+    }
+
+    #[test]
+    fn bits_zero_is_identity() {
+        assert_eq!(hilbert2_encode(0, 0, 0), 0);
+        assert_eq!(hilbert2_decode(0, 0), (0, 0));
+    }
+
+    #[test]
+    fn order_one_2d_is_u_shape() {
+        // At order 1 the curve visits the four cells of a 2x2 square in a
+        // U: (0,0) (0,1) (1,1) (1,0) (up to the algorithm's orientation);
+        // verify it is some Hamiltonian path with unit steps.
+        let cells: Vec<_> = (0..4).map(|h| hilbert2_decode(h, 1)).collect();
+        for w in cells.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert_eq!(a.0.abs_diff(b.0) + a.1.abs_diff(b.1), 1);
+        }
+    }
+}

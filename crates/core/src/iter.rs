@@ -1,0 +1,210 @@
+//! Work decomposition iterators: voxel pencils and image tiles.
+//!
+//! The paper parallelizes the bilateral filter by handing out "pencils"
+//! (1-D rows of voxels along a chosen axis) to threads round-robin
+//! (§III-A), and the raycaster by dividing the output image into 32×32
+//! tiles pulled from a dynamic queue (§III-B).
+
+use crate::dims::{Axis, Dims3};
+
+/// A 1-D row of voxels along `axis`, with the other two coordinates fixed.
+///
+/// For `axis = X` the pencil spans `(0..nx, j, k)`; the fixed coordinates
+/// are stored in grid-axis order (the first is the faster-varying of the
+/// two remaining axes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pencil {
+    /// Axis the pencil runs along.
+    pub axis: Axis,
+    /// Fixed coordinate on the faster-varying remaining axis.
+    pub a: usize,
+    /// Fixed coordinate on the slower-varying remaining axis.
+    pub b: usize,
+    /// Pencil length (extent of `axis`).
+    pub len: usize,
+}
+
+impl Pencil {
+    /// The voxel coordinate at position `t` along the pencil.
+    #[inline]
+    pub fn coords(&self, t: usize) -> (usize, usize, usize) {
+        debug_assert!(t < self.len);
+        match self.axis {
+            Axis::X => (t, self.a, self.b),
+            Axis::Y => (self.a, t, self.b),
+            Axis::Z => (self.a, self.b, t),
+        }
+    }
+
+    /// Iterate all voxel coordinates along the pencil.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, usize)> + '_ {
+        (0..self.len).map(move |t| self.coords(t))
+    }
+}
+
+/// Number of pencils along `axis` for a grid of `dims`
+/// (the product of the two remaining extents).
+pub fn pencil_count(dims: Dims3, axis: Axis) -> usize {
+    match axis {
+        Axis::X => dims.ny * dims.nz,
+        Axis::Y => dims.nx * dims.nz,
+        Axis::Z => dims.nx * dims.ny,
+    }
+}
+
+/// The `id`-th pencil along `axis` (ids enumerate the two fixed axes in
+/// array order, faster-varying axis first).
+pub fn pencil(dims: Dims3, axis: Axis, id: usize) -> Pencil {
+    debug_assert!(id < pencil_count(dims, axis));
+    match axis {
+        Axis::X => Pencil {
+            axis,
+            a: id % dims.ny,
+            b: id / dims.ny,
+            len: dims.nx,
+        },
+        Axis::Y => Pencil {
+            axis,
+            a: id % dims.nx,
+            b: id / dims.nx,
+            len: dims.ny,
+        },
+        Axis::Z => Pencil {
+            axis,
+            a: id % dims.nx,
+            b: id / dims.nx,
+            len: dims.nz,
+        },
+    }
+}
+
+/// Iterate every pencil along `axis`.
+pub fn pencils(dims: Dims3, axis: Axis) -> impl Iterator<Item = Pencil> {
+    (0..pencil_count(dims, axis)).map(move |id| pencil(dims, axis, id))
+}
+
+/// A rectangular region of an output image, `[x0, x1) × [y0, y1)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileRect {
+    /// Left edge (inclusive).
+    pub x0: usize,
+    /// Top edge (inclusive).
+    pub y0: usize,
+    /// Right edge (exclusive).
+    pub x1: usize,
+    /// Bottom edge (exclusive).
+    pub y1: usize,
+}
+
+impl TileRect {
+    /// Number of pixels in the tile.
+    pub fn area(&self) -> usize {
+        (self.x1 - self.x0) * (self.y1 - self.y0)
+    }
+
+    /// Iterate pixel coordinates row by row.
+    pub fn pixels(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let t = *self;
+        (t.y0..t.y1).flat_map(move |y| (t.x0..t.x1).map(move |x| (x, y)))
+    }
+}
+
+/// Decompose a `width × height` image into `tile_w × tile_h` tiles
+/// (edge tiles are smaller when the image size is not a multiple).
+pub fn image_tiles(
+    width: usize,
+    height: usize,
+    tile_w: usize,
+    tile_h: usize,
+) -> Vec<TileRect> {
+    assert!(tile_w > 0 && tile_h > 0, "tile extents must be non-zero");
+    let mut tiles = Vec::with_capacity(width.div_ceil(tile_w) * height.div_ceil(tile_h));
+    let mut y0 = 0;
+    while y0 < height {
+        let y1 = (y0 + tile_h).min(height);
+        let mut x0 = 0;
+        while x0 < width {
+            let x1 = (x0 + tile_w).min(width);
+            tiles.push(TileRect { x0, y0, x1, y1 });
+            x0 = x1;
+        }
+        y0 = y1;
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pencil_counts() {
+        let d = Dims3::new(4, 5, 6);
+        assert_eq!(pencil_count(d, Axis::X), 30);
+        assert_eq!(pencil_count(d, Axis::Y), 24);
+        assert_eq!(pencil_count(d, Axis::Z), 20);
+    }
+
+    #[test]
+    fn pencils_cover_grid_exactly_once() {
+        let d = Dims3::new(3, 4, 5);
+        for axis in Axis::ALL {
+            let mut seen = std::collections::HashSet::new();
+            for p in pencils(d, axis) {
+                for c in p.iter() {
+                    assert!(d.contains(c.0, c.1, c.2));
+                    assert!(seen.insert(c), "duplicate {c:?} along {axis:?}");
+                }
+            }
+            assert_eq!(seen.len(), d.len());
+        }
+    }
+
+    #[test]
+    fn x_pencil_coords() {
+        let d = Dims3::new(8, 4, 2);
+        let p = pencil(d, Axis::X, 5); // a = 5 % 4 = 1, b = 1
+        assert_eq!(p.coords(3), (3, 1, 1));
+        assert_eq!(p.len, 8);
+    }
+
+    #[test]
+    fn z_pencil_coords() {
+        let d = Dims3::new(8, 4, 2);
+        let p = pencil(d, Axis::Z, 9); // a = 1, b = 1
+        assert_eq!(p.coords(0), (1, 1, 0));
+        assert_eq!(p.coords(1), (1, 1, 1));
+        assert_eq!(p.len, 2);
+    }
+
+    #[test]
+    fn tiles_cover_image_exactly_once() {
+        let (w, h) = (100, 70);
+        let tiles = image_tiles(w, h, 32, 32);
+        let mut seen = vec![false; w * h];
+        for t in &tiles {
+            for (x, y) in t.pixels() {
+                assert!(x < w && y < h);
+                assert!(!seen[y * w + x]);
+                seen[y * w + x] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+        assert_eq!(tiles.len(), 4 * 3);
+    }
+
+    #[test]
+    fn tile_area_and_edges() {
+        let tiles = image_tiles(33, 33, 32, 32);
+        assert_eq!(tiles.len(), 4);
+        assert_eq!(tiles[0].area(), 1024);
+        assert_eq!(tiles[3].area(), 1);
+    }
+
+    #[test]
+    fn exact_tiling() {
+        let tiles = image_tiles(64, 64, 32, 32);
+        assert_eq!(tiles.len(), 4);
+        assert!(tiles.iter().all(|t| t.area() == 1024));
+    }
+}

@@ -1,0 +1,141 @@
+//! Hilbert-order layouts.
+//!
+//! Unlike Z-order, the Hilbert index of a coordinate cannot be decomposed
+//! into independent per-axis contributions (the curve's orientation at each
+//! recursion level depends on *all* coordinates), so there is no O(1)
+//! table-lookup scheme: every access pays an O(bits) transform. The paper's
+//! background (Reissmann et al. 2014) found exactly this cost to outweigh
+//! Hilbert's slightly better locality; `sfc-bench`'s `curve_ablation`
+//! measures the same trade-off with this implementation.
+//!
+//! Hilbert order requires a power-of-two *cube*, so rectangular domains pad
+//! every axis to the largest axis's power of two — a much bigger overhead
+//! than Z-order's per-axis padding (documented limitation).
+
+use crate::dims::{bits_for, Dims2, Dims3};
+use crate::hilbert::{hilbert2_decode, hilbert2_encode, hilbert3_decode, hilbert3_encode};
+use crate::layout::{Layout2, Layout3, LayoutKind};
+
+/// Hilbert-order 3D layout (computed per access, no tables).
+#[derive(Debug, Clone)]
+pub struct HilbertOrder3 {
+    dims: Dims3,
+    bits: u32,
+}
+
+impl HilbertOrder3 {
+    /// Curve order (bits per axis).
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+}
+
+impl Layout3 for HilbertOrder3 {
+    const KIND: LayoutKind = LayoutKind::Hilbert;
+
+    fn new(dims: Dims3) -> Self {
+        let bits = bits_for(dims.max_extent());
+        Self { dims, bits }
+    }
+
+    #[inline]
+    fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    #[inline]
+    fn storage_len(&self) -> usize {
+        1usize << (3 * self.bits)
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(self.dims.contains(i, j, k));
+        hilbert3_encode(i as u32, j as u32, k as u32, self.bits) as usize
+    }
+
+    #[inline]
+    fn coords(&self, index: usize) -> (usize, usize, usize) {
+        let (i, j, k) = hilbert3_decode(index as u64, self.bits);
+        (i as usize, j as usize, k as usize)
+    }
+}
+
+/// Hilbert-order 2D layout (computed per access, no tables).
+#[derive(Debug, Clone)]
+pub struct HilbertOrder2 {
+    dims: Dims2,
+    bits: u32,
+}
+
+impl Layout2 for HilbertOrder2 {
+    const KIND: LayoutKind = LayoutKind::Hilbert;
+
+    fn new(dims: Dims2) -> Self {
+        let bits = bits_for(dims.nx.max(dims.ny));
+        Self { dims, bits }
+    }
+
+    #[inline]
+    fn dims(&self) -> Dims2 {
+        self.dims
+    }
+
+    #[inline]
+    fn storage_len(&self) -> usize {
+        1usize << (2 * self.bits)
+    }
+
+    #[inline]
+    fn index(&self, i: usize, j: usize) -> usize {
+        debug_assert!(self.dims.contains(i, j));
+        hilbert2_encode(i as u32, j as u32, self.bits) as usize
+    }
+
+    #[inline]
+    fn coords(&self, index: usize) -> (usize, usize) {
+        let (i, j) = hilbert2_decode(index as u64, self.bits);
+        (i as usize, j as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cube_roundtrip() {
+        let l = HilbertOrder3::new(Dims3::cube(8));
+        assert_eq!(l.storage_len(), 512);
+        for (i, j, k) in l.dims().iter() {
+            let m = l.index(i, j, k);
+            assert!(m < 512);
+            assert_eq!(l.coords(m), (i, j, k));
+        }
+    }
+
+    #[test]
+    fn rectangular_pads_to_cube() {
+        let l = HilbertOrder3::new(Dims3::new(8, 2, 2));
+        assert_eq!(l.storage_len(), 512, "padded to 8^3");
+        assert!(l.padding_overhead() > 0.9);
+    }
+
+    #[test]
+    fn indices_unique() {
+        let l = HilbertOrder3::new(Dims3::new(5, 6, 7));
+        let mut seen = std::collections::HashSet::new();
+        for (i, j, k) in l.dims().iter() {
+            assert!(seen.insert(l.index(i, j, k)));
+        }
+    }
+
+    #[test]
+    fn two_d_roundtrip() {
+        let l = HilbertOrder2::new(Dims2::new(16, 9));
+        for (i, j) in l.dims().iter() {
+            assert_eq!(l.coords(l.index(i, j)), (i, j));
+        }
+        assert_eq!(l.storage_len(), 256);
+    }
+}

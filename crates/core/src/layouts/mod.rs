@@ -1,0 +1,11 @@
+//! Concrete layout implementations.
+
+pub mod array_order;
+pub mod hilbert_layout;
+pub mod tiled;
+pub mod zorder;
+
+pub use array_order::{ArrayOrder2, ArrayOrder3};
+pub use hilbert_layout::{HilbertOrder2, HilbertOrder3};
+pub use tiled::{Tiled2, Tiled3, DEFAULT_BRICK_3D, DEFAULT_TILE_2D};
+pub use zorder::{ZOrder2, ZOrder3};

@@ -1,0 +1,150 @@
+//! Analytic locality statistics for layouts.
+//!
+//! The paper's motivating observation (§II-B) is that under array order an
+//! access that is nearby in *index space* may be far away in *memory*:
+//! `A[i,j,k]` and `A[i,j,k+1]` are `nx·ny` elements apart. These helpers
+//! quantify that directly — the distribution of storage-distance for unit
+//! logical steps along each axis — without running a cache simulation.
+
+use crate::dims::Axis;
+use crate::layout::Layout3;
+
+/// Distribution summary of `|Δ storage index|` over all unit steps along
+/// one axis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Number of unit steps measured.
+    pub steps: u64,
+    /// Mean absolute storage distance (elements).
+    pub mean_abs: f64,
+    /// Maximum absolute storage distance (elements).
+    pub max_abs: usize,
+    /// Fraction of steps staying within `line_elems` slots — i.e. likely
+    /// on the same cache line.
+    pub within_line: f64,
+    /// Elements-per-line threshold used for `within_line`.
+    pub line_elems: usize,
+}
+
+/// Measure unit-step storage distances along `axis` for a layout.
+/// `line_elems` is the same-line threshold (e.g. 16 for f32 / 64-byte
+/// lines).
+pub fn axis_step_stats<L: Layout3>(layout: &L, axis: Axis, line_elems: usize) -> StepStats {
+    assert!(line_elems > 0);
+    let d = layout.dims();
+    let mut steps = 0u64;
+    let mut sum = 0f64;
+    let mut max = 0usize;
+    let mut within = 0u64;
+    let (ni, nj, nk) = (d.nx, d.ny, d.nz);
+    let step_of = |i: usize, j: usize, k: usize| -> Option<usize> {
+        let (i2, j2, k2) = match axis {
+            Axis::X => (i + 1, j, k),
+            Axis::Y => (i, j + 1, k),
+            Axis::Z => (i, j, k + 1),
+        };
+        d.contains(i2, j2, k2)
+            .then(|| layout.index(i, j, k).abs_diff(layout.index(i2, j2, k2)))
+    };
+    for k in 0..nk {
+        for j in 0..nj {
+            for i in 0..ni {
+                if let Some(dist) = step_of(i, j, k) {
+                    steps += 1;
+                    sum += dist as f64;
+                    max = max.max(dist);
+                    if dist < line_elems {
+                        within += 1;
+                    }
+                }
+            }
+        }
+    }
+    StepStats {
+        steps,
+        mean_abs: if steps == 0 { 0.0 } else { sum / steps as f64 },
+        max_abs: max,
+        within_line: if steps == 0 {
+            0.0
+        } else {
+            within as f64 / steps as f64
+        },
+        line_elems,
+    }
+}
+
+/// Ratio of the worst axis's mean step distance to the best axis's — the
+/// layout's *directional anisotropy*. Array order is extremely anisotropic
+/// (`≈ nx·ny`); space-filling curves are close to 1.
+pub fn anisotropy<L: Layout3>(layout: &L, line_elems: usize) -> f64 {
+    let means: Vec<f64> = Axis::ALL
+        .iter()
+        .map(|&a| axis_step_stats(layout, a, line_elems).mean_abs)
+        .collect();
+    let max = means.iter().cloned().fold(f64::MIN, f64::max);
+    let min = means.iter().cloned().fold(f64::MAX, f64::min);
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Dims3;
+    use crate::layouts::{ArrayOrder3, HilbertOrder3, Tiled3, ZOrder3};
+
+    #[test]
+    fn array_order_step_distances_are_strides() {
+        let l = ArrayOrder3::new(Dims3::new(8, 4, 2));
+        let sx = axis_step_stats(&l, Axis::X, 16);
+        let sy = axis_step_stats(&l, Axis::Y, 16);
+        let sz = axis_step_stats(&l, Axis::Z, 16);
+        assert_eq!(sx.mean_abs, 1.0);
+        assert_eq!(sy.mean_abs, 8.0);
+        assert_eq!(sz.mean_abs, 32.0);
+        assert_eq!(sx.within_line, 1.0);
+        assert_eq!(sz.within_line, 0.0);
+    }
+
+    #[test]
+    fn zorder_is_much_less_anisotropic_than_array_order() {
+        let dims = Dims3::cube(32);
+        let a = ArrayOrder3::new(dims);
+        let z = ZOrder3::new(dims);
+        let aa = anisotropy(&a, 16);
+        let az = anisotropy(&z, 16);
+        assert!(aa > 100.0, "array order anisotropy {aa}");
+        assert!(az < 8.0, "z-order anisotropy {az}");
+    }
+
+    #[test]
+    fn zorder_keeps_most_x_steps_near() {
+        let z = ZOrder3::new(Dims3::cube(32));
+        let sx = axis_step_stats(&z, Axis::X, 16);
+        // Half of x steps are within an aligned pair (+1), and more land
+        // within a 16-slot window.
+        assert!(sx.within_line > 0.5);
+    }
+
+    #[test]
+    fn step_counts() {
+        let l = Tiled3::new(Dims3::new(4, 5, 6));
+        let sx = axis_step_stats(&l, Axis::X, 16);
+        assert_eq!(sx.steps, 3 * 5 * 6);
+        let sz = axis_step_stats(&l, Axis::Z, 16);
+        assert_eq!(sz.steps, 4 * 5 * 5);
+    }
+
+    #[test]
+    fn hilbert_anisotropy_is_low() {
+        let h = HilbertOrder3::new(Dims3::cube(16));
+        assert!(anisotropy(&h, 16) < 8.0);
+    }
+
+    #[test]
+    fn degenerate_axis_has_no_steps() {
+        let l = ArrayOrder3::new(Dims3::new(4, 4, 1));
+        let sz = axis_step_stats(&l, Axis::Z, 16);
+        assert_eq!(sz.steps, 0);
+        assert_eq!(sz.mean_abs, 0.0);
+    }
+}

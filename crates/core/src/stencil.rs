@@ -1,0 +1,219 @@
+//! Stencil neighborhood enumeration with configurable loop order.
+//!
+//! The paper's bilateral-filter tests vary the *stencil processing order*
+//! (§IV-B3): `xyz` iterates the innermost loop over x, the most quickly
+//! varying axis of an array-order layout (the friendly order), while `zyx`
+//! iterates z innermost — the most hostile order for array-order, used to
+//! "purposefully induce a potentially unfavorable memory access pattern".
+
+use crate::dims::Axis;
+
+/// Loop nesting order for stencil traversal. The name lists axes from
+/// innermost to outermost: `Xyz` = x innermost (array-order friendly),
+/// `Zyx` = z innermost (array-order hostile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StencilOrder {
+    /// x innermost, then y, then z (array-order friendly).
+    Xyz,
+    /// x innermost, then z, then y.
+    Xzy,
+    /// y innermost, then x, then z.
+    Yxz,
+    /// y innermost, then z, then x.
+    Yzx,
+    /// z innermost, then x, then y.
+    Zxy,
+    /// z innermost, then y, then x (array-order hostile; the paper's `zyx`).
+    Zyx,
+}
+
+impl StencilOrder {
+    /// The two orders exercised by the paper.
+    pub const PAPER: [StencilOrder; 2] = [StencilOrder::Xyz, StencilOrder::Zyx];
+
+    /// All six orders.
+    pub const ALL: [StencilOrder; 6] = [
+        StencilOrder::Xyz,
+        StencilOrder::Xzy,
+        StencilOrder::Yxz,
+        StencilOrder::Yzx,
+        StencilOrder::Zxy,
+        StencilOrder::Zyx,
+    ];
+
+    /// Axes from innermost to outermost.
+    pub fn axes(&self) -> [Axis; 3] {
+        match self {
+            StencilOrder::Xyz => [Axis::X, Axis::Y, Axis::Z],
+            StencilOrder::Xzy => [Axis::X, Axis::Z, Axis::Y],
+            StencilOrder::Yxz => [Axis::Y, Axis::X, Axis::Z],
+            StencilOrder::Yzx => [Axis::Y, Axis::Z, Axis::X],
+            StencilOrder::Zxy => [Axis::Z, Axis::X, Axis::Y],
+            StencilOrder::Zyx => [Axis::Z, Axis::Y, Axis::X],
+        }
+    }
+
+    /// Lowercase name as the paper writes it (`"xyz"`, `"zyx"`, …).
+    pub fn name(&self) -> &'static str {
+        match self {
+            StencilOrder::Xyz => "xyz",
+            StencilOrder::Xzy => "xzy",
+            StencilOrder::Yxz => "yxz",
+            StencilOrder::Yzx => "yzx",
+            StencilOrder::Zxy => "zxy",
+            StencilOrder::Zyx => "zyx",
+        }
+    }
+
+    /// Parse a name like `"xyz"` (case-insensitive).
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL
+            .into_iter()
+            .find(|o| o.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl std::fmt::Display for StencilOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Signed offsets of a cubic `(2r+1)³` stencil enumerated in the given loop
+/// order. The first named axis varies fastest.
+pub fn stencil_offsets(radius: usize, order: StencilOrder) -> Vec<(isize, isize, isize)> {
+    let r = radius as isize;
+    let side = 2 * radius + 1;
+    let mut out = Vec::with_capacity(side * side * side);
+    let [inner, mid, outer] = order.axes();
+    for co in -r..=r {
+        for cm in -r..=r {
+            for ci in -r..=r {
+                let mut ofs = (0isize, 0isize, 0isize);
+                for (axis, val) in [(outer, co), (mid, cm), (inner, ci)] {
+                    match axis {
+                        Axis::X => ofs.0 = val,
+                        Axis::Y => ofs.1 = val,
+                        Axis::Z => ofs.2 = val,
+                    }
+                }
+                out.push(ofs);
+            }
+        }
+    }
+    out
+}
+
+/// Paper stencil-size labels: `r1` = 3³, `r3` = 5³, `r5` = 11³.
+///
+/// (These are the paper's row labels; the numeral is not the radius — the
+/// actual radii are 1, 2, and 5.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum StencilSize {
+    /// 3×3×3 stencil (radius 1).
+    R1,
+    /// 5×5×5 stencil (radius 2).
+    R3,
+    /// 11×11×11 stencil (radius 5).
+    R5,
+}
+
+impl StencilSize {
+    /// The three sizes in the paper's row order.
+    pub const ALL: [StencilSize; 3] = [StencilSize::R1, StencilSize::R3, StencilSize::R5];
+
+    /// The stencil radius in voxels.
+    pub fn radius(&self) -> usize {
+        match self {
+            StencilSize::R1 => 1,
+            StencilSize::R3 => 2,
+            StencilSize::R5 => 5,
+        }
+    }
+
+    /// Side length of the cubic stencil (`2*radius + 1`).
+    pub fn side(&self) -> usize {
+        2 * self.radius() + 1
+    }
+
+    /// Paper row label ("r1", "r3", "r5").
+    pub fn label(&self) -> &'static str {
+        match self {
+            StencilSize::R1 => "r1",
+            StencilSize::R3 => "r3",
+            StencilSize::R5 => "r5",
+        }
+    }
+}
+
+impl std::fmt::Display for StencilSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_count_and_uniqueness() {
+        for r in [1usize, 2, 5] {
+            let offs = stencil_offsets(r, StencilOrder::Xyz);
+            let side = 2 * r + 1;
+            assert_eq!(offs.len(), side * side * side);
+            let set: std::collections::HashSet<_> = offs.iter().collect();
+            assert_eq!(set.len(), offs.len());
+        }
+    }
+
+    #[test]
+    fn xyz_order_varies_x_fastest() {
+        let offs = stencil_offsets(1, StencilOrder::Xyz);
+        assert_eq!(offs[0], (-1, -1, -1));
+        assert_eq!(offs[1], (0, -1, -1));
+        assert_eq!(offs[2], (1, -1, -1));
+        assert_eq!(offs[3], (-1, 0, -1));
+        assert_eq!(*offs.last().unwrap(), (1, 1, 1));
+    }
+
+    #[test]
+    fn zyx_order_varies_z_fastest() {
+        let offs = stencil_offsets(1, StencilOrder::Zyx);
+        assert_eq!(offs[0], (-1, -1, -1));
+        assert_eq!(offs[1], (-1, -1, 0));
+        assert_eq!(offs[2], (-1, -1, 1));
+        assert_eq!(offs[3], (-1, 0, -1));
+        assert_eq!(*offs.last().unwrap(), (1, 1, 1));
+    }
+
+    #[test]
+    fn all_orders_enumerate_same_set() {
+        let reference: std::collections::HashSet<_> =
+            stencil_offsets(2, StencilOrder::Xyz).into_iter().collect();
+        for order in StencilOrder::ALL {
+            let set: std::collections::HashSet<_> =
+                stencil_offsets(2, order).into_iter().collect();
+            assert_eq!(set, reference, "order {order}");
+        }
+    }
+
+    #[test]
+    fn paper_sizes() {
+        assert_eq!(StencilSize::R1.side(), 3);
+        assert_eq!(StencilSize::R3.side(), 5);
+        assert_eq!(StencilSize::R5.side(), 11);
+        assert_eq!(StencilSize::R5.label(), "r5");
+    }
+
+    #[test]
+    fn order_parse_roundtrip() {
+        for o in StencilOrder::ALL {
+            assert_eq!(StencilOrder::parse(o.name()), Some(o));
+        }
+        assert_eq!(StencilOrder::parse("ZYX"), Some(StencilOrder::Zyx));
+        assert_eq!(StencilOrder::parse("abc"), None);
+    }
+}

@@ -1,0 +1,122 @@
+//! The scalar-volume access abstraction kernels are written against.
+//!
+//! Both application kernels (bilateral filter, raycaster) read a 3D scalar
+//! field one sample at a time. Abstracting that read behind [`Volume3`]
+//! lets the *same monomorphized kernel* run over any layout, and lets
+//! `sfc-memsim` interpose an address-tracing wrapper without touching
+//! kernel code.
+
+use crate::dims::Dims3;
+use crate::grid::Grid3;
+use crate::layout::Layout3;
+
+/// Read-only access to a 3D scalar field.
+pub trait Volume3 {
+    /// Logical dimensions of the field.
+    fn dims(&self) -> Dims3;
+
+    /// Sample the field at an in-bounds coordinate.
+    fn get(&self, i: usize, j: usize, k: usize) -> f32;
+
+    /// Sample with edge-clamped signed coordinates (the stencil boundary
+    /// rule used by the bilateral filter).
+    #[inline]
+    fn get_clamped(&self, i: isize, j: isize, k: isize) -> f32 {
+        let d = self.dims();
+        let ci = i.clamp(0, d.nx as isize - 1) as usize;
+        let cj = j.clamp(0, d.ny as isize - 1) as usize;
+        let ck = k.clamp(0, d.nz as isize - 1) as usize;
+        self.get(ci, cj, ck)
+    }
+}
+
+impl<L: Layout3> Volume3 for Grid3<f32, L> {
+    #[inline]
+    fn dims(&self) -> Dims3 {
+        Grid3::dims(self)
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize, k: usize) -> f32 {
+        Grid3::get(self, i, j, k)
+    }
+}
+
+impl<V: Volume3 + ?Sized> Volume3 for &V {
+    #[inline]
+    fn dims(&self) -> Dims3 {
+        (**self).dims()
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize, k: usize) -> f32 {
+        (**self).get(i, j, k)
+    }
+}
+
+/// A volume computed on the fly from a function (useful in tests).
+pub struct FnVolume<F: Fn(usize, usize, usize) -> f32> {
+    dims: Dims3,
+    f: F,
+}
+
+impl<F: Fn(usize, usize, usize) -> f32> FnVolume<F> {
+    /// Wrap `f` as a volume of the given dimensions.
+    pub fn new(dims: Dims3, f: F) -> Self {
+        Self { dims, f }
+    }
+}
+
+impl<F: Fn(usize, usize, usize) -> f32> Volume3 for FnVolume<F> {
+    #[inline]
+    fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    #[inline]
+    fn get(&self, i: usize, j: usize, k: usize) -> f32 {
+        debug_assert!(self.dims.contains(i, j, k));
+        (self.f)(i, j, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layouts::ZOrder3;
+
+    #[test]
+    fn grid_implements_volume() {
+        let g = Grid3::<f32, ZOrder3>::from_fn(Dims3::cube(4), |i, j, k| {
+            (i + j + k) as f32
+        });
+        let v: &dyn Volume3 = &g;
+        assert_eq!(v.get(1, 2, 3), 6.0);
+        assert_eq!(v.dims(), Dims3::cube(4));
+    }
+
+    #[test]
+    fn clamping_matches_grid_clamping() {
+        let g = Grid3::<f32, ZOrder3>::from_fn(Dims3::cube(4), |i, j, k| {
+            (i * 16 + j * 4 + k) as f32
+        });
+        assert_eq!(Volume3::get_clamped(&g, -1, 5, 2), g.get(0, 3, 2));
+    }
+
+    #[test]
+    fn fn_volume_works() {
+        let v = FnVolume::new(Dims3::cube(8), |i, _, _| i as f32);
+        assert_eq!(v.get(5, 0, 0), 5.0);
+        assert_eq!(v.get_clamped(100, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn reference_forwarding() {
+        let v = FnVolume::new(Dims3::cube(2), |_, _, _| 1.0);
+        fn total<V: Volume3>(v: V) -> f32 {
+            let d = v.dims();
+            d.iter().map(|(i, j, k)| v.get(i, j, k)).sum()
+        }
+        assert_eq!(total(&v), 8.0);
+    }
+}

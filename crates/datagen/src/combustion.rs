@@ -1,0 +1,105 @@
+//! Synthetic combustion-like scalar field.
+//!
+//! The paper's raycasting input was a 512³ field from a combustion
+//! simulation. We substitute a turbulence-style synthetic: multi-octave
+//! fBm modulated by a few hot "flame sheets" (narrow high-value bands
+//! around iso-surfaces of a second noise field), which gives a histogram
+//! with both broad smooth structure and thin features — the regime a
+//! transfer function is tuned for.
+
+use sfc_core::Dims3;
+
+use crate::noise::Fbm3;
+
+/// Parameters of the combustion-field generator.
+#[derive(Debug, Clone, Copy)]
+pub struct CombustionParams {
+    /// Base spatial frequency across the volume.
+    pub frequency: f32,
+    /// fBm octaves.
+    pub octaves: u32,
+    /// Weight of the sheet component vs. the fBm background.
+    pub sheet_weight: f32,
+}
+
+impl Default for CombustionParams {
+    fn default() -> Self {
+        Self {
+            frequency: 4.0,
+            octaves: 5,
+            sheet_weight: 0.45,
+        }
+    }
+}
+
+/// Generate the field as a row-major `f32` buffer in `[0, 1]`.
+pub fn combustion_field(dims: Dims3, seed: u64, params: CombustionParams) -> Vec<f32> {
+    let turb = Fbm3::new(seed, params.octaves);
+    let sheets = Fbm3::new(seed ^ 0xDEAD_BEEF_CAFE_F00D, 3);
+    let (nx, ny, nz) = (dims.nx as f32, dims.ny as f32, dims.nz as f32);
+    let mut out = Vec::with_capacity(dims.len());
+    for (i, j, k) in dims.iter() {
+        let x = params.frequency * (i as f32 + 0.5) / nx;
+        let y = params.frequency * (j as f32 + 0.5) / ny;
+        let z = params.frequency * (k as f32 + 0.5) / nz;
+        let t = turb.sample(x, y, z);
+        // Hot sheets: Gaussian band around the 0.5 iso-level of a second,
+        // lower-frequency field.
+        let s = sheets.sample(x * 0.5, y * 0.5, z * 0.5);
+        let sheet = (-((s - 0.5) / 0.04).powi(2)).exp();
+        let v = (1.0 - params.sheet_weight) * t + params.sheet_weight * sheet;
+        out.push(v.clamp(0.0, 1.0));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let d = Dims3::cube(16);
+        assert_eq!(
+            combustion_field(d, 3, CombustionParams::default()),
+            combustion_field(d, 3, CombustionParams::default())
+        );
+    }
+
+    #[test]
+    fn unit_range_and_length() {
+        let d = Dims3::new(8, 16, 12);
+        let v = combustion_field(d, 1, CombustionParams::default());
+        assert_eq!(v.len(), d.len());
+        assert!(v.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn has_dynamic_range() {
+        let d = Dims3::cube(32);
+        let v = combustion_field(d, 7, CombustionParams::default());
+        let min = v.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = v.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max - min > 0.3, "needs contrast for a transfer function");
+    }
+
+    #[test]
+    fn spatially_smooth() {
+        let d = Dims3::cube(32);
+        let v = combustion_field(d, 7, CombustionParams::default());
+        // Mean |gradient| along x must be small relative to the range.
+        let mut acc = 0.0f32;
+        let mut n = 0u32;
+        for k in 0..32 {
+            for j in 0..32 {
+                for i in 0..31 {
+                    let a = v[i + j * 32 + k * 1024];
+                    let b = v[i + 1 + j * 32 + k * 1024];
+                    acc += (a - b).abs();
+                    n += 1;
+                }
+            }
+        }
+        assert!(acc / (n as f32) < 0.1);
+    }
+}

@@ -1,0 +1,153 @@
+//! Volume and image I/O.
+//!
+//! * Raw volumes: flat little-endian `f32`, row-major — the format the
+//!   paper's datasets ship in, so users with the real MRI/combustion data
+//!   can drop them in.
+//! * Images: binary PGM (grayscale) and PPM (RGB) for filter slices and
+//!   rendered frames.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use bytes::{Buf, BufMut, BytesMut};
+use sfc_core::Dims3;
+
+/// Write a row-major `f32` volume as raw little-endian bytes.
+pub fn save_raw_f32(path: &Path, values: &[f32]) -> io::Result<()> {
+    let mut buf = BytesMut::with_capacity(values.len() * 4);
+    for &v in values {
+        buf.put_f32_le(v);
+    }
+    let mut out = BufWriter::new(File::create(path)?);
+    out.write_all(&buf)?;
+    out.flush()
+}
+
+/// Load a raw little-endian `f32` volume; the file length must be exactly
+/// `dims.len() * 4` bytes.
+pub fn load_raw_f32(path: &Path, dims: Dims3) -> io::Result<Vec<f32>> {
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    let expected = dims.len() * 4;
+    if bytes.len() != expected {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "volume size mismatch: file has {} bytes, dims {dims:?} need {expected}",
+                bytes.len()
+            ),
+        ));
+    }
+    let mut buf = &bytes[..];
+    let mut out = Vec::with_capacity(dims.len());
+    while buf.remaining() >= 4 {
+        out.push(buf.get_f32_le());
+    }
+    Ok(out)
+}
+
+/// Write an 8-bit binary PGM (P5) grayscale image.
+pub fn write_pgm(path: &Path, width: usize, height: usize, pixels: &[u8]) -> io::Result<()> {
+    assert_eq!(pixels.len(), width * height);
+    let mut out = BufWriter::new(File::create(path)?);
+    write!(out, "P5\n{width} {height}\n255\n")?;
+    out.write_all(pixels)?;
+    out.flush()
+}
+
+/// Write a 24-bit binary PPM (P6) RGB image from interleaved RGB bytes.
+pub fn write_ppm(path: &Path, width: usize, height: usize, rgb: &[u8]) -> io::Result<()> {
+    assert_eq!(rgb.len(), width * height * 3);
+    let mut out = BufWriter::new(File::create(path)?);
+    write!(out, "P6\n{width} {height}\n255\n")?;
+    out.write_all(rgb)?;
+    out.flush()
+}
+
+/// Normalize a float slice to `u8` over its own min/max (constant input
+/// maps to mid-gray).
+pub fn normalize_to_u8(values: &[f32]) -> Vec<u8> {
+    let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    // Constant or empty input (or NaN extremes) maps to mid-gray.
+    if max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
+        return vec![128; values.len()];
+    }
+    values
+        .iter()
+        .map(|&v| (((v - min) / (max - min)) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .collect()
+}
+
+/// Extract the z = `slice` plane of a row-major volume (row-major 2D out).
+pub fn slice_z(values: &[f32], dims: Dims3, slice: usize) -> Vec<f32> {
+    assert!(slice < dims.nz);
+    assert_eq!(values.len(), dims.len());
+    let plane = dims.nx * dims.ny;
+    values[slice * plane..(slice + 1) * plane].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("sfc_datagen_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let dims = Dims3::new(3, 4, 5);
+        let values: Vec<f32> = (0..dims.len()).map(|v| v as f32 * 0.5).collect();
+        let path = tmp("roundtrip.raw");
+        save_raw_f32(&path, &values).unwrap();
+        let loaded = load_raw_f32(&path, dims).unwrap();
+        assert_eq!(values, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_size_mismatch_errors() {
+        let path = tmp("short.raw");
+        save_raw_f32(&path, &[1.0, 2.0]).unwrap();
+        let err = load_raw_f32(&path, Dims3::cube(4)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pgm_header_and_payload() {
+        let path = tmp("img.pgm");
+        write_pgm(&path, 2, 2, &[0, 64, 128, 255]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
+        assert_eq!(&bytes[bytes.len() - 4..], &[0, 64, 128, 255]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn ppm_header() {
+        let path = tmp("img.ppm");
+        write_ppm(&path, 1, 2, &[255, 0, 0, 0, 255, 0]).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P6\n1 2\n255\n"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn normalize_spans_full_range() {
+        let v = normalize_to_u8(&[1.0, 2.0, 3.0]);
+        assert_eq!(v, vec![0, 128, 255]);
+        assert_eq!(normalize_to_u8(&[5.0, 5.0]), vec![128, 128]);
+    }
+
+    #[test]
+    fn slice_extracts_plane() {
+        let dims = Dims3::new(2, 2, 3);
+        let values: Vec<f32> = (0..12).map(|v| v as f32).collect();
+        assert_eq!(slice_z(&values, dims, 1), vec![4.0, 5.0, 6.0, 7.0]);
+    }
+}

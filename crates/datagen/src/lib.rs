@@ -1,0 +1,50 @@
+//! # sfc-datagen — deterministic synthetic volumes and I/O
+//!
+//! The paper evaluates on two real 512³ datasets (an MRI head scan and a
+//! combustion simulation field) that are not redistributable. This crate
+//! synthesizes deterministic stand-ins with the same *access-pattern
+//! relevant* characteristics (see DESIGN.md §2 for the substitution
+//! argument), plus raw-volume I/O so the real data can be dropped in.
+//!
+//! * [`phantom`] — MRI-like head phantom (shells, ventricles, lesions,
+//!   magnitude noise) for the bilateral-filter experiments;
+//! * [`combustion`] — turbulence-plus-sheets field for the volume-rendering
+//!   experiments;
+//! * [`patterns`] — analytic test fields (ramp, sphere, checkerboard);
+//! * [`noise`] — the underlying value-noise/fBm machinery;
+//! * [`io`] — raw `f32` volumes, PGM/PPM images.
+
+#![warn(missing_docs)]
+
+pub mod combustion;
+pub mod io;
+pub mod noise;
+pub mod patterns;
+pub mod phantom;
+
+pub use combustion::{combustion_field, CombustionParams};
+pub use io::{load_raw_f32, normalize_to_u8, save_raw_f32, slice_z, write_pgm, write_ppm};
+pub use noise::{Fbm3, ValueNoise3};
+pub use phantom::{mri_phantom, PhantomParams};
+
+use sfc_core::{Dims3, Grid3, Layout3};
+
+/// Build a grid of the requested layout directly from a generator's
+/// row-major output.
+pub fn grid_from_row_major<L: Layout3>(dims: Dims3, values: &[f32]) -> Grid3<f32, L> {
+    Grid3::from_row_major(dims, values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_core::ZOrder3;
+
+    #[test]
+    fn grid_from_generator() {
+        let dims = Dims3::cube(8);
+        let values = patterns::ramp(dims);
+        let g: Grid3<f32, ZOrder3> = grid_from_row_major(dims, &values);
+        assert_eq!(g.to_row_major(), values);
+    }
+}

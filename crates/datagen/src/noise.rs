@@ -1,0 +1,161 @@
+//! Deterministic value noise and fractional Brownian motion (fBm).
+//!
+//! Used to synthesize the combustion-like test volume (the paper's
+//! raycasting input was a combustion simulation field we do not have; a
+//! multi-octave noise field exercises the same smooth-plus-structure
+//! sampling behaviour — see DESIGN.md §2).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Periodic 3D value noise on a power-of-two lattice, sampled with
+/// trilinear interpolation and cubic smoothing.
+#[derive(Debug, Clone)]
+pub struct ValueNoise3 {
+    lattice: Vec<f32>,
+    n: usize,
+    mask: usize,
+}
+
+impl ValueNoise3 {
+    /// Build a lattice of `n³` uniform random values in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two.
+    pub fn new(seed: u64, n: usize) -> Self {
+        assert!(n.is_power_of_two(), "lattice size must be a power of two");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lattice = (0..n * n * n).map(|_| rng.random::<f32>()).collect();
+        Self {
+            lattice,
+            n,
+            mask: n - 1,
+        }
+    }
+
+    #[inline]
+    fn at(&self, x: usize, y: usize, z: usize) -> f32 {
+        self.lattice[(x & self.mask) + (y & self.mask) * self.n + (z & self.mask) * self.n * self.n]
+    }
+
+    /// Sample at a continuous (wrapping) position; result in `[0, 1)`.
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let (xf, yf, zf) = (x.floor(), y.floor(), z.floor());
+        let (x0, y0, z0) = (
+            xf.rem_euclid(self.n as f32) as usize,
+            yf.rem_euclid(self.n as f32) as usize,
+            zf.rem_euclid(self.n as f32) as usize,
+        );
+        // Smoothstep fade for C1 continuity.
+        let fade = |t: f32| t * t * (3.0 - 2.0 * t);
+        let (tx, ty, tz) = (fade(x - xf), fade(y - yf), fade(z - zf));
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        let (x1, y1, z1) = (x0 + 1, y0 + 1, z0 + 1);
+        let c00 = lerp(self.at(x0, y0, z0), self.at(x1, y0, z0), tx);
+        let c10 = lerp(self.at(x0, y1, z0), self.at(x1, y1, z0), tx);
+        let c01 = lerp(self.at(x0, y0, z1), self.at(x1, y0, z1), tx);
+        let c11 = lerp(self.at(x0, y1, z1), self.at(x1, y1, z1), tx);
+        let c0 = lerp(c00, c10, ty);
+        let c1 = lerp(c01, c11, ty);
+        lerp(c0, c1, tz)
+    }
+}
+
+/// Multi-octave fractional Brownian motion over [`ValueNoise3`].
+#[derive(Debug, Clone)]
+pub struct Fbm3 {
+    base: ValueNoise3,
+    octaves: u32,
+    lacunarity: f32,
+    gain: f32,
+}
+
+impl Fbm3 {
+    /// Standard turbulence parameters: `lacunarity = 2`, `gain = 0.5`.
+    pub fn new(seed: u64, octaves: u32) -> Self {
+        Self {
+            base: ValueNoise3::new(seed, 32),
+            octaves,
+            lacunarity: 2.0,
+            gain: 0.5,
+        }
+    }
+
+    /// Sample normalized to approximately `[0, 1]`.
+    pub fn sample(&self, x: f32, y: f32, z: f32) -> f32 {
+        let mut sum = 0.0f32;
+        let mut amp = 1.0f32;
+        let mut freq = 1.0f32;
+        let mut norm = 0.0f32;
+        for _ in 0..self.octaves {
+            sum += amp * self.base.sample(x * freq, y * freq, z * freq);
+            norm += amp;
+            amp *= self.gain;
+            freq *= self.lacunarity;
+        }
+        sum / norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = ValueNoise3::new(42, 16);
+        let b = ValueNoise3::new(42, 16);
+        for p in 0..100 {
+            let t = p as f32 * 0.37;
+            assert_eq!(a.sample(t, t * 1.3, t * 0.7), b.sample(t, t * 1.3, t * 0.7));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ValueNoise3::new(1, 16);
+        let b = ValueNoise3::new(2, 16);
+        let same = (0..100).all(|p| {
+            let t = p as f32 * 0.61;
+            a.sample(t, t, t) == b.sample(t, t, t)
+        });
+        assert!(!same);
+    }
+
+    #[test]
+    fn values_in_unit_range() {
+        let n = Fbm3::new(7, 5);
+        for p in 0..1000 {
+            let t = p as f32 * 0.123;
+            let v = n.sample(t, t * 0.5, t * 2.0);
+            assert!((0.0..=1.0).contains(&v), "out of range: {v}");
+        }
+    }
+
+    #[test]
+    fn interpolation_passes_through_lattice_points() {
+        let n = ValueNoise3::new(3, 8);
+        assert_eq!(n.sample(2.0, 5.0, 7.0), n.at(2, 5, 7));
+    }
+
+    #[test]
+    fn wraps_periodically() {
+        let n = ValueNoise3::new(3, 8);
+        assert!((n.sample(1.5, 2.5, 3.5) - n.sample(9.5, 10.5, 11.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn smooth_locally() {
+        // Adjacent samples 0.01 apart must differ far less than the total range.
+        let n = Fbm3::new(11, 4);
+        let a = n.sample(3.0, 4.0, 5.0);
+        let b = n.sample(3.01, 4.0, 5.0);
+        assert!((a - b).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_lattice_panics() {
+        ValueNoise3::new(0, 10);
+    }
+}

@@ -1,0 +1,116 @@
+//! Simple analytic test volumes (ramps, spheres, checkerboards).
+//!
+//! These are primarily for unit and property tests, where an exact closed
+//! form for the expected value is useful.
+
+use sfc_core::Dims3;
+
+/// Linear ramp `i + nx*j + nx*ny*k`, normalized to `[0, 1]`.
+pub fn ramp(dims: Dims3) -> Vec<f32> {
+    let n = dims.len() as f32;
+    dims.iter()
+        .map(|(i, j, k)| (i + dims.nx * j + dims.nx * dims.ny * k) as f32 / n)
+        .collect()
+}
+
+/// Constant field.
+pub fn constant(dims: Dims3, value: f32) -> Vec<f32> {
+    vec![value; dims.len()]
+}
+
+/// Binary checkerboard with cubic cells of `cell` voxels.
+pub fn checkerboard(dims: Dims3, cell: usize) -> Vec<f32> {
+    assert!(cell > 0);
+    dims.iter()
+        .map(|(i, j, k)| (((i / cell) + (j / cell) + (k / cell)) % 2) as f32)
+        .collect()
+}
+
+/// Solid sphere of `radius` (in voxels) centered in the volume:
+/// 1 inside, 0 outside.
+pub fn sphere(dims: Dims3, radius: f32) -> Vec<f32> {
+    let (cx, cy, cz) = (
+        dims.nx as f32 / 2.0,
+        dims.ny as f32 / 2.0,
+        dims.nz as f32 / 2.0,
+    );
+    dims.iter()
+        .map(|(i, j, k)| {
+            let d2 = (i as f32 + 0.5 - cx).powi(2)
+                + (j as f32 + 0.5 - cy).powi(2)
+                + (k as f32 + 0.5 - cz).powi(2);
+            if d2 <= radius * radius {
+                1.0
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Smooth radial gradient: 1 at the center decaying to 0 at the corner.
+pub fn radial_gradient(dims: Dims3) -> Vec<f32> {
+    let (cx, cy, cz) = (
+        dims.nx as f32 / 2.0,
+        dims.ny as f32 / 2.0,
+        dims.nz as f32 / 2.0,
+    );
+    let rmax = (cx * cx + cy * cy + cz * cz).sqrt();
+    dims.iter()
+        .map(|(i, j, k)| {
+            let d = ((i as f32 + 0.5 - cx).powi(2)
+                + (j as f32 + 0.5 - cy).powi(2)
+                + (k as f32 + 0.5 - cz).powi(2))
+            .sqrt();
+            (1.0 - d / rmax).clamp(0.0, 1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_is_monotone_row_major() {
+        let d = Dims3::new(4, 3, 2);
+        let v = ramp(d);
+        for w in v.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn constant_field() {
+        let v = constant(Dims3::cube(4), 2.5);
+        assert!(v.iter().all(|&x| x == 2.5));
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn checkerboard_alternates() {
+        let d = Dims3::cube(4);
+        let v = checkerboard(d, 2);
+        assert_eq!(v[0], 0.0); // (0,0,0)
+        assert_eq!(v[2], 1.0); // (2,0,0)
+        assert_eq!(v[2 * 4], 1.0); // (0,2,0)
+    }
+
+    #[test]
+    fn sphere_center_inside_corner_outside() {
+        let d = Dims3::cube(16);
+        let v = sphere(d, 4.0);
+        let center = 8 + 8 * 16 + 8 * 256;
+        assert_eq!(v[center], 1.0);
+        assert_eq!(v[0], 0.0);
+    }
+
+    #[test]
+    fn radial_gradient_peaks_at_center() {
+        let d = Dims3::cube(17);
+        let v = radial_gradient(d);
+        let center = 8 + 8 * 17 + 8 * 289;
+        assert!(v[center] > 0.9);
+        assert!(v[0] < 0.1);
+    }
+}

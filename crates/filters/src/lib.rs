@@ -1,0 +1,36 @@
+//! # sfc-filters — the structured-access application kernel
+//!
+//! 3D bilateral filtering (paper §III-A): an anisotropic, edge-preserving
+//! smoother whose stencil access pattern is *structured* — every output
+//! voxel reads a fixed `(2r+1)³` neighborhood. The kernel is generic over
+//! `sfc_core::Volume3`, so it runs unmodified over array-order, Z-order,
+//! tiled, and Hilbert grids, and over `sfc-memsim`'s tracing wrapper.
+//!
+//! * [`gaussian`] — precomputed spatial kernels + plain-convolution
+//!   baseline;
+//! * [`bilateral`] — the per-voxel bilateral kernel and an independent
+//!   reference implementation;
+//! * [`parallel`] — pencil-parallel drivers (paper's static round-robin
+//!   pencil assignment; plus a rayon variant for the scheduling ablation);
+//! * [`counters`] — simulated cache counters replaying the exact parallel
+//!   work split.
+
+#![warn(missing_docs)]
+
+pub mod bilateral;
+pub mod bilateral2d;
+pub mod counters;
+pub mod gaussian;
+pub mod gradient;
+pub mod parallel;
+pub mod separable;
+
+pub use bilateral::{bilateral_reference, bilateral_voxel, BilateralParams};
+pub use bilateral2d::{bilateral2d, bilateral2d_pixel, Bilateral2dParams};
+pub use counters::simulate_bilateral_counters;
+pub use gaussian::{convolve_voxel, gaussian_weight, SpatialKernel};
+pub use gradient::{gradient3d, gradient_voxel};
+pub use parallel::{
+    bilateral3d, bilateral3d_into, bilateral3d_rayon, config_label, convolve3d, FilterRun,
+};
+pub use separable::{gaussian_separable3d, Kernel1D};

@@ -1,0 +1,93 @@
+//! Property tests for the bilateral filter: output-range containment,
+//! invariances, and agreement with the independent reference.
+
+use proptest::prelude::*;
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, StencilOrder, Tiled3, ZOrder3};
+use sfc_filters::{bilateral3d, bilateral_reference, BilateralParams, FilterRun};
+
+fn small_dims() -> impl Strategy<Value = Dims3> {
+    (2usize..10, 2usize..10, 2usize..10).prop_map(|(x, y, z)| Dims3::new(x, y, z))
+}
+
+fn values_for(dims: Dims3, seed: u64) -> Vec<f32> {
+    (0..dims.len())
+        .map(|v| {
+            let mut h = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h ^= h >> 31;
+            (h % 1000) as f32 / 1000.0
+        })
+        .collect()
+}
+
+fn params(radius: usize, order: StencilOrder) -> BilateralParams {
+    BilateralParams {
+        radius,
+        sigma_spatial: 1.2,
+        sigma_range: 0.15,
+        order,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn output_within_input_range(dims in small_dims(), seed in any::<u64>()) {
+        // A normalized weighted average can never escape the input's range.
+        let values = values_for(dims, seed);
+        let g = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+        let run = FilterRun { params: params(1, StencilOrder::Xyz), pencil_axis: Axis::X, nthreads: 2 };
+        let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
+        let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        for v in out.to_row_major() {
+            prop_assert!(v >= min - 1e-5 && v <= max + 1e-5, "{v} outside [{min},{max}]");
+        }
+    }
+
+    #[test]
+    fn matches_reference(dims in small_dims(), seed in any::<u64>()) {
+        let values = values_for(dims, seed);
+        let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let p = params(1, StencilOrder::Xyz);
+        let run = FilterRun { params: p, pencil_axis: Axis::Y, nthreads: 3 };
+        let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
+        let want = bilateral_reference(&values, dims, &p);
+        for (got, want) in out.to_row_major().iter().zip(&want) {
+            prop_assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn layout_invariance(dims in small_dims(), seed in any::<u64>()) {
+        let values = values_for(dims, seed);
+        let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+        let t = Grid3::<f32, Tiled3>::from_row_major(dims, &values);
+        let run = FilterRun { params: params(2, StencilOrder::Zyx), pencil_axis: Axis::Z, nthreads: 2 };
+        let oa: Grid3<f32, ArrayOrder3> = bilateral3d(&a, &run);
+        let ot: Grid3<f32, ArrayOrder3> = bilateral3d(&t, &run);
+        prop_assert_eq!(oa.to_row_major(), ot.to_row_major());
+    }
+
+    #[test]
+    fn permutation_of_threads_is_invisible(dims in small_dims(), seed in any::<u64>(), n1 in 1usize..6, n2 in 1usize..6) {
+        let values = values_for(dims, seed);
+        let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let p = params(1, StencilOrder::Yzx);
+        let r1 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n1 };
+        let r2 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n2 };
+        let o1: Grid3<f32, ZOrder3> = bilateral3d(&g, &r1);
+        let o2: Grid3<f32, ZOrder3> = bilateral3d(&g, &r2);
+        prop_assert_eq!(o1.to_row_major(), o2.to_row_major());
+    }
+
+    #[test]
+    fn idempotent_on_constants(dims in small_dims(), c in 0.0f32..1.0) {
+        let g = Grid3::<f32, ArrayOrder3>::from_fn(dims, |_, _, _| c);
+        let run = FilterRun { params: params(1, StencilOrder::Xyz), pencil_axis: Axis::X, nthreads: 1 };
+        let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
+        for v in out.to_row_major() {
+            prop_assert!((v - c).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! A minimal `--key value` argument parser for the experiment binaries
+//! (keeps the workspace free of CLI dependencies).
+
+use std::collections::BTreeMap;
+
+/// Parsed command-line options: `--key value`, `--key=value`, and bare
+/// `--flag` (a key with no value).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parse from an iterator of tokens (typically `std::env::args().skip(1)`).
+    ///
+    /// A token `--k` followed by a token that does not start with `--` is a
+    /// key/value pair; otherwise `--k` is a flag. `--k=v` is always a pair.
+    pub fn parse<I: IntoIterator<Item = String>>(tokens: I) -> Self {
+        let mut out = Args::default();
+        let toks: Vec<String> = tokens.into_iter().collect();
+        let mut idx = 0;
+        while idx < toks.len() {
+            let t = &toks[idx];
+            if let Some(stripped) = t.strip_prefix("--") {
+                if let Some((k, v)) = stripped.split_once('=') {
+                    out.values.insert(k.to_string(), v.to_string());
+                } else if idx + 1 < toks.len() && !toks[idx + 1].starts_with("--") {
+                    out.values
+                        .insert(stripped.to_string(), toks[idx + 1].clone());
+                    idx += 1;
+                } else {
+                    out.flags.push(stripped.to_string());
+                }
+            }
+            idx += 1;
+        }
+        out
+    }
+
+    /// Parse the process's own arguments.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Raw string value for `key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// `usize` value or `default`.
+    ///
+    /// # Panics
+    /// Panics with a clear message when the value does not parse.
+    pub fn get_usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `f64` value or `default`.
+    pub fn get_f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// `u64` value or `default`.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .unwrap_or(default)
+    }
+
+    /// String value or `default`.
+    pub fn get_str<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// True if `--key` appeared as a bare flag (or with any value).
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key) || self.values.contains_key(key)
+    }
+
+    /// Comma-separated list of `usize` (e.g. `--threads 2,4,8`) or default.
+    pub fn get_usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get(key) {
+            None => default.to_vec(),
+            Some(v) => v
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects integers, got {s:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn key_value_pairs() {
+        let a = parse("--size 128 --seed=42 --layout z-order");
+        assert_eq!(a.get_usize("size", 0), 128);
+        assert_eq!(a.get_u64("seed", 0), 42);
+        assert_eq!(a.get_str("layout", ""), "z-order");
+    }
+
+    #[test]
+    fn flags_and_defaults() {
+        let a = parse("--verbose --size 16");
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert_eq!(a.get_usize("missing", 7), 7);
+    }
+
+    #[test]
+    fn flag_followed_by_flag() {
+        let a = parse("--csv --markdown");
+        assert!(a.has("csv") && a.has("markdown"));
+    }
+
+    #[test]
+    fn float_values() {
+        let a = parse("--sigma 2.5");
+        assert!((a.get_f64("sigma", 0.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lists() {
+        let a = parse("--threads 2,4, 8");
+        // Note: "8" is a separate token, so only "2,4," belongs to the key;
+        // trailing empty entries would fail parse — use no spaces in lists.
+        let a2 = parse("--threads 2,4,8");
+        assert_eq!(a2.get_usize_list("threads", &[]), vec![2, 4, 8]);
+        assert_eq!(a.get_usize_list("missing", &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects an integer")]
+    fn bad_integer_panics() {
+        parse("--size banana").get_usize("size", 0);
+    }
+}

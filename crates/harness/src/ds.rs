@@ -1,0 +1,67 @@
+//! The paper's "scaled, relative difference" metric (§IV-B2).
+//!
+//! With `a` the array-order measurement and `z` the Z-order measurement,
+//!
+//! ```text
+//! ds = (a − z) / z
+//! ```
+//!
+//! `ds > 0` means array order measured *higher* (Z-order wins for
+//! lower-is-better quantities like runtime or miss counts); `ds = 1.0` is
+//! a 100 % difference, `ds = 10.0` a 1000 % difference.
+
+/// Compute `ds = (a - z) / z`. Returns `NaN` when `z == 0` and `a == 0`,
+/// and `±INFINITY` when only `z == 0` — callers format those explicitly.
+pub fn scaled_relative_difference(a: f64, z: f64) -> f64 {
+    (a - z) / z
+}
+
+/// Format a `ds` value the way the paper's figures print cells
+/// (two decimals, explicit sign for negatives via the standard formatter).
+pub fn format_ds(ds: f64) -> String {
+    if ds.is_nan() {
+        "  n/a".to_string()
+    } else if ds.is_infinite() {
+        if ds > 0.0 { "  inf" } else { " -inf" }.to_string()
+    } else {
+        format!("{ds:5.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_interpretation() {
+        // ds = 0.1 → 10% difference; 1.0 → 100%; 10.0 → 1000%.
+        assert!((scaled_relative_difference(1.1, 1.0) - 0.1).abs() < 1e-12);
+        assert!((scaled_relative_difference(2.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((scaled_relative_difference(11.0, 1.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_when_array_order_wins() {
+        assert!(scaled_relative_difference(0.9, 1.0) < 0.0);
+    }
+
+    #[test]
+    fn zero_when_equal() {
+        assert_eq!(scaled_relative_difference(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert!(scaled_relative_difference(0.0, 0.0).is_nan());
+        assert!(scaled_relative_difference(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(format_ds(0.27), " 0.27");
+        assert_eq!(format_ds(-0.02), "-0.02");
+        assert_eq!(format_ds(131.43), "131.43");
+        assert_eq!(format_ds(f64::NAN), "  n/a");
+        assert_eq!(format_ds(f64::INFINITY), "  inf");
+    }
+}

@@ -1,0 +1,25 @@
+//! # sfc-harness — experiment plumbing
+//!
+//! Shared machinery for the timing and counter experiments:
+//!
+//! * [`pool`] — the paper's two work-assignment strategies (static
+//!   round-robin pencils, dynamic tile queue) over OS threads;
+//! * [`timing`] — warmup/repeat wall-clock measurement;
+//! * [`ds`] — the paper's "scaled, relative difference" metric;
+//! * [`table`] — paper-figure-shaped result tables (text/Markdown/CSV);
+//! * [`cli`] — a tiny dependency-free argument parser for the experiment
+//!   binaries.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod ds;
+pub mod pool;
+pub mod table;
+pub mod timing;
+
+pub use cli::Args;
+pub use ds::{format_ds, scaled_relative_difference};
+pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};
+pub use table::PaperTable;
+pub use timing::{measure, time_once, TimingStats};

@@ -1,0 +1,189 @@
+//! Shared-memory worker pool with the paper's two assignment strategies.
+//!
+//! The paper (§III) parallelizes the bilateral filter by handing voxel
+//! pencils to threads **statically round-robin**, and the raycaster by
+//! letting threads pull 32×32 image tiles from a **dynamic** queue (the
+//! "worker-pool model" that motivated their POSIX-threads implementation).
+//! Both strategies are implemented here over abstract item indices.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work-assignment strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub enum Schedule {
+    /// Item `i` is processed by thread `i % nthreads` (paper's pencil
+    /// assignment).
+    StaticRoundRobin,
+    /// Threads repeatedly claim the next unprocessed item (paper's tile
+    /// worker pool).
+    Dynamic,
+}
+
+/// The items thread `tid` of `nthreads` processes under static round-robin
+/// assignment. Exposed so counter simulations can replicate the native
+/// work split exactly.
+pub fn items_for_thread(
+    nitems: usize,
+    nthreads: usize,
+    tid: usize,
+) -> impl Iterator<Item = usize> {
+    debug_assert!(tid < nthreads);
+    (tid..nitems).step_by(nthreads.max(1))
+}
+
+/// Run `worker(tid, item)` over `0..nitems` using `nthreads` OS threads and
+/// the chosen schedule. Blocks until all items are processed.
+///
+/// `worker` must be safe to call concurrently from distinct threads with
+/// distinct items; each item is processed exactly once.
+pub fn run_items<F>(nthreads: usize, nitems: usize, schedule: Schedule, worker: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    assert!(nthreads > 0, "need at least one thread");
+    if nthreads == 1 {
+        for item in 0..nitems {
+            worker(0, item);
+        }
+        return;
+    }
+    match schedule {
+        Schedule::StaticRoundRobin => {
+            std::thread::scope(|s| {
+                let worker = &worker;
+                for tid in 0..nthreads {
+                    s.spawn(move || {
+                        for item in items_for_thread(nitems, nthreads, tid) {
+                            worker(tid, item);
+                        }
+                    });
+                }
+            });
+        }
+        Schedule::Dynamic => {
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|s| {
+                let worker = &worker;
+                let next = &next;
+                for tid in 0..nthreads {
+                    s.spawn(move || loop {
+                        let item = next.fetch_add(1, Ordering::Relaxed);
+                        if item >= nitems {
+                            break;
+                        }
+                        worker(tid, item);
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Mutable-output variant: splits `outputs` so each item owns one output
+/// slot, avoiding interior mutability in callers that write per-item
+/// results. `worker(tid, item, &mut outputs[item])`.
+pub fn run_items_with_output<T, F>(
+    nthreads: usize,
+    outputs: &mut [T],
+    schedule: Schedule,
+    worker: F,
+) where
+    T: Send,
+    F: Fn(usize, usize, &mut T) + Sync,
+{
+    // Hand out raw slots via a pointer wrapper; disjointness is guaranteed
+    // because each item index is processed exactly once.
+    struct Slots<T>(*mut T);
+    unsafe impl<T: Send> Sync for Slots<T> {}
+    let slots = Slots(outputs.as_mut_ptr());
+    let slots = &slots; // capture the Sync wrapper, not the raw pointer field
+    let n = outputs.len();
+    run_items(nthreads, n, schedule, |tid, item| {
+        // SAFETY: `item` is unique per invocation (run_items contract) and
+        // in-bounds, so no two threads alias the same slot.
+        let slot = unsafe { &mut *slots.0.add(item) };
+        worker(tid, item, slot);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn round_robin_split_covers_all_items_once() {
+        let nitems = 103;
+        let nthreads = 7;
+        let mut seen = vec![0u32; nitems];
+        for tid in 0..nthreads {
+            for item in items_for_thread(nitems, nthreads, tid) {
+                seen[item] += 1;
+                assert_eq!(item % nthreads, tid);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn static_schedule_processes_each_item_once() {
+        let nitems = 1000;
+        let counts: Vec<AtomicU64> = (0..nitems).map(|_| AtomicU64::new(0)).collect();
+        run_items(8, nitems, Schedule::StaticRoundRobin, |_tid, item| {
+            counts[item].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn dynamic_schedule_processes_each_item_once() {
+        let nitems = 1000;
+        let counts: Vec<AtomicU64> = (0..nitems).map(|_| AtomicU64::new(0)).collect();
+        run_items(8, nitems, Schedule::Dynamic, |_tid, item| {
+            counts[item].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_in_order() {
+        let order = std::sync::Mutex::new(Vec::new());
+        run_items(1, 5, Schedule::Dynamic, |tid, item| {
+            assert_eq!(tid, 0);
+            order.lock().unwrap().push(item);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        run_items(4, 0, Schedule::Dynamic, |_, _| panic!("no items to run"));
+    }
+
+    #[test]
+    fn with_output_writes_every_slot() {
+        let mut out = vec![0usize; 257];
+        run_items_with_output(6, &mut out, Schedule::StaticRoundRobin, |_tid, item, slot| {
+            *slot = item * 2;
+        });
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i * 2);
+        }
+    }
+
+    #[test]
+    fn with_output_dynamic() {
+        let mut out = vec![0u64; 64];
+        run_items_with_output(3, &mut out, Schedule::Dynamic, |_t, item, slot| {
+            *slot = item as u64 + 1;
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        run_items(0, 1, Schedule::Dynamic, |_, _| {});
+    }
+}

@@ -1,0 +1,211 @@
+//! Paper-style result tables: labeled rows × a concurrency sweep.
+//!
+//! The paper's figures 2, 3, 5 and 6 are grids of `ds` values with test
+//! configurations as rows and thread counts as columns. [`PaperTable`]
+//! renders that shape as aligned text, Markdown, or CSV.
+
+/// A rows × columns table of `f64` measurements with labels.
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct PaperTable {
+    /// Table title (e.g. `"Runtime"` or `"Total L3 Cache Accesses"`).
+    pub title: String,
+    /// Label of the row-name column (e.g. `"config"` or `"viewpoint"`).
+    pub row_header: String,
+    /// Row labels, one per row.
+    pub row_labels: Vec<String>,
+    /// Column labels (e.g. thread counts).
+    pub col_labels: Vec<String>,
+    /// Cell values, `cells[row][col]`.
+    pub cells: Vec<Vec<f64>>,
+}
+
+impl PaperTable {
+    /// Create an empty (NaN-filled) table of the given shape.
+    pub fn new(
+        title: impl Into<String>,
+        row_header: impl Into<String>,
+        row_labels: Vec<String>,
+        col_labels: Vec<String>,
+    ) -> Self {
+        let cells = vec![vec![f64::NAN; col_labels.len()]; row_labels.len()];
+        Self {
+            title: title.into(),
+            row_header: row_header.into(),
+            row_labels,
+            col_labels,
+            cells,
+        }
+    }
+
+    /// Set one cell.
+    ///
+    /// # Panics
+    /// Panics if `row`/`col` are out of range.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        self.cells[row][col] = value;
+    }
+
+    /// Get one cell.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        self.cells[row][col]
+    }
+
+    fn format_cell(value: f64, precision: usize) -> String {
+        if value.is_nan() {
+            "n/a".to_string()
+        } else {
+            format!("{value:.precision$}")
+        }
+    }
+
+    /// Render as an aligned plain-text table.
+    pub fn render_text(&self, precision: usize) -> String {
+        let mut col_widths: Vec<usize> =
+            self.col_labels.iter().map(|l| l.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .cells
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .map(|(c, &v)| {
+                        let s = Self::format_cell(v, precision);
+                        col_widths[c] = col_widths[c].max(s.len());
+                        s
+                    })
+                    .collect()
+            })
+            .collect();
+        let label_width = self
+            .row_labels
+            .iter()
+            .map(|l| l.len())
+            .chain([self.row_header.len()])
+            .max()
+            .unwrap_or(0);
+
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.title));
+        out.push_str(&format!("{:<label_width$}", self.row_header));
+        for (c, l) in self.col_labels.iter().enumerate() {
+            out.push_str(&format!("  {:>width$}", l, width = col_widths[c]));
+        }
+        out.push('\n');
+        for (r, label) in self.row_labels.iter().enumerate() {
+            out.push_str(&format!("{label:<label_width$}"));
+            for (c, cell) in rendered[r].iter().enumerate() {
+                out.push_str(&format!("  {:>width$}", cell, width = col_widths[c]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as GitHub-flavored Markdown.
+    pub fn render_markdown(&self, precision: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |", self.row_header));
+        for l in &self.col_labels {
+            out.push_str(&format!(" {l} |"));
+        }
+        out.push_str("\n|---|");
+        for _ in &self.col_labels {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (r, label) in self.row_labels.iter().enumerate() {
+            out.push_str(&format!("| {label} |"));
+            for &v in &self.cells[r] {
+                out.push_str(&format!(" {} |", Self::format_cell(v, precision)));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (title omitted; header row then data rows).
+    pub fn render_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.row_header);
+        for l in &self.col_labels {
+            out.push(',');
+            out.push_str(l);
+        }
+        out.push('\n');
+        for (r, label) in self.row_labels.iter().enumerate() {
+            out.push_str(label);
+            for &v in &self.cells[r] {
+                out.push(',');
+                if v.is_nan() {
+                    out.push_str("nan");
+                } else {
+                    out.push_str(&format!("{v}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PaperTable {
+        let mut t = PaperTable::new(
+            "Runtime",
+            "config",
+            vec!["r1 px xyz".into(), "r5 pz zyx".into()],
+            vec!["2".into(), "24".into()],
+        );
+        t.set(0, 0, -0.02);
+        t.set(0, 1, -0.06);
+        t.set(1, 0, 2.23);
+        t.set(1, 1, 2.31);
+        t
+    }
+
+    #[test]
+    fn text_rendering_contains_all_cells() {
+        let s = sample().render_text(2);
+        assert!(s.contains("# Runtime"));
+        assert!(s.contains("r1 px xyz"));
+        assert!(s.contains("-0.02"));
+        assert!(s.contains("2.31"));
+        // Header contains both thread counts.
+        let header = s.lines().nth(1).unwrap();
+        assert!(header.contains('2') && header.contains("24"));
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let s = sample().render_markdown(2);
+        assert!(s.contains("|---|---|---|"));
+        assert!(s.contains("| r5 pz zyx | 2.23 | 2.31 |"));
+    }
+
+    #[test]
+    fn csv_roundtrip_values() {
+        let s = sample().render_csv();
+        let lines: Vec<_> = s.lines().collect();
+        assert_eq!(lines[0], "config,2,24");
+        assert_eq!(lines[1], "r1 px xyz,-0.02,-0.06");
+    }
+
+    #[test]
+    fn unset_cells_render_na() {
+        let t = PaperTable::new("X", "r", vec!["a".into()], vec!["c".into()]);
+        assert!(t.render_text(2).contains("n/a"));
+        assert!(t.render_csv().contains("nan"));
+    }
+
+    #[test]
+    fn get_set() {
+        let mut t = sample();
+        t.set(1, 1, 9.5);
+        assert_eq!(t.get(1, 1), 9.5);
+    }
+}

@@ -1,0 +1,96 @@
+//! Wall-clock measurement utilities.
+
+use std::time::{Duration, Instant};
+
+/// Time one invocation of `f`, returning its result and elapsed time.
+pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Summary statistics over repeated timings.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct TimingStats {
+    /// Fastest repetition.
+    pub min: Duration,
+    /// Median repetition (robust central tendency; what tables report).
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// Slowest repetition.
+    pub max: Duration,
+    /// Number of repetitions measured.
+    pub reps: usize,
+}
+
+impl TimingStats {
+    /// Median in seconds as `f64` (convenience for `ds` computations).
+    pub fn median_secs(&self) -> f64 {
+        self.median.as_secs_f64()
+    }
+}
+
+/// Run `f` `reps` times (after `warmup` unmeasured runs) and summarize.
+///
+/// # Panics
+/// Panics if `reps == 0`.
+pub fn measure(warmup: usize, reps: usize, mut f: impl FnMut()) -> TimingStats {
+    assert!(reps > 0, "need at least one measured repetition");
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples: Vec<Duration> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    TimingStats {
+        min: samples[0],
+        median: samples[samples.len() / 2],
+        mean: total / reps as u32,
+        max: *samples.last().expect("reps > 0"),
+        reps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_once_returns_value() {
+        let (v, d) = time_once(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn measure_counts_reps_and_orders_stats() {
+        let mut calls = 0usize;
+        let stats = measure(2, 5, || calls += 1);
+        assert_eq!(calls, 7, "warmup + measured");
+        assert_eq!(stats.reps, 5);
+        assert!(stats.min <= stats.median && stats.median <= stats.max);
+        assert!(stats.mean >= stats.min && stats.mean <= stats.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_reps_panics() {
+        measure(0, 0, || {});
+    }
+
+    #[test]
+    fn median_secs_is_consistent() {
+        let stats = measure(0, 3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!((stats.median_secs() - stats.median.as_secs_f64()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,293 @@
+//! A single set-associative cache level with LRU replacement.
+//!
+//! The model is deliberately simple — tags only, true-LRU, no prefetching,
+//! no coherence traffic — because the quantity the paper reports
+//! (accesses/misses per level) is dominated by capacity/spatial-locality
+//! effects, which this model captures exactly and deterministically.
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Cache line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+}
+
+impl CacheConfig {
+    /// Create a config, validating the geometry.
+    ///
+    /// # Panics
+    /// Panics unless `line_bytes` is a power of two and the capacity is an
+    /// exact multiple of `line_bytes * assoc`.
+    pub fn new(size_bytes: u64, line_bytes: u64, assoc: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(assoc > 0, "associativity must be non-zero");
+        assert_eq!(
+            size_bytes % (line_bytes * assoc as u64),
+            0,
+            "capacity must be a whole number of sets"
+        );
+        Self {
+            size_bytes,
+            line_bytes,
+            assoc,
+        }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.line_bytes * self.assoc as u64)
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct CacheCounters {
+    /// Total accesses presented to this level.
+    pub accesses: u64,
+    /// Accesses satisfied by this level.
+    pub hits: u64,
+    /// Accesses that had to go to the next level (or memory).
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Miss ratio in `[0, 1]`; 0 when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Accumulate another counter set into this one.
+    pub fn merge(&mut self, other: &CacheCounters) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+/// The outcome of presenting one line address to a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// Line was resident.
+    Hit,
+    /// Line was not resident; it has been installed (possibly evicting).
+    Miss,
+}
+
+/// Sentinel tag for an empty way (no real tag collides with it because
+/// tags lose their low bits to the set index and line offset).
+const EMPTY: u64 = u64::MAX;
+
+/// A set-associative, true-LRU, tag-only cache.
+///
+/// LRU is tracked with per-way timestamps (one global monotone counter)
+/// instead of recency-ordered lists: a hit touches one stamp, a miss
+/// replaces the minimum-stamp way — equivalent replacement decisions,
+/// no element shifting in the hot path.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    set_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
+    assoc: usize,
+    /// `assoc` tags per set, flattened; `EMPTY` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU stamp per way, parallel to `tags`.
+    stamps: Vec<u64>,
+    clock: u64,
+    counters: CacheCounters,
+}
+
+impl Cache {
+    /// Build an empty (cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let num_sets = config.num_sets();
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        let ways = (num_sets as usize) * config.assoc;
+        Self {
+            config,
+            set_shift: config.line_bytes.trailing_zeros(),
+            set_mask: num_sets - 1,
+            tag_shift: num_sets.trailing_zeros(),
+            assoc: config.assoc,
+            tags: vec![EMPTY; ways],
+            stamps: vec![0; ways],
+            clock: 0,
+            counters: CacheCounters::default(),
+        }
+    }
+
+    /// Geometry of this cache.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Counters accumulated so far.
+    pub fn counters(&self) -> CacheCounters {
+        self.counters
+    }
+
+    /// Present one *line-aligned or unaligned* byte address; the line it
+    /// falls in is looked up and installed on miss (LRU eviction).
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> AccessOutcome {
+        let line = addr >> self.set_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.tag_shift;
+        let base = set_idx * self.assoc;
+        self.counters.accesses += 1;
+        self.clock += 1;
+        let ways = &mut self.tags[base..base + self.assoc];
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (w, &t) in ways.iter().enumerate() {
+            if t == tag {
+                self.stamps[base + w] = self.clock;
+                self.counters.hits += 1;
+                return AccessOutcome::Hit;
+            }
+            let s = if t == EMPTY { 0 } else { self.stamps[base + w] };
+            if s < victim_stamp {
+                victim_stamp = s;
+                victim = w;
+            }
+        }
+        self.tags[base + victim] = tag;
+        self.stamps[base + victim] = self.clock;
+        self.counters.misses += 1;
+        AccessOutcome::Miss
+    }
+
+    /// Drop all resident lines but keep counters.
+    pub fn flush(&mut self) {
+        self.tags.fill(EMPTY);
+        self.stamps.fill(0);
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.tags.iter().filter(|&&t| t != EMPTY).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64B lines = 512 B.
+        Cache::new(CacheConfig::new(512, 64, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 64, 8);
+        assert_eq!(c.num_sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn bad_geometry_panics() {
+        CacheConfig::new(1000, 64, 3);
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+        assert_eq!(c.access(0), AccessOutcome::Hit);
+        assert_eq!(c.access(63), AccessOutcome::Hit, "same line");
+        assert_eq!(c.access(64), AccessOutcome::Miss, "next line");
+        assert_eq!(c.counters().accesses, 4);
+        assert_eq!(c.counters().hits, 2);
+        assert_eq!(c.counters().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny(); // 4 sets, 2 ways; stride of 4*64=256 maps to the same set.
+        c.access(0); // set 0, tag A
+        c.access(256); // set 0, tag B
+        c.access(0); // A is now MRU
+        assert_eq!(c.access(512), AccessOutcome::Miss); // evicts B (LRU)
+        assert_eq!(c.access(0), AccessOutcome::Hit, "A must have survived");
+        assert_eq!(c.access(256), AccessOutcome::Miss, "B was evicted");
+    }
+
+    #[test]
+    fn sequential_within_capacity_all_hits_on_second_pass() {
+        let mut c = Cache::new(CacheConfig::new(4096, 64, 4));
+        for pass in 0..2 {
+            for line in 0..64u64 {
+                let outcome = c.access(line * 64);
+                if pass == 1 {
+                    assert_eq!(outcome, AccessOutcome::Hit, "line {line} second pass");
+                }
+            }
+        }
+        assert_eq!(c.counters().misses, 64);
+        assert_eq!(c.counters().hits, 64);
+    }
+
+    #[test]
+    fn streaming_beyond_capacity_always_misses() {
+        let mut c = tiny(); // 8 lines capacity
+        for pass in 0..2 {
+            for line in 0..64u64 {
+                let outcome = c.access(line * 64);
+                assert_eq!(outcome, AccessOutcome::Miss, "pass {pass} line {line}");
+            }
+        }
+    }
+
+    #[test]
+    fn flush_clears_contents_keeps_counters() {
+        let mut c = tiny();
+        c.access(0);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.counters().accesses, 1);
+        assert_eq!(c.access(0), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny();
+        c.access(0);
+        c.access(0);
+        assert!((c.counters().miss_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(CacheCounters::default().miss_ratio(), 0.0);
+    }
+
+    #[test]
+    fn merge_counters() {
+        let mut a = CacheCounters {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+        };
+        a.merge(&CacheCounters {
+            accesses: 5,
+            hits: 1,
+            misses: 4,
+        });
+        assert_eq!(
+            a,
+            CacheCounters {
+                accesses: 15,
+                hits: 8,
+                misses: 7
+            }
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! # sfc-memsim — deterministic cache-hierarchy simulation
+//!
+//! The paper quantifies memory-system utilization with PAPI hardware
+//! counters (`PAPI_L3_TCA` on Ivy Bridge, `L2_DATA_READ_MISS_MEM_FILL` on
+//! the Intel MIC). This crate substitutes a deterministic software model
+//! driven by the *actual address streams* the kernels generate:
+//!
+//! * [`cache`] — one set-associative LRU level;
+//! * [`hierarchy`] — a core's private L1+L2 ([`CoreSim`]) and the report
+//!   type exposing the two paper counters as
+//!   [`SimReport::l3_total_cache_accesses`] and
+//!   [`SimReport::l2_read_miss_mem_fill`];
+//! * [`llc`] — multi-core driver with optional shared last-level cache,
+//!   replayed deterministically;
+//! * [`platform`] — Ivy Bridge and MIC/KNC presets (and scaled variants
+//!   for reduced problem sizes);
+//! * [`trace`] — [`TracedGrid`], a `Volume3` wrapper feeding every grid
+//!   read into a `CoreSim` so kernels need no modification.
+//!
+//! ```
+//! use sfc_core::{Dims3, Grid3, Volume3, ZOrder3};
+//! use sfc_memsim::{platform, CoreSim, TracedGrid};
+//!
+//! let grid = Grid3::<f32, ZOrder3>::from_fn(Dims3::cube(16), |i, _, _| i as f32);
+//! let plat = platform::scaled(&platform::ivy_bridge(), 10);
+//! let mut sim = CoreSim::new(&plat.hierarchy);
+//! let traced = TracedGrid::at_zero(&grid, &mut sim);
+//! for (i, j, k) in Dims3::cube(16).iter() {
+//!     traced.get(i, j, k);
+//! }
+//! assert_eq!(sim.counters().reads, 16 * 16 * 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod cost;
+pub mod hierarchy;
+pub mod llc;
+pub mod platform;
+pub mod trace;
+
+pub use cache::{AccessOutcome, Cache, CacheConfig, CacheCounters};
+pub use cost::CostModel;
+pub use hierarchy::{CoreCounters, CoreSim, HierarchyConfig, SimReport, TlbConfig};
+pub use llc::{
+    assign_threads_to_cores, interleave_round_robin, replay_shared_llc, run_multicore,
+};
+pub use platform::{ivy_bridge, mic_knc, scaled, shift_for_volume_edge, Platform};
+pub use trace::{TracedGrid, ELEM_BYTES};

@@ -1,0 +1,184 @@
+//! Platform presets matching the paper's two test systems, plus scaled
+//! variants for reduced problem sizes.
+//!
+//! * **Ivy Bridge** (NERSC Edison node): per the paper, each core has a
+//!   private 64 KB L1 (we simulate the 32 KB *data* half — instruction
+//!   fetch is outside a data-layout study) and a 256 KB private L2; all
+//!   cores share a 30 MB L3. Our set-associative model needs a
+//!   power-of-two set count, so the shared LLC is modeled at 32 MB/16-way.
+//! * **MIC / Knight's Corner** (NERSC Babbage accelerator): 32 KB L1d and
+//!   512 KB L2 per core, no L3; 60 cores of which 59 are available to the
+//!   application, each supporting 4 hardware threads *sharing* the core's
+//!   private caches.
+//!
+//! The scaled variants divide every capacity by a power of two. Counter
+//! experiments run at reduced volume sizes (e.g. 64³ instead of 512³); to
+//! keep the decisive working-set-to-capacity ratios identical to the
+//! full-size experiment, the caches are scaled **linearly with the volume
+//! edge** (see [`shift_for_volume_edge`] and EXPERIMENTS.md).
+
+use crate::cache::CacheConfig;
+use crate::cost::CostModel;
+use crate::hierarchy::HierarchyConfig;
+
+/// A named platform model: cache geometry plus the paper's concurrency
+/// sweep and counter label.
+#[derive(Debug, Clone)]
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct Platform {
+    /// Human-readable name ("IvyBridge", "MIC"…).
+    pub name: String,
+    /// Cache geometry.
+    pub hierarchy: HierarchyConfig,
+    /// Physical cores available to the application.
+    pub cores: usize,
+    /// Thread counts the paper sweeps on this platform.
+    pub concurrency: Vec<usize>,
+    /// Name of the memory-system counter the paper reports here.
+    pub counter_name: String,
+    /// Cycle-cost model used for modeled runtimes on this platform.
+    pub cost: CostModel,
+}
+
+/// Full-size Ivy Bridge model (Edison compute node, both sockets).
+pub fn ivy_bridge() -> Platform {
+    Platform {
+        name: "IvyBridge".to_string(),
+        hierarchy: HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 64, 8),
+            l2: CacheConfig::new(256 * 1024, 64, 8),
+            llc: Some(CacheConfig::new(32 * 1024 * 1024, 64, 16)),
+            tlb: None,
+        },
+        cores: 24,
+        concurrency: vec![2, 4, 6, 8, 10, 12, 18, 24],
+        counter_name: "PAPI_L3_TCA".to_string(),
+        cost: CostModel::ivy_bridge(),
+    }
+}
+
+/// Full-size MIC / Knight's Corner model (one 5100P card, 59 usable cores).
+pub fn mic_knc() -> Platform {
+    Platform {
+        name: "MIC".to_string(),
+        hierarchy: HierarchyConfig {
+            l1: CacheConfig::new(32 * 1024, 64, 8),
+            l2: CacheConfig::new(512 * 1024, 64, 8),
+            llc: None,
+        tlb: None,
+        },
+        cores: 59,
+        concurrency: vec![59, 118, 177, 236],
+        counter_name: "L2_DATA_READ_MISS_MEM_FILL".to_string(),
+        cost: CostModel::mic_knc(),
+    }
+}
+
+/// Scale a platform's cache capacities down by `2^shift`, clamping so each
+/// level keeps at least one set. Used when the simulated dataset is
+/// `2^shift` times smaller than the paper's 512³ so that all
+/// footprint-to-capacity ratios are preserved.
+pub fn scaled(platform: &Platform, shift: u32) -> Platform {
+    let scale = |c: CacheConfig| -> CacheConfig {
+        let min = c.line_bytes * c.assoc as u64; // one set
+        CacheConfig::new((c.size_bytes >> shift).max(min), c.line_bytes, c.assoc)
+    };
+    Platform {
+        name: format!("{}/2^{}", platform.name, shift),
+        hierarchy: HierarchyConfig {
+            l1: scale(platform.hierarchy.l1),
+            l2: scale(platform.hierarchy.l2),
+            llc: platform.hierarchy.llc.map(scale),
+        tlb: None,
+        },
+        cores: platform.cores,
+        concurrency: platform.concurrency.clone(),
+        counter_name: platform.counter_name.clone(),
+        cost: platform.cost,
+    }
+}
+
+impl Platform {
+    /// The value of this platform's paper counter for a simulation report:
+    /// `PAPI_L3_TCA` (accesses presented to the L3 = L2 misses) on
+    /// platforms with a shared LLC, `L2_DATA_READ_MISS_MEM_FILL` (L2
+    /// misses filled from memory) on platforms without one.
+    pub fn counter_value(&self, report: &crate::hierarchy::SimReport) -> u64 {
+        if self.hierarchy.llc.is_some() {
+            report.l3_total_cache_accesses()
+        } else {
+            report.l2_read_miss_mem_fill()
+        }
+    }
+}
+
+/// Cache-scaling shift for a cubic dataset of edge `n` relative to the
+/// paper's 512³ (0 when `n >= 512`).
+///
+/// The scale is **linear in the edge** (`512/n`), not cubic in the
+/// footprint: the working sets that decide the paper's private-cache hit
+/// rates scale linearly with the edge — a stencil's slab of array-order
+/// rows is `(2r+1)² · n` elements, and a ray's traversal footprint is
+/// `O(n)` lines — so dividing capacities by `512/n` preserves exactly the
+/// fits-in-L1/L2 relationships of the full-size experiment. (Whole-volume
+/// LLC residency scales with n³ and is *not* preserved; the paper's
+/// counters are private-cache misses, which don't depend on it.)
+pub fn shift_for_volume_edge(n: usize) -> u32 {
+    if n >= 512 {
+        0
+    } else {
+        crate::platform::log2_ceil(512 / n)
+    }
+}
+
+fn log2_ceil(x: usize) -> u32 {
+    sfc_core::bits_for(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ivy_bridge_geometry() {
+        let p = ivy_bridge();
+        assert_eq!(p.hierarchy.l1.num_sets(), 64);
+        assert_eq!(p.hierarchy.l2.num_sets(), 512);
+        assert_eq!(p.hierarchy.llc.unwrap().num_sets(), 32768);
+        assert_eq!(p.concurrency, vec![2, 4, 6, 8, 10, 12, 18, 24]);
+    }
+
+    #[test]
+    fn mic_has_no_llc() {
+        let p = mic_knc();
+        assert!(p.hierarchy.llc.is_none());
+        assert_eq!(p.cores, 59);
+        assert_eq!(p.hierarchy.l2.size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn scaling_divides_capacities() {
+        let p = scaled(&ivy_bridge(), 6);
+        assert_eq!(p.hierarchy.l1.size_bytes, 512);
+        assert_eq!(p.hierarchy.l2.size_bytes, 4096);
+        assert_eq!(p.hierarchy.llc.unwrap().size_bytes, 512 * 1024);
+        assert!(p.name.contains("2^6"));
+    }
+
+    #[test]
+    fn scaling_clamps_to_one_set() {
+        let p = scaled(&ivy_bridge(), 30);
+        let l1 = p.hierarchy.l1;
+        assert_eq!(l1.size_bytes, l1.line_bytes * l1.assoc as u64);
+        assert_eq!(l1.num_sets(), 1);
+    }
+
+    #[test]
+    fn shift_for_edges() {
+        assert_eq!(shift_for_volume_edge(512), 0);
+        assert_eq!(shift_for_volume_edge(1024), 0);
+        assert_eq!(shift_for_volume_edge(256), 1);
+        assert_eq!(shift_for_volume_edge(128), 2);
+        assert_eq!(shift_for_volume_edge(64), 3);
+    }
+}

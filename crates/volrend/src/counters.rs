@@ -1,0 +1,160 @@
+//! Simulated memory-system counters for the raycaster.
+//!
+//! The native renderer assigns tiles dynamically; for the counter
+//! simulation we use the *static round-robin* split of the same tile list
+//! (the dynamic queue's assignment is timing-dependent and therefore not
+//! reproducible, while the set of rays and samples — and hence the address
+//! stream per tile — is identical). Threads mapped onto the same simulated
+//! core have their tile streams interleaved round-robin, as on the MIC's
+//! hardware threads.
+
+use sfc_core::{image_tiles, Grid3, Layout3};
+use sfc_harness::items_for_thread;
+use sfc_memsim::{
+    assign_threads_to_cores, interleave_round_robin, run_multicore, CoreSim, Platform,
+    SimReport, TracedGrid,
+};
+
+use crate::camera::Camera;
+use crate::render::RenderOpts;
+use crate::transfer::TransferFunction;
+
+/// Simulate the cache behaviour of rendering one frame with `nthreads`
+/// software threads on `platform`.
+pub fn simulate_render_counters<L: Layout3>(
+    grid: &Grid3<f32, L>,
+    cam: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    nthreads: usize,
+    platform: &Platform,
+) -> SimReport {
+    let tiles = image_tiles(cam.width(), cam.height(), opts.tile, opts.tile);
+    let cores = assign_threads_to_cores(nthreads, platform.cores);
+
+    run_multicore(
+        &platform.hierarchy,
+        cores.len(),
+        true,
+        |core_id, sim: &mut CoreSim| {
+            // Pixel (ray) streams of each co-resident thread, interleaved
+            // round-robin at ray granularity — hardware threads sharing a
+            // core's caches mix far finer than whole tiles. (One thread
+            // per core degenerates to the natural tile order.)
+            let streams: Vec<Vec<(usize, usize)>> = cores[core_id]
+                .iter()
+                .map(|&tid| {
+                    items_for_thread(tiles.len(), nthreads, tid)
+                        .flat_map(|t| tiles[t].pixels().collect::<Vec<_>>())
+                        .collect()
+                })
+                .collect();
+            let work = interleave_round_robin(&streams);
+            let traced = TracedGrid::at_zero(grid, sim);
+            for (x, y) in work {
+                let ray = cam.ray_for_pixel(x, y);
+                std::hint::black_box(crate::render::shade_ray(&traced, tf, opts, &ray));
+            }
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::{orbit_viewpoints, Projection};
+    use crate::vec3::vec3;
+    use sfc_core::{ArrayOrder3, Dims3, ZOrder3};
+    use sfc_memsim::platform;
+
+    fn checker(dims: Dims3) -> Vec<f32> {
+        dims.iter()
+            .map(|(i, j, k)| (((i / 2) + (j / 2) + (k / 2)) % 2) as f32)
+            .collect()
+    }
+
+    fn opts() -> RenderOpts {
+        RenderOpts {
+            tile: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let dims = Dims3::cube(16);
+        let g = sfc_core::Grid3::<f32, ZOrder3>::from_row_major(dims, &checker(dims));
+        let cams = orbit_viewpoints(
+            8,
+            vec3(8.0, 8.0, 8.0),
+            40.0,
+            Projection::Perspective {
+                fov_y: 35f32.to_radians(),
+            },
+            16,
+            16,
+        );
+        let plat = platform::scaled(&platform::ivy_bridge(), 15);
+        let tf = TransferFunction::fire();
+        let a = simulate_render_counters(&g, &cams[1], &tf, &opts(), 4, &plat);
+        let b = simulate_render_counters(&g, &cams[1], &tf, &opts(), 4, &plat);
+        assert_eq!(a.per_core, b.per_core);
+        assert!(a.total().reads > 0);
+    }
+
+    #[test]
+    fn oblique_view_hurts_array_order_more() {
+        // Viewpoint 2 looks along -z: hostile for array order, fine for
+        // Z-order — the paper's Fig. 4 effect in miniature.
+        let dims = Dims3::cube(32);
+        let values = checker(dims);
+        let a = sfc_core::Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+        let z = sfc_core::Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let cams = orbit_viewpoints(
+            8,
+            vec3(16.0, 16.0, 16.0),
+            80.0,
+            Projection::Perspective {
+                fov_y: 35f32.to_radians(),
+            },
+            32,
+            32,
+        );
+        let plat = platform::scaled(&platform::ivy_bridge(), 13);
+        let tf = TransferFunction::grayscale();
+        let miss = |g: &dyn Fn() -> u64| g();
+        let miss_a2 = simulate_render_counters(&a, &cams[2], &tf, &opts(), 2, &plat)
+            .l3_total_cache_accesses();
+        let miss_z2 = simulate_render_counters(&z, &cams[2], &tf, &opts(), 2, &plat)
+            .l3_total_cache_accesses();
+        let _ = miss;
+        assert!(
+            miss_a2 > miss_z2,
+            "oblique view: a-order misses ({miss_a2}) must exceed z-order ({miss_z2})"
+        );
+    }
+
+    #[test]
+    fn read_counts_are_layout_independent() {
+        let dims = Dims3::cube(16);
+        let values = checker(dims);
+        let a = sfc_core::Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+        let z = sfc_core::Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let cam = orbit_viewpoints(
+            8,
+            vec3(8.0, 8.0, 8.0),
+            40.0,
+            Projection::Perspective {
+                fov_y: 35f32.to_radians(),
+            },
+            24,
+            24,
+        )
+        .remove(3);
+        let plat = platform::scaled(&platform::mic_knc(), 15);
+        let tf = TransferFunction::fire();
+        let ra = simulate_render_counters(&a, &cam, &tf, &opts(), 3, &plat);
+        let rz = simulate_render_counters(&z, &cam, &tf, &opts(), 3, &plat);
+        assert_eq!(ra.total().reads, rz.total().reads);
+    }
+}

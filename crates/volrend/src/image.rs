@@ -1,0 +1,112 @@
+//! Float RGBA framebuffer.
+
+use crate::transfer::Rgba;
+
+/// A `width × height` RGBA float image, row-major from the top-left.
+#[derive(Debug, Clone)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<Rgba>,
+}
+
+impl Image {
+    /// Transparent-black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0);
+        Self {
+            width,
+            height,
+            pixels: vec![Rgba::default(); width * height],
+        }
+    }
+
+    /// Width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Read pixel `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Rgba {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Write pixel `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, c: Rgba) {
+        self.pixels[y * self.width + x] = c;
+    }
+
+    /// Raw pixel slice (row-major).
+    pub fn pixels(&self) -> &[Rgba] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixel slice.
+    pub fn pixels_mut(&mut self) -> &mut [Rgba] {
+        &mut self.pixels
+    }
+
+    /// Convert to interleaved 8-bit RGB over `background` (composite
+    /// `c + (1-a) * background`, then clamp).
+    pub fn to_rgb8(&self, background: [f32; 3]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.pixels.len() * 3);
+        for p in &self.pixels {
+            let rest = 1.0 - p.a;
+            for (c, bg) in [(p.r, background[0]), (p.g, background[1]), (p.b, background[2])]
+            {
+                let v = c + rest * bg;
+                out.push((v.clamp(0.0, 1.0) * 255.0).round() as u8);
+            }
+        }
+        out
+    }
+
+    /// Mean opacity over all pixels — a cheap scalar fingerprint used by
+    /// tests to compare renders.
+    pub fn mean_alpha(&self) -> f32 {
+        self.pixels.iter().map(|p| p.a).sum::<f32>() / self.pixels.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transfer::rgba;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::new(4, 3);
+        img.set(2, 1, rgba(0.5, 0.25, 1.0, 0.75));
+        assert_eq!(img.get(2, 1), rgba(0.5, 0.25, 1.0, 0.75));
+        assert_eq!(img.get(0, 0), Rgba::default());
+    }
+
+    #[test]
+    fn rgb8_composites_over_background() {
+        let mut img = Image::new(1, 1);
+        img.set(0, 0, rgba(0.5, 0.0, 0.0, 0.5)); // premult-style red at 50%
+        let rgb = img.to_rgb8([0.0, 0.0, 1.0]); // blue background
+        assert_eq!(rgb, vec![128, 0, 128]);
+    }
+
+    #[test]
+    fn empty_image_is_transparent() {
+        let img = Image::new(8, 8);
+        assert_eq!(img.mean_alpha(), 0.0);
+        assert!(img.to_rgb8([0.0; 3]).iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn rgb8_clamps() {
+        let mut img = Image::new(1, 1);
+        img.set(0, 0, rgba(2.0, -1.0, 0.0, 1.0));
+        assert_eq!(img.to_rgb8([0.0; 3]), vec![255, 0, 0]);
+    }
+}

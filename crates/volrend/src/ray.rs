@@ -1,0 +1,159 @@
+//! Rays and ray–box intersection (slab method).
+
+use crate::vec3::Vec3;
+
+/// A half-line `origin + t * dir`, `t >= 0`. `dir` need not be unit length
+/// (parametric distances are in units of `|dir|`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ray {
+    /// Starting point.
+    pub origin: Vec3,
+    /// Direction.
+    pub dir: Vec3,
+}
+
+impl Ray {
+    /// Point at parameter `t`.
+    #[inline]
+    pub fn at(&self, t: f32) -> Vec3 {
+        self.origin + self.dir * t
+    }
+}
+
+/// An axis-aligned box `[min, max]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Vec3,
+    /// Maximum corner.
+    pub max: Vec3,
+}
+
+impl Aabb {
+    /// The volume box of a grid with the given dimensions: `[0, n]` per axis.
+    pub fn of_dims(dims: sfc_core::Dims3) -> Self {
+        Aabb {
+            min: Vec3::ZERO,
+            max: crate::vec3::vec3(dims.nx as f32, dims.ny as f32, dims.nz as f32),
+        }
+    }
+
+    /// Geometric center of the box.
+    pub fn center(&self) -> Vec3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Slab-method intersection: returns the entry/exit parameters
+    /// `(t_near, t_far)` clipped to `t >= 0`, or `None` if the ray misses.
+    pub fn intersect(&self, ray: &Ray) -> Option<(f32, f32)> {
+        let mut t0 = 0.0f32;
+        let mut t1 = f32::INFINITY;
+        for axis in 0..3 {
+            let (o, d, lo, hi) = match axis {
+                0 => (ray.origin.x, ray.dir.x, self.min.x, self.max.x),
+                1 => (ray.origin.y, ray.dir.y, self.min.y, self.max.y),
+                _ => (ray.origin.z, ray.dir.z, self.min.z, self.max.z),
+            };
+            if d.abs() < 1e-12 {
+                if o < lo || o > hi {
+                    return None;
+                }
+                continue;
+            }
+            let inv = 1.0 / d;
+            let (mut ta, mut tb) = ((lo - o) * inv, (hi - o) * inv);
+            if ta > tb {
+                std::mem::swap(&mut ta, &mut tb);
+            }
+            t0 = t0.max(ta);
+            t1 = t1.min(tb);
+            if t0 > t1 {
+                return None;
+            }
+        }
+        Some((t0, t1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::vec3;
+
+    fn unit_box() -> Aabb {
+        Aabb {
+            min: Vec3::ZERO,
+            max: vec3(1.0, 1.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn straight_hit() {
+        let r = Ray {
+            origin: vec3(-1.0, 0.5, 0.5),
+            dir: vec3(1.0, 0.0, 0.0),
+        };
+        let (t0, t1) = unit_box().intersect(&r).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 2.0).abs() < 1e-6);
+        assert_eq!(r.at(t0), vec3(0.0, 0.5, 0.5));
+    }
+
+    #[test]
+    fn miss() {
+        let r = Ray {
+            origin: vec3(-1.0, 2.0, 0.5),
+            dir: vec3(1.0, 0.0, 0.0),
+        };
+        assert!(unit_box().intersect(&r).is_none());
+    }
+
+    #[test]
+    fn origin_inside_clips_to_zero() {
+        let r = Ray {
+            origin: vec3(0.5, 0.5, 0.5),
+            dir: vec3(0.0, 0.0, 1.0),
+        };
+        let (t0, t1) = unit_box().intersect(&r).unwrap();
+        assert_eq!(t0, 0.0);
+        assert!((t1 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn box_behind_ray_misses() {
+        let r = Ray {
+            origin: vec3(2.0, 0.5, 0.5),
+            dir: vec3(1.0, 0.0, 0.0),
+        };
+        assert!(unit_box().intersect(&r).is_none());
+    }
+
+    #[test]
+    fn diagonal_hit() {
+        let r = Ray {
+            origin: vec3(-1.0, -1.0, -1.0),
+            dir: vec3(1.0, 1.0, 1.0),
+        };
+        let (t0, t1) = unit_box().intersect(&r).unwrap();
+        assert!((t0 - 1.0).abs() < 1e-6);
+        assert!((t1 - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_ray_inside_slab() {
+        let r = Ray {
+            origin: vec3(-1.0, 0.5, 0.5),
+            dir: vec3(1.0, 0.0, 0.0),
+        };
+        // y and z slabs are degenerate (dir components zero) but origin is
+        // inside them, so the intersection succeeds.
+        assert!(unit_box().intersect(&r).is_some());
+    }
+
+    #[test]
+    fn aabb_of_dims_and_center() {
+        let b = Aabb::of_dims(sfc_core::Dims3::new(4, 8, 2));
+        assert_eq!(b.max, vec3(4.0, 8.0, 2.0));
+        assert_eq!(b.center(), vec3(2.0, 4.0, 1.0));
+    }
+}

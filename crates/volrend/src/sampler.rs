@@ -1,0 +1,93 @@
+//! Trilinear reconstruction of the scalar field at continuous positions.
+//!
+//! Each sample touches the 8 voxels surrounding the position — this is the
+//! renderer's entire data access pattern, and the reason ray slope
+//! determines which layout wins.
+
+use sfc_core::Volume3;
+
+use crate::vec3::Vec3;
+
+/// Trilinearly interpolate the field at a continuous position in voxel
+/// space (voxel `(i,j,k)`'s center sits at `(i+0.5, j+0.5, k+0.5)`).
+/// Positions outside the volume clamp to the boundary voxels.
+pub fn sample_trilinear<V: Volume3>(vol: &V, p: Vec3) -> f32 {
+    let d = vol.dims();
+    // Shift so voxel centers are at integers, clamp into the center range
+    // (boundary rule: positions outside snap to the edge voxels), then
+    // split into base + frac.
+    let x = (p.x - 0.5).clamp(0.0, (d.nx - 1) as f32);
+    let y = (p.y - 0.5).clamp(0.0, (d.ny - 1) as f32);
+    let z = (p.z - 0.5).clamp(0.0, (d.nz - 1) as f32);
+    let (x0f, y0f, z0f) = (x.floor(), y.floor(), z.floor());
+    let (tx, ty, tz) = (x - x0f, y - y0f, z - z0f);
+    let (x0, y0, z0) = (x0f as usize, y0f as usize, z0f as usize);
+    let x1 = (x0 + 1).min(d.nx - 1);
+    let y1 = (y0 + 1).min(d.ny - 1);
+    let z1 = (z0 + 1).min(d.nz - 1);
+
+    let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+    let c000 = vol.get(x0, y0, z0);
+    let c100 = vol.get(x1, y0, z0);
+    let c010 = vol.get(x0, y1, z0);
+    let c110 = vol.get(x1, y1, z0);
+    let c001 = vol.get(x0, y0, z1);
+    let c101 = vol.get(x1, y0, z1);
+    let c011 = vol.get(x0, y1, z1);
+    let c111 = vol.get(x1, y1, z1);
+    let c00 = lerp(c000, c100, tx);
+    let c10 = lerp(c010, c110, tx);
+    let c01 = lerp(c001, c101, tx);
+    let c11 = lerp(c011, c111, tx);
+    let c0 = lerp(c00, c10, ty);
+    let c1 = lerp(c01, c11, ty);
+    lerp(c0, c1, tz)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::vec3;
+    use sfc_core::{Dims3, FnVolume};
+
+    #[test]
+    fn at_voxel_center_returns_voxel_value() {
+        let v = FnVolume::new(Dims3::cube(4), |i, j, k| (i * 16 + j * 4 + k) as f32);
+        for (i, j, k) in Dims3::cube(4).iter() {
+            let p = vec3(i as f32 + 0.5, j as f32 + 0.5, k as f32 + 0.5);
+            assert_eq!(sample_trilinear(&v, p), (i * 16 + j * 4 + k) as f32);
+        }
+    }
+
+    #[test]
+    fn midway_between_centers_is_average() {
+        let v = FnVolume::new(Dims3::cube(4), |i, _, _| i as f32);
+        let s = sample_trilinear(&v, vec3(2.0, 0.5, 0.5));
+        assert!((s - 1.5).abs() < 1e-6, "between centers 1 and 2: {s}");
+    }
+
+    #[test]
+    fn reproduces_linear_fields_exactly_in_the_interior() {
+        let v = FnVolume::new(Dims3::cube(8), |i, j, k| {
+            2.0 * i as f32 - j as f32 + 0.5 * k as f32
+        });
+        let p = vec3(3.3, 4.7, 2.2);
+        let want = 2.0 * (p.x - 0.5) - (p.y - 0.5) + 0.5 * (p.z - 0.5);
+        assert!((sample_trilinear(&v, p) - want).abs() < 1e-4);
+    }
+
+    #[test]
+    fn outside_positions_clamp() {
+        let v = FnVolume::new(Dims3::cube(4), |i, j, k| (i + j + k) as f32);
+        assert_eq!(sample_trilinear(&v, vec3(-5.0, -5.0, -5.0)), 0.0);
+        assert_eq!(sample_trilinear(&v, vec3(50.0, 50.0, 50.0)), 9.0);
+    }
+
+    #[test]
+    fn constant_field_everywhere() {
+        let v = FnVolume::new(Dims3::cube(4), |_, _, _| 0.8);
+        for p in [vec3(0.1, 3.9, 2.0), vec3(2.5, 2.5, 2.5), vec3(3.99, 0.01, 1.0)] {
+            assert!((sample_trilinear(&v, p) - 0.8).abs() < 1e-6);
+        }
+    }
+}

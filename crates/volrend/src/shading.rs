@@ -1,0 +1,239 @@
+//! Gradient-based (Blinn-Phong) shading for the raycaster.
+//!
+//! An optional extension over the paper's emission/absorption renderer:
+//! each sample's color is modulated by a local lighting term whose normal
+//! is the negated central-difference gradient of the field. Shading
+//! triples the per-sample read count (6 extra trilinear samples), which
+//! *amplifies* the layout effects the paper measures — the shaded
+//! renderer is used by the `render_volume` example via `--shaded`.
+
+use sfc_core::Volume3;
+
+use crate::ray::Aabb;
+use crate::render::RenderOpts;
+use crate::sampler::sample_trilinear;
+use crate::transfer::{Rgba, TransferFunction};
+use crate::vec3::{vec3, Vec3};
+
+/// A single directional light plus ambient floor.
+#[derive(Debug, Clone, Copy)]
+pub struct Light {
+    /// Direction *toward* the light (normalized at construction).
+    pub dir: Vec3,
+    /// Ambient intensity in `[0, 1]`.
+    pub ambient: f32,
+    /// Diffuse weight.
+    pub diffuse: f32,
+    /// Specular weight.
+    pub specular: f32,
+    /// Specular exponent.
+    pub shininess: f32,
+}
+
+impl Default for Light {
+    fn default() -> Self {
+        Self {
+            dir: vec3(0.5, 0.8, 0.3).normalized(),
+            ambient: 0.25,
+            diffuse: 0.65,
+            specular: 0.25,
+            shininess: 24.0,
+        }
+    }
+}
+
+/// Central-difference gradient of the field at a continuous position
+/// (step `h` in voxel units).
+pub fn field_gradient<V: Volume3>(vol: &V, p: Vec3, h: f32) -> Vec3 {
+    let dx = sample_trilinear(vol, vec3(p.x + h, p.y, p.z))
+        - sample_trilinear(vol, vec3(p.x - h, p.y, p.z));
+    let dy = sample_trilinear(vol, vec3(p.x, p.y + h, p.z))
+        - sample_trilinear(vol, vec3(p.x, p.y - h, p.z));
+    let dz = sample_trilinear(vol, vec3(p.x, p.y, p.z + h))
+        - sample_trilinear(vol, vec3(p.x, p.y, p.z - h));
+    vec3(dx, dy, dz) / (2.0 * h)
+}
+
+/// Blinn-Phong intensity for a surface normal, view direction, and light.
+/// `normal` and `view` need not be normalized; degenerate normals fall
+/// back to ambient-only (homogeneous regions have no meaningful surface).
+pub fn phong_intensity(normal: Vec3, view: Vec3, light: &Light) -> f32 {
+    let nlen = normal.length();
+    if nlen < 1e-6 {
+        return light.ambient;
+    }
+    let n = normal / nlen;
+    let v = view.normalized();
+    let diff = n.dot(light.dir).max(0.0);
+    let half = (light.dir + v).normalized();
+    let spec = n.dot(half).max(0.0).powf(light.shininess);
+    (light.ambient + light.diffuse * diff + light.specular * spec).min(1.5)
+}
+
+/// March one ray with gradient shading (front-to-back, early termination —
+/// the shaded counterpart of [`crate::render::shade_ray`]).
+pub fn shade_ray_lit<V: Volume3>(
+    vol: &V,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    light: &Light,
+    ray: &crate::ray::Ray,
+) -> Rgba {
+    let bbox = Aabb::of_dims(vol.dims());
+    let Some((t0, t1)) = bbox.intersect(ray) else {
+        return Rgba::default();
+    };
+    let mut color = Rgba::default();
+    let mut t = t0 + opts.step * 0.5;
+    while t < t1 {
+        let p = ray.at(t);
+        let v = sample_trilinear(vol, p);
+        let s = tf.sample(v);
+        if s.a > 0.0 {
+            // Normal points against the gradient (out of dense regions).
+            let g = field_gradient(vol, p, 1.0);
+            let intensity = phong_intensity(-g, -ray.dir, light);
+            let a = 1.0 - (1.0 - s.a).powf(opts.step);
+            let w = (1.0 - color.a) * a;
+            color.r += w * s.r * intensity;
+            color.g += w * s.g * intensity;
+            color.b += w * s.b * intensity;
+            color.a += w;
+            if color.a >= opts.early_termination {
+                break;
+            }
+        }
+        t += opts.step;
+    }
+    color
+}
+
+/// Render a full frame with gradient shading (tile-parallel, same driver
+/// contract as [`crate::render::render`]).
+pub fn render_lit<V: Volume3 + Sync>(
+    vol: &V,
+    cam: &crate::camera::Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    light: &Light,
+) -> crate::image::Image {
+    use sfc_core::image_tiles;
+    use sfc_harness::run_items;
+
+    let (w, h) = (cam.width(), cam.height());
+    let tiles = image_tiles(w, h, opts.tile, opts.tile);
+    let mut img = crate::image::Image::new(w, h);
+    struct PixelSlots(*mut Rgba);
+    unsafe impl Sync for PixelSlots {}
+    let slots = PixelSlots(img.pixels_mut().as_mut_ptr());
+    let slots = &slots;
+    run_items(opts.nthreads, tiles.len(), opts.schedule, |_tid, ti| {
+        for (x, y) in tiles[ti].pixels() {
+            let ray = cam.ray_for_pixel(x, y);
+            let c = shade_ray_lit(vol, tf, opts, light, &ray);
+            // SAFETY: tiles partition the image; each pixel written once.
+            unsafe { *slots.0.add(y * w + x) = c };
+        }
+    });
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::{Camera, Projection};
+    use sfc_core::{Dims3, FnVolume};
+
+    fn sphere(n: usize) -> FnVolume<impl Fn(usize, usize, usize) -> f32> {
+        let c = n as f32 / 2.0;
+        let r = n as f32 / 4.0;
+        FnVolume::new(Dims3::cube(n), move |i, j, k| {
+            let d2 = (i as f32 + 0.5 - c).powi(2)
+                + (j as f32 + 0.5 - c).powi(2)
+                + (k as f32 + 0.5 - c).powi(2);
+            if d2 < r * r {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn cam(n: usize, px: usize) -> Camera {
+        Camera::look_at(
+            vec3(n as f32 * 3.0, n as f32 / 2.0, n as f32 / 2.0),
+            vec3(n as f32 / 2.0, n as f32 / 2.0, n as f32 / 2.0),
+            vec3(0.0, 1.0, 0.0),
+            Projection::Perspective {
+                fov_y: 40f32.to_radians(),
+            },
+            px,
+            px,
+        )
+    }
+
+    #[test]
+    fn gradient_of_linear_field_is_constant() {
+        let vol = FnVolume::new(Dims3::cube(16), |i, _, _| i as f32 / 16.0);
+        let g = field_gradient(&vol, vec3(8.0, 8.0, 8.0), 1.0);
+        assert!((g.x - 1.0 / 16.0).abs() < 1e-4);
+        assert!(g.y.abs() < 1e-5 && g.z.abs() < 1e-5);
+    }
+
+    #[test]
+    fn phong_zero_normal_falls_back_to_ambient() {
+        let l = Light::default();
+        assert_eq!(phong_intensity(Vec3::ZERO, vec3(1.0, 0.0, 0.0), &l), l.ambient);
+    }
+
+    #[test]
+    fn phong_facing_light_brighter_than_facing_away() {
+        let l = Light::default();
+        let toward = phong_intensity(l.dir, l.dir, &l);
+        let away = phong_intensity(-l.dir, l.dir, &l);
+        assert!(toward > away);
+        assert!(away >= l.ambient - 1e-6, "back side keeps ambient");
+    }
+
+    #[test]
+    fn lit_render_produces_shading_variation_across_the_sphere() {
+        let vol = sphere(24);
+        let tf = TransferFunction::grayscale();
+        let opts = RenderOpts {
+            nthreads: 2,
+            ..Default::default()
+        };
+        let img = render_lit(&vol, &cam(24, 48), &tf, &opts, &Light::default());
+        // The sphere is visible…
+        assert!(img.get(24, 24).a > 0.1);
+        // …and the lit side differs from the shadow side (a flat renderer
+        // would give identical values by symmetry). Light comes from +y,
+        // so compare pixels just above and below the sphere center.
+        let top = img.get(24, 20).r;
+        let bottom = img.get(24, 28).r;
+        assert!(top > 0.0 && bottom > 0.0, "probe pixels must hit the sphere");
+        assert!(
+            (top - bottom).abs() > 0.01,
+            "expected shading asymmetry, got {top} vs {bottom}"
+        );
+    }
+
+    #[test]
+    fn lit_render_is_layout_invariant() {
+        use sfc_core::{ArrayOrder3, Grid3, ZOrder3};
+        let dims = Dims3::cube(12);
+        let values: Vec<f32> = (0..dims.len())
+            .map(|v| ((v * 2654435761) % 997) as f32 / 997.0)
+            .collect();
+        let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+        let z: Grid3<f32, ZOrder3> = a.convert();
+        let tf = TransferFunction::fire();
+        let opts = RenderOpts {
+            nthreads: 3,
+            ..Default::default()
+        };
+        let ia = render_lit(&a, &cam(12, 20), &tf, &opts, &Light::default());
+        let iz = render_lit(&z, &cam(12, 20), &tf, &opts, &Light::default());
+        assert_eq!(ia.pixels(), iz.pixels());
+    }
+}

@@ -1,0 +1,154 @@
+//! Transfer functions: scalar value → RGBA.
+
+/// A straight-alpha RGBA color, components in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rgba {
+    /// Red.
+    pub r: f32,
+    /// Green.
+    pub g: f32,
+    /// Blue.
+    pub b: f32,
+    /// Opacity.
+    pub a: f32,
+}
+
+/// Shorthand constructor.
+pub const fn rgba(r: f32, g: f32, b: f32, a: f32) -> Rgba {
+    Rgba { r, g, b, a }
+}
+
+/// Piecewise-linear transfer function over scalar values in `[0, 1]`,
+/// discretized into a lookup table for cheap per-sample evaluation.
+#[derive(Debug, Clone)]
+pub struct TransferFunction {
+    table: Vec<Rgba>,
+}
+
+impl TransferFunction {
+    /// Table resolution used by the constructors.
+    pub const RESOLUTION: usize = 256;
+
+    /// Build from control points `(value, color)`; values must be strictly
+    /// increasing within `[0, 1]` and include at least one point.
+    pub fn from_control_points(points: &[(f32, Rgba)]) -> Self {
+        assert!(!points.is_empty(), "need at least one control point");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "control point values must be strictly increasing"
+        );
+        let n = Self::RESOLUTION;
+        let mut table = Vec::with_capacity(n);
+        for idx in 0..n {
+            let v = idx as f32 / (n - 1) as f32;
+            table.push(Self::eval_points(points, v));
+        }
+        Self { table }
+    }
+
+    fn eval_points(points: &[(f32, Rgba)], v: f32) -> Rgba {
+        if v <= points[0].0 {
+            return points[0].1;
+        }
+        if v >= points[points.len() - 1].0 {
+            return points[points.len() - 1].1;
+        }
+        let hi = points.iter().position(|&(pv, _)| pv >= v).expect("v in range");
+        let (v0, c0) = points[hi - 1];
+        let (v1, c1) = points[hi];
+        let t = (v - v0) / (v1 - v0);
+        rgba(
+            c0.r + (c1.r - c0.r) * t,
+            c0.g + (c1.g - c0.g) * t,
+            c0.b + (c1.b - c0.b) * t,
+            c0.a + (c1.a - c0.a) * t,
+        )
+    }
+
+    /// A black-body style map suited to the combustion-like field: cool
+    /// transparent blues through orange to hot opaque white.
+    pub fn fire() -> Self {
+        Self::from_control_points(&[
+            (0.0, rgba(0.0, 0.0, 0.0, 0.0)),
+            (0.25, rgba(0.1, 0.05, 0.3, 0.004)),
+            (0.5, rgba(0.8, 0.25, 0.05, 0.04)),
+            (0.75, rgba(1.0, 0.65, 0.1, 0.3)),
+            (1.0, rgba(1.0, 1.0, 0.9, 0.9)),
+        ])
+    }
+
+    /// A grayscale ramp with linearly increasing opacity (useful for
+    /// debugging and for MRI-style data).
+    pub fn grayscale() -> Self {
+        Self::from_control_points(&[
+            (0.0, rgba(0.0, 0.0, 0.0, 0.0)),
+            (1.0, rgba(1.0, 1.0, 1.0, 0.5)),
+        ])
+    }
+
+    /// Sample at a scalar value (clamped to `[0, 1]`).
+    #[inline]
+    pub fn sample(&self, v: f32) -> Rgba {
+        let idx = (v.clamp(0.0, 1.0) * (self.table.len() - 1) as f32).round() as usize;
+        self.table[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_match_control_points() {
+        let tf = TransferFunction::from_control_points(&[
+            (0.0, rgba(0.0, 0.0, 0.0, 0.0)),
+            (1.0, rgba(1.0, 0.5, 0.25, 1.0)),
+        ]);
+        assert_eq!(tf.sample(0.0), rgba(0.0, 0.0, 0.0, 0.0));
+        assert_eq!(tf.sample(1.0), rgba(1.0, 0.5, 0.25, 1.0));
+    }
+
+    #[test]
+    fn midpoint_interpolates() {
+        let tf = TransferFunction::from_control_points(&[
+            (0.0, rgba(0.0, 0.0, 0.0, 0.0)),
+            (1.0, rgba(1.0, 1.0, 1.0, 1.0)),
+        ]);
+        let mid = tf.sample(0.5);
+        assert!((mid.r - 0.5).abs() < 0.01);
+        assert!((mid.a - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn out_of_range_clamps() {
+        let tf = TransferFunction::grayscale();
+        assert_eq!(tf.sample(-5.0), tf.sample(0.0));
+        assert_eq!(tf.sample(7.0), tf.sample(1.0));
+    }
+
+    #[test]
+    fn fire_map_is_monotone_in_opacity() {
+        let tf = TransferFunction::fire();
+        let mut prev = -1.0f32;
+        for i in 0..=10 {
+            let a = tf.sample(i as f32 / 10.0).a;
+            assert!(a >= prev - 1e-6, "opacity must not decrease");
+            prev = a;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_points_panic() {
+        TransferFunction::from_control_points(&[
+            (0.5, rgba(0.0, 0.0, 0.0, 0.0)),
+            (0.5, rgba(1.0, 1.0, 1.0, 1.0)),
+        ]);
+    }
+
+    #[test]
+    fn low_values_are_transparent_in_fire() {
+        assert!(TransferFunction::fire().sample(0.05).a < 0.01);
+        assert!(TransferFunction::fire().sample(0.95).a > 0.5);
+    }
+}

@@ -1,0 +1,79 @@
+//! Domain example 3: a Fig. 1-style locality explorer.
+//!
+//! Walks straight lines through a 2D grid in different directions under
+//! all four layouts, feeding every access to the cache simulator, and
+//! prints the miss counts — making the paper's Figure 1 intuition
+//! quantitative: array order is fast in exactly one direction; the curves
+//! are direction-neutral.
+//!
+//! Run with:
+//! `cargo run --release --example cache_explorer -- [--size 512]`
+
+use sfc_repro::harness;
+use sfc_repro::memsim::{CacheConfig, CoreSim, HierarchyConfig};
+use sfc_core::{
+    ArrayOrder2, Dims2, Grid2, HilbertOrder2, Layout2, Tiled2, ZOrder2,
+};
+
+/// Simulate row-direction and column-direction sweeps over the whole grid.
+fn sweep<L: Layout2>(name: &str, dims: Dims2, hier: &HierarchyConfig) {
+    let grid = Grid2::<f32, L>::from_fn(dims, |i, j| (i + j) as f32);
+    let run = |along_x: bool| -> (u64, u64) {
+        let mut sim = CoreSim::new(hier);
+        if along_x {
+            for j in 0..dims.ny {
+                for i in 0..dims.nx {
+                    let idx = grid.index_of(i, j);
+                    sim.read(idx as u64 * 4, 4);
+                }
+            }
+        } else {
+            for i in 0..dims.nx {
+                for j in 0..dims.ny {
+                    let idx = grid.index_of(i, j);
+                    sim.read(idx as u64 * 4, 4);
+                }
+            }
+        }
+        let c = sim.counters();
+        (c.l1.misses, c.l2.misses)
+    };
+    let (x_l1, x_l2) = run(true);
+    let (y_l1, y_l2) = run(false);
+    println!(
+        "{name:<10} {x_l1:>12} {x_l2:>12} {y_l1:>12} {y_l2:>12} {:>10.2}",
+        harness::scaled_relative_difference(y_l2 as f64, x_l2.max(1) as f64)
+    );
+}
+
+fn main() {
+    let args = harness::Args::from_env();
+    let n = args.get_usize("size", 512);
+    let dims = Dims2::square(n);
+    // A small private hierarchy so even the 2D plane exceeds L2.
+    let hier = HierarchyConfig {
+        l1: CacheConfig::new(4 * 1024, 64, 8),
+        l2: CacheConfig::new(32 * 1024, 64, 8),
+        llc: None,
+        tlb: None,
+    };
+
+    println!(
+        "Sweeping a {n}x{n} grid along rows (the array-order-friendly\n\
+         direction) and along columns (the hostile one); L1 4KB / L2 32KB.\n"
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "layout", "row L1miss", "row L2miss", "col L1miss", "col L2miss", "col/row ds"
+    );
+    sweep::<ArrayOrder2>("a-order", dims, &hier);
+    sweep::<ZOrder2>("z-order", dims, &hier);
+    sweep::<Tiled2>("tiled", dims, &hier);
+    sweep::<HilbertOrder2>("hilbert", dims, &hier);
+
+    println!(
+        "\nReading: a-order explodes when walked against the grain (large\n\
+         col/row ds); the space-filling curves pay a modest, direction-\n\
+         independent cost — the paper's Figure 1 in numbers."
+    );
+}

@@ -1,0 +1,16 @@
+use sfc_repro::prelude::*;
+use sfc_repro::{datagen, filters, memsim};
+fn main() {
+    let n = 64;
+    let dims = Dims3::cube(n);
+    let values = datagen::mri_phantom(dims, 2024, datagen::PhantomParams::default());
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let plat = memsim::scaled(&memsim::ivy_bridge(), 3);
+    let p = filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Zyx);
+    let ra = filters::simulate_bilateral_counters(&a, &p, Axis::Z, 2, &plat);
+    let rz = filters::simulate_bilateral_counters(&z, &p, Axis::Z, 2, &plat);
+    println!("a: {:?}", ra.total());
+    println!("z: {:?}", rz.total());
+    println!("L2 sets: {}", plat.hierarchy.l2.num_sets());
+}

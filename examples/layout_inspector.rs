@@ -1,0 +1,55 @@
+//! Domain example 4: inspect a layout's locality analytically.
+//!
+//! Prints, for each layout and axis, the distribution of storage distance
+//! for unit logical steps (the paper's §II-B "nearby in index space is not
+//! nearby in memory" observation, measured), plus padding overheads.
+//!
+//! Run with:
+//! `cargo run --release --example layout_inspector -- [--nx 64 --ny 64 --nz 64]`
+
+use sfc_core::{
+    anisotropy, axis_step_stats, ArrayOrder3, Axis, Dims3, HilbertOrder3, Layout3, Tiled3,
+    ZOrder3,
+};
+use sfc_repro::harness::Args;
+
+/// f32 elements per 64-byte cache line.
+const LINE_ELEMS: usize = 16;
+
+fn report<L: Layout3>(name: &str, dims: Dims3) {
+    let l = L::new(dims);
+    println!("{name}  (storage {} slots, padding {:.1}%)", l.storage_len(), l.padding_overhead() * 100.0);
+    for axis in Axis::ALL {
+        let s = axis_step_stats(&l, axis, LINE_ELEMS);
+        println!(
+            "  +{} step: mean |Δslot| = {:>10.1}   max = {:>9}   same-line = {:>5.1}%",
+            axis.name(),
+            s.mean_abs,
+            s.max_abs,
+            s.within_line * 100.0
+        );
+    }
+    println!("  anisotropy (worst/best axis): {:.2}x\n", anisotropy(&l, LINE_ELEMS));
+}
+
+fn main() {
+    let args = Args::from_env();
+    let dims = Dims3::new(
+        args.get_usize("nx", 64),
+        args.get_usize("ny", 64),
+        args.get_usize("nz", 64),
+    );
+    println!(
+        "Unit-step locality for a {}x{}x{} grid (f32, 64B lines)\n",
+        dims.nx, dims.ny, dims.nz
+    );
+    report::<ArrayOrder3>("a-order", dims);
+    report::<ZOrder3>("z-order", dims);
+    report::<Tiled3>("tiled  ", dims);
+    report::<HilbertOrder3>("hilbert", dims);
+    println!(
+        "Array order is perfect along x and catastrophic along z; the\n\
+         space-filling curves trade a little x locality for near-isotropy —\n\
+         the property the paper's kernels exploit."
+    );
+}

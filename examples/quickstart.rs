@@ -1,0 +1,97 @@
+//! Quickstart: the layout library in three minutes.
+//!
+//! Builds a small synthetic volume, stores it in array order and Z-order,
+//! runs the two paper kernels over both layouts, and prints runtimes plus
+//! simulated cache counters.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use sfc_repro::prelude::*;
+use sfc_repro::{datagen, filters, harness, memsim, volrend};
+
+fn main() {
+    let dims = Dims3::cube(64);
+    println!("== sfc-repro quickstart ({}^3 volume) ==\n", dims.nx);
+
+    // 1. Synthesize a volume and store it under two layouts.
+    let values = datagen::combustion_field(dims, 42, datagen::CombustionParams::default());
+    let a_grid: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z_grid: Grid3<f32, ZOrder3> = a_grid.convert();
+    println!(
+        "layouts hold identical data: {}",
+        a_grid.get(10, 20, 30) == z_grid.get(10, 20, 30)
+    );
+    println!(
+        "z-order padding overhead: {:.1}% (power-of-two dims pad nothing)\n",
+        z_grid.padding_overhead() * 100.0
+    );
+
+    // 2. Bilateral filter (structured stencil access), hostile configuration:
+    //    z pencils + z-innermost stencil order.
+    let run = filters::FilterRun {
+        params: filters::BilateralParams::for_size(StencilSize::R3, StencilOrder::Zyx),
+        pencil_axis: Axis::Z,
+        nthreads: 4,
+    };
+    let (out_a, t_a) = harness::time_once(|| -> Grid3<f32, ArrayOrder3> {
+        filters::bilateral3d(&a_grid, &run)
+    });
+    let (out_z, t_z) = harness::time_once(|| -> Grid3<f32, ArrayOrder3> {
+        filters::bilateral3d(&z_grid, &run)
+    });
+    assert_eq!(out_a.to_row_major(), out_z.to_row_major());
+    println!("bilateral r3/pz/zyx, 4 threads:");
+    println!("  array-order: {:?}", t_a);
+    println!("  z-order:     {:?}", t_z);
+    println!(
+        "  ds(runtime) = {:.2}  (positive => z-order faster)\n",
+        scaled_relative_difference(t_a.as_secs_f64(), t_z.as_secs_f64())
+    );
+
+    // 3. Simulated cache counters for the same configuration (scaled
+    //    Ivy Bridge model; see EXPERIMENTS.md for the scaling rule).
+    let plat = memsim::scaled(&memsim::ivy_bridge(), memsim::shift_for_volume_edge(dims.nx));
+    let ca = filters::simulate_bilateral_counters(&a_grid, &run.params, Axis::Z, 4, &plat);
+    let cz = filters::simulate_bilateral_counters(&z_grid, &run.params, Axis::Z, 4, &plat);
+    println!("simulated {} (scaled IvyBridge):", plat.counter_name);
+    println!("  array-order: {}", ca.l3_total_cache_accesses());
+    println!("  z-order:     {}", cz.l3_total_cache_accesses());
+    println!(
+        "  ds(counter) = {:.2}\n",
+        scaled_relative_difference(
+            ca.l3_total_cache_accesses() as f64,
+            cz.l3_total_cache_accesses() as f64
+        )
+    );
+
+    // 4. Render one oblique frame from each layout (identical images).
+    let cams = orbit_viewpoints(
+        8,
+        volrend::vec3(dims.nx as f32 / 2.0, dims.ny as f32 / 2.0, dims.nz as f32 / 2.0),
+        dims.nx as f32 * 2.2,
+        Projection::Perspective { fov_y: 40f32.to_radians() },
+        128,
+        128,
+    );
+    let tf = TransferFunction::fire();
+    let opts = RenderOpts { nthreads: 4, ..Default::default() };
+    let (img_a, rt_a) = harness::time_once(|| volrend::render(&a_grid, &cams[2], &tf, &opts));
+    let (img_z, rt_z) = harness::time_once(|| volrend::render(&z_grid, &cams[2], &tf, &opts));
+    println!("volume rendering, oblique viewpoint 2, 4 threads:");
+    println!("  array-order: {:?}", rt_a);
+    println!("  z-order:     {:?}", rt_z);
+    println!(
+        "  images identical: {}",
+        img_a.pixels() == img_z.pixels()
+    );
+
+    let out = std::env::temp_dir().join("sfc_quickstart.ppm");
+    datagen::write_ppm(
+        &out,
+        img_z.width(),
+        img_z.height(),
+        &img_z.to_rgb8([0.0, 0.0, 0.0]),
+    )
+    .expect("write image");
+    println!("  frame written to {}", out.display());
+}

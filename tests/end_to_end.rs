@@ -1,0 +1,209 @@
+//! Cross-crate integration tests: full pipelines from data synthesis
+//! through kernels to counters, spanning every workspace crate.
+
+use sfc_repro::prelude::*;
+use sfc_repro::{datagen, filters, memsim, volrend};
+
+fn combustion(dims: Dims3) -> Vec<f32> {
+    datagen::combustion_field(dims, 11, datagen::CombustionParams::default())
+}
+
+#[test]
+fn full_bilateral_pipeline_all_layouts_agree() {
+    let dims = Dims3::new(20, 18, 14);
+    let noisy = datagen::mri_phantom(dims, 3, datagen::PhantomParams::default());
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &noisy);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let t: Grid3<f32, Tiled3> = a.convert();
+    let h: Grid3<f32, HilbertOrder3> = a.convert();
+
+    let run = filters::FilterRun {
+        params: filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Zyx),
+        pencil_axis: Axis::Z,
+        nthreads: 3,
+    };
+    let oa: Grid3<f32, ArrayOrder3> = filters::bilateral3d(&a, &run);
+    let oz: Grid3<f32, ArrayOrder3> = filters::bilateral3d(&z, &run);
+    let ot: Grid3<f32, ArrayOrder3> = filters::bilateral3d(&t, &run);
+    let oh: Grid3<f32, ArrayOrder3> = filters::bilateral3d(&h, &run);
+    assert_eq!(oa.to_row_major(), oz.to_row_major());
+    assert_eq!(oa.to_row_major(), ot.to_row_major());
+    assert_eq!(oa.to_row_major(), oh.to_row_major());
+}
+
+#[test]
+fn bilateral_denoises_the_phantom() {
+    let dims = Dims3::cube(24);
+    let clean = datagen::mri_phantom(
+        dims,
+        5,
+        datagen::PhantomParams {
+            lesions: 2,
+            noise_sigma: 0.0,
+        },
+    );
+    let noisy = datagen::mri_phantom(
+        dims,
+        5,
+        datagen::PhantomParams {
+            lesions: 2,
+            noise_sigma: 0.05,
+        },
+    );
+    let g: Grid3<f32, ZOrder3> = Grid3::from_row_major(dims, &noisy);
+    let run = filters::FilterRun {
+        params: filters::BilateralParams {
+            radius: 2,
+            sigma_spatial: 1.5,
+            sigma_range: 0.15,
+            order: StencilOrder::Xyz,
+        },
+        pencil_axis: Axis::X,
+        nthreads: 2,
+    };
+    let out: Grid3<f32, ZOrder3> = filters::bilateral3d(&g, &run);
+    let rmse = |a: &[f32], b: &[f32]| {
+        (a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).powi(2))
+            .sum::<f32>()
+            / a.len() as f32)
+            .sqrt()
+    };
+    let before = rmse(&noisy, &clean);
+    let after = rmse(&out.to_row_major(), &clean);
+    assert!(
+        after < before * 0.8,
+        "filter must reduce noise: rmse {before} -> {after}"
+    );
+}
+
+#[test]
+fn full_render_pipeline_layout_and_schedule_invariant() {
+    let dims = Dims3::cube(24);
+    let values = combustion(dims);
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let center = volrend::vec3(12.0, 12.0, 12.0);
+    let cams = orbit_viewpoints(
+        8,
+        center,
+        60.0,
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        48,
+        48,
+    );
+    let tf = TransferFunction::fire();
+    for cam in &cams {
+        let ia = volrend::render(&a, cam, &tf, &RenderOpts {
+            nthreads: 4,
+            schedule: Schedule::Dynamic,
+            ..Default::default()
+        });
+        let iz = volrend::render(&z, cam, &tf, &RenderOpts {
+            nthreads: 2,
+            schedule: Schedule::StaticRoundRobin,
+            ..Default::default()
+        });
+        assert_eq!(ia.pixels(), iz.pixels());
+    }
+}
+
+#[test]
+fn counters_show_viewpoint_invariance_for_zorder_only() {
+    // The paper's Fig. 4: array-order counters swing with viewpoint;
+    // Z-order stays nearly flat.
+    let dims = Dims3::cube(32);
+    let values = combustion(dims);
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let cams = orbit_viewpoints(
+        8,
+        volrend::vec3(16.0, 16.0, 16.0),
+        80.0,
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        32,
+        32,
+    );
+    let tf = TransferFunction::grayscale();
+    let opts = RenderOpts {
+        tile: 8,
+        ..Default::default()
+    };
+    let plat = memsim::scaled(&memsim::ivy_bridge(), memsim::shift_for_volume_edge(32));
+    let tca = |g: &dyn Fn(usize) -> u64| (0..8).map(g).collect::<Vec<u64>>();
+    let tca_a = tca(&|v| {
+        volrend::simulate_render_counters(&a, &cams[v], &tf, &opts, 2, &plat)
+            .l3_total_cache_accesses()
+    });
+    let tca_z = tca(&|v| {
+        volrend::simulate_render_counters(&z, &cams[v], &tf, &opts, 2, &plat)
+            .l3_total_cache_accesses()
+    });
+    let spread = |v: &[u64]| {
+        let max = *v.iter().max().unwrap() as f64;
+        let min = *v.iter().min().unwrap() as f64;
+        max / min
+    };
+    assert!(
+        spread(&tca_a) > spread(&tca_z),
+        "array-order viewpoint spread {:?} must exceed z-order {:?}",
+        tca_a,
+        tca_z
+    );
+    // Aligned viewpoints (0, 4) are array order's best; oblique (2, 6) its worst.
+    assert!(tca_a[2] > tca_a[0]);
+    assert!(tca_a[6] > tca_a[4]);
+}
+
+#[test]
+fn volume_io_roundtrip_through_grid() {
+    let dims = Dims3::new(10, 8, 6);
+    let values = combustion(dims);
+    let path = std::env::temp_dir().join(format!("sfc_e2e_{}.raw", std::process::id()));
+    datagen::save_raw_f32(&path, &values).unwrap();
+    let loaded = datagen::load_raw_f32(&path, dims).unwrap();
+    std::fs::remove_file(&path).ok();
+    let g: Grid3<f32, ZOrder3> = Grid3::from_row_major(dims, &loaded);
+    assert_eq!(g.to_row_major(), values);
+}
+
+#[test]
+fn hostile_stencil_config_counter_gap_grows_with_stencil_size() {
+    // Fig. 2's trend: the Z-order advantage grows with stencil size.
+    let dims = Dims3::cube(24);
+    let values = datagen::mri_phantom(dims, 9, datagen::PhantomParams::default());
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let plat = memsim::scaled(&memsim::ivy_bridge(), 14);
+    let gap_for = |radius: usize| -> (f64, f64) {
+        let p = filters::BilateralParams {
+            radius,
+            sigma_spatial: 1.0,
+            sigma_range: 0.1,
+            order: StencilOrder::Zyx,
+        };
+        let ca = filters::simulate_bilateral_counters(&a, &p, Axis::Z, 2, &plat)
+            .l3_total_cache_accesses() as f64;
+        let cz = filters::simulate_bilateral_counters(&z, &p, Axis::Z, 2, &plat)
+            .l3_total_cache_accesses() as f64;
+        (
+            sfc_repro::harness::scaled_relative_difference(ca, cz),
+            ca - cz,
+        )
+    };
+    let (ds_small, gap_small) = gap_for(1);
+    let (ds_large, gap_large) = gap_for(3);
+    // In the hostile configuration Z-order must win at every stencil size,
+    // and the absolute miss gap must widen with the stencil.
+    assert!(ds_small > 0.0, "r1 hostile: z-order must win, ds={ds_small:.2}");
+    assert!(ds_large > 0.0, "r3 hostile: z-order must win, ds={ds_large:.2}");
+    assert!(
+        gap_large > gap_small,
+        "absolute miss gap should grow with stencil size: {gap_small} -> {gap_large}"
+    );
+}
