@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Grep-based lint: no NEW `.unwrap()` / `panic!(` in non-test library code.
+#
+# Library code means src/ and crates/*/src/, excluding binaries
+# (crates/*/src/bin/) and everything from the first `#[cfg(test)]` to the
+# end of each file (test modules sit at the bottom of files in this repo).
+# Pre-existing call sites are grandfathered in ci/panic_baseline.txt; this
+# script fails when a file exceeds its baselined count. After removing
+# unwraps, regenerate the baseline with:
+#
+#   ci/forbid_new_panics.sh --update-baseline
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=ci/panic_baseline.txt
+pattern='\.unwrap\(\)|panic!\('
+
+count_file() {
+  # Lines before the first #[cfg(test)] that contain a forbidden call.
+  awk '/#\[cfg\(test\)\]/{exit} {print}' "$1" | grep -cE "$pattern" || true
+}
+
+list_files() {
+  find src crates/*/src -name '*.rs' -not -path '*/src/bin/*' | LC_ALL=C sort
+}
+
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  : > "$baseline"
+  while read -r f; do
+    n=$(count_file "$f")
+    [[ "$n" -gt 0 ]] && printf '%s %s\n' "$n" "$f" >> "$baseline"
+  done < <(list_files)
+  echo "baseline rewritten: $baseline"
+  exit 0
+fi
+
+fail=0
+while read -r f; do
+  n=$(count_file "$f")
+  allowed=$(awk -v f="$f" '$2 == f {print $1}' "$baseline")
+  allowed=${allowed:-0}
+  if [[ "$n" -gt "$allowed" ]]; then
+    echo "ERROR: $f has $n unwrap()/panic! call(s) in non-test code (baseline allows $allowed)." >&2
+    echo "       Return a typed SfcError instead, or keep the panic in a documented thin wrapper" >&2
+    echo "       and regenerate the baseline deliberately (see DESIGN.md section 7)." >&2
+    fail=1
+  fi
+done < <(list_files)
+
+if [[ "$fail" -ne 0 ]]; then
+  exit 1
+fi
+echo "panic lint OK (no new unwrap()/panic! in library code)"

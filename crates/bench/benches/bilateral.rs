@@ -1,11 +1,11 @@
 //! Kernel bench: bilateral filter throughput across stencil sizes, loop
-//! orders, pencil axes, and scheduling (pool vs rayon).
+//! orders, pencil axes, and scheduling (static vs dynamic pool).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, StencilOrder, StencilSize, ZOrder3};
-use sfc_filters::{bilateral3d, bilateral3d_rayon, BilateralParams, FilterRun};
+use sfc_filters::{bilateral3d, bilateral3d_dynamic, BilateralParams, FilterRun};
 
 fn bench_bilateral(c: &mut Criterion) {
     let n = 40;
@@ -48,7 +48,7 @@ fn bench_bilateral(c: &mut Criterion) {
     }
     g.finish();
 
-    // Scheduler comparison (hand-rolled pool vs rayon) at 4 threads.
+    // Scheduler comparison (static round-robin vs dynamic) at 4 threads.
     let mut g = c.benchmark_group("scheduler");
     g.sample_size(10);
     let params = BilateralParams::for_size(StencilSize::R1, StencilOrder::Xyz);
@@ -60,8 +60,8 @@ fn bench_bilateral(c: &mut Criterion) {
     g.bench_function("pool_static", |b| {
         b.iter(|| black_box(bilateral3d::<_, ArrayOrder3>(&z, &run)))
     });
-    g.bench_function("rayon", |b| {
-        b.iter(|| black_box(bilateral3d_rayon::<_, ArrayOrder3>(&z, &params, Axis::X)))
+    g.bench_function("pool_dynamic", |b| {
+        b.iter(|| black_box(bilateral3d_dynamic::<_, ArrayOrder3>(&z, &params, Axis::X, 4)))
     });
     g.finish();
 }

@@ -1,10 +1,12 @@
 //! Shared machinery for the bilateral-filter figures (paper Figs. 2–3).
 
-use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, StencilOrder, StencilSize, ZOrder3};
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, SfcResult, StencilOrder, StencilSize, ZOrder3};
 use sfc_datagen::{mri_phantom, PhantomParams};
 use sfc_filters::{config_label, simulate_bilateral_counters, BilateralParams};
 use sfc_harness::{scaled_relative_difference, PaperTable};
 use sfc_memsim::Platform;
+
+use crate::checkpoint::{cell_through, Checkpoint};
 
 /// The paper's six bilateral rows: each stencil size in its friendly
 /// (`px xyz`) and hostile (`pz zyx`) configuration.
@@ -59,6 +61,27 @@ pub fn run_bilateral_figure(
     platform: &Platform,
     progress: bool,
 ) -> BilateralFigure {
+    run_bilateral_figure_resumable(inputs, rows, threads, platform, progress, "", &mut None)
+        .expect("sweep without a checkpoint cannot fail")
+}
+
+/// [`run_bilateral_figure`] with checkpoint/resume: each completed cell is
+/// persisted to `ckpt` (when `Some`) under a key derived from `tag`, the
+/// platform, the row configuration, and the thread count; on restart,
+/// cells already on record are served from the file instead of being
+/// re-simulated. Pass a `tag` that pins everything else the cell depends
+/// on (figure id, volume size, seed) so a checkpoint is never replayed
+/// against different inputs.
+#[allow(clippy::too_many_arguments)]
+pub fn run_bilateral_figure_resumable(
+    inputs: &BilateralInputs,
+    rows: &[(StencilSize, Axis, StencilOrder)],
+    threads: &[usize],
+    platform: &Platform,
+    progress: bool,
+    tag: &str,
+    ckpt: &mut Option<Checkpoint>,
+) -> SfcResult<BilateralFigure> {
     let row_labels: Vec<String> = rows
         .iter()
         .map(|&(s, a, o)| config_label(s, a, o))
@@ -86,39 +109,55 @@ pub fn run_bilateral_figure(
     for (r, &(size, axis, order)) in rows.iter().enumerate() {
         let params = BilateralParams::for_size(size, order);
         for (c, &nthreads) in threads.iter().enumerate() {
-            let rep_a = simulate_bilateral_counters(&inputs.a, &params, axis, nthreads, platform);
-            let rep_z = simulate_bilateral_counters(&inputs.z, &params, axis, nthreads, platform);
-            let rt = scaled_relative_difference(
-                rep_a.modeled_runtime_cycles(&platform.cost),
-                rep_z.modeled_runtime_cycles(&platform.cost),
+            let key = format!(
+                "{tag}|{}|{}|t{nthreads}",
+                platform.name,
+                config_label(size, axis, order)
             );
-            let cnt = scaled_relative_difference(
-                platform.counter_value(&rep_a) as f64,
-                platform.counter_value(&rep_z) as f64,
-            );
+            let (cell, resumed) = cell_through(ckpt, &key, || {
+                let rep_a =
+                    simulate_bilateral_counters(&inputs.a, &params, axis, nthreads, platform);
+                let rep_z =
+                    simulate_bilateral_counters(&inputs.z, &params, axis, nthreads, platform);
+                vec![
+                    scaled_relative_difference(
+                        rep_a.modeled_runtime_cycles(&platform.cost),
+                        rep_z.modeled_runtime_cycles(&platform.cost),
+                    ),
+                    scaled_relative_difference(
+                        platform.counter_value(&rep_a) as f64,
+                        platform.counter_value(&rep_z) as f64,
+                    ),
+                    scaled_relative_difference(
+                        rep_a.total().l2.accesses as f64,
+                        rep_z.total().l2.accesses as f64,
+                    ),
+                ]
+            })?;
+            if cell.len() != 3 {
+                return Err(sfc_core::SfcError::Corrupt {
+                    what: "checkpoint cell".to_string(),
+                    reason: format!("key '{key}' holds {} values, expected 3", cell.len()),
+                });
+            }
+            let (rt, cnt) = (cell[0], cell[1]);
             runtime_ds.set(r, c, rt);
             counter_ds.set(r, c, cnt);
-            l2_accesses_ds.set(
-                r,
-                c,
-                scaled_relative_difference(
-                    rep_a.total().l2.accesses as f64,
-                    rep_z.total().l2.accesses as f64,
-                ),
-            );
+            l2_accesses_ds.set(r, c, cell[2]);
             if progress {
                 eprintln!(
-                    "  [{}] threads={nthreads:<4} ds(runtime)={rt:6.2} ds(counter)={cnt:8.2}",
-                    config_label(size, axis, order)
+                    "  [{}] threads={nthreads:<4} ds(runtime)={rt:6.2} ds(counter)={cnt:8.2}{}",
+                    config_label(size, axis, order),
+                    if resumed { "  (resumed)" } else { "" }
                 );
             }
         }
     }
-    BilateralFigure {
+    Ok(BilateralFigure {
         runtime_ds,
         counter_ds,
         l2_accesses_ds,
-    }
+    })
 }
 
 /// Measure native wall-clock per row (both layouts) at one thread count.
@@ -173,6 +212,36 @@ mod tests {
         assert_eq!(rows.len(), 6);
         assert_eq!(rows[0], (StencilSize::R1, Axis::X, StencilOrder::Xyz));
         assert_eq!(rows[5], (StencilSize::R5, Axis::Z, StencilOrder::Zyx));
+    }
+
+    #[test]
+    fn resumable_figure_round_trips_through_its_checkpoint() {
+        let inputs = build_inputs(16, 7);
+        let plat = scaled(&platform::ivy_bridge(), 15);
+        let rows = [(StencilSize::R1, Axis::Z, StencilOrder::Zyx)];
+        let path = std::env::temp_dir()
+            .join(format!("sfc_fig_ckpt_{}.json", std::process::id()));
+        std::fs::remove_file(&path).ok();
+
+        let mut ckpt = Some(Checkpoint::open(&path).unwrap());
+        let first = run_bilateral_figure_resumable(
+            &inputs, &rows, &[2, 4], &plat, false, "test n16", &mut ckpt,
+        )
+        .unwrap();
+
+        // A fresh process resuming from the file has both cells on record
+        // and reproduces the tables from the checkpoint alone.
+        let mut resumed = Some(Checkpoint::open(&path).unwrap());
+        assert_eq!(resumed.as_ref().unwrap().len(), 2);
+        let second = run_bilateral_figure_resumable(
+            &inputs, &rows, &[2, 4], &plat, false, "test n16", &mut resumed,
+        )
+        .unwrap();
+        for c in 0..2 {
+            assert_eq!(first.runtime_ds.get(0, c), second.runtime_ds.get(0, c));
+            assert_eq!(first.counter_ds.get(0, c), second.counter_ds.get(0, c));
+        }
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

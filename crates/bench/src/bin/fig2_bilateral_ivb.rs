@@ -3,10 +3,11 @@
 //! rows = {r1, r3, r5} × {px xyz, pz zyx}, columns = thread counts
 //! {2, 4, 6, 8, 10, 12, 18, 24}.
 //!
-//! `cargo run -p sfc-bench --release --bin fig2_bilateral_ivb -- [--size 64] [--quick] [--csv DIR] [--native]`
+//! `cargo run -p sfc-bench --release --bin fig2_bilateral_ivb -- [--size 64] [--quick] [--csv DIR] [--native] [--checkpoint FILE]`
 
 use sfc_bench::{
-    banner, build_bilateral_inputs, emit_figure, paper_rows, run_bilateral_figure,
+    banner, build_bilateral_inputs, checkpoint_from_args, emit_figure, ok_or_exit,
+    paper_rows, run_bilateral_figure_resumable,
 };
 use sfc_harness::Args;
 use sfc_memsim::{ivy_bridge, scaled, shift_for_volume_edge};
@@ -43,7 +44,16 @@ fn main() {
     );
 
     let inputs = build_bilateral_inputs(n, 2024);
-    let fig = run_bilateral_figure(&inputs, &rows, &threads, &plat, true);
+    let mut ckpt = checkpoint_from_args(&args);
+    let fig = ok_or_exit(run_bilateral_figure_resumable(
+        &inputs,
+        &rows,
+        &threads,
+        &plat,
+        true,
+        &format!("fig2 n{n} seed2024"),
+        &mut ckpt,
+    ));
     println!();
     emit_figure("fig2", &[&fig.runtime_ds, &fig.counter_ds, &fig.l2_accesses_ds], 2, csv.as_deref());
 

@@ -4,10 +4,11 @@
 //! configurations, columns = thread counts {59, 118, 177, 236} on 59
 //! cores (hardware threads share a core's private caches).
 //!
-//! `cargo run -p sfc-bench --release --bin fig3_bilateral_mic -- [--size 64] [--quick] [--csv DIR]`
+//! `cargo run -p sfc-bench --release --bin fig3_bilateral_mic -- [--size 64] [--quick] [--csv DIR] [--checkpoint FILE]`
 
 use sfc_bench::{
-    banner, build_bilateral_inputs, emit_figure, paper_rows, run_bilateral_figure,
+    banner, build_bilateral_inputs, checkpoint_from_args, emit_figure, ok_or_exit,
+    paper_rows, run_bilateral_figure_resumable,
 };
 use sfc_harness::Args;
 use sfc_memsim::{mic_knc, scaled, shift_for_volume_edge};
@@ -41,7 +42,16 @@ fn main() {
     );
 
     let inputs = build_bilateral_inputs(n, 2024);
-    let fig = run_bilateral_figure(&inputs, &rows, &threads, &plat, true);
+    let mut ckpt = checkpoint_from_args(&args);
+    let fig = ok_or_exit(run_bilateral_figure_resumable(
+        &inputs,
+        &rows,
+        &threads,
+        &plat,
+        true,
+        &format!("fig3 n{n} seed2024"),
+        &mut ckpt,
+    ));
     println!();
     emit_figure("fig3", &[&fig.runtime_ds, &fig.counter_ds, &fig.l2_accesses_ds], 2, csv.as_deref());
 }

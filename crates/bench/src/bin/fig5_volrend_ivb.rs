@@ -2,9 +2,12 @@
 //! scaled relative difference of runtime (left) and `PAPI_L3_TCA` (right),
 //! rows = viewpoints 0–7, columns = thread counts {2..24}.
 //!
-//! `cargo run -p sfc-bench --release --bin fig5_volrend_ivb -- [--size 64] [--image 128] [--quick] [--csv DIR]`
+//! `cargo run -p sfc-bench --release --bin fig5_volrend_ivb -- [--size 64] [--image 128] [--quick] [--csv DIR] [--checkpoint FILE]`
 
-use sfc_bench::{banner, build_volrend_inputs, emit_figure, paper_orbit, run_volrend_figure};
+use sfc_bench::{
+    banner, build_volrend_inputs, checkpoint_from_args, emit_figure, ok_or_exit, paper_orbit,
+    run_volrend_figure_resumable,
+};
 use sfc_harness::Args;
 use sfc_memsim::{ivy_bridge, scaled, shift_for_volume_edge};
 use sfc_volrend::RenderOpts;
@@ -42,7 +45,17 @@ fn main() {
         tile: args.get_usize("tile", (image / 16).max(4)),
         ..Default::default()
     };
-    let fig = run_volrend_figure(&inputs, &cams, &opts, &threads, &plat, true);
+    let mut ckpt = checkpoint_from_args(&args);
+    let fig = ok_or_exit(run_volrend_figure_resumable(
+        &inputs,
+        &cams,
+        &opts,
+        &threads,
+        &plat,
+        true,
+        &format!("fig5 n{n} img{image} tile{} seed7", opts.tile),
+        &mut ckpt,
+    ));
     println!();
     emit_figure("fig5", &[&fig.runtime_ds, &fig.counter_ds, &fig.l2_accesses_ds], 2, csv.as_deref());
 }

@@ -6,9 +6,12 @@
 //! drops as more hardware threads share each core's caches — reproduced
 //! here by interleaving co-located threads' tile streams.
 //!
-//! `cargo run -p sfc-bench --release --bin fig6_volrend_mic -- [--size 64] [--image 128] [--quick] [--csv DIR]`
+//! `cargo run -p sfc-bench --release --bin fig6_volrend_mic -- [--size 64] [--image 128] [--quick] [--csv DIR] [--checkpoint FILE]`
 
-use sfc_bench::{banner, build_volrend_inputs, emit_figure, paper_orbit, run_volrend_figure};
+use sfc_bench::{
+    banner, build_volrend_inputs, checkpoint_from_args, emit_figure, ok_or_exit, paper_orbit,
+    run_volrend_figure_resumable,
+};
 use sfc_harness::Args;
 use sfc_memsim::{mic_knc, scaled, shift_for_volume_edge};
 use sfc_volrend::RenderOpts;
@@ -46,7 +49,17 @@ fn main() {
         tile: args.get_usize("tile", (image / 16).max(4)),
         ..Default::default()
     };
-    let fig = run_volrend_figure(&inputs, &cams, &opts, &threads, &plat, true);
+    let mut ckpt = checkpoint_from_args(&args);
+    let fig = ok_or_exit(run_volrend_figure_resumable(
+        &inputs,
+        &cams,
+        &opts,
+        &threads,
+        &plat,
+        true,
+        &format!("fig6 n{n} img{image} tile{} seed7", opts.tile),
+        &mut ckpt,
+    ));
     println!();
     emit_figure("fig6", &[&fig.runtime_ds, &fig.counter_ds, &fig.l2_accesses_ds], 2, csv.as_deref());
 }

@@ -1,0 +1,464 @@
+//! Checkpoint/resume for long figure sweeps.
+//!
+//! A sweep writes one record per completed grid cell to a small JSON file
+//! (rewritten atomically after every cell), so a killed or crashed run can
+//! be restarted and will skip every cell it already finished. The format
+//! is deliberately tiny — a single object of `key -> [numbers]` — and is
+//! read and written by hand here (the workspace carries no JSON
+//! dependency).
+//!
+//! ```text
+//! {"version":1,"entries":{"ivb|r3 pz zyx|t4":[0.52,1.13,0.98], ...}}
+//! ```
+//!
+//! Non-finite values round-trip as `null`.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use sfc_core::{SfcError, SfcResult};
+
+/// On-disk format version understood by this module.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// A resumable record of completed sweep cells, backed by a JSON file.
+#[derive(Debug)]
+pub struct Checkpoint {
+    path: PathBuf,
+    entries: BTreeMap<String, Vec<f64>>,
+}
+
+impl Checkpoint {
+    /// Open (or create) a checkpoint at `path`. A missing file yields an
+    /// empty checkpoint; an unreadable or malformed one is a typed
+    /// [`SfcError::Corrupt`] / [`SfcError::Io`] — delete the file to start
+    /// over.
+    pub fn open(path: impl Into<PathBuf>) -> SfcResult<Self> {
+        let path = path.into();
+        let entries = match std::fs::read_to_string(&path) {
+            Ok(text) => parse_checkpoint(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
+            Err(e) => return Err(SfcError::io("read checkpoint", e)),
+        };
+        Ok(Checkpoint { path, entries })
+    }
+
+    /// File backing this checkpoint.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of completed cells on record.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Values recorded for `key`, if that cell already completed.
+    pub fn get(&self, key: &str) -> Option<&[f64]> {
+        self.entries.get(key).map(Vec::as_slice)
+    }
+
+    /// Whether `key` already completed.
+    pub fn contains(&self, key: &str) -> bool {
+        self.entries.contains_key(key)
+    }
+
+    /// Record a completed cell and persist immediately (atomic rewrite:
+    /// temp file + rename, so a crash mid-write never corrupts the file).
+    pub fn record(&mut self, key: &str, values: &[f64]) -> SfcResult<()> {
+        self.entries.insert(key.to_string(), values.to_vec());
+        let tmp = self.path.with_extension("json.tmp");
+        std::fs::write(&tmp, render_checkpoint(&self.entries))
+            .map_err(|e| SfcError::io("write checkpoint", e))?;
+        std::fs::rename(&tmp, &self.path).map_err(|e| SfcError::io("commit checkpoint", e))
+    }
+
+    /// Return the cached values for `key`, or run `compute`, persist its
+    /// result, and return it. The bool is `true` when the cell was served
+    /// from the checkpoint (skipped).
+    pub fn cell<F>(&mut self, key: &str, compute: F) -> SfcResult<(Vec<f64>, bool)>
+    where
+        F: FnOnce() -> Vec<f64>,
+    {
+        if let Some(v) = self.entries.get(key) {
+            return Ok((v.clone(), true));
+        }
+        let v = compute();
+        self.record(key, &v)?;
+        Ok((v, false))
+    }
+}
+
+/// Serve `key` from `ckpt` when present, otherwise compute and (when a
+/// checkpoint is in use) persist. A `None` checkpoint always computes —
+/// lets sweep loops take `&mut Option<Checkpoint>` and stay oblivious.
+pub fn cell_through<F>(
+    ckpt: &mut Option<Checkpoint>,
+    key: &str,
+    compute: F,
+) -> SfcResult<(Vec<f64>, bool)>
+where
+    F: FnOnce() -> Vec<f64>,
+{
+    match ckpt {
+        Some(c) => c.cell(key, compute),
+        None => Ok((compute(), false)),
+    }
+}
+
+/// CLI helper for the figure binaries: open the file named by
+/// `--checkpoint FILE` when the flag is present (announcing how many cells
+/// a resumed run will skip), exiting with a diagnostic when the file is
+/// unreadable or corrupt.
+pub fn checkpoint_from_args(args: &sfc_harness::Args) -> Option<Checkpoint> {
+    let path = PathBuf::from(args.get("checkpoint")?);
+    match Checkpoint::open(&path) {
+        Ok(c) => {
+            if !c.is_empty() {
+                eprintln!(
+                    "checkpoint {}: resuming, {} completed cells will be skipped",
+                    path.display(),
+                    c.len()
+                );
+            }
+            Some(c)
+        }
+        Err(e) => {
+            eprintln!("cannot open checkpoint {}: {e}", path.display());
+            eprintln!("(delete the file to restart the sweep from scratch)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// CLI helper: unwrap a sweep result, exiting with the typed error on
+/// failure (checkpoint I/O is the only way a resumable sweep fails).
+pub fn ok_or_exit<T>(result: SfcResult<T>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn render_checkpoint(entries: &BTreeMap<String, Vec<f64>>) -> String {
+    let mut s = format!("{{\"version\":{CHECKPOINT_VERSION},\"entries\":{{");
+    for (i, (key, values)) in entries.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push('"');
+        s.push_str(&escape_json(key));
+        s.push_str("\":[");
+        for (j, v) in values.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            if v.is_finite() {
+                s.push_str(&format!("{v:?}"));
+            } else {
+                s.push_str("null");
+            }
+        }
+        s.push(']');
+    }
+    s.push_str("}}\n");
+    s
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal parser for exactly the shape `render_checkpoint` emits (plus
+/// arbitrary whitespace). Anything else is `Corrupt`.
+fn parse_checkpoint(text: &str) -> SfcResult<BTreeMap<String, Vec<f64>>> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let vkey = p.string()?;
+    if vkey != "version" {
+        return Err(corrupt("expected \"version\" field first"));
+    }
+    p.expect(b':')?;
+    let version = p.number()?.ok_or_else(|| corrupt("version must be a number"))?;
+    if version != f64::from(CHECKPOINT_VERSION) {
+        return Err(SfcError::Corrupt {
+            what: "checkpoint file".to_string(),
+            reason: format!("unsupported version {version}"),
+        });
+    }
+    p.expect(b',')?;
+    let ekey = p.string()?;
+    if ekey != "entries" {
+        return Err(corrupt("expected \"entries\" field"));
+    }
+    p.expect(b':')?;
+    p.expect(b'{')?;
+    let mut entries = BTreeMap::new();
+    if p.peek()? == b'}' {
+        p.expect(b'}')?;
+    } else {
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            p.expect(b'[')?;
+            let mut values = Vec::new();
+            if p.peek()? == b']' {
+                p.expect(b']')?;
+            } else {
+                loop {
+                    match p.number()? {
+                        Some(v) => values.push(v),
+                        None => values.push(f64::NAN),
+                    }
+                    match p.next_byte()? {
+                        b',' => continue,
+                        b']' => break,
+                        _ => return Err(corrupt("expected ',' or ']' in value list")),
+                    }
+                }
+            }
+            entries.insert(key, values);
+            match p.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return Err(corrupt("expected ',' or '}' after entry")),
+            }
+        }
+    }
+    p.expect(b'}')?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(corrupt("trailing data after closing brace"));
+    }
+    Ok(entries)
+}
+
+fn corrupt(reason: &str) -> SfcError {
+    SfcError::Corrupt {
+        what: "checkpoint file".to_string(),
+        reason: reason.to_string(),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> SfcResult<u8> {
+        self.skip_ws();
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| corrupt("unexpected end of file"))
+    }
+
+    fn next_byte(&mut self) -> SfcResult<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn expect(&mut self, want: u8) -> SfcResult<()> {
+        let got = self.next_byte()?;
+        if got != want {
+            return Err(corrupt(&format!(
+                "expected '{}', found '{}'",
+                want as char, got as char
+            )));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> SfcResult<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = *self
+                .bytes
+                .get(self.pos)
+                .ok_or_else(|| corrupt("unterminated string"))?;
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let esc = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| corrupt("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| corrupt("truncated \\u escape"))?;
+                            self.pos += 4;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| corrupt("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| corrupt("non-scalar \\u escape"))?,
+                            );
+                        }
+                        _ => return Err(corrupt("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-scan from the byte we consumed so multi-byte UTF-8
+                    // sequences stay intact.
+                    self.pos -= 1;
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| corrupt("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().ok_or_else(|| corrupt("unterminated string"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// A JSON number, or `None` for the literal `null`.
+    fn number(&mut self) -> SfcResult<Option<f64>> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"null") {
+            self.pos += 4;
+            return Ok(None);
+        }
+        let start = self.pos;
+        while self
+            .pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| corrupt("invalid number"))?;
+        s.parse::<f64>()
+            .map(Some)
+            .map_err(|_| corrupt(&format!("invalid number '{s}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("sfc_ckpt_{}_{tag}.json", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_and_resume() {
+        let path = tmp_path("roundtrip");
+        std::fs::remove_file(&path).ok();
+        let mut c = Checkpoint::open(&path).unwrap();
+        assert!(c.is_empty());
+        c.record("fig2|r1 px xyz|t2", &[0.5, -1.25, 3.0]).unwrap();
+        c.record("fig2|r1 pz zyx|t2", &[f64::NAN, 2.0]).unwrap();
+
+        let reopened = Checkpoint::open(&path).unwrap();
+        assert_eq!(reopened.len(), 2);
+        assert_eq!(reopened.get("fig2|r1 px xyz|t2"), Some(&[0.5, -1.25, 3.0][..]));
+        let v = reopened.get("fig2|r1 pz zyx|t2").unwrap();
+        assert!(v[0].is_nan(), "NaN survives as null");
+        assert_eq!(v[1], 2.0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cell_skips_completed_configs() {
+        let path = tmp_path("cell");
+        std::fs::remove_file(&path).ok();
+        let mut c = Checkpoint::open(&path).unwrap();
+        let (v, cached) = c.cell("k", || vec![7.0]).unwrap();
+        assert_eq!((v.as_slice(), cached), (&[7.0][..], false));
+        // Second call must NOT recompute.
+        let (v, cached) = c
+            .cell("k", || panic!("cell recomputed a completed config"))
+            .unwrap();
+        assert_eq!((v.as_slice(), cached), (&[7.0][..], true));
+        // And a fresh process resuming from the file skips it too.
+        let mut resumed = Checkpoint::open(&path).unwrap();
+        let (_, cached) = resumed
+            .cell("k", || panic!("resume recomputed a completed config"))
+            .unwrap();
+        assert!(cached);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn keys_with_quotes_and_unicode_roundtrip() {
+        let path = tmp_path("escape");
+        std::fs::remove_file(&path).ok();
+        let mut c = Checkpoint::open(&path).unwrap();
+        let key = "weird \"key\"\\ with\ttabs\nand µnicode";
+        c.record(key, &[1.0]).unwrap();
+        let r = Checkpoint::open(&path).unwrap();
+        assert_eq!(r.get(key), Some(&[1.0][..]));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_file_is_a_typed_error() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "{\"version\":1,\"entries\":{\"k\":[1.0}").unwrap();
+        match Checkpoint::open(&path) {
+            Err(SfcError::Corrupt { .. }) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        std::fs::write(&path, "{\"version\":99,\"entries\":{}}").unwrap();
+        assert!(matches!(
+            Checkpoint::open(&path),
+            Err(SfcError::Corrupt { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cell_through_none_always_computes() {
+        let mut none: Option<Checkpoint> = None;
+        let (v, cached) = cell_through(&mut none, "k", || vec![1.0]).unwrap();
+        assert_eq!((v.as_slice(), cached), (&[1.0][..], false));
+        let (_, cached) = cell_through(&mut none, "k", || vec![2.0]).unwrap();
+        assert!(!cached, "without a checkpoint nothing is ever skipped");
+    }
+}

@@ -13,7 +13,9 @@
 //!
 //! Common flags: `--size N` (volume edge, default 64), `--csv DIR`
 //! (persist tables), `--quick` (reduced grid for smoke runs),
-//! `--native` (additionally measure native wall-clock per row).
+//! `--native` (additionally measure native wall-clock per row),
+//! `--checkpoint FILE` (figs. 2/3/5/6: persist each completed grid cell
+//! and skip it on restart — see [`checkpoint`]).
 //!
 //! Criterion microbenches (`cargo bench`) cover the ablations listed in
 //! DESIGN.md §5: codec cost, indexer parity, traversal patterns, curve and
@@ -22,15 +24,18 @@
 #![warn(missing_docs)]
 
 pub mod bilateral_exp;
+pub mod checkpoint;
 pub mod output;
 pub mod volrend_exp;
 
 pub use bilateral_exp::{
     build_inputs as build_bilateral_inputs, paper_rows, run_bilateral_figure,
-    BilateralFigure, BilateralInputs,
+    run_bilateral_figure_resumable, BilateralFigure, BilateralInputs,
 };
+pub use checkpoint::{cell_through, checkpoint_from_args, ok_or_exit, Checkpoint};
 pub use output::{banner, emit_figure};
 pub use volrend_exp::{
     build_inputs as build_volrend_inputs, ortho_orbit, paper_orbit, run_orbit_series,
-    run_volrend_figure, OrbitSeries, VolrendFigure, VolrendInputs,
+    run_volrend_figure, run_volrend_figure_resumable, OrbitSeries, VolrendFigure,
+    VolrendInputs,
 };

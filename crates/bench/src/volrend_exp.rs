@@ -1,9 +1,11 @@
 //! Shared machinery for the volume-rendering figures (paper Figs. 4–6).
 
-use sfc_core::{ArrayOrder3, Dims3, Grid3, ZOrder3};
+use sfc_core::{ArrayOrder3, Dims3, Grid3, SfcResult, ZOrder3};
 use sfc_datagen::{combustion_field, CombustionParams};
 use sfc_harness::{scaled_relative_difference, PaperTable};
 use sfc_memsim::Platform;
+
+use crate::checkpoint::{cell_through, Checkpoint};
 use sfc_volrend::{
     orbit_viewpoints, simulate_render_counters, vec3, Camera, Projection, RenderOpts,
     TransferFunction,
@@ -112,6 +114,26 @@ pub fn run_volrend_figure(
     platform: &Platform,
     progress: bool,
 ) -> VolrendFigure {
+    run_volrend_figure_resumable(inputs, cams, opts, threads, platform, progress, "", &mut None)
+        .expect("sweep without a checkpoint cannot fail")
+}
+
+/// [`run_volrend_figure`] with checkpoint/resume; see
+/// [`crate::checkpoint`] and
+/// [`crate::bilateral_exp::run_bilateral_figure_resumable`] for the
+/// contract. `tag` must pin the figure id, volume size, image size, and
+/// seed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_volrend_figure_resumable(
+    inputs: &VolrendInputs,
+    cams: &[Camera],
+    opts: &RenderOpts,
+    threads: &[usize],
+    platform: &Platform,
+    progress: bool,
+    tag: &str,
+    ckpt: &mut Option<Checkpoint>,
+) -> SfcResult<VolrendFigure> {
     let tf = TransferFunction::fire();
     let row_labels: Vec<String> = (0..cams.len()).map(|v| v.to_string()).collect();
     let col_labels: Vec<String> = threads.iter().map(|t| t.to_string()).collect();
@@ -135,38 +157,48 @@ pub fn run_volrend_figure(
     );
     for (r, cam) in cams.iter().enumerate() {
         for (c, &nthreads) in threads.iter().enumerate() {
-            let ra = simulate_render_counters(&inputs.a, cam, &tf, opts, nthreads, platform);
-            let rz = simulate_render_counters(&inputs.z, cam, &tf, opts, nthreads, platform);
-            let rt = scaled_relative_difference(
-                ra.modeled_runtime_cycles(&platform.cost),
-                rz.modeled_runtime_cycles(&platform.cost),
-            );
-            let cnt = scaled_relative_difference(
-                platform.counter_value(&ra) as f64,
-                platform.counter_value(&rz) as f64,
-            );
+            let key = format!("{tag}|{}|v{r}|t{nthreads}", platform.name);
+            let (cell, resumed) = cell_through(ckpt, &key, || {
+                let ra = simulate_render_counters(&inputs.a, cam, &tf, opts, nthreads, platform);
+                let rz = simulate_render_counters(&inputs.z, cam, &tf, opts, nthreads, platform);
+                vec![
+                    scaled_relative_difference(
+                        ra.modeled_runtime_cycles(&platform.cost),
+                        rz.modeled_runtime_cycles(&platform.cost),
+                    ),
+                    scaled_relative_difference(
+                        platform.counter_value(&ra) as f64,
+                        platform.counter_value(&rz) as f64,
+                    ),
+                    scaled_relative_difference(
+                        ra.total().l2.accesses as f64,
+                        rz.total().l2.accesses as f64,
+                    ),
+                ]
+            })?;
+            if cell.len() != 3 {
+                return Err(sfc_core::SfcError::Corrupt {
+                    what: "checkpoint cell".to_string(),
+                    reason: format!("key '{key}' holds {} values, expected 3", cell.len()),
+                });
+            }
+            let (rt, cnt) = (cell[0], cell[1]);
             runtime_ds.set(r, c, rt);
             counter_ds.set(r, c, cnt);
-            l2_accesses_ds.set(
-                r,
-                c,
-                scaled_relative_difference(
-                    ra.total().l2.accesses as f64,
-                    rz.total().l2.accesses as f64,
-                ),
-            );
+            l2_accesses_ds.set(r, c, cell[2]);
             if progress {
                 eprintln!(
-                    "  viewpoint {r} threads={nthreads:<4} ds(runtime)={rt:6.2} ds(counter)={cnt:8.2}"
+                    "  viewpoint {r} threads={nthreads:<4} ds(runtime)={rt:6.2} ds(counter)={cnt:8.2}{}",
+                    if resumed { "  (resumed)" } else { "" }
                 );
             }
         }
     }
-    VolrendFigure {
+    Ok(VolrendFigure {
         runtime_ds,
         counter_ds,
         l2_accesses_ds,
-    }
+    })
 }
 
 #[cfg(test)]

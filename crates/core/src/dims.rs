@@ -1,10 +1,11 @@
 //! Dimension types for 2D and 3D structured grids.
 
+use crate::error::{SfcError, SfcResult};
+
 /// Dimensions of a 3D structured grid (`nx` is the fastest-varying axis in
 /// array order, matching the paper's convention where `A[i,j,k]` has `i`
 /// contiguous in memory).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dims3 {
     /// Extent along the fastest-varying (x) axis.
     pub nx: usize,
@@ -15,13 +16,38 @@ pub struct Dims3 {
 }
 
 impl Dims3 {
+    /// Create a new dimension triple, validating the extents.
+    ///
+    /// Empty grids have no meaningful layout, and extents whose product
+    /// overflows `usize` cannot be backed by real storage — both are
+    /// rejected with a typed error instead of a panic so callers driving
+    /// untrusted metadata (file headers, CLI flags) can degrade gracefully.
+    pub fn try_new(nx: usize, ny: usize, nz: usize) -> SfcResult<Self> {
+        if nx == 0 || ny == 0 || nz == 0 {
+            return Err(SfcError::InvalidDims {
+                what: "Dims3",
+                reason: format!("grid extents must be non-zero, got {nx}x{ny}x{nz}"),
+            });
+        }
+        nx.checked_mul(ny)
+            .and_then(|p| p.checked_mul(nz))
+            .ok_or(SfcError::SizeOverflow {
+                what: "Dims3 element count nx*ny*nz",
+            })?;
+        Ok(Self { nx, ny, nz })
+    }
+
     /// Create a new dimension triple.
     ///
     /// # Panics
-    /// Panics if any extent is zero: empty grids have no meaningful layout.
+    /// Panics if any extent is zero (empty grids have no meaningful
+    /// layout) or the element count overflows `usize`. Use
+    /// [`Dims3::try_new`] to validate untrusted extents without panicking.
     pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
-        assert!(nx > 0 && ny > 0 && nz > 0, "grid extents must be non-zero");
-        Self { nx, ny, nz }
+        match Self::try_new(nx, ny, nz) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// A cube with equal extent on all axes.
@@ -32,6 +58,19 @@ impl Dims3 {
     /// Number of logical elements (`nx * ny * nz`).
     pub fn len(&self) -> usize {
         self.nx * self.ny * self.nz
+    }
+
+    /// Number of bytes needed to store `len()` elements of `elem_size`
+    /// bytes, failing on overflow instead of silently wrapping — the
+    /// check I/O paths use before trusting header-supplied dims.
+    pub fn checked_byte_len(&self, elem_size: usize) -> SfcResult<usize> {
+        self.nx
+            .checked_mul(self.ny)
+            .and_then(|p| p.checked_mul(self.nz))
+            .and_then(|p| p.checked_mul(elem_size))
+            .ok_or(SfcError::SizeOverflow {
+                what: "Dims3 byte length len() * elem_size",
+            })
     }
 
     /// Structured grids are never empty (enforced at construction).
@@ -61,7 +100,6 @@ impl Dims3 {
 
 /// Dimensions of a 2D structured grid.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Dims2 {
     /// Extent along the fastest-varying (x) axis.
     pub nx: usize,
@@ -70,13 +108,30 @@ pub struct Dims2 {
 }
 
 impl Dims2 {
+    /// Create a new dimension pair, validating the extents.
+    pub fn try_new(nx: usize, ny: usize) -> SfcResult<Self> {
+        if nx == 0 || ny == 0 {
+            return Err(SfcError::InvalidDims {
+                what: "Dims2",
+                reason: format!("grid extents must be non-zero, got {nx}x{ny}"),
+            });
+        }
+        nx.checked_mul(ny).ok_or(SfcError::SizeOverflow {
+            what: "Dims2 element count nx*ny",
+        })?;
+        Ok(Self { nx, ny })
+    }
+
     /// Create a new dimension pair.
     ///
     /// # Panics
-    /// Panics if any extent is zero.
+    /// Panics if any extent is zero or the element count overflows. Use
+    /// [`Dims2::try_new`] for untrusted extents.
     pub fn new(nx: usize, ny: usize) -> Self {
-        assert!(nx > 0 && ny > 0, "grid extents must be non-zero");
-        Self { nx, ny }
+        match Self::try_new(nx, ny) {
+            Ok(d) => d,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// A square with equal extents.
@@ -128,7 +183,6 @@ pub fn bits_for(n: usize) -> u32 {
 
 /// The three grid axes. Used to select pencil orientation and loop order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Axis {
     /// Fastest-varying axis in array order.
     X,
@@ -184,6 +238,36 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn dims3_zero_extent_panics() {
         Dims3::new(4, 0, 4);
+    }
+
+    #[test]
+    fn dims3_try_new_rejects_zero_and_overflow() {
+        assert!(matches!(
+            Dims3::try_new(0, 4, 4),
+            Err(crate::SfcError::InvalidDims { .. })
+        ));
+        assert!(matches!(
+            Dims3::try_new(usize::MAX, 2, 2),
+            Err(crate::SfcError::SizeOverflow { .. })
+        ));
+        assert_eq!(Dims3::try_new(4, 5, 6).unwrap(), Dims3::new(4, 5, 6));
+    }
+
+    #[test]
+    fn dims3_checked_byte_len() {
+        assert_eq!(Dims3::new(4, 5, 6).checked_byte_len(4).unwrap(), 480);
+        // 2^62 elements fit in usize, but 2^62 * 4 bytes does not.
+        assert!(matches!(
+            Dims3::new(1 << 40, 1 << 20, 4).checked_byte_len(4),
+            Err(crate::SfcError::SizeOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn dims2_try_new_rejects_zero() {
+        assert!(Dims2::try_new(0, 1).is_err());
+        assert!(Dims2::try_new(usize::MAX, 4).is_err());
+        assert_eq!(Dims2::try_new(3, 2).unwrap(), Dims2::new(3, 2));
     }
 
     #[test]

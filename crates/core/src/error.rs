@@ -1,0 +1,209 @@
+//! Workspace-wide typed error taxonomy.
+//!
+//! Long parallel sweeps over big volumes (the ROADMAP's production target)
+//! cannot afford `assert!`-style aborts: one bad pencil or one corrupt
+//! input file must surface as a *value* the caller can route, retry, or
+//! degrade around. Every fallible entry point in the workspace returns
+//! [`SfcError`]; the panicking convenience constructors remain as thin
+//! wrappers over the `try_` forms for hot-loop ergonomics.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Convenience alias used by fallible APIs across the workspace.
+pub type SfcResult<T> = Result<T, SfcError>;
+
+/// The workspace error taxonomy.
+///
+/// Variants are grouped by origin: *validation* (dims/layout/parameter),
+/// *data integrity* (I/O and corruption), and *execution* (worker panic,
+/// timeout) — the supervised pool in `sfc-harness` reports the latter two
+/// through `RunReport` instead of aborting the run.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SfcError {
+    /// A grid extent or other dimension parameter is invalid.
+    InvalidDims {
+        /// What was being validated (e.g. `"Dims3"`, `"lattice size"`).
+        what: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// Two containers that must agree in shape do not.
+    ShapeMismatch {
+        /// The operation that required agreement.
+        what: &'static str,
+        /// Expected element count or extent description.
+        expected: String,
+        /// What was actually provided.
+        actual: String,
+    },
+    /// A size computation overflowed `usize` (huge dims, checked multiply).
+    SizeOverflow {
+        /// The computation that overflowed, e.g. `"dims.len() * 4"`.
+        what: &'static str,
+    },
+    /// An invalid kernel/filter/render parameter.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint violation description.
+        reason: String,
+    },
+    /// An underlying I/O operation failed.
+    Io {
+        /// What was being read or written.
+        what: String,
+        /// The OS-level error.
+        source: std::io::Error,
+    },
+    /// A file was read successfully but its contents are not trustworthy:
+    /// bad magic, version, checksum, or truncated payload.
+    Corrupt {
+        /// What artifact is corrupt (usually a path).
+        what: String,
+        /// Which integrity check failed.
+        reason: String,
+    },
+    /// A worker closure panicked while processing an item.
+    WorkerPanic {
+        /// The item index being processed.
+        item: usize,
+        /// Panic payload rendered to a string (`"<non-string payload>"`
+        /// when the payload was not `String`/`&str`).
+        payload: String,
+    },
+    /// An item exceeded its supervised execution deadline.
+    Timeout {
+        /// The item index that timed out.
+        item: usize,
+        /// The configured per-item deadline.
+        limit: Duration,
+    },
+    /// Data failed a NaN/finiteness screen (e.g. a contaminated volume).
+    NonFinite {
+        /// What was screened.
+        what: String,
+        /// Number of non-finite values found.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SfcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SfcError::InvalidDims { what, reason } => {
+                write!(f, "invalid dimensions for {what}: {reason}")
+            }
+            SfcError::ShapeMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "shape mismatch in {what}: expected {expected}, got {actual}"),
+            SfcError::SizeOverflow { what } => {
+                write!(f, "size computation overflowed usize: {what}")
+            }
+            SfcError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SfcError::Io { what, source } => write!(f, "I/O error on {what}: {source}"),
+            SfcError::Corrupt { what, reason } => {
+                write!(f, "corrupt data in {what}: {reason}")
+            }
+            SfcError::WorkerPanic { item, payload } => {
+                write!(f, "worker panicked on item {item}: {payload}")
+            }
+            SfcError::Timeout { item, limit } => {
+                write!(f, "item {item} exceeded its {limit:?} deadline")
+            }
+            SfcError::NonFinite { what, count } => {
+                write!(f, "{what} contains {count} non-finite value(s)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SfcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SfcError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl SfcError {
+    /// Wrap an [`std::io::Error`] with context about what was touched.
+    pub fn io(what: impl Into<String>, source: std::io::Error) -> Self {
+        SfcError::Io {
+            what: what.into(),
+            source,
+        }
+    }
+
+    /// Build a corruption error with context.
+    pub fn corrupt(what: impl Into<String>, reason: impl Into<String>) -> Self {
+        SfcError::Corrupt {
+            what: what.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// True for failures that stem from the *execution environment* (panic,
+    /// timeout) rather than the inputs — the class the supervised pool
+    /// retries; validation and corruption errors are deterministic and
+    /// retrying them is wasted work.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SfcError::WorkerPanic { .. } | SfcError::Timeout { .. } | SfcError::Io { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SfcError::InvalidDims {
+            what: "Dims3",
+            reason: "nx must be non-zero".into(),
+        };
+        assert!(e.to_string().contains("Dims3"));
+        assert!(e.to_string().contains("non-zero"));
+
+        let e = SfcError::Timeout {
+            item: 7,
+            limit: Duration::from_millis(250),
+        };
+        assert!(e.to_string().contains('7'));
+
+        let e = SfcError::corrupt("vol.sfcv", "checksum mismatch");
+        assert!(e.to_string().contains("checksum"));
+    }
+
+    #[test]
+    fn io_source_is_chained() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = SfcError::io("f.raw", inner);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn retryability_split() {
+        assert!(SfcError::WorkerPanic {
+            item: 0,
+            payload: "boom".into()
+        }
+        .is_retryable());
+        assert!(SfcError::Timeout {
+            item: 0,
+            limit: Duration::from_secs(1)
+        }
+        .is_retryable());
+        assert!(!SfcError::SizeOverflow { what: "n*4" }.is_retryable());
+        assert!(!SfcError::corrupt("x", "y").is_retryable());
+    }
+}

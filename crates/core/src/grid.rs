@@ -7,6 +7,7 @@
 //! application" property.
 
 use crate::dims::{Dims2, Dims3};
+use crate::error::{SfcError, SfcResult};
 use crate::layout::{Layout2, Layout3};
 
 /// A 3D grid of `T` stored according to layout `L`.
@@ -34,22 +35,34 @@ impl<T: Copy + Default, L: Layout3> Grid3<T, L> {
     }
 
     /// Create a grid from a row-major element slice
-    /// (`values[i + j*nx + k*nx*ny]`).
-    ///
-    /// # Panics
-    /// Panics if `values.len() != dims.len()`.
-    pub fn from_row_major(dims: Dims3, values: &[T]) -> Self {
-        assert_eq!(
-            values.len(),
-            dims.len(),
-            "row-major input length must equal the logical element count"
-        );
+    /// (`values[i + j*nx + k*nx*ny]`), validating the length — the entry
+    /// point for data read from untrusted files.
+    pub fn try_from_row_major(dims: Dims3, values: &[T]) -> SfcResult<Self> {
+        if values.len() != dims.len() {
+            return Err(SfcError::ShapeMismatch {
+                what: "Grid3::from_row_major",
+                expected: format!("{} elements for dims {dims:?}", dims.len()),
+                actual: format!("{} elements", values.len()),
+            });
+        }
         let mut g = Self::new(dims);
         let mut it = values.iter();
         for (i, j, k) in dims.iter() {
             g.set(i, j, k, *it.next().expect("length checked above"));
         }
-        g
+        Ok(g)
+    }
+
+    /// Create a grid from a row-major element slice.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != dims.len()`; use
+    /// [`Grid3::try_from_row_major`] for untrusted inputs.
+    pub fn from_row_major(dims: Dims3, values: &[T]) -> Self {
+        match Self::try_from_row_major(dims, values) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -196,18 +209,33 @@ impl<T: Copy + Default, L: Layout2> Grid2<T, L> {
         g
     }
 
-    /// Create a grid from a row-major element slice.
-    ///
-    /// # Panics
-    /// Panics if `values.len() != dims.len()`.
-    pub fn from_row_major(dims: Dims2, values: &[T]) -> Self {
-        assert_eq!(values.len(), dims.len());
+    /// Create a grid from a row-major element slice, validating the length.
+    pub fn try_from_row_major(dims: Dims2, values: &[T]) -> SfcResult<Self> {
+        if values.len() != dims.len() {
+            return Err(SfcError::ShapeMismatch {
+                what: "Grid2::from_row_major",
+                expected: format!("{} elements for dims {dims:?}", dims.len()),
+                actual: format!("{} elements", values.len()),
+            });
+        }
         let mut g = Self::new(dims);
         let mut it = values.iter();
         for (i, j) in dims.iter() {
             g.set(i, j, *it.next().expect("length checked above"));
         }
-        g
+        Ok(g)
+    }
+
+    /// Create a grid from a row-major element slice.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != dims.len()`; use
+    /// [`Grid2::try_from_row_major`] for untrusted inputs.
+    pub fn from_row_major(dims: Dims2, values: &[T]) -> Self {
+        match Self::try_from_row_major(dims, values) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -382,6 +410,16 @@ mod tests {
     #[should_panic]
     fn from_row_major_length_mismatch_panics() {
         Grid3::<f32, ArrayOrder3>::from_row_major(Dims3::cube(2), &[0.0; 7]);
+    }
+
+    #[test]
+    fn try_from_row_major_is_typed() {
+        use crate::error::SfcError;
+        let err = Grid3::<f32, ArrayOrder3>::try_from_row_major(Dims3::cube(2), &[0.0; 7])
+            .unwrap_err();
+        assert!(matches!(err, SfcError::ShapeMismatch { .. }), "{err}");
+        assert!(Grid3::<f32, ArrayOrder3>::try_from_row_major(Dims3::cube(2), &[0.0; 8]).is_ok());
+        assert!(Grid2::<f32, ArrayOrder2>::try_from_row_major(Dims2::new(2, 2), &[0.0; 3]).is_err());
     }
 
     #[test]

@@ -10,7 +10,6 @@ use crate::dims::{Dims2, Dims3};
 
 /// Identifies a layout family at runtime (CLI selection, reporting).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LayoutKind {
     /// Traditional row-major array order (the paper's "A-order").
     ArrayOrder,

@@ -47,6 +47,7 @@
 
 pub mod dims;
 pub mod dyn_grid;
+pub mod error;
 pub mod grid;
 pub mod hilbert;
 pub mod iter;
@@ -54,12 +55,14 @@ pub mod layout;
 pub mod layouts;
 pub mod morton;
 pub mod pattern;
+pub mod rng;
 pub mod stats;
 pub mod stencil;
 pub mod volume;
 
 pub use dims::{bits_for, next_pow2, Axis, Dims2, Dims3};
 pub use dyn_grid::DynGrid3;
+pub use error::{SfcError, SfcResult};
 pub use grid::{Grid2, Grid3};
 pub use iter::{image_tiles, pencil, pencil_count, pencils, Pencil, TileRect};
 pub use layout::{Layout2, Layout3, LayoutKind};
@@ -67,6 +70,7 @@ pub use layouts::{
     ArrayOrder2, ArrayOrder3, HilbertOrder2, HilbertOrder3, Tiled2, Tiled3, ZOrder2,
     ZOrder3,
 };
+pub use rng::SplitMix64;
 pub use stats::{anisotropy, axis_step_stats, StepStats};
 pub use stencil::{stencil_offsets, StencilOrder, StencilSize};
 pub use volume::{FnVolume, Volume3};

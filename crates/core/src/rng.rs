@@ -1,0 +1,137 @@
+//! Small deterministic PRNG used across the workspace.
+//!
+//! The workspace builds in environments without access to crates.io, so
+//! instead of the `rand` crate we carry a tiny splitmix64 generator:
+//! deterministic for a seed, statistically solid for test-data synthesis
+//! (it is the seeding generator recommended by the xoshiro authors), and
+//! trivially auditable. It backs the synthetic-volume generators, the
+//! fault-injection harness, and the randomized property tests.
+
+/// SplitMix64 pseudo-random generator (Steele, Lea & Flood 2014).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seed the generator. Equal seeds yield equal streams on every
+    /// platform — tests and data generators rely on this.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f32` in `[0, 1)` with 24 bits of precision.
+    pub fn f32_unit(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn f32_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.f32_unit()
+    }
+
+    /// Uniform `u64` in `[0, n)` via Lemire-style rejection-free widening
+    /// (bias is negligible for the modest `n` used here).
+    pub fn u64_below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "u64_below(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo >= hi`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.u64_below((hi - lo) as u64) as usize
+    }
+
+    /// Fair coin with probability `p` of `true`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.f32_unit() < p
+    }
+
+    /// Fork an independent stream (for decorrelated sub-generators).
+    pub fn fork(&mut self) -> Self {
+        Self::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn f32_unit_in_range_and_varied() {
+        let mut r = SplitMix64::new(7);
+        let vals: Vec<f32> = (0..1000).map(|_| r.f32_unit()).collect();
+        assert!(vals.iter().all(|v| (0.0..1.0).contains(v)));
+        let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from uniform");
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SplitMix64::new(3);
+        for _ in 0..1000 {
+            let v = r.usize_in(5, 9);
+            assert!((5..9).contains(&v));
+            let f = r.f32_in(-0.5, 0.5);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn u64_below_covers_small_domains() {
+        let mut r = SplitMix64::new(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.u64_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn forked_streams_decorrelate() {
+        let mut r = SplitMix64::new(5);
+        let mut f = r.fork();
+        assert_ne!(r.next_u64(), f.next_u64());
+    }
+}

@@ -12,7 +12,6 @@ use crate::dims::Axis;
 /// innermost to outermost: `Xyz` = x innermost (array-order friendly),
 /// `Zyx` = z innermost (array-order hostile).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StencilOrder {
     /// x innermost, then y, then z (array-order friendly).
     Xyz,
@@ -110,7 +109,6 @@ pub fn stencil_offsets(radius: usize, order: StencilOrder) -> Vec<(isize, isize,
 /// (These are the paper's row labels; the numeral is not the radius — the
 /// actual radii are 1, 2, and 5.)
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum StencilSize {
     /// 3×3×3 stencil (radius 1).
     R1,

@@ -1,126 +1,182 @@
-//! Property-based tests for the layout invariants every implementation must
+//! Property-style tests for the layout invariants every implementation must
 //! uphold (see `Layout3` trait docs): in-range, injective, invertible.
+//!
+//! Implemented as seeded deterministic sweeps over `SplitMix64` so the
+//! workspace stays dependency-free; each test explores hundreds of random
+//! cases and every failure reproduces exactly.
 
-use proptest::prelude::*;
 use sfc_core::{
     hilbert::{hilbert2_decode, hilbert2_encode, hilbert3_decode, hilbert3_encode},
     morton::{
         compact1by1, compact1by2, morton2_decode, morton2_encode, morton3_decode,
         morton3_encode, morton3_encode_lut, part1by1, part1by2,
     },
-    ArrayOrder3, Dims3, Grid3, HilbertOrder3, Layout3, Tiled3, ZOrder3,
+    ArrayOrder3, Dims3, Grid3, HilbertOrder3, Layout3, SplitMix64, Tiled3, ZOrder3,
 };
 
-proptest! {
-    #[test]
-    fn morton2_roundtrip(x in any::<u32>(), y in any::<u32>()) {
-        prop_assert_eq!(morton2_decode(morton2_encode(x, y)), (x, y));
+#[test]
+fn morton2_roundtrip() {
+    let mut rng = SplitMix64::new(0x1001);
+    for _ in 0..512 {
+        let (x, y) = (rng.next_u32(), rng.next_u32());
+        assert_eq!(morton2_decode(morton2_encode(x, y)), (x, y));
     }
+}
 
-    #[test]
-    fn morton3_roundtrip(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
-        prop_assert_eq!(morton3_decode(morton3_encode(x, y, z)), (x, y, z));
+#[test]
+fn morton3_roundtrip() {
+    let mut rng = SplitMix64::new(0x1002);
+    for _ in 0..512 {
+        let x = rng.next_u32() & ((1 << 21) - 1);
+        let y = rng.next_u32() & ((1 << 21) - 1);
+        let z = rng.next_u32() & ((1 << 21) - 1);
+        assert_eq!(morton3_decode(morton3_encode(x, y, z)), (x, y, z));
     }
+}
 
-    #[test]
-    fn morton3_lut_agrees_with_magic(x in 0u32..(1 << 21), y in 0u32..(1 << 21), z in 0u32..(1 << 21)) {
-        prop_assert_eq!(morton3_encode_lut(x, y, z), morton3_encode(x, y, z));
+#[test]
+fn morton3_lut_agrees_with_magic() {
+    let mut rng = SplitMix64::new(0x1003);
+    for _ in 0..512 {
+        let x = rng.next_u32() & ((1 << 21) - 1);
+        let y = rng.next_u32() & ((1 << 21) - 1);
+        let z = rng.next_u32() & ((1 << 21) - 1);
+        assert_eq!(morton3_encode_lut(x, y, z), morton3_encode(x, y, z));
     }
+}
 
-    #[test]
-    fn dilation_roundtrips(x in any::<u32>()) {
-        prop_assert_eq!(compact1by1(part1by1(x)), x);
-        prop_assert_eq!(compact1by2(part1by2(x & 0x1F_FFFF)), x & 0x1F_FFFF);
+#[test]
+fn dilation_roundtrips() {
+    let mut rng = SplitMix64::new(0x1004);
+    for _ in 0..512 {
+        let x = rng.next_u32();
+        assert_eq!(compact1by1(part1by1(x)), x);
+        assert_eq!(compact1by2(part1by2(x & 0x1F_FFFF)), x & 0x1F_FFFF);
     }
+}
 
-    #[test]
-    fn morton3_monotone_in_aligned_block(x in 0u32..(1 << 20), y in 0u32..(1 << 20), z in 0u32..(1 << 20)) {
+#[test]
+fn morton3_monotone_in_aligned_block() {
+    let mut rng = SplitMix64::new(0x1005);
+    for _ in 0..512 {
         // Within an even-aligned 2-block, the x step is exactly +1.
-        let (x, y, z) = (x * 2, y * 2, z * 2);
-        prop_assert_eq!(morton3_encode(x + 1, y, z), morton3_encode(x, y, z) + 1);
-        prop_assert_eq!(morton3_encode(x, y + 1, z), morton3_encode(x, y, z) + 2);
-        prop_assert_eq!(morton3_encode(x, y, z + 1), morton3_encode(x, y, z) + 4);
+        let x = (rng.next_u32() & ((1 << 20) - 1)) * 2;
+        let y = (rng.next_u32() & ((1 << 20) - 1)) * 2;
+        let z = (rng.next_u32() & ((1 << 20) - 1)) * 2;
+        assert_eq!(morton3_encode(x + 1, y, z), morton3_encode(x, y, z) + 1);
+        assert_eq!(morton3_encode(x, y + 1, z), morton3_encode(x, y, z) + 2);
+        assert_eq!(morton3_encode(x, y, z + 1), morton3_encode(x, y, z) + 4);
     }
+}
 
-    #[test]
-    fn hilbert2_roundtrip(bits in 1u32..16, h in any::<u64>()) {
-        let h = h & ((1u64 << (2 * bits)) - 1);
+#[test]
+fn hilbert2_roundtrip() {
+    let mut rng = SplitMix64::new(0x1006);
+    for _ in 0..512 {
+        let bits = 1 + (rng.next_u32() % 15);
+        let h = rng.next_u64() & ((1u64 << (2 * bits)) - 1);
         let (x, y) = hilbert2_decode(h, bits);
-        prop_assert_eq!(hilbert2_encode(x, y, bits), h);
+        assert_eq!(hilbert2_encode(x, y, bits), h);
     }
+}
 
-    #[test]
-    fn hilbert3_roundtrip(bits in 1u32..10, h in any::<u64>()) {
-        let h = h & ((1u64 << (3 * bits)) - 1);
+#[test]
+fn hilbert3_roundtrip() {
+    let mut rng = SplitMix64::new(0x1007);
+    for _ in 0..512 {
+        let bits = 1 + (rng.next_u32() % 9);
+        let h = rng.next_u64() & ((1u64 << (3 * bits)) - 1);
         let (x, y, z) = hilbert3_decode(h, bits);
-        prop_assert_eq!(hilbert3_encode(x, y, z, bits), h);
+        assert_eq!(hilbert3_encode(x, y, z, bits), h);
     }
+}
 
-    #[test]
-    fn hilbert3_consecutive_indices_are_adjacent(bits in 1u32..6, h in any::<u64>()) {
+#[test]
+fn hilbert3_consecutive_indices_are_adjacent() {
+    let mut rng = SplitMix64::new(0x1008);
+    for _ in 0..512 {
+        let bits = 1 + (rng.next_u32() % 5);
         let total = 1u64 << (3 * bits);
-        let h = h % (total - 1);
+        let h = rng.next_u64() % (total - 1);
         let (ax, ay, az) = hilbert3_decode(h, bits);
         let (bx, by, bz) = hilbert3_decode(h + 1, bits);
         let d = ax.abs_diff(bx) + ay.abs_diff(by) + az.abs_diff(bz);
-        prop_assert_eq!(d, 1, "curve step must be unit Manhattan distance");
+        assert_eq!(d, 1, "curve step must be unit Manhattan distance");
     }
 }
 
-/// Strategy for modest random grid dimensions (products stay small enough
-/// for exhaustive per-cell checks).
-fn small_dims() -> impl Strategy<Value = Dims3> {
-    (1usize..20, 1usize..20, 1usize..20).prop_map(|(x, y, z)| Dims3::new(x, y, z))
+/// Modest random grid dimensions (products stay small enough for
+/// exhaustive per-cell checks).
+fn small_dims(rng: &mut SplitMix64) -> Dims3 {
+    Dims3::new(rng.usize_in(1, 20), rng.usize_in(1, 20), rng.usize_in(1, 20))
 }
 
-fn layout_invariants<L: Layout3>(dims: Dims3) -> Result<(), TestCaseError> {
+fn layout_invariants<L: Layout3>(dims: Dims3) {
     let l = L::new(dims);
-    prop_assert!(l.storage_len() >= dims.len());
+    assert!(l.storage_len() >= dims.len());
     let mut seen = std::collections::HashSet::new();
     for (i, j, k) in dims.iter() {
         let s = l.index(i, j, k);
-        prop_assert!(s < l.storage_len(), "index out of storage range");
-        prop_assert!(seen.insert(s), "layout not injective at ({i},{j},{k})");
-        prop_assert_eq!(l.coords(s), (i, j, k), "coords() must invert index()");
+        assert!(s < l.storage_len(), "index out of storage range");
+        assert!(seen.insert(s), "layout not injective at ({i},{j},{k})");
+        assert_eq!(l.coords(s), (i, j, k), "coords() must invert index()");
     }
-    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn array_order_invariants(dims in small_dims()) {
-        layout_invariants::<ArrayOrder3>(dims)?;
+#[test]
+fn array_order_invariants() {
+    let mut rng = SplitMix64::new(0x2001);
+    for _ in 0..64 {
+        layout_invariants::<ArrayOrder3>(small_dims(&mut rng));
     }
+}
 
-    #[test]
-    fn zorder_invariants(dims in small_dims()) {
-        layout_invariants::<ZOrder3>(dims)?;
+#[test]
+fn zorder_invariants() {
+    let mut rng = SplitMix64::new(0x2002);
+    for _ in 0..64 {
+        layout_invariants::<ZOrder3>(small_dims(&mut rng));
     }
+}
 
-    #[test]
-    fn tiled_invariants(dims in small_dims()) {
-        layout_invariants::<Tiled3>(dims)?;
+#[test]
+fn tiled_invariants() {
+    let mut rng = SplitMix64::new(0x2003);
+    for _ in 0..64 {
+        layout_invariants::<Tiled3>(small_dims(&mut rng));
     }
+}
 
-    #[test]
-    fn hilbert_invariants(dims in small_dims()) {
-        layout_invariants::<HilbertOrder3>(dims)?;
+#[test]
+fn hilbert_invariants() {
+    let mut rng = SplitMix64::new(0x2004);
+    for _ in 0..64 {
+        layout_invariants::<HilbertOrder3>(small_dims(&mut rng));
     }
+}
 
-    #[test]
-    fn zorder_has_no_padding_for_pow2(bx in 0u32..5, by in 0u32..5, bz in 0u32..5) {
-        let dims = Dims3::new(1 << bx, 1 << by, 1 << bz);
-        let l = ZOrder3::new(dims);
-        prop_assert_eq!(l.storage_len(), dims.len());
-        prop_assert_eq!(l.padding_overhead(), 0.0);
+#[test]
+fn zorder_has_no_padding_for_pow2() {
+    for bx in 0u32..5 {
+        for by in 0u32..5 {
+            for bz in 0u32..5 {
+                let dims = Dims3::new(1 << bx, 1 << by, 1 << bz);
+                let l = ZOrder3::new(dims);
+                assert_eq!(l.storage_len(), dims.len());
+                assert_eq!(l.padding_overhead(), 0.0);
+            }
+        }
     }
+}
 
-    #[test]
-    fn grid_convert_roundtrip(dims in small_dims(), seed in any::<u64>()) {
+#[test]
+fn grid_convert_roundtrip() {
+    let mut rng = SplitMix64::new(0x2005);
+    for _ in 0..64 {
+        let dims = small_dims(&mut rng);
+        let seed = rng.next_u64();
         // Pseudo-random but deterministic cell values from the seed.
-        let v = |i: usize, j: usize, k: usize| {
+        let v = move |i: usize, j: usize, k: usize| {
             let mut h = seed ^ ((i as u64) << 40) ^ ((j as u64) << 20) ^ (k as u64);
             h ^= h >> 33;
             h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
@@ -130,16 +186,20 @@ proptest! {
         let z: Grid3<f32, ZOrder3> = a.convert();
         let t: Grid3<f32, Tiled3> = z.convert();
         let h: Grid3<f32, HilbertOrder3> = t.convert();
-        prop_assert_eq!(a.to_row_major(), h.to_row_major());
+        assert_eq!(a.to_row_major(), h.to_row_major());
     }
+}
 
-    #[test]
-    fn storage_order_iteration_matches_logical_set(dims in small_dims()) {
+#[test]
+fn storage_order_iteration_matches_logical_set() {
+    let mut rng = SplitMix64::new(0x2006);
+    for _ in 0..64 {
+        let dims = small_dims(&mut rng);
         let g = Grid3::<f32, ZOrder3>::from_fn(dims, |i, j, k| (i + j * 31 + k * 977) as f32);
         let mut from_storage: Vec<_> = g.iter_storage_order().collect();
         from_storage.sort_by_key(|a| a.0);
         let mut logical: Vec<_> = g.iter_logical().collect();
         logical.sort_by_key(|a| a.0);
-        prop_assert_eq!(from_storage, logical);
+        assert_eq!(from_storage, logical);
     }
 }

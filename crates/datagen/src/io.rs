@@ -3,89 +3,274 @@
 //! * Raw volumes: flat little-endian `f32`, row-major — the format the
 //!   paper's datasets ship in, so users with the real MRI/combustion data
 //!   can drop them in.
+//! * Checksummed volumes ([`save_volume`]/[`load_volume`]): a small
+//!   versioned container around the same payload that detects truncation
+//!   and bit-flips before corrupt data reaches a kernel.
 //! * Images: binary PGM (grayscale) and PPM (RGB) for filter slices and
 //!   rendered frames.
+//!
+//! All loaders validate against *untrusted* input: sizes are checked with
+//! overflow-safe arithmetic and failures come back as typed
+//! [`SfcError`] values, never panics.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use bytes::{Buf, BufMut, BytesMut};
-use sfc_core::Dims3;
+use sfc_core::{Dims3, SfcError, SfcResult};
+
+/// Magic bytes opening a checksummed volume file.
+pub const VOLUME_MAGIC: [u8; 4] = *b"SFCV";
+/// Current version of the checksummed volume container.
+pub const VOLUME_VERSION: u32 = 1;
 
 /// Write a row-major `f32` volume as raw little-endian bytes.
-pub fn save_raw_f32(path: &Path, values: &[f32]) -> io::Result<()> {
-    let mut buf = BytesMut::with_capacity(values.len() * 4);
+pub fn save_raw_f32(path: &Path, values: &[f32]) -> SfcResult<()> {
+    let ctx = || path.display().to_string();
+    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
     for &v in values {
-        buf.put_f32_le(v);
+        out.write_all(&v.to_le_bytes())
+            .map_err(|e| SfcError::io(ctx(), e))?;
     }
-    let mut out = BufWriter::new(File::create(path)?);
-    out.write_all(&buf)?;
-    out.flush()
+    out.flush().map_err(|e| SfcError::io(ctx(), e))
 }
 
 /// Load a raw little-endian `f32` volume; the file length must be exactly
-/// `dims.len() * 4` bytes.
-pub fn load_raw_f32(path: &Path, dims: Dims3) -> io::Result<Vec<f32>> {
+/// `dims.len() * 4` bytes (checked multiply — huge dims error instead of
+/// overflowing) and any trailing remainder of 1..=3 bytes is an error, not
+/// a silent drop.
+pub fn load_raw_f32(path: &Path, dims: Dims3) -> SfcResult<Vec<f32>> {
+    let ctx = || path.display().to_string();
     let mut bytes = Vec::new();
-    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
-    let expected = dims.len() * 4;
+    BufReader::new(File::open(path).map_err(|e| SfcError::io(ctx(), e))?)
+        .read_to_end(&mut bytes)
+        .map_err(|e| SfcError::io(ctx(), e))?;
+    let expected = dims.checked_byte_len(4)?;
     if bytes.len() != expected {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
+        let detail = if bytes.len() % 4 != 0 {
             format!(
-                "volume size mismatch: file has {} bytes, dims {dims:?} need {expected}",
+                "file has {} bytes ({} trailing bytes are not a whole f32), dims {dims:?} need {expected}",
+                bytes.len(),
+                bytes.len() % 4
+            )
+        } else {
+            format!(
+                "file has {} bytes, dims {dims:?} need {expected}",
                 bytes.len()
+            )
+        };
+        return Err(SfcError::corrupt(ctx(), detail));
+    }
+    Ok(f32s_from_le_bytes(&bytes))
+}
+
+fn f32s_from_le_bytes(bytes: &[u8]) -> Vec<f32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect()
+}
+
+/// FNV-1a 64-bit checksum — not cryptographic, but reliably catches the
+/// single-bit flips and truncations storage faults produce.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Save a volume in the checksummed `SFCV` container:
+///
+/// ```text
+/// magic "SFCV" | version u32 | nx u64 | ny u64 | nz u64
+/// | payload checksum (FNV-1a 64) | payload (len*4 LE f32 bytes)
+/// ```
+///
+/// All integers little-endian. [`load_volume`] verifies every field.
+pub fn save_volume(path: &Path, dims: Dims3, values: &[f32]) -> SfcResult<()> {
+    if values.len() != dims.len() {
+        return Err(SfcError::ShapeMismatch {
+            what: "save_volume",
+            expected: format!("{} values for dims {dims:?}", dims.len()),
+            actual: format!("{} values", values.len()),
+        });
+    }
+    let ctx = || path.display().to_string();
+    let mut payload = Vec::with_capacity(dims.checked_byte_len(4)?);
+    for &v in values {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
+    let mut emit = |bytes: &[u8]| out.write_all(bytes).map_err(|e| SfcError::io(ctx(), e));
+    emit(&VOLUME_MAGIC)?;
+    emit(&VOLUME_VERSION.to_le_bytes())?;
+    emit(&(dims.nx as u64).to_le_bytes())?;
+    emit(&(dims.ny as u64).to_le_bytes())?;
+    emit(&(dims.nz as u64).to_le_bytes())?;
+    emit(&fnv1a64(&payload).to_le_bytes())?;
+    emit(&payload)?;
+    out.flush().map_err(|e| SfcError::io(ctx(), e))
+}
+
+/// Load a checksummed `SFCV` volume, returning its dims and row-major
+/// payload. Detects wrong magic, unsupported version, dims overflow,
+/// truncation, and payload bit-flips — each as a typed [`SfcError`].
+pub fn load_volume(path: &Path) -> SfcResult<(Dims3, Vec<f32>)> {
+    let ctx = || path.display().to_string();
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path).map_err(|e| SfcError::io(ctx(), e))?)
+        .read_to_end(&mut bytes)
+        .map_err(|e| SfcError::io(ctx(), e))?;
+
+    const HEADER: usize = 4 + 4 + 8 + 8 + 8 + 8;
+    if bytes.len() < HEADER {
+        return Err(SfcError::corrupt(
+            ctx(),
+            format!("truncated header: {} bytes < {HEADER}", bytes.len()),
+        ));
+    }
+    if bytes[0..4] != VOLUME_MAGIC {
+        return Err(SfcError::corrupt(
+            ctx(),
+            format!("bad magic {:02X?}, want {VOLUME_MAGIC:02X?}", &bytes[0..4]),
+        ));
+    }
+    let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+    let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+    let version = u32_at(4);
+    if version != VOLUME_VERSION {
+        return Err(SfcError::corrupt(
+            ctx(),
+            format!("unsupported container version {version}, want {VOLUME_VERSION}"),
+        ));
+    }
+    let (nx, ny, nz) = (u64_at(8), u64_at(16), u64_at(24));
+    let too_big = |v: u64| usize::try_from(v).is_err();
+    if too_big(nx) || too_big(ny) || too_big(nz) {
+        return Err(SfcError::SizeOverflow {
+            what: "SFCV header extent exceeds usize",
+        });
+    }
+    let dims = Dims3::try_new(nx as usize, ny as usize, nz as usize)?;
+    let expected = dims.checked_byte_len(4)?;
+    let payload = &bytes[HEADER..];
+    if payload.len() != expected {
+        return Err(SfcError::corrupt(
+            ctx(),
+            format!(
+                "payload truncated: {} bytes, dims {dims:?} need {expected}",
+                payload.len()
             ),
         ));
     }
-    let mut buf = &bytes[..];
-    let mut out = Vec::with_capacity(dims.len());
-    while buf.remaining() >= 4 {
-        out.push(buf.get_f32_le());
+    let want = u64_at(32);
+    let got = fnv1a64(payload);
+    if want != got {
+        return Err(SfcError::corrupt(
+            ctx(),
+            format!("checksum mismatch: header {want:#018X}, payload {got:#018X}"),
+        ));
     }
-    Ok(out)
+    Ok((dims, f32s_from_le_bytes(payload)))
 }
 
 /// Write an 8-bit binary PGM (P5) grayscale image.
-pub fn write_pgm(path: &Path, width: usize, height: usize, pixels: &[u8]) -> io::Result<()> {
-    assert_eq!(pixels.len(), width * height);
-    let mut out = BufWriter::new(File::create(path)?);
-    write!(out, "P5\n{width} {height}\n255\n")?;
-    out.write_all(pixels)?;
-    out.flush()
+pub fn write_pgm(path: &Path, width: usize, height: usize, pixels: &[u8]) -> SfcResult<()> {
+    let expected = width
+        .checked_mul(height)
+        .ok_or(SfcError::SizeOverflow { what: "PGM width * height" })?;
+    if pixels.len() != expected {
+        return Err(SfcError::ShapeMismatch {
+            what: "write_pgm",
+            expected: format!("{width}x{height} = {expected} pixels"),
+            actual: format!("{} pixels", pixels.len()),
+        });
+    }
+    let ctx = || path.display().to_string();
+    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
+    write!(out, "P5\n{width} {height}\n255\n").map_err(|e| SfcError::io(ctx(), e))?;
+    out.write_all(pixels).map_err(|e| SfcError::io(ctx(), e))?;
+    out.flush().map_err(|e| SfcError::io(ctx(), e))
 }
 
 /// Write a 24-bit binary PPM (P6) RGB image from interleaved RGB bytes.
-pub fn write_ppm(path: &Path, width: usize, height: usize, rgb: &[u8]) -> io::Result<()> {
-    assert_eq!(rgb.len(), width * height * 3);
-    let mut out = BufWriter::new(File::create(path)?);
-    write!(out, "P6\n{width} {height}\n255\n")?;
-    out.write_all(rgb)?;
-    out.flush()
+pub fn write_ppm(path: &Path, width: usize, height: usize, rgb: &[u8]) -> SfcResult<()> {
+    let expected = width
+        .checked_mul(height)
+        .and_then(|p| p.checked_mul(3))
+        .ok_or(SfcError::SizeOverflow { what: "PPM width * height * 3" })?;
+    if rgb.len() != expected {
+        return Err(SfcError::ShapeMismatch {
+            what: "write_ppm",
+            expected: format!("{width}x{height}x3 = {expected} bytes"),
+            actual: format!("{} bytes", rgb.len()),
+        });
+    }
+    let ctx = || path.display().to_string();
+    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
+    write!(out, "P6\n{width} {height}\n255\n").map_err(|e| SfcError::io(ctx(), e))?;
+    out.write_all(rgb).map_err(|e| SfcError::io(ctx(), e))?;
+    out.flush().map_err(|e| SfcError::io(ctx(), e))
 }
 
 /// Normalize a float slice to `u8` over its own min/max (constant input
-/// maps to mid-gray).
+/// maps to mid-gray). NaNs are ignored for the range and map to 0.
 pub fn normalize_to_u8(values: &[f32]) -> Vec<u8> {
-    let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
-    let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let min = values.iter().cloned().filter(|v| !v.is_nan()).fold(f32::INFINITY, f32::min);
+    let max = values
+        .iter()
+        .cloned()
+        .filter(|v| !v.is_nan())
+        .fold(f32::NEG_INFINITY, f32::max);
     // Constant or empty input (or NaN extremes) maps to mid-gray.
     if max.partial_cmp(&min) != Some(std::cmp::Ordering::Greater) {
         return vec![128; values.len()];
     }
     values
         .iter()
-        .map(|&v| (((v - min) / (max - min)) * 255.0).round().clamp(0.0, 255.0) as u8)
+        .map(|&v| {
+            if v.is_nan() {
+                0
+            } else {
+                (((v - min) / (max - min)) * 255.0).round().clamp(0.0, 255.0) as u8
+            }
+        })
         .collect()
 }
 
-/// Extract the z = `slice` plane of a row-major volume (row-major 2D out).
-pub fn slice_z(values: &[f32], dims: Dims3, slice: usize) -> Vec<f32> {
-    assert!(slice < dims.nz);
-    assert_eq!(values.len(), dims.len());
+/// Extract the z = `slice` plane of a row-major volume (row-major 2D out),
+/// validating the slice index and buffer shape.
+pub fn try_slice_z(values: &[f32], dims: Dims3, slice: usize) -> SfcResult<Vec<f32>> {
+    if slice >= dims.nz {
+        return Err(SfcError::InvalidParameter {
+            name: "slice",
+            reason: format!("z index {slice} out of range for dims {dims:?}"),
+        });
+    }
+    if values.len() != dims.len() {
+        return Err(SfcError::ShapeMismatch {
+            what: "slice_z",
+            expected: format!("{} values for dims {dims:?}", dims.len()),
+            actual: format!("{} values", values.len()),
+        });
+    }
     let plane = dims.nx * dims.ny;
-    values[slice * plane..(slice + 1) * plane].to_vec()
+    Ok(values[slice * plane..(slice + 1) * plane].to_vec())
+}
+
+/// Extract the z = `slice` plane of a row-major volume.
+///
+/// # Panics
+/// Panics on an out-of-range slice or mis-sized buffer; use
+/// [`try_slice_z`] for untrusted inputs.
+pub fn slice_z(values: &[f32], dims: Dims3, slice: usize) -> Vec<f32> {
+    match try_slice_z(values, dims, slice) {
+        Ok(v) => v,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 #[cfg(test)]
@@ -114,7 +299,91 @@ mod tests {
         let path = tmp("short.raw");
         save_raw_f32(&path, &[1.0, 2.0]).unwrap();
         let err = load_raw_f32(&path, Dims3::cube(4)).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, SfcError::Corrupt { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_trailing_remainder_is_an_error_not_a_silent_drop() {
+        let path = tmp("trailing.raw");
+        let dims = Dims3::new(2, 1, 1);
+        save_raw_f32(&path, &[1.0, 2.0]).unwrap();
+        // Append 3 stray bytes: the old loader silently dropped them.
+        {
+            let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xAB, 0xCD, 0xEF]).unwrap();
+        }
+        let err = load_raw_f32(&path, dims).unwrap_err();
+        assert!(err.to_string().contains("trailing"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn raw_huge_dims_error_instead_of_overflowing() {
+        let path = tmp("huge.raw");
+        save_raw_f32(&path, &[0.0; 4]).unwrap();
+        // Element count fits usize, byte length does not.
+        let dims = Dims3::new(1 << 40, 1 << 20, 4);
+        let err = load_raw_f32(&path, dims).unwrap_err();
+        assert!(matches!(err, SfcError::SizeOverflow { .. }), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn volume_container_roundtrip() {
+        let dims = Dims3::new(5, 4, 3);
+        let values: Vec<f32> = (0..dims.len()).map(|v| (v as f32).sin()).collect();
+        let path = tmp("container.sfcv");
+        save_volume(&path, dims, &values).unwrap();
+        let (d2, v2) = load_volume(&path).unwrap();
+        assert_eq!(d2, dims);
+        assert_eq!(v2, values);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn volume_container_detects_bit_flip() {
+        let dims = Dims3::new(4, 4, 2);
+        let values: Vec<f32> = (0..dims.len()).map(|v| v as f32).collect();
+        let path = tmp("flip.sfcv");
+        save_volume(&path, dims, &values).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x10; // flip one payload bit
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load_volume(&path).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn volume_container_detects_truncation() {
+        let dims = Dims3::new(4, 4, 2);
+        let values: Vec<f32> = (0..dims.len()).map(|v| v as f32).collect();
+        let path = tmp("trunc.sfcv");
+        save_volume(&path, dims, &values).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let err = load_volume(&path).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn volume_container_rejects_bad_magic_and_version() {
+        let dims = Dims3::new(2, 2, 2);
+        let values = vec![0.0f32; dims.len()];
+        let path = tmp("magic.sfcv");
+        save_volume(&path, dims, &values).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] = b'X';
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_volume(&path).unwrap_err().to_string().contains("magic"));
+        // Restore magic, break version.
+        bytes[0] = b'S';
+        bytes[4] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load_volume(&path).unwrap_err().to_string().contains("version"));
         std::fs::remove_file(&path).ok();
     }
 
@@ -126,6 +395,12 @@ mod tests {
         assert!(bytes.starts_with(b"P5\n2 2\n255\n"));
         assert_eq!(&bytes[bytes.len() - 4..], &[0, 64, 128, 255]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pgm_shape_mismatch_is_typed_error() {
+        let err = write_pgm(&tmp("bad.pgm"), 3, 3, &[0; 4]).unwrap_err();
+        assert!(matches!(err, SfcError::ShapeMismatch { .. }), "{err}");
     }
 
     #[test]
@@ -145,9 +420,29 @@ mod tests {
     }
 
     #[test]
+    fn normalize_survives_nan() {
+        let v = normalize_to_u8(&[f32::NAN, 1.0, 3.0]);
+        assert_eq!(v, vec![0, 0, 255]);
+    }
+
+    #[test]
     fn slice_extracts_plane() {
         let dims = Dims3::new(2, 2, 3);
         let values: Vec<f32> = (0..12).map(|v| v as f32).collect();
         assert_eq!(slice_z(&values, dims, 1), vec![4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn slice_out_of_range_is_typed_error() {
+        let dims = Dims3::new(2, 2, 3);
+        let values = vec![0.0f32; 12];
+        assert!(try_slice_z(&values, dims, 3).is_err());
+        assert!(try_slice_z(&values[..5], dims, 0).is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
     }
 }

@@ -12,7 +12,8 @@
 //!   experiments;
 //! * [`patterns`] — analytic test fields (ramp, sphere, checkerboard);
 //! * [`noise`] — the underlying value-noise/fBm machinery;
-//! * [`io`] — raw `f32` volumes, PGM/PPM images.
+//! * [`io`] — raw `f32` volumes, checksummed `SFCV` containers, PGM/PPM
+//!   images.
 
 #![warn(missing_docs)]
 
@@ -23,7 +24,10 @@ pub mod patterns;
 pub mod phantom;
 
 pub use combustion::{combustion_field, CombustionParams};
-pub use io::{load_raw_f32, normalize_to_u8, save_raw_f32, slice_z, write_pgm, write_ppm};
+pub use io::{
+    fnv1a64, load_raw_f32, load_volume, normalize_to_u8, save_raw_f32, save_volume, slice_z,
+    try_slice_z, write_pgm, write_ppm,
+};
 pub use noise::{Fbm3, ValueNoise3};
 pub use phantom::{mri_phantom, PhantomParams};
 

@@ -5,8 +5,7 @@
 //! multi-octave noise field exercises the same smooth-plus-structure
 //! sampling behaviour — see DESIGN.md §2).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sfc_core::{SfcError, SfcResult, SplitMix64};
 
 /// Periodic 3D value noise on a power-of-two lattice, sampled with
 /// trilinear interpolation and cubic smoothing.
@@ -18,18 +17,32 @@ pub struct ValueNoise3 {
 }
 
 impl ValueNoise3 {
-    /// Build a lattice of `n³` uniform random values in `[0, 1)`.
-    ///
-    /// # Panics
-    /// Panics unless `n` is a power of two.
-    pub fn new(seed: u64, n: usize) -> Self {
-        assert!(n.is_power_of_two(), "lattice size must be a power of two");
-        let mut rng = StdRng::seed_from_u64(seed);
-        let lattice = (0..n * n * n).map(|_| rng.random::<f32>()).collect();
-        Self {
+    /// Build a lattice of `n³` uniform random values in `[0, 1)`,
+    /// validating the lattice size.
+    pub fn try_new(seed: u64, n: usize) -> SfcResult<Self> {
+        if !n.is_power_of_two() {
+            return Err(SfcError::InvalidParameter {
+                name: "lattice size",
+                reason: format!("must be a power of two, got {n}"),
+            });
+        }
+        let mut rng = SplitMix64::new(seed);
+        let lattice = (0..n * n * n).map(|_| rng.f32_unit()).collect();
+        Ok(Self {
             lattice,
             n,
             mask: n - 1,
+        })
+    }
+
+    /// Build a lattice of `n³` uniform random values in `[0, 1)`.
+    ///
+    /// # Panics
+    /// Panics unless `n` is a power of two; see [`ValueNoise3::try_new`].
+    pub fn new(seed: u64, n: usize) -> Self {
+        match Self::try_new(seed, n) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
         }
     }
 

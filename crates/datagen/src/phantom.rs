@@ -8,9 +8,7 @@
 //! edge-preserving filter is built for, so the filter's data-dependent
 //! (photometric) code path is fully exercised.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use sfc_core::Dims3;
+use sfc_core::{Dims3, SplitMix64};
 
 /// Tissue intensity levels (arbitrary units in `[0, 1]`).
 mod level {
@@ -42,16 +40,16 @@ impl Default for PhantomParams {
 
 /// Generate the phantom as a row-major `f32` buffer.
 pub fn mri_phantom(dims: Dims3, seed: u64, params: PhantomParams) -> Vec<f32> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     // Lesion centers in normalized [-1,1] brain coordinates.
     let lesions: Vec<([f32; 3], f32)> = (0..params.lesions)
         .map(|_| {
             let c = [
-                rng.random_range(-0.5..0.5f32),
-                rng.random_range(-0.5..0.5f32),
-                rng.random_range(-0.5..0.5f32),
+                rng.f32_in(-0.5, 0.5),
+                rng.f32_in(-0.5, 0.5),
+                rng.f32_in(-0.5, 0.5),
             ];
-            let r = rng.random_range(0.04..0.12f32);
+            let r = rng.f32_in(0.04, 0.12);
             (c, r)
         })
         .collect();
@@ -60,7 +58,7 @@ pub fn mri_phantom(dims: Dims3, seed: u64, params: PhantomParams) -> Vec<f32> {
     let mut out = Vec::with_capacity(dims.len());
     // Second RNG stream for per-voxel noise keeps structure independent of
     // voxel visit order choices elsewhere.
-    let mut noise_rng = StdRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut noise_rng = SplitMix64::new(seed ^ 0x9E37_79B9_7F4A_7C15);
 
     for (i, j, k) in dims.iter() {
         // Normalized coordinates in [-1, 1].
@@ -99,8 +97,8 @@ pub fn mri_phantom(dims: Dims3, seed: u64, params: PhantomParams) -> Vec<f32> {
 
         if params.noise_sigma > 0.0 {
             // Box-Muller Gaussian, folded to magnitude (Rician-ish for MRI).
-            let u1: f32 = noise_rng.random::<f32>().max(1e-7);
-            let u2: f32 = noise_rng.random();
+            let u1: f32 = noise_rng.f32_unit().max(1e-7);
+            let u2: f32 = noise_rng.f32_unit();
             let g = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
             v = (v + params.noise_sigma * g).abs();
         }

@@ -7,7 +7,7 @@
 //! it depends on the data, which is what makes the filter edge-preserving
 //! and more expensive than plain convolution).
 
-use sfc_core::{StencilOrder, StencilSize, Volume3};
+use sfc_core::{SfcError, SfcResult, StencilOrder, StencilSize, Volume3};
 
 use crate::gaussian::SpatialKernel;
 
@@ -42,7 +42,32 @@ impl BilateralParams {
         SpatialKernel::new(self.radius, self.sigma_spatial, self.order)
     }
 
+    /// Validate the parameters, returning a typed error for sigmas that
+    /// are non-positive or non-finite (CLI flags, config files).
+    pub fn validate(&self) -> SfcResult<()> {
+        if !(self.sigma_range > 0.0 && self.sigma_range.is_finite()) {
+            return Err(SfcError::InvalidParameter {
+                name: "sigma_range",
+                reason: format!("range sigma must be positive and finite, got {}", self.sigma_range),
+            });
+        }
+        if !(self.sigma_spatial > 0.0 && self.sigma_spatial.is_finite()) {
+            return Err(SfcError::InvalidParameter {
+                name: "sigma_spatial",
+                reason: format!(
+                    "spatial sigma must be positive and finite, got {}",
+                    self.sigma_spatial
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// `1 / (2 σ_r²)` — the factor the photometric exponent needs.
+    ///
+    /// # Panics
+    /// Panics on an invalid `sigma_range`; [`BilateralParams::validate`]
+    /// first when the parameters are untrusted.
     pub fn inv_two_sigma_range_sq(&self) -> f32 {
         assert!(self.sigma_range > 0.0, "range sigma must be positive");
         1.0 / (2.0 * self.sigma_range * self.sigma_range)
@@ -51,6 +76,13 @@ impl BilateralParams {
 
 /// Filter a single voxel. `inv_2sr2` is
 /// [`BilateralParams::inv_two_sigma_range_sq`], hoisted by callers.
+///
+/// NaN voxels (corrupt data) are excluded instead of poisoning the
+/// average: a NaN *neighbor* gets photometric weight 0, and a NaN *center*
+/// falls back to a plain geometric average of its non-NaN neighbors (the
+/// photometric difference is undefined), which repairs the voxel. Every
+/// excluded NaN is counted in [`crate::counters::nan_events`]. Only if the
+/// entire neighborhood is NaN does the output degrade to `0.0`.
 pub fn bilateral_voxel<V: Volume3>(
     vol: &V,
     kernel: &SpatialKernel,
@@ -61,6 +93,7 @@ pub fn bilateral_voxel<V: Volume3>(
 ) -> f32 {
     let d = vol.dims();
     let center = vol.get(i, j, k);
+    let center_nan = center.is_nan();
     let r = kernel.radius() as isize;
     let (ii, jj, kk) = (i as isize, j as isize, k as isize);
     let interior = ii >= r
@@ -72,6 +105,21 @@ pub fn bilateral_voxel<V: Volume3>(
 
     let mut acc = 0.0f32;
     let mut wsum = 0.0f32;
+    let mut nan_seen: u64 = u64::from(center_nan);
+    let mut tap = |v: f32, wg: f32| {
+        if v.is_nan() {
+            nan_seen += 1;
+            return;
+        }
+        let w = if center_nan {
+            wg
+        } else {
+            let diff = v - center;
+            wg * (-(diff * diff) * inv_2sr2).exp()
+        };
+        acc += w * v;
+        wsum += w;
+    };
     if interior {
         for (&(di, dj, dk), &wg) in kernel.offsets().iter().zip(kernel.weights()) {
             let v = vol.get(
@@ -79,22 +127,22 @@ pub fn bilateral_voxel<V: Volume3>(
                 (jj + dj) as usize,
                 (kk + dk) as usize,
             );
-            let diff = v - center;
-            let w = wg * (-(diff * diff) * inv_2sr2).exp();
-            acc += w * v;
-            wsum += w;
+            tap(v, wg);
         }
     } else {
         for (&(di, dj, dk), &wg) in kernel.offsets().iter().zip(kernel.weights()) {
             let v = vol.get_clamped(ii + di, jj + dj, kk + dk);
-            let diff = v - center;
-            let w = wg * (-(diff * diff) * inv_2sr2).exp();
-            acc += w * v;
-            wsum += w;
+            tap(v, wg);
         }
     }
-    // wsum >= the center's own weight (1 * exp(0)) > 0, so division is safe.
-    acc / wsum
+    crate::counters::record_nan_events(nan_seen);
+    // With a non-NaN center, wsum >= the center's own weight
+    // (1 * exp(0)) > 0; it can only be 0 when every sample was NaN.
+    if wsum > 0.0 {
+        acc / wsum
+    } else {
+        0.0
+    }
 }
 
 /// Single-threaded reference implementation over a row-major buffer —
@@ -209,6 +257,62 @@ mod tests {
                 reference[idx]
             );
         }
+    }
+
+    #[test]
+    fn nan_neighbor_is_excluded_not_propagated() {
+        let before = crate::counters::nan_events();
+        let vol = FnVolume::new(Dims3::cube(5), |i, j, k| {
+            if (i, j, k) == (2, 2, 2) {
+                f32::NAN
+            } else {
+                0.5
+            }
+        });
+        let p = params(1);
+        let k = p.spatial_kernel();
+        let inv = p.inv_two_sigma_range_sq();
+        // A voxel whose stencil covers the NaN still produces its clean value.
+        let out = bilateral_voxel(&vol, &k, inv, 1, 2, 2);
+        assert!((out - 0.5).abs() < 1e-6, "NaN must not leak: {out}");
+        assert!(crate::counters::nan_events() > before, "event must be counted");
+    }
+
+    #[test]
+    fn nan_center_is_repaired_from_neighbors() {
+        let vol = FnVolume::new(Dims3::cube(5), |i, j, k| {
+            if (i, j, k) == (2, 2, 2) {
+                f32::NAN
+            } else {
+                0.7
+            }
+        });
+        let p = params(1);
+        let k = p.spatial_kernel();
+        let out = bilateral_voxel(&vol, &k, p.inv_two_sigma_range_sq(), 2, 2, 2);
+        assert!((out - 0.7).abs() < 1e-6, "NaN center must be repaired: {out}");
+    }
+
+    #[test]
+    fn fully_nan_neighborhood_degrades_to_zero() {
+        let vol = FnVolume::new(Dims3::cube(5), |_, _, _| f32::NAN);
+        let p = params(1);
+        let k = p.spatial_kernel();
+        let out = bilateral_voxel(&vol, &k, p.inv_two_sigma_range_sq(), 2, 2, 2);
+        assert_eq!(out, 0.0);
+    }
+
+    #[test]
+    fn validate_rejects_bad_sigmas() {
+        let mut p = params(1);
+        assert!(p.validate().is_ok());
+        p.sigma_range = 0.0;
+        assert!(p.validate().is_err());
+        p.sigma_range = f32::NAN;
+        assert!(p.validate().is_err());
+        p.sigma_range = 0.1;
+        p.sigma_spatial = -1.0;
+        assert!(p.validate().is_err());
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * [`bilateral`] — the per-voxel bilateral kernel and an independent
 //!   reference implementation;
 //! * [`parallel`] — pencil-parallel drivers (paper's static round-robin
-//!   pencil assignment; plus a rayon variant for the scheduling ablation);
+//!   pencil assignment; plus a dynamic-schedule variant for the scheduling
+//!   ablation);
 //! * [`counters`] — simulated cache counters replaying the exact parallel
 //!   work split.
 
@@ -30,7 +31,9 @@ pub use bilateral2d::{bilateral2d, bilateral2d_pixel, Bilateral2dParams};
 pub use counters::simulate_bilateral_counters;
 pub use gaussian::{convolve_voxel, gaussian_weight, SpatialKernel};
 pub use gradient::{gradient3d, gradient_voxel};
+pub use counters::{nan_events, reset_nan_events};
 pub use parallel::{
-    bilateral3d, bilateral3d_into, bilateral3d_rayon, config_label, convolve3d, FilterRun,
+    bilateral3d, bilateral3d_dynamic, bilateral3d_into, config_label, convolve3d,
+    try_bilateral3d, try_bilateral3d_into, FilterRun,
 };
 pub use separable::{gaussian_separable3d, Kernel1D};

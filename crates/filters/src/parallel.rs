@@ -6,7 +6,7 @@
 //! stencil iteration order it spans the friendly-to-hostile spectrum of
 //! access patterns.
 
-use sfc_core::{pencil, pencil_count, Axis, Grid3, Layout3, Volume3};
+use sfc_core::{pencil, pencil_count, Axis, Grid3, Layout3, SfcError, SfcResult, Volume3};
 use sfc_harness::{run_items, Schedule};
 
 use crate::bilateral::{bilateral_voxel, BilateralParams};
@@ -21,6 +21,21 @@ pub struct FilterRun {
     pub pencil_axis: Axis,
     /// Worker threads.
     pub nthreads: usize,
+}
+
+impl FilterRun {
+    /// Validate the configuration (sigmas, thread count) with typed
+    /// errors — the check the `try_` drivers run before touching data.
+    pub fn validate(&self) -> SfcResult<()> {
+        self.params.validate()?;
+        if self.nthreads == 0 {
+            return Err(SfcError::InvalidParameter {
+                name: "nthreads",
+                reason: "need at least one thread".to_string(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Wrapper making disjoint raw writes shareable across worker threads.
@@ -59,28 +74,74 @@ where
     );
 }
 
-/// Bilateral-filter `vol` into `out` (same dimensions, any layouts).
-pub fn bilateral3d_into<V, LOut>(vol: &V, out: &mut Grid3<f32, LOut>, run: &FilterRun)
+/// Bilateral-filter `vol` into `out` (same dimensions, any layouts),
+/// validating configuration and shapes with typed errors.
+pub fn try_bilateral3d_into<V, LOut>(
+    vol: &V,
+    out: &mut Grid3<f32, LOut>,
+    run: &FilterRun,
+) -> SfcResult<()>
 where
     V: Volume3 + Sync,
     LOut: Layout3,
 {
+    run.validate()?;
+    if vol.dims() != out.dims() {
+        return Err(SfcError::ShapeMismatch {
+            what: "bilateral3d_into",
+            expected: format!("output dims {:?}", vol.dims()),
+            actual: format!("{:?}", out.dims()),
+        });
+    }
     let kernel = run.params.spatial_kernel();
     let inv = run.params.inv_two_sigma_range_sq();
     drive(vol, out, run, |i, j, k| {
         bilateral_voxel(vol, &kernel, inv, i, j, k)
     });
+    Ok(())
 }
 
-/// Bilateral-filter into a freshly allocated grid of layout `LOut`.
-pub fn bilateral3d<V, LOut>(vol: &V, run: &FilterRun) -> Grid3<f32, LOut>
+/// Bilateral-filter `vol` into `out` (same dimensions, any layouts).
+///
+/// # Panics
+/// Panics on invalid configuration or mismatched dimensions; use
+/// [`try_bilateral3d_into`] for untrusted inputs.
+pub fn bilateral3d_into<V, LOut>(vol: &V, out: &mut Grid3<f32, LOut>, run: &FilterRun)
+where
+    V: Volume3 + Sync,
+    LOut: Layout3,
+{
+    if let Err(e) = try_bilateral3d_into(vol, out, run) {
+        panic!("{e}");
+    }
+}
+
+/// Bilateral-filter into a freshly allocated grid of layout `LOut`,
+/// validating configuration with typed errors.
+pub fn try_bilateral3d<V, LOut>(vol: &V, run: &FilterRun) -> SfcResult<Grid3<f32, LOut>>
 where
     V: Volume3 + Sync,
     LOut: Layout3,
 {
     let mut out = Grid3::<f32, LOut>::new(vol.dims());
-    bilateral3d_into(vol, &mut out, run);
-    out
+    try_bilateral3d_into(vol, &mut out, run)?;
+    Ok(out)
+}
+
+/// Bilateral-filter into a freshly allocated grid of layout `LOut`.
+///
+/// # Panics
+/// Panics on invalid configuration; use [`try_bilateral3d`] for untrusted
+/// inputs.
+pub fn bilateral3d<V, LOut>(vol: &V, run: &FilterRun) -> Grid3<f32, LOut>
+where
+    V: Volume3 + Sync,
+    LOut: Layout3,
+{
+    match try_bilateral3d(vol, run) {
+        Ok(g) => g,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Plain Gaussian convolution with the same pencil-parallel driver
@@ -98,19 +159,20 @@ where
     out
 }
 
-/// Rayon-scheduled bilateral filter over the same pencil decomposition —
-/// an alternative to the hand-rolled pool, used by the scheduling ablation
-/// bench. Results are identical; only work assignment differs.
-pub fn bilateral3d_rayon<V, LOut>(
+/// Work-stealing-style bilateral filter over the same pencil decomposition,
+/// scheduled dynamically (shared atomic cursor) instead of static
+/// round-robin — an alternative used by the scheduling ablation bench.
+/// Results are identical; only work assignment differs.
+pub fn bilateral3d_dynamic<V, LOut>(
     vol: &V,
     params: &BilateralParams,
     pencil_axis: Axis,
+    nthreads: usize,
 ) -> Grid3<f32, LOut>
 where
     V: Volume3 + Sync,
     LOut: Layout3,
 {
-    use rayon::prelude::*;
     let dims = vol.dims();
     let kernel = params.spatial_kernel();
     let inv = params.inv_two_sigma_range_sq();
@@ -118,16 +180,19 @@ where
     let out_layout = out.layout().clone();
     let slots = Slots(out.storage_mut().as_mut_ptr());
     let slots = &slots;
-    (0..pencil_count(dims, pencil_axis))
-        .into_par_iter()
-        .for_each(|pid| {
+    run_items(
+        nthreads,
+        pencil_count(dims, pencil_axis),
+        Schedule::Dynamic,
+        |_tid, pid| {
             let p = pencil(dims, pencil_axis, pid);
             for (i, j, k) in p.iter() {
                 let v = bilateral_voxel(vol, &kernel, inv, i, j, k);
                 // SAFETY: same disjointness argument as `drive`.
                 unsafe { *slots.0.add(out_layout.index(i, j, k)) = v };
             }
-        });
+        },
+    );
     out
 }
 
@@ -212,14 +277,14 @@ mod tests {
     }
 
     #[test]
-    fn rayon_path_matches_pool_path() {
+    fn dynamic_path_matches_static_path() {
         let dims = Dims3::new(8, 6, 4);
         let values = test_volume(dims);
         let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
         let r = run(1, 4, Axis::X);
-        let pool: Grid3<f32, ZOrder3> = bilateral3d(&grid, &r);
-        let ray: Grid3<f32, ZOrder3> = bilateral3d_rayon(&grid, &r.params, Axis::X);
-        assert_eq!(pool.to_row_major(), ray.to_row_major());
+        let stat: Grid3<f32, ZOrder3> = bilateral3d(&grid, &r);
+        let dyn_: Grid3<f32, ZOrder3> = bilateral3d_dynamic(&grid, &r.params, Axis::X, 4);
+        assert_eq!(stat.to_row_major(), dyn_.to_row_major());
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! Property tests for the bilateral filter: output-range containment,
-//! invariances, and agreement with the independent reference.
+//! Property-style tests for the bilateral filter: output-range containment,
+//! invariances, and agreement with the independent reference. Seeded
+//! deterministic sweeps (no external property-testing dependency).
 
-use proptest::prelude::*;
-use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, StencilOrder, Tiled3, ZOrder3};
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, SplitMix64, StencilOrder, Tiled3, ZOrder3};
 use sfc_filters::{bilateral3d, bilateral_reference, BilateralParams, FilterRun};
 
-fn small_dims() -> impl Strategy<Value = Dims3> {
-    (2usize..10, 2usize..10, 2usize..10).prop_map(|(x, y, z)| Dims3::new(x, y, z))
+fn small_dims(rng: &mut SplitMix64) -> Dims3 {
+    Dims3::new(rng.usize_in(2, 10), rng.usize_in(2, 10), rng.usize_in(2, 10))
 }
 
 fn values_for(dims: Dims3, seed: u64) -> Vec<f32> {
@@ -28,66 +28,100 @@ fn params(radius: usize, order: StencilOrder) -> BilateralParams {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn output_within_input_range(dims in small_dims(), seed in any::<u64>()) {
+#[test]
+fn output_within_input_range() {
+    let mut rng = SplitMix64::new(0x3001);
+    for _ in 0..32 {
         // A normalized weighted average can never escape the input's range.
-        let values = values_for(dims, seed);
+        let dims = small_dims(&mut rng);
+        let values = values_for(dims, rng.next_u64());
         let g = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
-        let run = FilterRun { params: params(1, StencilOrder::Xyz), pencil_axis: Axis::X, nthreads: 2 };
+        let run = FilterRun {
+            params: params(1, StencilOrder::Xyz),
+            pencil_axis: Axis::X,
+            nthreads: 2,
+        };
         let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
         let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
         let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         for v in out.to_row_major() {
-            prop_assert!(v >= min - 1e-5 && v <= max + 1e-5, "{v} outside [{min},{max}]");
+            assert!(v >= min - 1e-5 && v <= max + 1e-5, "{v} outside [{min},{max}]");
         }
     }
+}
 
-    #[test]
-    fn matches_reference(dims in small_dims(), seed in any::<u64>()) {
-        let values = values_for(dims, seed);
+#[test]
+fn matches_reference() {
+    let mut rng = SplitMix64::new(0x3002);
+    for _ in 0..32 {
+        let dims = small_dims(&mut rng);
+        let values = values_for(dims, rng.next_u64());
         let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
         let p = params(1, StencilOrder::Xyz);
-        let run = FilterRun { params: p, pencil_axis: Axis::Y, nthreads: 3 };
+        let run = FilterRun {
+            params: p,
+            pencil_axis: Axis::Y,
+            nthreads: 3,
+        };
         let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
         let want = bilateral_reference(&values, dims, &p);
         for (got, want) in out.to_row_major().iter().zip(&want) {
-            prop_assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
         }
     }
+}
 
-    #[test]
-    fn layout_invariance(dims in small_dims(), seed in any::<u64>()) {
-        let values = values_for(dims, seed);
+#[test]
+fn layout_invariance() {
+    let mut rng = SplitMix64::new(0x3003);
+    for _ in 0..32 {
+        let dims = small_dims(&mut rng);
+        let values = values_for(dims, rng.next_u64());
         let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
         let t = Grid3::<f32, Tiled3>::from_row_major(dims, &values);
-        let run = FilterRun { params: params(2, StencilOrder::Zyx), pencil_axis: Axis::Z, nthreads: 2 };
+        let run = FilterRun {
+            params: params(2, StencilOrder::Zyx),
+            pencil_axis: Axis::Z,
+            nthreads: 2,
+        };
         let oa: Grid3<f32, ArrayOrder3> = bilateral3d(&a, &run);
         let ot: Grid3<f32, ArrayOrder3> = bilateral3d(&t, &run);
-        prop_assert_eq!(oa.to_row_major(), ot.to_row_major());
+        assert_eq!(oa.to_row_major(), ot.to_row_major());
     }
+}
 
-    #[test]
-    fn permutation_of_threads_is_invisible(dims in small_dims(), seed in any::<u64>(), n1 in 1usize..6, n2 in 1usize..6) {
-        let values = values_for(dims, seed);
+#[test]
+fn permutation_of_threads_is_invisible() {
+    let mut rng = SplitMix64::new(0x3004);
+    for _ in 0..32 {
+        let dims = small_dims(&mut rng);
+        let values = values_for(dims, rng.next_u64());
+        let (n1, n2) = (rng.usize_in(1, 6), rng.usize_in(1, 6));
         let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
         let p = params(1, StencilOrder::Yzx);
         let r1 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n1 };
         let r2 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n2 };
         let o1: Grid3<f32, ZOrder3> = bilateral3d(&g, &r1);
         let o2: Grid3<f32, ZOrder3> = bilateral3d(&g, &r2);
-        prop_assert_eq!(o1.to_row_major(), o2.to_row_major());
+        assert_eq!(o1.to_row_major(), o2.to_row_major());
     }
+}
 
-    #[test]
-    fn idempotent_on_constants(dims in small_dims(), c in 0.0f32..1.0) {
+#[test]
+fn idempotent_on_constants() {
+    let mut rng = SplitMix64::new(0x3005);
+    for _ in 0..32 {
+        let dims = small_dims(&mut rng);
+        let c = rng.f32_unit();
         let g = Grid3::<f32, ArrayOrder3>::from_fn(dims, |_, _, _| c);
-        let run = FilterRun { params: params(1, StencilOrder::Xyz), pencil_axis: Axis::X, nthreads: 1 };
+        let run = FilterRun {
+            params: params(1, StencilOrder::Xyz),
+            pencil_axis: Axis::X,
+            nthreads: 1,
+        };
         let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
         for v in out.to_row_major() {
-            prop_assert!((v - c).abs() < 1e-5);
+            assert!((v - c).abs() < 1e-5);
         }
     }
 }

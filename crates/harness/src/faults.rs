@@ -1,0 +1,253 @@
+//! Deterministic fault injection for exercising the supervised pool and
+//! the typed error paths.
+//!
+//! A [`FaultPlan`] decorates a worker closure with scripted failures —
+//! panics, stalls, transient errors — keyed by item index, so tests can
+//! assert exactly which items fail, retry, and recover. Free functions
+//! corrupt data in the two other ways the robustness layer must survive:
+//! NaN-contaminated voxel buffers and truncated/bit-flipped volume files.
+//!
+//! Everything is seeded and deterministic: a failing CI run reproduces
+//! locally from the same seed.
+
+use std::collections::HashMap;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Duration;
+
+use sfc_core::{SfcError, SfcResult, SplitMix64};
+
+/// What to inject at a given item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic on every attempt (tests panic isolation and retry limits).
+    Panic,
+    /// Sleep for the given duration before succeeding (tests the
+    /// watchdog; keep it finite — scoped threads must eventually join).
+    Stall(Duration),
+    /// Return a retryable [`SfcError::WorkerPanic`]-class error on the
+    /// first `n` attempts, then succeed (tests backoff-to-success).
+    FailFirst(u32),
+    /// Return a non-retryable [`SfcError::InvalidParameter`] every attempt
+    /// (tests that validation errors are not retried).
+    Invalid,
+}
+
+/// A scripted set of per-item faults plus per-item attempt counters.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    faults: HashMap<usize, (FaultKind, AtomicU32)>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a fault for one item (builder-style).
+    pub fn with(mut self, item: usize, kind: FaultKind) -> Self {
+        self.faults.insert(item, (kind, AtomicU32::new(0)));
+        self
+    }
+
+    /// Seeded random plan: each item independently panics with probability
+    /// `panic_rate` or fails its first attempt with probability
+    /// `flaky_rate`. Deterministic for a `(seed, nitems)` pair.
+    pub fn random(seed: u64, nitems: usize, panic_rate: f32, flaky_rate: f32) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = Self::none();
+        for item in 0..nitems {
+            if rng.chance(panic_rate) {
+                plan = plan.with(item, FaultKind::Panic);
+            } else if rng.chance(flaky_rate) {
+                plan = plan.with(item, FaultKind::FailFirst(1));
+            }
+        }
+        plan
+    }
+
+    /// Number of scripted faults.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// True if the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Items scripted to panic on every attempt (these can never succeed).
+    pub fn doomed_items(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|(_, (k, _))| matches!(k, FaultKind::Panic | FaultKind::Invalid))
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fire the fault scripted for `item`, if any. Call at the top of a
+    /// worker closure; panics, sleeps, or returns `Err` according to the
+    /// plan and the per-item attempt count.
+    pub fn fire(&self, item: usize) -> SfcResult<()> {
+        let Some((kind, attempts)) = self.faults.get(&item) else {
+            return Ok(());
+        };
+        let attempt = attempts.fetch_add(1, Ordering::Relaxed);
+        match kind {
+            FaultKind::Panic => panic!("injected fault: panic on item {item}"),
+            FaultKind::Stall(d) => {
+                std::thread::sleep(*d);
+                Ok(())
+            }
+            FaultKind::FailFirst(n) => {
+                if attempt < *n {
+                    Err(SfcError::WorkerPanic {
+                        item,
+                        payload: format!(
+                            "injected transient failure on item {item} (attempt {attempt})"
+                        ),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            FaultKind::Invalid => Err(SfcError::InvalidParameter {
+                name: "injected",
+                reason: format!("non-retryable fault on item {item}"),
+            }),
+        }
+    }
+
+    /// Wrap a worker closure so scripted faults fire before the real work.
+    pub fn wrap<'a, F>(&'a self, inner: F) -> impl Fn(usize, usize) -> SfcResult<()> + 'a
+    where
+        F: Fn(usize, usize) -> SfcResult<()> + 'a,
+    {
+        move |tid, item| {
+            self.fire(item)?;
+            inner(tid, item)
+        }
+    }
+}
+
+/// Replace a deterministic random subset of voxels with NaN. Returns the
+/// number contaminated (at least one when `rate > 0` and the buffer is
+/// non-empty, so tests can rely on contamination happening).
+pub fn contaminate_nan(values: &mut [f32], seed: u64, rate: f32) -> usize {
+    if values.is_empty() || rate <= 0.0 {
+        return 0;
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut count = 0;
+    for v in values.iter_mut() {
+        if rng.chance(rate) {
+            *v = f32::NAN;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        let idx = rng.usize_in(0, values.len());
+        values[idx] = f32::NAN;
+        count = 1;
+    }
+    count
+}
+
+/// Truncate a file by `bytes` from the end (simulates an interrupted
+/// write). Truncating at or past the start leaves an empty file.
+pub fn truncate_file(path: &Path, bytes: u64) -> std::io::Result<()> {
+    let f = std::fs::OpenOptions::new().write(true).open(path)?;
+    let len = f.metadata()?.len();
+    f.set_len(len.saturating_sub(bytes))
+}
+
+/// Flip one bit of a file in place (simulates storage corruption).
+/// `byte_offset` is clamped to the file; errors if the file is empty.
+pub fn flip_bit(path: &Path, byte_offset: u64, bit: u8) -> std::io::Result<()> {
+    let mut f = std::fs::OpenOptions::new().read(true).write(true).open(path)?;
+    let len = f.metadata()?.len();
+    if len == 0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "cannot flip a bit in an empty file",
+        ));
+    }
+    let offset = byte_offset.min(len - 1);
+    let mut b = [0u8];
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(&mut b)?;
+    b[0] ^= 1 << (bit % 8);
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(&b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_fires_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert!(plan.fire(3).is_ok());
+    }
+
+    #[test]
+    fn fail_first_recovers_after_n_attempts() {
+        let plan = FaultPlan::none().with(5, FaultKind::FailFirst(2));
+        assert!(plan.fire(5).is_err());
+        assert!(plan.fire(5).is_err());
+        assert!(plan.fire(5).is_ok());
+        assert!(plan.fire(4).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault")]
+    fn panic_fault_panics() {
+        FaultPlan::none().with(0, FaultKind::Panic).fire(0).ok();
+    }
+
+    #[test]
+    fn random_plan_is_deterministic() {
+        let a = FaultPlan::random(9, 100, 0.1, 0.2);
+        let b = FaultPlan::random(9, 100, 0.1, 0.2);
+        assert_eq!(a.doomed_items(), b.doomed_items());
+        assert_eq!(a.len(), b.len());
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn nan_contamination_counts_and_lands() {
+        let mut v = vec![1.0f32; 1000];
+        let n = contaminate_nan(&mut v, 7, 0.05);
+        assert_eq!(v.iter().filter(|x| x.is_nan()).count(), n);
+        assert!(n > 0);
+        // Tiny rate still contaminates at least one voxel.
+        let mut w = vec![1.0f32; 4];
+        assert!(contaminate_nan(&mut w, 7, 1e-9) >= 1);
+        // Zero rate contaminates nothing.
+        let mut u = vec![1.0f32; 4];
+        assert_eq!(contaminate_nan(&mut u, 7, 0.0), 0);
+    }
+
+    #[test]
+    fn file_corruption_helpers() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("sfc_faults_test_{}", std::process::id()));
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        flip_bit(&path, 10, 3).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes[10], 1 << 3);
+        truncate_file(&path, 16).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 48);
+        truncate_file(&path, 1000).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        assert!(flip_bit(&path, 0, 0).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -4,6 +4,10 @@
 //!
 //! * [`pool`] — the paper's two work-assignment strategies (static
 //!   round-robin pencils, dynamic tile queue) over OS threads;
+//! * [`supervise`] — the supervised variant: panic isolation, watchdog
+//!   timeouts, bounded retry with backoff, structured failure reports;
+//! * [`faults`] — deterministic fault injection (panics, stalls, flaky
+//!   items, NaN/file corruption) for exercising the supervisor;
 //! * [`timing`] — warmup/repeat wall-clock measurement;
 //! * [`ds`] — the paper's "scaled, relative difference" metric;
 //! * [`table`] — paper-figure-shaped result tables (text/Markdown/CSV);
@@ -14,12 +18,16 @@
 
 pub mod cli;
 pub mod ds;
+pub mod faults;
 pub mod pool;
+pub mod supervise;
 pub mod table;
 pub mod timing;
 
 pub use cli::Args;
 pub use ds::{format_ds, scaled_relative_difference};
+pub use faults::{FaultKind, FaultPlan};
 pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};
+pub use supervise::{run_items_supervised, ItemFailure, RunReport, SupervisorConfig};
 pub use table::PaperTable;
 pub use timing::{measure, time_once, TimingStats};

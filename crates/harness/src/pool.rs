@@ -10,7 +10,6 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Work-assignment strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub enum Schedule {
     /// Item `i` is processed by thread `i % nthreads` (paper's pencil
     /// assignment).

@@ -1,0 +1,542 @@
+//! Supervised worker pool: panic isolation, watchdog timeouts, bounded
+//! retry with exponential backoff.
+//!
+//! [`run_items`](crate::run_items) assumes every item completes; one panic
+//! tears down the whole experiment and one wedged item hangs it. Long
+//! unattended bench sweeps need the opposite: a worker failure should cost
+//! *one item*, be retried if transient, and be reported in a structured way
+//! at the end. [`run_items_supervised`] provides that:
+//!
+//! * each item runs under [`std::panic::catch_unwind`], so a panicking
+//!   worker closure is converted into a typed
+//!   [`SfcError::WorkerPanic`] carrying the panic payload;
+//! * a watchdog thread (armed by [`SupervisorConfig::timeout`]) detects
+//!   items that exceed their per-item wall-clock budget, accounts them as
+//!   [`SfcError::Timeout`], and spawns a replacement worker so throughput
+//!   recovers while the wedged thread is written off;
+//! * failed items are retried up to [`SupervisorConfig::max_retries`]
+//!   times with exponential backoff, then recorded in
+//!   [`RunReport::failed`].
+//!
+//! ## Timeout semantics
+//!
+//! Threads cannot be killed, so a timed-out worker closure keeps running
+//! until it returns on its own; its late result is discarded (an attempt's
+//! outcome is claimed exactly once through a per-item epoch CAS). The run
+//! itself completes as soon as every item is accounted — but process exit
+//! still waits on the scoped thread, so worker closures must terminate
+//! *eventually*. The supervisor turns "slow" into a reported failure; it
+//! cannot turn "infinite loop" into one.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sfc_core::{SfcError, SfcResult};
+
+use crate::pool::Schedule;
+
+/// Configuration of a supervised run.
+#[derive(Debug, Clone, Copy)]
+pub struct SupervisorConfig {
+    /// Worker threads to start with (replacements for wedged workers come
+    /// on top).
+    pub nthreads: usize,
+    /// Initial claim order. Supervision requires a shared queue (a static
+    /// split cannot rebalance around a lost worker), so this selects the
+    /// order in which items are offered: `Dynamic` is `0..nitems`,
+    /// `StaticRoundRobin` is the concatenated per-thread round-robin
+    /// batches of the unsupervised pool.
+    pub schedule: Schedule,
+    /// Per-item wall-clock budget. `None` disables the watchdog.
+    pub timeout: Option<Duration>,
+    /// Additional attempts allowed after a retryable failure (so an item
+    /// is tried at most `max_retries + 1` times).
+    pub max_retries: u32,
+    /// Backoff before retry attempt `n` is `backoff_base * 2^(n-1)`.
+    pub backoff_base: Duration,
+    /// Watchdog scan interval; only meaningful with a timeout.
+    pub watchdog_poll: Duration,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            nthreads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            schedule: Schedule::Dynamic,
+            timeout: None,
+            max_retries: 2,
+            backoff_base: Duration::from_millis(10),
+            watchdog_poll: Duration::from_millis(2),
+        }
+    }
+}
+
+/// One item that exhausted its retry budget (or failed terminally).
+#[derive(Debug)]
+pub struct ItemFailure {
+    /// The item index that failed.
+    pub item: usize,
+    /// Attempts made (including the first).
+    pub attempts: u32,
+    /// The error from the last attempt.
+    pub error: SfcError,
+}
+
+/// Outcome of a supervised run.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Items that completed successfully.
+    pub completed: usize,
+    /// Items that exhausted their retry budget, sorted by item index.
+    pub failed: Vec<ItemFailure>,
+    /// Retry attempts that were scheduled (across all items).
+    pub retried: usize,
+    /// Replacement workers spawned for wedged (timed-out) workers.
+    pub replacements: usize,
+    /// Wall-clock time of the whole run.
+    pub wall_time: Duration,
+}
+
+impl RunReport {
+    /// True if every item completed successfully.
+    pub fn all_ok(&self) -> bool {
+        self.failed.is_empty()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    item: usize,
+    attempt: u32,
+    not_before: Instant,
+}
+
+/// Per-worker heartbeat: what the worker is running and since when.
+#[derive(Default)]
+struct Heartbeat {
+    current: Mutex<Option<(usize, u32, Instant)>>,
+}
+
+struct Shared<'a, F> {
+    worker: &'a F,
+    cfg: SupervisorConfig,
+    nitems: usize,
+    queue: Mutex<VecDeque<Entry>>,
+    cv: Condvar,
+    /// Per-item attempt epoch: an attempt's outcome (completion, error, or
+    /// watchdog timeout) is claimed by CAS-ing `attempt -> attempt + 1`,
+    /// so a wedged worker finishing late can never double-account.
+    epoch: Vec<AtomicU32>,
+    heartbeats: Mutex<Vec<std::sync::Arc<Heartbeat>>>,
+    accounted: AtomicUsize,
+    completed: AtomicUsize,
+    retried: AtomicUsize,
+    replacements: AtomicUsize,
+    failures: Mutex<Vec<ItemFailure>>,
+    done: AtomicBool,
+    next_tid: AtomicUsize,
+}
+
+impl<F> Shared<'_, F>
+where
+    F: Fn(usize, usize) -> SfcResult<()> + Sync,
+{
+    fn next_entry(&self) -> Option<Entry> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if self.done.load(Ordering::Acquire) {
+                return None;
+            }
+            let now = Instant::now();
+            if let Some(pos) = q.iter().position(|e| e.not_before <= now) {
+                return q.remove(pos);
+            }
+            // Nothing ready: sleep until the earliest backoff expires, or a
+            // bounded interval if the queue is empty (another worker may
+            // still fail and requeue, or the run may finish).
+            let wait = q
+                .iter()
+                .map(|e| e.not_before.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(20))
+                .max(Duration::from_micros(100));
+            q = self.cv.wait_timeout(q, wait).unwrap().0;
+        }
+    }
+
+    fn account_one(&self) {
+        let n = self.accounted.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.nitems {
+            self.done.store(true, Ordering::Release);
+            self.cv.notify_all();
+        }
+    }
+
+    fn success(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.account_one();
+    }
+
+    fn failure(&self, entry: Entry, error: SfcError) {
+        let attempts = entry.attempt + 1;
+        if entry.attempt < self.cfg.max_retries && error.is_retryable() {
+            self.retried.fetch_add(1, Ordering::Relaxed);
+            let factor = 1u32 << entry.attempt.min(16);
+            let delay = self.cfg.backoff_base.saturating_mul(factor);
+            let mut q = self.queue.lock().unwrap();
+            q.push_back(Entry {
+                item: entry.item,
+                attempt: attempts,
+                not_before: Instant::now() + delay,
+            });
+            drop(q);
+            self.cv.notify_all();
+        } else {
+            self.failures.lock().unwrap().push(ItemFailure {
+                item: entry.item,
+                attempts,
+                error,
+            });
+            self.account_one();
+        }
+    }
+
+    fn worker_loop(&self, tid: usize) {
+        let hb = std::sync::Arc::new(Heartbeat::default());
+        self.heartbeats.lock().unwrap().push(hb.clone());
+        while let Some(entry) = self.next_entry() {
+            *hb.current.lock().unwrap() = Some((entry.item, entry.attempt, Instant::now()));
+            let result = catch_unwind(AssertUnwindSafe(|| (self.worker)(tid, entry.item)));
+            *hb.current.lock().unwrap() = None;
+            // Claim this attempt's outcome; if the watchdog already timed
+            // it out, the late result is discarded.
+            if self.epoch[entry.item]
+                .compare_exchange(
+                    entry.attempt,
+                    entry.attempt + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            match result {
+                Ok(Ok(())) => self.success(),
+                Ok(Err(e)) => self.failure(entry, e),
+                Err(payload) => self.failure(
+                    entry,
+                    SfcError::WorkerPanic {
+                        item: entry.item,
+                        payload: panic_payload_string(&payload),
+                    },
+                ),
+            }
+        }
+    }
+}
+
+fn panic_payload_string(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Initial claim order for the shared queue (see
+/// [`SupervisorConfig::schedule`]).
+fn initial_order(nitems: usize, nthreads: usize, schedule: Schedule) -> Vec<usize> {
+    match schedule {
+        Schedule::Dynamic => (0..nitems).collect(),
+        Schedule::StaticRoundRobin => {
+            let mut order = Vec::with_capacity(nitems);
+            for tid in 0..nthreads.max(1) {
+                order.extend(crate::pool::items_for_thread(nitems, nthreads.max(1), tid));
+            }
+            order
+        }
+    }
+}
+
+/// Run `worker(tid, item)` over `0..nitems` under supervision: panics are
+/// isolated per item, failures are retried with exponential backoff, and —
+/// when [`SupervisorConfig::timeout`] is set — a watchdog times out stuck
+/// items and spawns replacement workers. Returns a [`RunReport`]; it never
+/// panics because of worker behaviour.
+///
+/// The worker may be called concurrently from different threads; a given
+/// item may be attempted more than once (on retry), but each *attempt's*
+/// outcome is accounted exactly once and each item contributes exactly one
+/// unit to `completed + failed.len()`.
+///
+/// # Panics
+/// Panics if `cfg.nthreads == 0` (misconfiguration, not worker failure).
+pub fn run_items_supervised<F>(cfg: &SupervisorConfig, nitems: usize, worker: F) -> RunReport
+where
+    F: Fn(usize, usize) -> SfcResult<()> + Sync,
+{
+    assert!(cfg.nthreads > 0, "need at least one thread");
+    let start = Instant::now();
+    if nitems == 0 {
+        return RunReport::default();
+    }
+
+    let queue: VecDeque<Entry> = initial_order(nitems, cfg.nthreads, cfg.schedule)
+        .into_iter()
+        .map(|item| Entry {
+            item,
+            attempt: 0,
+            not_before: start,
+        })
+        .collect();
+    let shared = Shared {
+        worker: &worker,
+        cfg: *cfg,
+        nitems,
+        queue: Mutex::new(queue),
+        cv: Condvar::new(),
+        epoch: (0..nitems).map(|_| AtomicU32::new(0)).collect(),
+        heartbeats: Mutex::new(Vec::new()),
+        accounted: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        retried: AtomicUsize::new(0),
+        replacements: AtomicUsize::new(0),
+        failures: Mutex::new(Vec::new()),
+        done: AtomicBool::new(false),
+        next_tid: AtomicUsize::new(cfg.nthreads),
+    };
+
+    std::thread::scope(|s| {
+        let sh = &shared;
+        for tid in 0..cfg.nthreads {
+            s.spawn(move || sh.worker_loop(tid));
+        }
+        if let Some(limit) = cfg.timeout {
+            s.spawn(move || watchdog_loop(sh, s, limit));
+        }
+    });
+
+    let mut failed = shared.failures.into_inner().unwrap();
+    failed.sort_by_key(|f| f.item);
+    RunReport {
+        completed: shared.completed.load(Ordering::Relaxed),
+        failed,
+        retried: shared.retried.load(Ordering::Relaxed),
+        replacements: shared.replacements.load(Ordering::Relaxed),
+        wall_time: start.elapsed(),
+    }
+}
+
+fn watchdog_loop<'scope, 'env, F>(
+    sh: &'scope Shared<'_, F>,
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    limit: Duration,
+) where
+    F: Fn(usize, usize) -> SfcResult<()> + Sync,
+{
+    loop {
+        {
+            let q = sh.queue.lock().unwrap();
+            if sh.done.load(Ordering::Acquire) {
+                return;
+            }
+            // Waking on the queue condvar lets run completion end the
+            // watchdog immediately instead of after one more poll.
+            let _ = sh.cv.wait_timeout(q, sh.cfg.watchdog_poll).unwrap();
+        }
+        if sh.done.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        let slots: Vec<_> = sh.heartbeats.lock().unwrap().clone();
+        for hb in slots {
+            let current = *hb.current.lock().unwrap();
+            let Some((item, attempt, started)) = current else {
+                continue;
+            };
+            if now.saturating_duration_since(started) < limit {
+                continue;
+            }
+            // Claim the overdue attempt; if the worker finished in the
+            // meantime its own CAS won and this is a no-op.
+            if sh.epoch[item]
+                .compare_exchange(attempt, attempt + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            sh.failure(
+                Entry {
+                    item,
+                    attempt,
+                    not_before: now,
+                },
+                SfcError::Timeout { item, limit },
+            );
+            // The wedged worker may never come back: restore pool capacity.
+            sh.replacements.fetch_add(1, Ordering::Relaxed);
+            let tid = sh.next_tid.fetch_add(1, Ordering::Relaxed);
+            scope.spawn(move || sh.worker_loop(tid));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn quick(nthreads: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            nthreads,
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_run_completes_every_item_once() {
+        let n = 257;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let report = run_items_supervised(&quick(6), n, |_tid, item| {
+            counts[item].fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert_eq!(report.completed, n);
+        assert!(report.all_ok());
+        assert_eq!(report.retried, 0);
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_items_is_a_no_op() {
+        let report = run_items_supervised(&quick(4), 0, |_, _| panic!("no items"));
+        assert_eq!(report.completed, 0);
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn panicking_item_is_isolated_and_reported() {
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            ..quick(4)
+        };
+        let report = run_items_supervised(&cfg, 50, |_tid, item| {
+            if item == 17 {
+                panic!("injected panic on {item}");
+            }
+            Ok(())
+        });
+        assert_eq!(report.completed, 49);
+        assert_eq!(report.failed.len(), 1);
+        let f = &report.failed[0];
+        assert_eq!(f.item, 17);
+        assert_eq!(f.attempts, 1);
+        assert!(
+            matches!(&f.error, SfcError::WorkerPanic { payload, .. } if payload.contains("injected panic on 17")),
+            "{:?}",
+            f.error
+        );
+    }
+
+    #[test]
+    fn transient_failure_is_retried_to_success() {
+        let n = 20;
+        let tries: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let report = run_items_supervised(&quick(4), n, |_tid, item| {
+            let t = tries[item].fetch_add(1, Ordering::Relaxed);
+            if item % 5 == 0 && t == 0 {
+                panic!("flaky first attempt");
+            }
+            Ok(())
+        });
+        assert_eq!(report.completed, n);
+        assert!(report.all_ok());
+        assert_eq!(report.retried, 4); // items 0, 5, 10, 15
+    }
+
+    #[test]
+    fn retry_budget_is_bounded() {
+        let attempts = AtomicU64::new(0);
+        let cfg = SupervisorConfig {
+            max_retries: 3,
+            ..quick(2)
+        };
+        let report = run_items_supervised(&cfg, 1, |_tid, _item| {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err(SfcError::WorkerPanic {
+                item: 0,
+                payload: "always fails".into(),
+            })
+        });
+        assert_eq!(attempts.load(Ordering::Relaxed), 4); // 1 + 3 retries
+        assert_eq!(report.retried, 3);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].attempts, 4);
+    }
+
+    #[test]
+    fn non_retryable_error_fails_immediately() {
+        let attempts = AtomicU64::new(0);
+        let report = run_items_supervised(&quick(2), 1, |_tid, item| {
+            attempts.fetch_add(1, Ordering::Relaxed);
+            Err(SfcError::InvalidParameter {
+                name: "x",
+                reason: format!("bad item {item}"),
+            })
+        });
+        assert_eq!(attempts.load(Ordering::Relaxed), 1);
+        assert_eq!(report.retried, 0);
+        assert_eq!(report.failed.len(), 1);
+    }
+
+    #[test]
+    fn hung_item_trips_watchdog_without_deadlocking_the_run() {
+        let cfg = SupervisorConfig {
+            nthreads: 3,
+            timeout: Some(Duration::from_millis(30)),
+            max_retries: 0,
+            watchdog_poll: Duration::from_millis(2),
+            ..quick(3)
+        };
+        let report = run_items_supervised(&cfg, 40, |_tid, item| {
+            if item == 7 {
+                // Finite sleep: long enough to trip the watchdog, short
+                // enough that the scope can still join the wedged thread.
+                std::thread::sleep(Duration::from_millis(300));
+            }
+            Ok(())
+        });
+        assert_eq!(report.completed, 39);
+        assert_eq!(report.failed.len(), 1);
+        assert!(matches!(report.failed[0].error, SfcError::Timeout { item: 7, .. }));
+        assert!(report.replacements >= 1);
+    }
+
+    #[test]
+    fn static_order_covers_all_items() {
+        let order = initial_order(10, 3, Schedule::StaticRoundRobin);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert_eq!(order[..4], [0, 3, 6, 9]);
+        let cfg = SupervisorConfig {
+            schedule: Schedule::StaticRoundRobin,
+            ..quick(3)
+        };
+        let report = run_items_supervised(&cfg, 100, |_, _| Ok(()));
+        assert_eq!(report.completed, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        run_items_supervised(&quick(0), 1, |_, _| Ok(()));
+    }
+}

@@ -6,7 +6,6 @@
 
 /// A rows × columns table of `f64` measurements with labels.
 #[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct PaperTable {
     /// Table title (e.g. `"Runtime"` or `"Total L3 Cache Accesses"`).
     pub title: String,

@@ -11,7 +11,6 @@ pub fn time_once<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 
 /// Summary statistics over repeated timings.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TimingStats {
     /// Fastest repetition.
     pub min: Duration,

@@ -19,7 +19,6 @@ use crate::hierarchy::{CoreCounters, SimReport};
 
 /// Cycle charges per event.
 #[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CostModel {
     /// Arithmetic charged per scalar read issued by the kernel (covers the
     /// kernel's compute: weights, exp, compositing).

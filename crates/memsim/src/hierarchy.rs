@@ -17,7 +17,6 @@ use crate::cache::{AccessOutcome, Cache, CacheConfig, CacheCounters};
 /// Geometry of a per-core TLB, modeled as a fully-associative LRU array
 /// of page translations.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: usize,
@@ -38,7 +37,6 @@ impl TlbConfig {
 /// Geometry of a simulated core's private hierarchy plus the optional
 /// shared last-level cache and optional TLB.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct HierarchyConfig {
     /// Private L1 data cache.
     pub l1: CacheConfig,
@@ -55,7 +53,6 @@ pub struct HierarchyConfig {
 
 /// Counter snapshot for one simulated core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct CoreCounters {
     /// Scalar reads issued by the kernel (not line-granular).
     pub reads: u64,
@@ -188,7 +185,6 @@ impl CoreSim {
 
 /// Aggregated multi-core simulation results.
 #[derive(Debug, Clone, Default)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct SimReport {
     /// Per-core counters, indexed by simulated core id.
     pub per_core: Vec<CoreCounters>,

@@ -24,7 +24,6 @@ use crate::hierarchy::HierarchyConfig;
 /// A named platform model: cache geometry plus the paper's concurrency
 /// sweep and counter label.
 #[derive(Debug, Clone)]
-#[derive(serde::Serialize, serde::Deserialize)]
 pub struct Platform {
     /// Human-readable name ("IvyBridge", "MIC"…).
     pub name: String,

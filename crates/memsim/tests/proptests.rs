@@ -1,7 +1,9 @@
-//! Property tests for the cache model: conservation laws, inclusion-style
-//! invariants, and determinism under arbitrary access streams.
+//! Property-style tests for the cache model: conservation laws,
+//! inclusion-style invariants, and determinism under arbitrary access
+//! streams. Seeded deterministic sweeps (no external property-testing
+//! dependency).
 
-use proptest::prelude::*;
+use sfc_core::SplitMix64;
 use sfc_memsim::{Cache, CacheConfig, CoreSim, HierarchyConfig};
 
 fn small_hierarchy() -> HierarchyConfig {
@@ -13,77 +15,97 @@ fn small_hierarchy() -> HierarchyConfig {
     }
 }
 
-/// Strategy: a stream of byte addresses confined to a 64 KiB region so
-/// hits actually occur.
-fn addr_stream() -> impl Strategy<Value = Vec<u64>> {
-    proptest::collection::vec(0u64..65536, 1..2000)
+/// A stream of byte addresses confined to a 64 KiB region so hits actually
+/// occur.
+fn addr_stream(rng: &mut SplitMix64) -> Vec<u64> {
+    let len = rng.usize_in(1, 2000);
+    (0..len).map(|_| rng.u64_below(65536)).collect()
 }
 
-proptest! {
-    #[test]
-    fn counters_conserve(addrs in addr_stream()) {
+#[test]
+fn counters_conserve() {
+    let mut rng = SplitMix64::new(0x4001);
+    for _ in 0..64 {
+        let addrs = addr_stream(&mut rng);
         let mut c = Cache::new(CacheConfig::new(1024, 64, 4));
         for &a in &addrs {
             c.access(a);
         }
         let k = c.counters();
-        prop_assert_eq!(k.accesses, addrs.len() as u64);
-        prop_assert_eq!(k.hits + k.misses, k.accesses);
+        assert_eq!(k.accesses, addrs.len() as u64);
+        assert_eq!(k.hits + k.misses, k.accesses);
     }
+}
 
-    #[test]
-    fn residency_never_exceeds_capacity(addrs in addr_stream()) {
+#[test]
+fn residency_never_exceeds_capacity() {
+    let mut rng = SplitMix64::new(0x4002);
+    for _ in 0..32 {
+        let addrs = addr_stream(&mut rng);
         let cfg = CacheConfig::new(1024, 64, 4);
         let mut c = Cache::new(cfg);
         for &a in &addrs {
             c.access(a);
-            prop_assert!(c.resident_lines() <= (cfg.size_bytes / cfg.line_bytes) as usize);
+            assert!(c.resident_lines() <= (cfg.size_bytes / cfg.line_bytes) as usize);
         }
     }
+}
 
-    #[test]
-    fn misses_bounded_below_by_distinct_lines_cold(addrs in addr_stream()) {
-        // A cache can never miss fewer times than the number of distinct
-        // lines it is asked for (cold misses are unavoidable).
+#[test]
+fn misses_bounded_below_by_distinct_lines_cold() {
+    // A cache can never miss fewer times than the number of distinct lines
+    // it is asked for (cold misses are unavoidable).
+    let mut rng = SplitMix64::new(0x4003);
+    for _ in 0..64 {
+        let addrs = addr_stream(&mut rng);
         let mut c = Cache::new(CacheConfig::new(4096, 64, 8));
-        let distinct: std::collections::HashSet<u64> =
-            addrs.iter().map(|a| a / 64).collect();
+        let distinct: std::collections::HashSet<u64> = addrs.iter().map(|a| a / 64).collect();
         for &a in &addrs {
             c.access(a);
         }
-        prop_assert!(c.counters().misses >= distinct.len() as u64);
+        assert!(c.counters().misses >= distinct.len() as u64);
     }
+}
 
-    #[test]
-    fn fully_resident_working_set_stops_missing(lines in 1u64..8) {
-        // Fewer distinct lines than ways in one set: after the cold pass,
-        // no evictions can occur anywhere.
+#[test]
+fn fully_resident_working_set_stops_missing() {
+    // Fewer distinct lines than ways in one set: after the cold pass, no
+    // evictions can occur anywhere.
+    for lines in 1u64..8 {
         let mut c = Cache::new(CacheConfig::new(512, 64, 8)); // 1 set, 8 ways
         for pass in 0..3 {
             for l in 0..lines {
                 let outcome = c.access(l * 64);
                 if pass > 0 {
-                    prop_assert_eq!(outcome, sfc_memsim::AccessOutcome::Hit);
+                    assert_eq!(outcome, sfc_memsim::AccessOutcome::Hit);
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn hierarchy_filtering_invariant(addrs in addr_stream()) {
-        // L2 sees exactly L1's misses; reported reads equal issued reads.
+#[test]
+fn hierarchy_filtering_invariant() {
+    // L2 sees exactly L1's misses; reported reads equal issued reads.
+    let mut rng = SplitMix64::new(0x4004);
+    for _ in 0..64 {
+        let addrs = addr_stream(&mut rng);
         let mut sim = CoreSim::new(&small_hierarchy());
         for &a in &addrs {
             sim.read(a, 4);
         }
         let k = sim.counters();
-        prop_assert_eq!(k.reads, addrs.len() as u64);
-        prop_assert_eq!(k.l2.accesses, k.l1.misses);
-        prop_assert!(k.l2.misses <= k.l1.misses);
+        assert_eq!(k.reads, addrs.len() as u64);
+        assert_eq!(k.l2.accesses, k.l1.misses);
+        assert!(k.l2.misses <= k.l1.misses);
     }
+}
 
-    #[test]
-    fn determinism(addrs in addr_stream()) {
+#[test]
+fn determinism() {
+    let mut rng = SplitMix64::new(0x4005);
+    for _ in 0..16 {
+        let addrs = addr_stream(&mut rng);
         let run = || {
             let mut sim = CoreSim::new(&small_hierarchy());
             for &a in &addrs {
@@ -91,19 +113,23 @@ proptest! {
             }
             sim.counters()
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
+}
 
-    #[test]
-    fn smaller_cache_never_misses_less(addrs in addr_stream()) {
-        // LRU inclusion property on set-doubling: a cache with the same
-        // geometry but double the ways per set cannot miss more.
+#[test]
+fn smaller_cache_never_misses_less() {
+    // LRU inclusion property on set-doubling: a cache with the same
+    // geometry but double the ways per set cannot miss more.
+    let mut rng = SplitMix64::new(0x4006);
+    for _ in 0..64 {
+        let addrs = addr_stream(&mut rng);
         let mut small = Cache::new(CacheConfig::new(512, 64, 2));
         let mut big = Cache::new(CacheConfig::new(1024, 64, 4));
         for &a in &addrs {
             small.access(a);
             big.access(a);
         }
-        prop_assert!(big.counters().misses <= small.counters().misses);
+        assert!(big.counters().misses <= small.counters().misses);
     }
 }

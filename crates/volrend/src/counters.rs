@@ -8,6 +8,8 @@
 //! core have their tile streams interleaved round-robin, as on the MIC's
 //! hardware threads.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use sfc_core::{image_tiles, Grid3, Layout3};
 use sfc_harness::items_for_thread;
 use sfc_memsim::{
@@ -18,6 +20,28 @@ use sfc_memsim::{
 use crate::camera::Camera;
 use crate::render::RenderOpts;
 use crate::transfer::TransferFunction;
+
+/// Process-wide count of NaN voxel taps the trilinear sampler has
+/// substituted with `0.0`. Monotonic; reset explicitly between
+/// measurements.
+static NAN_SAMPLES: AtomicU64 = AtomicU64::new(0);
+
+/// NaN voxel taps substituted by the sampler since the last
+/// [`reset_nan_samples`].
+pub fn nan_samples() -> u64 {
+    NAN_SAMPLES.load(Ordering::Relaxed)
+}
+
+/// Reset the NaN sample counter (call before a measured run).
+pub fn reset_nan_samples() {
+    NAN_SAMPLES.store(0, Ordering::Relaxed);
+}
+
+pub(crate) fn record_nan_samples(n: u64) {
+    if n > 0 {
+        NAN_SAMPLES.fetch_add(n, Ordering::Relaxed);
+    }
+}
 
 /// Simulate the cache behaviour of rendering one frame with `nthreads`
 /// software threads on `platform`.

@@ -31,7 +31,7 @@ pub mod transfer;
 pub mod vec3;
 
 pub use camera::{orbit_viewpoints, Camera, Projection};
-pub use counters::simulate_render_counters;
+pub use counters::{nan_samples, reset_nan_samples, simulate_render_counters};
 pub use image::Image;
 pub use ray::{Aabb, Ray};
 pub use render::{render, render_tile, shade_ray, RenderOpts};

@@ -11,6 +11,10 @@ use crate::vec3::Vec3;
 /// Trilinearly interpolate the field at a continuous position in voxel
 /// space (voxel `(i,j,k)`'s center sits at `(i+0.5, j+0.5, k+0.5)`).
 /// Positions outside the volume clamp to the boundary voxels.
+///
+/// NaN voxels (corrupt data) are substituted with `0.0` rather than
+/// poisoning the whole ray; each substitution is counted in
+/// [`crate::counters::nan_samples`].
 pub fn sample_trilinear<V: Volume3>(vol: &V, p: Vec3) -> f32 {
     let d = vol.dims();
     // Shift so voxel centers are at integers, clamp into the center range
@@ -27,14 +31,25 @@ pub fn sample_trilinear<V: Volume3>(vol: &V, p: Vec3) -> f32 {
     let z1 = (z0 + 1).min(d.nz - 1);
 
     let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
-    let c000 = vol.get(x0, y0, z0);
-    let c100 = vol.get(x1, y0, z0);
-    let c010 = vol.get(x0, y1, z0);
-    let c110 = vol.get(x1, y1, z0);
-    let c001 = vol.get(x0, y0, z1);
-    let c101 = vol.get(x1, y0, z1);
-    let c011 = vol.get(x0, y1, z1);
-    let c111 = vol.get(x1, y1, z1);
+    let mut nan_seen = 0u64;
+    let mut tap = |i: usize, j: usize, k: usize| {
+        let v = vol.get(i, j, k);
+        if v.is_nan() {
+            nan_seen += 1;
+            0.0
+        } else {
+            v
+        }
+    };
+    let c000 = tap(x0, y0, z0);
+    let c100 = tap(x1, y0, z0);
+    let c010 = tap(x0, y1, z0);
+    let c110 = tap(x1, y1, z0);
+    let c001 = tap(x0, y0, z1);
+    let c101 = tap(x1, y0, z1);
+    let c011 = tap(x0, y1, z1);
+    let c111 = tap(x1, y1, z1);
+    crate::counters::record_nan_samples(nan_seen);
     let c00 = lerp(c000, c100, tx);
     let c10 = lerp(c010, c110, tx);
     let c01 = lerp(c001, c101, tx);
@@ -81,6 +96,31 @@ mod tests {
         let v = FnVolume::new(Dims3::cube(4), |i, j, k| (i + j + k) as f32);
         assert_eq!(sample_trilinear(&v, vec3(-5.0, -5.0, -5.0)), 0.0);
         assert_eq!(sample_trilinear(&v, vec3(50.0, 50.0, 50.0)), 9.0);
+    }
+
+    #[test]
+    fn nan_taps_substitute_zero_and_are_counted() {
+        // One NaN corner among the 8 taps: the sample stays finite and the
+        // process-wide counter advances by at least that tap.
+        let v = FnVolume::new(Dims3::cube(4), |i, j, k| {
+            if (i, j, k) == (1, 1, 1) {
+                f32::NAN
+            } else {
+                1.0
+            }
+        });
+        let before = crate::counters::nan_samples();
+        let s = sample_trilinear(&v, vec3(2.0, 2.0, 2.0));
+        let after = crate::counters::nan_samples();
+        assert!(s.is_finite(), "NaN tap must not poison the sample: {s}");
+        assert!(after > before, "NaN substitution must be counted");
+    }
+
+    #[test]
+    fn fully_nan_neighborhood_samples_as_zero() {
+        let v = FnVolume::new(Dims3::cube(4), |_, _, _| f32::NAN);
+        let s = sample_trilinear(&v, vec3(2.0, 2.0, 2.0));
+        assert_eq!(s, 0.0);
     }
 
     #[test]

@@ -1,100 +1,167 @@
-//! Property tests for the raycaster: compositing laws, geometric
-//! invariants, and layout/schedule independence.
+//! Property-style tests for the raycaster: compositing laws, geometric
+//! invariants, and layout/schedule independence. Seeded deterministic
+//! sweeps (no external property-testing dependency).
 
-use proptest::prelude::*;
-use sfc_core::{ArrayOrder3, Dims3, FnVolume, Grid3, ZOrder3};
+use sfc_core::{ArrayOrder3, Dims3, FnVolume, Grid3, SplitMix64, ZOrder3};
 use sfc_volrend::{
     orbit_viewpoints, render, sample_trilinear, shade_ray, vec3, Aabb, Camera, Projection,
     Ray, RenderOpts, TransferFunction, Vec3,
 };
 
-fn unit_dir() -> impl Strategy<Value = Vec3> {
-    (-1.0f32..1.0, -1.0f32..1.0, -1.0f32..1.0)
-        .prop_filter("nonzero", |(x, y, z)| x * x + y * y + z * z > 1e-3)
-        .prop_map(|(x, y, z)| vec3(x, y, z).normalized())
+fn unit_dir(rng: &mut SplitMix64) -> Vec3 {
+    loop {
+        let (x, y, z) = (
+            rng.f32_in(-1.0, 1.0),
+            rng.f32_in(-1.0, 1.0),
+            rng.f32_in(-1.0, 1.0),
+        );
+        if x * x + y * y + z * z > 1e-3 {
+            return vec3(x, y, z).normalized();
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn ray_box_entry_before_exit(ox in -50.0f32..50.0, oy in -50.0f32..50.0, oz in -50.0f32..50.0, d in unit_dir()) {
-        let b = Aabb { min: Vec3::ZERO, max: vec3(16.0, 16.0, 16.0) };
-        let r = Ray { origin: vec3(ox, oy, oz), dir: d };
+#[test]
+fn ray_box_entry_before_exit() {
+    let mut rng = SplitMix64::new(0x5001);
+    for _ in 0..256 {
+        let b = Aabb {
+            min: Vec3::ZERO,
+            max: vec3(16.0, 16.0, 16.0),
+        };
+        let origin = vec3(
+            rng.f32_in(-50.0, 50.0),
+            rng.f32_in(-50.0, 50.0),
+            rng.f32_in(-50.0, 50.0),
+        );
+        let r = Ray {
+            origin,
+            dir: unit_dir(&mut rng),
+        };
         if let Some((t0, t1)) = b.intersect(&r) {
-            prop_assert!(t0 <= t1);
-            prop_assert!(t0 >= 0.0);
+            assert!(t0 <= t1);
+            assert!(t0 >= 0.0);
             // Entry and exit points are on (or inside) the box surface.
             for t in [t0, t1] {
                 let p = r.at(t);
-                prop_assert!(p.x >= -1e-3 && p.x <= 16.001);
-                prop_assert!(p.y >= -1e-3 && p.y <= 16.001);
-                prop_assert!(p.z >= -1e-3 && p.z <= 16.001);
+                assert!(p.x >= -1e-3 && p.x <= 16.001);
+                assert!(p.y >= -1e-3 && p.y <= 16.001);
+                assert!(p.z >= -1e-3 && p.z <= 16.001);
             }
         }
     }
+}
 
-    #[test]
-    fn trilinear_interpolates_within_local_extremes(px in 0.5f32..7.5, py in 0.5f32..7.5, pz in 0.5f32..7.5, seed in any::<u64>()) {
+#[test]
+fn trilinear_interpolates_within_local_extremes() {
+    let mut rng = SplitMix64::new(0x5002);
+    for _ in 0..64 {
+        let seed = rng.next_u64();
         let vol = FnVolume::new(Dims3::cube(8), move |i, j, k| {
             let mut h = seed ^ ((i * 64 + j * 8 + k) as u64).wrapping_mul(0x2545_F491_4F6C_DD1D);
             h ^= h >> 33;
             (h % 997) as f32 / 997.0
         });
-        let s = sample_trilinear(&vol, vec3(px, py, pz));
-        prop_assert!((0.0..=1.0).contains(&s), "interpolant escaped value range: {s}");
+        let p = vec3(
+            rng.f32_in(0.5, 7.5),
+            rng.f32_in(0.5, 7.5),
+            rng.f32_in(0.5, 7.5),
+        );
+        let s = sample_trilinear(&vol, p);
+        assert!((0.0..=1.0).contains(&s), "interpolant escaped value range: {s}");
     }
+}
 
-    #[test]
-    fn shaded_alpha_in_unit_interval(d in unit_dir()) {
+#[test]
+fn shaded_alpha_in_unit_interval() {
+    let mut rng = SplitMix64::new(0x5003);
+    for _ in 0..64 {
+        let d = unit_dir(&mut rng);
         let vol = FnVolume::new(Dims3::cube(8), |i, j, k| ((i + j + k) % 5) as f32 / 4.0);
         let tf = TransferFunction::fire();
         let opts = RenderOpts::default();
-        let ray = Ray { origin: vec3(4.0, 4.0, 4.0) - d * 30.0, dir: d };
+        let ray = Ray {
+            origin: vec3(4.0, 4.0, 4.0) - d * 30.0,
+            dir: d,
+        };
         let c = shade_ray(&vol, &tf, &opts, &ray);
-        prop_assert!((0.0..=1.0).contains(&c.a));
+        assert!((0.0..=1.0).contains(&c.a));
         for ch in [c.r, c.g, c.b] {
-            prop_assert!((0.0..=1.0 + 1e-5).contains(&ch));
+            assert!((0.0..=1.0 + 1e-5).contains(&ch));
         }
     }
+}
 
-    #[test]
-    fn empty_volume_shades_to_nothing(d in unit_dir()) {
+#[test]
+fn empty_volume_shades_to_nothing() {
+    let mut rng = SplitMix64::new(0x5004);
+    for _ in 0..64 {
+        let d = unit_dir(&mut rng);
         let vol = FnVolume::new(Dims3::cube(8), |_, _, _| 0.0);
         let tf = TransferFunction::fire();
-        let ray = Ray { origin: vec3(4.0, 4.0, 4.0) - d * 30.0, dir: d };
+        let ray = Ray {
+            origin: vec3(4.0, 4.0, 4.0) - d * 30.0,
+            dir: d,
+        };
         let c = shade_ray(&vol, &tf, &RenderOpts::default(), &ray);
-        prop_assert_eq!(c.a, 0.0);
+        assert_eq!(c.a, 0.0);
     }
+}
 
-    #[test]
-    fn render_is_layout_and_threads_invariant(seed in any::<u64>(), view in 0usize..8, threads in 1usize..5) {
+#[test]
+fn render_is_layout_and_threads_invariant() {
+    let mut rng = SplitMix64::new(0x5005);
+    for _ in 0..8 {
         let dims = Dims3::cube(8);
-        let values: Vec<f32> = (0..dims.len()).map(|v| {
-            let mut h = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            h ^= h >> 29;
-            (h % 991) as f32 / 991.0
-        }).collect();
+        let seed = rng.next_u64();
+        let view = rng.usize_in(0, 8);
+        let threads = rng.usize_in(1, 5);
+        let values: Vec<f32> = (0..dims.len())
+            .map(|v| {
+                let mut h = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 29;
+                (h % 991) as f32 / 991.0
+            })
+            .collect();
         let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
         let z: Grid3<f32, ZOrder3> = a.convert();
-        let cams = orbit_viewpoints(8, vec3(4.0, 4.0, 4.0), 20.0,
-            Projection::Perspective { fov_y: 0.7 }, 16, 16);
+        let cams = orbit_viewpoints(
+            8,
+            vec3(4.0, 4.0, 4.0),
+            20.0,
+            Projection::Perspective { fov_y: 0.7 },
+            16,
+            16,
+        );
         let tf = TransferFunction::fire();
-        let o1 = RenderOpts { nthreads: 1, ..Default::default() };
-        let on = RenderOpts { nthreads: threads, ..Default::default() };
+        let o1 = RenderOpts {
+            nthreads: 1,
+            ..Default::default()
+        };
+        let on = RenderOpts {
+            nthreads: threads,
+            ..Default::default()
+        };
         let ia = render(&a, &cams[view], &tf, &o1);
         let iz = render(&z, &cams[view], &tf, &on);
-        prop_assert_eq!(ia.pixels(), iz.pixels());
+        assert_eq!(ia.pixels(), iz.pixels());
     }
+}
 
-    #[test]
-    fn orthographic_rays_share_slope(px1 in 0usize..32, py1 in 0usize..32, px2 in 0usize..32, py2 in 0usize..32) {
-        let cam = Camera::look_at(
-            vec3(40.0, 16.0, 16.0), vec3(16.0, 16.0, 16.0), vec3(0.0, 1.0, 0.0),
-            Projection::Orthographic { height: 32.0 }, 32, 32,
-        );
-        let r1 = cam.ray_for_pixel(px1, py1);
-        let r2 = cam.ray_for_pixel(px2, py2);
-        prop_assert_eq!(r1.dir, r2.dir);
+#[test]
+fn orthographic_rays_share_slope() {
+    let mut rng = SplitMix64::new(0x5006);
+    let cam = Camera::look_at(
+        vec3(40.0, 16.0, 16.0),
+        vec3(16.0, 16.0, 16.0),
+        vec3(0.0, 1.0, 0.0),
+        Projection::Orthographic { height: 32.0 },
+        32,
+        32,
+    );
+    for _ in 0..128 {
+        let r1 = cam.ray_for_pixel(rng.usize_in(0, 32), rng.usize_in(0, 32));
+        let r2 = cam.ray_for_pixel(rng.usize_in(0, 32), rng.usize_in(0, 32));
+        assert_eq!(r1.dir, r2.dir);
     }
 }

@@ -29,11 +29,14 @@ pub use sfc_volrend as volrend;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use sfc_core::{
-        ArrayOrder3, Axis, Dims3, Grid3, HilbertOrder3, Layout3, LayoutKind, StencilOrder,
-        StencilSize, Tiled3, Volume3, ZOrder3,
+        ArrayOrder3, Axis, Dims3, Grid3, HilbertOrder3, Layout3, LayoutKind, SfcError,
+        SfcResult, StencilOrder, StencilSize, Tiled3, Volume3, ZOrder3,
     };
-    pub use sfc_filters::{bilateral3d, BilateralParams, FilterRun};
-    pub use sfc_harness::{scaled_relative_difference, Schedule};
+    pub use sfc_filters::{bilateral3d, try_bilateral3d, BilateralParams, FilterRun};
+    pub use sfc_harness::{
+        run_items_supervised, scaled_relative_difference, RunReport, Schedule,
+        SupervisorConfig,
+    };
     pub use sfc_memsim::{CoreSim, Platform, TracedGrid};
     pub use sfc_volrend::{
         orbit_viewpoints, render, Camera, Projection, RenderOpts, TransferFunction,
