@@ -1,0 +1,172 @@
+//! Before/after throughput baseline for the cursor + pencil-gather fast
+//! paths, emitted as JSON (committed at the repo root as
+//! `BENCH_baseline.json` so perf regressions show up in review).
+//!
+//! "before" is the per-voxel kernel exactly as the drivers ran it prior to
+//! the gather fast path (one `bilateral_voxel` per output voxel, each tap
+//! paying a full `index()`); "after" is the single-thread pencil-gather
+//! driver. Both produce bitwise-identical outputs, so the ratio is pure
+//! addressing + read-scheduling cost. The trilinear rows compare the
+//! 8-`index()` one-shot sampler against the per-ray cached-cell cursor
+//! sampler on a sub-voxel diagonal march.
+//!
+//! `cargo run -p sfc-bench --release --bin bench_baseline -- [--size 32]
+//!  [--out FILE] [--reps 3]`
+
+use std::io::Write;
+use std::time::Instant;
+
+use sfc_core::{
+    ArrayOrder3, Axis, Dims3, Grid3, HilbertOrder3, StencilOrder, StencilSize, Tiled3, Volume3,
+    ZOrder3,
+};
+use sfc_filters::{bilateral3d, bilateral_voxel, BilateralParams, FilterRun};
+use sfc_harness::Args;
+use sfc_volrend::{sample_trilinear, vec3, CellSampler};
+
+/// Best-of-`reps` wall-clock for `f`, in seconds.
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bilateral_pair<V: Volume3 + Sync>(
+    vol: &V,
+    size: StencilSize,
+    reps: usize,
+) -> (f64, f64) {
+    let dims = vol.dims();
+    let params = BilateralParams::for_size(size, StencilOrder::Xyz);
+    let kernel = params.spatial_kernel();
+    let inv = params.inv_two_sigma_range_sq();
+    let run = FilterRun {
+        params,
+        pencil_axis: Axis::X,
+        nthreads: 1,
+    };
+    let voxels = dims.len() as f64;
+    let before = best_of(reps, || {
+        let mut out = vec![0.0f32; dims.len()];
+        for (i, j, k) in dims.iter() {
+            out[(k * dims.ny + j) * dims.nx + i] = bilateral_voxel(vol, &kernel, inv, i, j, k);
+        }
+        std::hint::black_box(out);
+    });
+    let after = best_of(reps, || {
+        std::hint::black_box(bilateral3d::<_, ZOrder3>(vol, &run));
+    });
+    (voxels / before, voxels / after)
+}
+
+fn trilinear_pair<V: Volume3>(vol: &V, reps: usize) -> (f64, f64) {
+    let origin = vec3(1.0, 1.5, 2.0);
+    let dir = vec3(1.0, 0.9, 0.8).normalized();
+    let nsteps = 120usize;
+    let rounds = 2000usize;
+    let samples = (nsteps * rounds) as f64;
+    let before = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for _ in 0..rounds {
+            for s in 0..nsteps {
+                acc += sample_trilinear(vol, origin + dir * (s as f32 * 0.5));
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let after = best_of(reps, || {
+        let mut acc = 0.0f32;
+        for _ in 0..rounds {
+            let mut sampler = CellSampler::new(vol);
+            for s in 0..nsteps {
+                acc += sampler.sample(origin + dir * (s as f32 * 0.5));
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    (samples / before, samples / after)
+}
+
+struct Row {
+    bench: &'static str,
+    layout: &'static str,
+    config: &'static str,
+    unit: &'static str,
+    before: f64,
+    after: f64,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let n = args.get_usize("size", 32);
+    let reps = args.get_usize("reps", 3);
+    let out_path = args.get_str("out", "BENCH_baseline.json").to_string();
+
+    let dims = Dims3::cube(n);
+    let values = sfc_datagen::mri_phantom(dims, 3, sfc_datagen::PhantomParams::default());
+    let a = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+
+    let t: Grid3<f32, Tiled3> = a.convert();
+    let h: Grid3<f32, HilbertOrder3> = a.convert();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for size in StencilSize::ALL {
+        let label = size.label();
+        let mut push = |layout: &'static str, (b, aft): (f64, f64)| {
+            rows.push(Row {
+                bench: "bilateral",
+                layout,
+                config: label,
+                unit: "voxels_per_sec",
+                before: b,
+                after: aft,
+            });
+            eprintln!("bilateral {layout} {label}: {b:.3e} -> {aft:.3e} ({:.2}x)", aft / b);
+        };
+        push("a-order", bilateral_pair(&a, size, reps));
+        push("z-order", bilateral_pair(&z, size, reps));
+        push("tiled", bilateral_pair(&t, size, reps));
+        push("hilbert", bilateral_pair(&h, size, reps));
+    }
+    for (layout, (b, aft)) in [
+        ("a-order", trilinear_pair(&a, reps)),
+        ("z-order", trilinear_pair(&z, reps)),
+    ] {
+        rows.push(Row {
+            bench: "trilinear",
+            layout,
+            config: "diag-march",
+            unit: "samples_per_sec",
+            before: b,
+            after: aft,
+        });
+        eprintln!("trilinear {layout}: {b:.3e} -> {aft:.3e} ({:.2}x)", aft / b);
+    }
+
+    // Hand-rolled JSON (the workspace has no serializer dependency).
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"size\": {n},\n  \"reps\": {reps},\n"));
+    s.push_str("  \"note\": \"before = per-voxel index() kernel / one-shot trilinear; after = pencil-gather driver / cached-cell cursor sampler; outputs bitwise-identical\",\n");
+    s.push_str("  \"rows\": [\n");
+    for (idx, r) in rows.iter().enumerate() {
+        let sep = if idx + 1 == rows.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {{\"bench\": \"{}\", \"layout\": \"{}\", \"config\": \"{}\", \"unit\": \"{}\", \"before\": {:.1}, \"after\": {:.1}, \"speedup\": {:.3}}}{}\n",
+            r.bench, r.layout, r.config, r.unit, r.before, r.after, r.after / r.before, sep
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    match std::fs::File::create(&out_path).and_then(|mut f| f.write_all(s.as_bytes())) {
+        Ok(()) => eprintln!("wrote {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

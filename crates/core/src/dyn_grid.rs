@@ -111,6 +111,21 @@ impl Volume3 for DynGrid3 {
     fn get(&self, i: usize, j: usize, k: usize) -> f32 {
         DynGrid3::get(self, i, j, k)
     }
+
+    fn gather_axis_run(
+        &self,
+        i: usize,
+        j: usize,
+        k: usize,
+        axis: crate::dims::Axis,
+        dst: &mut [f32],
+    ) {
+        dispatch!(self, g => g.gather_axis_run(i, j, k, axis, dst))
+    }
+
+    fn cell_corners(&self, x0: usize, y0: usize, z0: usize) -> [f32; 8] {
+        dispatch!(self, g => g.cell_corners(x0, y0, z0))
+    }
 }
 
 #[cfg(test)]

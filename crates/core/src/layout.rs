@@ -6,6 +6,7 @@
 //! index-computation cost is "on more or less equal footing" (paper §III-C)
 //! and measured differences reflect memory locality, not arithmetic.
 
+use crate::cursor::Cursor3;
 use crate::dims::{Dims2, Dims3};
 
 /// Identifies a layout family at runtime (CLI selection, reporting).
@@ -73,6 +74,9 @@ pub trait Layout3: Clone + Send + Sync + 'static {
     /// Which family this layout belongs to.
     const KIND: LayoutKind;
 
+    /// Incremental cursor type for this layout (see [`crate::cursor`]).
+    type Cursor: Cursor3;
+
     /// Construct the layout (precomputes any index tables).
     fn new(dims: Dims3) -> Self;
 
@@ -92,6 +96,14 @@ pub trait Layout3: Clone + Send + Sync + 'static {
     /// may lie outside `dims()`; callers iterating storage order must filter
     /// with `dims().contains(..)`.
     fn coords(&self, index: usize) -> (usize, usize, usize);
+
+    /// Position an incremental cursor at `(i,j,k)`.
+    ///
+    /// The cursor satisfies `cursor(i,j,k).index() == index(i,j,k)` and
+    /// stays consistent with `index()` under any in-bounds sequence of
+    /// unit steps. Positioning costs one full index computation; steps are
+    /// then O(1) for every layout except Hilbert (which recomputes).
+    fn cursor(&self, i: usize, j: usize, k: usize) -> Self::Cursor;
 
     /// Fraction of backing-buffer slots that are padding
     /// (`0.0` means a perfectly tight layout).

@@ -12,6 +12,7 @@
 //! every axis to the largest axis's power of two — a much bigger overhead
 //! than Z-order's per-axis padding (documented limitation).
 
+use crate::cursor::RecomputeCursor;
 use crate::dims::{bits_for, Dims2, Dims3};
 use crate::hilbert::{hilbert2_decode, hilbert2_encode, hilbert3_decode, hilbert3_encode};
 use crate::layout::{Layout2, Layout3, LayoutKind};
@@ -32,6 +33,8 @@ impl HilbertOrder3 {
 
 impl Layout3 for HilbertOrder3 {
     const KIND: LayoutKind = LayoutKind::Hilbert;
+
+    type Cursor = RecomputeCursor<Self>;
 
     fn new(dims: Dims3) -> Self {
         let bits = bits_for(dims.max_extent());
@@ -58,6 +61,11 @@ impl Layout3 for HilbertOrder3 {
     fn coords(&self, index: usize) -> (usize, usize, usize) {
         let (i, j, k) = hilbert3_decode(index as u64, self.bits);
         (i as usize, j as usize, k as usize)
+    }
+
+    #[inline]
+    fn cursor(&self, i: usize, j: usize, k: usize) -> RecomputeCursor<Self> {
+        RecomputeCursor::new(self, i, j, k)
     }
 }
 

@@ -12,6 +12,7 @@
 
 use std::sync::Arc;
 
+use crate::cursor::ZCursor3;
 use crate::dims::{Dims2, Dims3};
 use crate::layout::{Layout2, Layout3, LayoutKind};
 use crate::pattern::InterleavePattern3;
@@ -37,6 +38,8 @@ impl ZOrder3 {
 
 impl Layout3 for ZOrder3 {
     const KIND: LayoutKind = LayoutKind::ZOrder;
+
+    type Cursor = ZCursor3;
 
     fn new(dims: Dims3) -> Self {
         let pattern = InterleavePattern3::new(dims);
@@ -73,6 +76,17 @@ impl Layout3 for ZOrder3 {
     #[inline]
     fn coords(&self, index: usize) -> (usize, usize, usize) {
         self.pattern.decode(index as u64)
+    }
+
+    #[inline]
+    fn cursor(&self, i: usize, j: usize, k: usize) -> ZCursor3 {
+        debug_assert!(self.dims.contains(i, j, k));
+        ZCursor3::new(
+            self.xtab[i] | self.ytab[j] | self.ztab[k],
+            self.pattern.axis_mask(0),
+            self.pattern.axis_mask(1),
+            self.pattern.axis_mask(2),
+        )
     }
 }
 

@@ -37,6 +37,9 @@
 //! * [`layout`] / [`layouts`] — the `Layout3`/`Layout2` traits and the four
 //!   implementations: [`ArrayOrder3`], [`ZOrder3`], [`Tiled3`],
 //!   [`HilbertOrder3`] (and 2D counterparts).
+//! * [`cursor`] — O(1) incremental neighbor stepping per layout
+//!   (dilated-integer arithmetic for Z-order), the engine behind the
+//!   kernels' gather fast paths.
 //! * [`grid`] — layout-generic containers [`Grid3`]/[`Grid2`].
 //! * [`volume`] — the [`Volume3`] sampling trait kernels are written
 //!   against (and which `sfc-memsim` instruments).
@@ -45,6 +48,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cursor;
 pub mod dims;
 pub mod dyn_grid;
 pub mod error;
@@ -60,6 +64,7 @@ pub mod stats;
 pub mod stencil;
 pub mod volume;
 
+pub use cursor::{ArrayCursor3, Cursor3, RecomputeCursor, TiledCursor3, ZCursor3};
 pub use dims::{bits_for, next_pow2, Axis, Dims2, Dims3};
 pub use dyn_grid::DynGrid3;
 pub use error::{SfcError, SfcResult};

@@ -72,6 +72,16 @@ impl InterleavePattern3 {
         self.positions[axis].len() as u32
     }
 
+    /// Bit mask of the global index positions owned by axis `a` — the OR
+    /// of `1 << p` over that axis's bit planes. This is the mask `M` that
+    /// drives O(1) dilated-integer neighbor steps
+    /// (see [`crate::cursor::ZCursor3`]): with the other axes' bits forced
+    /// to ones, an ordinary add/subtract carries only through `M`'s
+    /// positions. A degenerate axis (extent 1) has mask 0.
+    pub fn axis_mask(&self, axis: usize) -> u64 {
+        self.positions[axis].iter().fold(0u64, |m, &p| m | (1 << p))
+    }
+
     /// Dilate a single coordinate of axis `a` into its index contribution.
     /// The per-axis lookup tables are just this function tabulated.
     pub fn dilate(&self, axis: usize, coord: usize) -> u64 {
@@ -194,6 +204,22 @@ mod tests {
         assert_eq!(p.axis_bits(1), 0);
         assert_eq!(p.storage_len(), 256);
         assert_eq!(p.dilate(1, 0), 0);
+    }
+
+    #[test]
+    fn axis_masks_partition_the_index_bits() {
+        for dims in [Dims3::cube(16), Dims3::new(5, 3, 9), Dims3::new(16, 1, 16)] {
+            let p = InterleavePattern3::new(dims);
+            let (mx, my, mz) = (p.axis_mask(0), p.axis_mask(1), p.axis_mask(2));
+            assert_eq!(mx & my, 0);
+            assert_eq!(mx & mz, 0);
+            assert_eq!(my & mz, 0);
+            let all = (p.storage_len() as u64) - 1;
+            assert_eq!(mx | my | mz, all);
+            assert_eq!(mx.count_ones(), p.axis_bits(0));
+            assert_eq!(my.count_ones(), p.axis_bits(1));
+            assert_eq!(mz.count_ones(), p.axis_bits(2));
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! `sfc-memsim` interpose an address-tracing wrapper without touching
 //! kernel code.
 
-use crate::dims::Dims3;
+use crate::cursor::Cursor3;
+use crate::dims::{Axis, Dims3};
 use crate::grid::Grid3;
 use crate::layout::Layout3;
 
@@ -28,6 +29,52 @@ pub trait Volume3 {
         let ck = k.clamp(0, d.nz as isize - 1) as usize;
         self.get(ci, cj, ck)
     }
+
+    /// Read `dst.len()` consecutive samples along `axis` starting at
+    /// `(i,j,k)` — the whole run must be in bounds.
+    ///
+    /// The default reads one sample at a time (so tracing wrappers see
+    /// every access); [`Grid3`] overrides it with a single cursor walk
+    /// that amortizes all index computation across the run. The values
+    /// written are identical either way.
+    #[inline]
+    fn gather_axis_run(&self, i: usize, j: usize, k: usize, axis: Axis, dst: &mut [f32]) {
+        for (t, v) in dst.iter_mut().enumerate() {
+            let (ci, cj, ck) = match axis {
+                Axis::X => (i + t, j, k),
+                Axis::Y => (i, j + t, k),
+                Axis::Z => (i, j, k + t),
+            };
+            *v = self.get(ci, cj, ck);
+        }
+    }
+
+    /// Read the 8 corners of the trilinear cell whose low corner is
+    /// `(x0,y0,z0)`, returned as
+    /// `[c000, c100, c010, c110, c001, c101, c011, c111]`
+    /// (`cXYZ` = corner at `x0+X, y0+Y, z0+Z`). High corners clamp to the
+    /// last in-bounds plane, matching the sampler's edge rule.
+    ///
+    /// The default issues 8 independent `get` calls; [`Grid3`] overrides
+    /// it with a 7-step Gray-code cursor walk (each corner one unit step
+    /// from the previous) so only the base corner pays full index math.
+    #[inline]
+    fn cell_corners(&self, x0: usize, y0: usize, z0: usize) -> [f32; 8] {
+        let d = self.dims();
+        let x1 = (x0 + 1).min(d.nx - 1);
+        let y1 = (y0 + 1).min(d.ny - 1);
+        let z1 = (z0 + 1).min(d.nz - 1);
+        [
+            self.get(x0, y0, z0),
+            self.get(x1, y0, z0),
+            self.get(x0, y1, z0),
+            self.get(x1, y1, z0),
+            self.get(x0, y0, z1),
+            self.get(x1, y0, z1),
+            self.get(x0, y1, z1),
+            self.get(x1, y1, z1),
+        ]
+    }
 }
 
 impl<L: Layout3> Volume3 for Grid3<f32, L> {
@@ -40,6 +87,75 @@ impl<L: Layout3> Volume3 for Grid3<f32, L> {
     fn get(&self, i: usize, j: usize, k: usize) -> f32 {
         Grid3::get(self, i, j, k)
     }
+
+    #[inline]
+    fn gather_axis_run(&self, i: usize, j: usize, k: usize, axis: Axis, dst: &mut [f32]) {
+        let n = dst.len();
+        if n == 0 {
+            return;
+        }
+        debug_assert!({
+            let (mut ci, mut cj, mut ck) = (i, j, k);
+            match axis {
+                Axis::X => ci += n - 1,
+                Axis::Y => cj += n - 1,
+                Axis::Z => ck += n - 1,
+            }
+            Grid3::dims(self).contains(ci, cj, ck)
+        });
+        let storage = self.storage();
+        let mut c = self.layout().cursor(i, j, k);
+        for (t, v) in dst.iter_mut().enumerate() {
+            *v = storage[c.index()];
+            // Never step past the last sample — a step outside the logical
+            // domain has unspecified cursor state.
+            if t + 1 < n {
+                c.step(axis, true);
+            }
+        }
+    }
+
+    #[inline]
+    fn cell_corners(&self, x0: usize, y0: usize, z0: usize) -> [f32; 8] {
+        let d = Grid3::dims(self);
+        // When a high corner clamps, skip the step: the cursor stays on
+        // the low plane and the read duplicates it, matching the default.
+        let hx = x0 + 1 < d.nx;
+        let hy = y0 + 1 < d.ny;
+        let hz = z0 + 1 < d.nz;
+        let s = self.storage();
+        let mut c = self.layout().cursor(x0, y0, z0);
+        let c000 = s[c.index()];
+        if hx {
+            c.inc_x();
+        }
+        let c100 = s[c.index()];
+        if hy {
+            c.inc_y();
+        }
+        let c110 = s[c.index()];
+        if hx {
+            c.dec_x();
+        }
+        let c010 = s[c.index()];
+        if hz {
+            c.inc_z();
+        }
+        let c011 = s[c.index()];
+        if hx {
+            c.inc_x();
+        }
+        let c111 = s[c.index()];
+        if hy {
+            c.dec_y();
+        }
+        let c101 = s[c.index()];
+        if hx {
+            c.dec_x();
+        }
+        let c001 = s[c.index()];
+        [c000, c100, c010, c110, c001, c101, c011, c111]
+    }
 }
 
 impl<V: Volume3 + ?Sized> Volume3 for &V {
@@ -51,6 +167,16 @@ impl<V: Volume3 + ?Sized> Volume3 for &V {
     #[inline]
     fn get(&self, i: usize, j: usize, k: usize) -> f32 {
         (**self).get(i, j, k)
+    }
+
+    #[inline]
+    fn gather_axis_run(&self, i: usize, j: usize, k: usize, axis: Axis, dst: &mut [f32]) {
+        (**self).gather_axis_run(i, j, k, axis, dst)
+    }
+
+    #[inline]
+    fn cell_corners(&self, x0: usize, y0: usize, z0: usize) -> [f32; 8] {
+        (**self).cell_corners(x0, y0, z0)
     }
 }
 

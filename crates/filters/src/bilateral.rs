@@ -91,6 +91,23 @@ pub fn bilateral_voxel<V: Volume3>(
     j: usize,
     k: usize,
 ) -> f32 {
+    let (value, nan_seen) = bilateral_voxel_counted(vol, kernel, inv_2sr2, i, j, k);
+    crate::counters::record_nan_events(nan_seen);
+    value
+}
+
+/// [`bilateral_voxel`] without the counter flush: returns the filtered
+/// value and the number of NaN samples excluded. The parallel drivers use
+/// this to accumulate NaN counts per pencil and touch the shared atomic
+/// once per work item instead of once per voxel.
+pub(crate) fn bilateral_voxel_counted<V: Volume3>(
+    vol: &V,
+    kernel: &SpatialKernel,
+    inv_2sr2: f32,
+    i: usize,
+    j: usize,
+    k: usize,
+) -> (f32, u64) {
     let d = vol.dims();
     let center = vol.get(i, j, k);
     let center_nan = center.is_nan();
@@ -135,14 +152,10 @@ pub fn bilateral_voxel<V: Volume3>(
             tap(v, wg);
         }
     }
-    crate::counters::record_nan_events(nan_seen);
     // With a non-NaN center, wsum >= the center's own weight
     // (1 * exp(0)) > 0; it can only be 0 when every sample was NaN.
-    if wsum > 0.0 {
-        acc / wsum
-    } else {
-        0.0
-    }
+    let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+    (value, nan_seen)
 }
 
 /// Single-threaded reference implementation over a row-major buffer —

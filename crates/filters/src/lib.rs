@@ -24,6 +24,7 @@ pub mod counters;
 pub mod gaussian;
 pub mod gradient;
 pub mod parallel;
+pub(crate) mod pencil_gather;
 pub mod separable;
 
 pub use bilateral::{bilateral_reference, bilateral_voxel, BilateralParams};

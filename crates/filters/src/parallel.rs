@@ -9,8 +9,9 @@
 use sfc_core::{pencil, pencil_count, Axis, Grid3, Layout3, SfcError, SfcResult, Volume3};
 use sfc_harness::{run_items, Schedule};
 
-use crate::bilateral::{bilateral_voxel, BilateralParams};
+use crate::bilateral::BilateralParams;
 use crate::gaussian::convolve_voxel;
+use crate::pencil_gather::{bilateral_pencil, GatherPlan};
 
 /// Configuration of one parallel filter execution.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +75,46 @@ where
     );
 }
 
+/// The bilateral driver shared by the static and dynamic schedules:
+/// pencil-gather fast path (see [`crate::pencil_gather`]) over any pencil
+/// decomposition, writing through the output layout.
+fn drive_bilateral<V, LOut>(
+    vol: &V,
+    out: &mut Grid3<f32, LOut>,
+    params: &BilateralParams,
+    pencil_axis: Axis,
+    nthreads: usize,
+    schedule: Schedule,
+) where
+    V: Volume3 + Sync,
+    LOut: Layout3,
+{
+    let dims = vol.dims();
+    assert_eq!(dims, out.dims(), "output grid must match input dimensions");
+    let kernel = params.spatial_kernel();
+    let inv = params.inv_two_sigma_range_sq();
+    let plan = GatherPlan::new(&kernel, dims, pencil_axis);
+    let out_layout = out.layout().clone();
+    let slots = Slots(out.storage_mut().as_mut_ptr());
+    let slots = &slots;
+    run_items(
+        nthreads,
+        pencil_count(dims, pencil_axis),
+        schedule,
+        |_tid, pid| {
+            let p = pencil(dims, pencil_axis, pid);
+            bilateral_pencil(vol, &kernel, inv, &plan, &p, |i, j, k, value| {
+                let idx = out_layout.index(i, j, k);
+                // SAFETY: the layout is injective over the logical domain
+                // and pencils partition it, so each slot is written by
+                // exactly one thread; `idx < storage_len` by the layout
+                // contract.
+                unsafe { *slots.0.add(idx) = value };
+            });
+        },
+    );
+}
+
 /// Bilateral-filter `vol` into `out` (same dimensions, any layouts),
 /// validating configuration and shapes with typed errors.
 pub fn try_bilateral3d_into<V, LOut>(
@@ -93,11 +134,14 @@ where
             actual: format!("{:?}", out.dims()),
         });
     }
-    let kernel = run.params.spatial_kernel();
-    let inv = run.params.inv_two_sigma_range_sq();
-    drive(vol, out, run, |i, j, k| {
-        bilateral_voxel(vol, &kernel, inv, i, j, k)
-    });
+    drive_bilateral(
+        vol,
+        out,
+        &run.params,
+        run.pencil_axis,
+        run.nthreads,
+        Schedule::StaticRoundRobin,
+    );
     Ok(())
 }
 
@@ -173,26 +217,8 @@ where
     V: Volume3 + Sync,
     LOut: Layout3,
 {
-    let dims = vol.dims();
-    let kernel = params.spatial_kernel();
-    let inv = params.inv_two_sigma_range_sq();
-    let mut out = Grid3::<f32, LOut>::new(dims);
-    let out_layout = out.layout().clone();
-    let slots = Slots(out.storage_mut().as_mut_ptr());
-    let slots = &slots;
-    run_items(
-        nthreads,
-        pencil_count(dims, pencil_axis),
-        Schedule::Dynamic,
-        |_tid, pid| {
-            let p = pencil(dims, pencil_axis, pid);
-            for (i, j, k) in p.iter() {
-                let v = bilateral_voxel(vol, &kernel, inv, i, j, k);
-                // SAFETY: same disjointness argument as `drive`.
-                unsafe { *slots.0.add(out_layout.index(i, j, k)) = v };
-            }
-        },
-    );
+    let mut out = Grid3::<f32, LOut>::new(vol.dims());
+    drive_bilateral(vol, &mut out, params, pencil_axis, nthreads, Schedule::Dynamic);
     out
 }
 

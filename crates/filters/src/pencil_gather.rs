@@ -1,0 +1,363 @@
+//! Pencil-gather fast path for the bilateral filter.
+//!
+//! The per-voxel kernel ([`crate::bilateral::bilateral_voxel`]) pays a
+//! full layout index computation per stencil tap — `(2r+1)³` of them per
+//! voxel, 1,331 for the paper's r5 configuration. But consecutive voxels
+//! of a pencil share almost their entire neighborhood: the stencil taps of
+//! the whole pencil live in the `(2r+1)²` rows of voxels that run parallel
+//! to it. This module gathers those rows **once per pencil** into a
+//! contiguous row-major scratch buffer (each row read with a single
+//! incremental cursor walk, see [`sfc_core::cursor`]), after which the
+//! per-voxel tap loop is pure contiguous arithmetic with *zero* index
+//! computation.
+//!
+//! ## Bitwise equivalence
+//!
+//! The fast path iterates the taps in exactly the kernel's configured
+//! [`sfc_core::StencilOrder`] (`tap_base` is built in `offsets()` order)
+//! and performs the identical sequence of f32 operations on the identical
+//! sample values, so its outputs are bit-for-bit equal to the per-voxel
+//! path — the `output_is_layout_invariant_bitwise` tests hold unchanged.
+//! Equal footing across layouts is also preserved: every layout goes
+//! through the same `Layout3::cursor` abstraction; only the (layout-
+//! independent) redundancy of recomputing indices is removed.
+//!
+//! ## Routing
+//!
+//! A pencil qualifies for gathering when its two *cross* coordinates are
+//! at least `r` from every face: then every stencil row is fully in
+//! bounds and only the *along-axis* tap coordinate can clamp. Since each
+//! gathered row spans the whole axis, even the first/last `r` voxels of
+//! such a pencil read the scratch (with a per-tap clamp mirroring
+//! `get_clamped`). Pencils near a face fall back entirely to
+//! [`crate::bilateral::bilateral_voxel_counted`]. NaN events are
+//! accumulated locally and flushed to the shared counter once per pencil.
+
+use std::cell::RefCell;
+
+use sfc_core::{Axis, Dims3, Pencil, Volume3};
+
+use crate::bilateral::bilateral_voxel_counted;
+use crate::gaussian::SpatialKernel;
+
+thread_local! {
+    /// Reusable per-thread gather scratch; grown on demand, never shrunk
+    /// within a run, so steady state performs zero allocations.
+    static SCRATCH: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Precomputed gather geometry for one `(kernel, dims, pencil axis)`
+/// combination; shared read-only across worker threads.
+pub(crate) struct GatherPlan {
+    /// Stencil radius.
+    radius: usize,
+    /// Extent of the pencil axis (row length).
+    n_a: usize,
+    /// Cross-axis extents (`b` = faster-varying fixed axis of the pencil,
+    /// `c` = slower, matching [`Pencil::a`]/[`Pencil::b`]).
+    n_b: usize,
+    n_c: usize,
+    /// Per-tap scratch offset, in kernel tap order:
+    /// `row_id * n_a + (d_axis + r)` — add `voxel_a - r` to index the tap
+    /// sample for the voxel at pencil position `voxel_a`.
+    tap_base: Vec<usize>,
+    /// Per-tap `(row_id * n_a, d_axis)` pairs, in kernel tap order, for
+    /// the boundary caps whose along-axis taps must clamp.
+    tap_cap: Vec<(usize, isize)>,
+    /// Scratch offset of the center row (`row_id(0,0) * n_a`).
+    center_row: usize,
+}
+
+/// Split a stencil offset into (along-axis, faster-cross, slower-cross)
+/// components matching the pencil's `(t, a, b)` coordinate roles.
+#[inline]
+fn split_offset(axis: Axis, (di, dj, dk): (isize, isize, isize)) -> (isize, isize, isize) {
+    match axis {
+        Axis::X => (di, dj, dk),
+        Axis::Y => (dj, di, dk),
+        Axis::Z => (dk, di, dj),
+    }
+}
+
+/// Recombine (along-axis, faster-cross, slower-cross) coordinates into
+/// `(i, j, k)`; inverse of the role split in [`split_offset`].
+#[inline]
+fn join_coords(axis: Axis, a: usize, b: usize, c: usize) -> (usize, usize, usize) {
+    match axis {
+        Axis::X => (a, b, c),
+        Axis::Y => (b, a, c),
+        Axis::Z => (b, c, a),
+    }
+}
+
+impl GatherPlan {
+    pub(crate) fn new(kernel: &SpatialKernel, dims: Dims3, axis: Axis) -> Self {
+        let r = kernel.radius();
+        let w = 2 * r + 1;
+        let n_a = axis.extent(dims);
+        let (n_b, n_c) = match axis {
+            Axis::X => (dims.ny, dims.nz),
+            Axis::Y => (dims.nx, dims.nz),
+            Axis::Z => (dims.nx, dims.ny),
+        };
+        let ri = r as isize;
+        let mut tap_base = Vec::with_capacity(kernel.offsets().len());
+        let mut tap_cap = Vec::with_capacity(kernel.offsets().len());
+        for &off in kernel.offsets() {
+            let (da, db, dc) = split_offset(axis, off);
+            let row_id = ((db + ri) as usize) + w * ((dc + ri) as usize);
+            tap_base.push(row_id * n_a + (da + ri) as usize);
+            tap_cap.push((row_id * n_a, da));
+        }
+        Self {
+            radius: r,
+            n_a,
+            n_b,
+            n_c,
+            tap_base,
+            tap_cap,
+            center_row: (r + w * r) * n_a,
+        }
+    }
+
+    /// Whether `p` qualifies for the gather fast path: every stencil row
+    /// must be fully in bounds, and the pencil must contain at least one
+    /// interior voxel.
+    #[inline]
+    fn pencil_is_interior(&self, p: &Pencil) -> bool {
+        let r = self.radius;
+        p.a >= r && p.a + r < self.n_b && p.b >= r && p.b + r < self.n_c && self.n_a > 2 * r
+    }
+}
+
+/// Filter one pencil, writing each voxel's result via `write(i, j, k, v)`.
+///
+/// Interior spans use the gathered-scratch fast path; everything else
+/// falls back to the per-voxel clamped kernel. Outputs are bitwise
+/// identical to calling [`crate::bilateral::bilateral_voxel`] per voxel.
+pub(crate) fn bilateral_pencil<V, F>(
+    vol: &V,
+    kernel: &SpatialKernel,
+    inv_2sr2: f32,
+    plan: &GatherPlan,
+    p: &Pencil,
+    mut write: F,
+) where
+    V: Volume3,
+    F: FnMut(usize, usize, usize, f32),
+{
+    let mut nan_seen = 0u64;
+    if plan.pencil_is_interior(p) {
+        SCRATCH.with(|cell| {
+            let mut scratch = cell.borrow_mut();
+            gather_rows(vol, plan, p, &mut scratch);
+            let r = plan.radius;
+            // Boundary caps: only the along-axis taps clamp (the cross
+            // coordinates are interior by the routing predicate), and the
+            // gathered rows span the whole axis — so caps read the scratch
+            // too, with a per-tap clamp.
+            for t in (0..r).chain(p.len - r..p.len) {
+                let (v, n) = bilateral_cap_from_scratch(&scratch, plan, kernel, inv_2sr2, t);
+                nan_seen += n;
+                let (i, j, k) = p.coords(t);
+                write(i, j, k, v);
+            }
+            // Interior span: pure scratch arithmetic.
+            for a in r..p.len - r {
+                let (v, n) = bilateral_from_scratch(&scratch, plan, kernel, inv_2sr2, a);
+                nan_seen += n;
+                let (i, j, k) = p.coords(a);
+                write(i, j, k, v);
+            }
+        });
+    } else {
+        for (i, j, k) in p.iter() {
+            let (v, n) = bilateral_voxel_counted(vol, kernel, inv_2sr2, i, j, k);
+            nan_seen += n;
+            write(i, j, k, v);
+        }
+    }
+    crate::counters::record_nan_events(nan_seen);
+}
+
+/// Gather the pencil's `(2r+1)²` neighbor rows into `scratch`
+/// (row-major: row `(db+r) + (2r+1)(dc+r)`, each of length `n_a`).
+fn gather_rows<V: Volume3>(vol: &V, plan: &GatherPlan, p: &Pencil, scratch: &mut Vec<f32>) {
+    let r = plan.radius;
+    let w = 2 * r + 1;
+    let n_a = plan.n_a;
+    scratch.resize(w * w * n_a, 0.0);
+    for dc in 0..w {
+        for db in 0..w {
+            let b = p.a + db - r;
+            let c = p.b + dc - r;
+            let (i0, j0, k0) = join_coords(p.axis, 0, b, c);
+            let row = (db + w * dc) * n_a;
+            vol.gather_axis_run(i0, j0, k0, p.axis, &mut scratch[row..row + n_a]);
+        }
+    }
+}
+
+/// The bilateral kernel's interior branch, reading taps from gathered
+/// scratch. Must mirror `bilateral_voxel_counted`'s interior loop exactly
+/// — same tap order, same f32 operations — for bitwise-equal output.
+#[inline]
+fn bilateral_from_scratch(
+    scratch: &[f32],
+    plan: &GatherPlan,
+    kernel: &SpatialKernel,
+    inv_2sr2: f32,
+    a: usize,
+) -> (f32, u64) {
+    let center = scratch[plan.center_row + a];
+    let center_nan = center.is_nan();
+    let shift = a - plan.radius;
+    let mut acc = 0.0f32;
+    let mut wsum = 0.0f32;
+    let mut nan_seen: u64 = u64::from(center_nan);
+    for (&base, &wg) in plan.tap_base.iter().zip(kernel.weights()) {
+        let v = scratch[base + shift];
+        if v.is_nan() {
+            nan_seen += 1;
+            continue;
+        }
+        let w = if center_nan {
+            wg
+        } else {
+            let diff = v - center;
+            wg * (-(diff * diff) * inv_2sr2).exp()
+        };
+        acc += w * v;
+        wsum += w;
+    }
+    let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+    (value, nan_seen)
+}
+
+/// The boundary-cap variant of [`bilateral_from_scratch`]: the voxel sits
+/// within `r` of a pencil end, so each tap's along-axis coordinate clamps
+/// to `[0, n_a)` — exactly what `get_clamped` does in the per-voxel slow
+/// path (the cross coordinates never clamp for a gathered pencil). Same
+/// tap order, same f32 operations: output stays bitwise-equal.
+#[inline]
+fn bilateral_cap_from_scratch(
+    scratch: &[f32],
+    plan: &GatherPlan,
+    kernel: &SpatialKernel,
+    inv_2sr2: f32,
+    a: usize,
+) -> (f32, u64) {
+    let center = scratch[plan.center_row + a];
+    let center_nan = center.is_nan();
+    let hi = plan.n_a as isize - 1;
+    let mut acc = 0.0f32;
+    let mut wsum = 0.0f32;
+    let mut nan_seen: u64 = u64::from(center_nan);
+    for (&(row, da), &wg) in plan.tap_cap.iter().zip(kernel.weights()) {
+        let ta = (a as isize + da).clamp(0, hi) as usize;
+        let v = scratch[row + ta];
+        if v.is_nan() {
+            nan_seen += 1;
+            continue;
+        }
+        let w = if center_nan {
+            wg
+        } else {
+            let diff = v - center;
+            wg * (-(diff * diff) * inv_2sr2).exp()
+        };
+        acc += w * v;
+        wsum += w;
+    }
+    let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+    (value, nan_seen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bilateral::{bilateral_voxel, BilateralParams};
+    use sfc_core::{pencils, Grid3, StencilOrder, Tiled3, ZOrder3};
+
+    fn params(radius: usize, order: StencilOrder) -> BilateralParams {
+        BilateralParams {
+            radius,
+            sigma_spatial: 1.0,
+            sigma_range: 0.12,
+            order,
+        }
+    }
+
+    fn noisy(dims: Dims3) -> Vec<f32> {
+        (0..dims.len())
+            .map(|v| ((v * 2654435761) % 977) as f32 / 977.0)
+            .collect()
+    }
+
+    #[test]
+    fn gathered_pencils_match_per_voxel_kernel_bitwise() {
+        let dims = Dims3::new(11, 9, 7);
+        let values = noisy(dims);
+        let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        for order in [StencilOrder::Xyz, StencilOrder::Zyx] {
+            let p = params(2, order);
+            let kernel = p.spatial_kernel();
+            let inv = p.inv_two_sigma_range_sq();
+            for axis in Axis::ALL {
+                let plan = GatherPlan::new(&kernel, dims, axis);
+                for pen in pencils(dims, axis) {
+                    bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |i, j, k, v| {
+                        let want = bilateral_voxel(&grid, &kernel, inv, i, j, k);
+                        assert_eq!(
+                            v.to_bits(),
+                            want.to_bits(),
+                            "mismatch at ({i},{j},{k}) axis {axis:?}"
+                        );
+                    });
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_events_flush_once_per_pencil() {
+        let dims = Dims3::cube(8);
+        let mut values = noisy(dims);
+        values[3 + 3 * 8 + 3 * 64] = f32::NAN;
+        let grid = Grid3::<f32, Tiled3>::from_row_major(dims, &values);
+        let p = params(1, StencilOrder::Xyz);
+        let kernel = p.spatial_kernel();
+        let inv = p.inv_two_sigma_range_sq();
+        let plan = GatherPlan::new(&kernel, dims, Axis::X);
+        let before = crate::counters::nan_events();
+        for pen in pencils(dims, Axis::X) {
+            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |_, _, _, _| {});
+        }
+        // The NaN voxel is seen once per covering stencil: 27 neighbors'
+        // stencils include it, plus its own center pre-count.
+        assert_eq!(crate::counters::nan_events() - before, 28);
+    }
+
+    #[test]
+    fn short_pencils_route_to_slow_path() {
+        // radius 2 with a 4-long axis: no interior voxels anywhere.
+        let dims = Dims3::new(4, 9, 9);
+        let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &noisy(dims));
+        let p = params(2, StencilOrder::Xyz);
+        let kernel = p.spatial_kernel();
+        let inv = p.inv_two_sigma_range_sq();
+        let plan = GatherPlan::new(&kernel, dims, Axis::X);
+        for pen in pencils(dims, Axis::X) {
+            assert!(!plan.pencil_is_interior(&pen));
+            let mut count = 0;
+            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |i, j, k, v| {
+                assert_eq!(
+                    v.to_bits(),
+                    bilateral_voxel(&grid, &kernel, inv, i, j, k).to_bits()
+                );
+                count += 1;
+            });
+            assert_eq!(count, pen.len);
+        }
+    }
+}

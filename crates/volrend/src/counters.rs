@@ -75,9 +75,10 @@ pub fn simulate_render_counters<L: Layout3>(
                 .collect();
             let work = interleave_round_robin(&streams);
             let traced = TracedGrid::at_zero(grid, sim);
+            let bbox = crate::ray::Aabb::of_dims(grid.dims());
             for (x, y) in work {
                 let ray = cam.ray_for_pixel(x, y);
-                std::hint::black_box(crate::render::shade_ray(&traced, tf, opts, &ray));
+                std::hint::black_box(crate::render::shade_ray(&traced, tf, opts, &ray, &bbox));
             }
         },
     )

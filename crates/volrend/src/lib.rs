@@ -35,7 +35,7 @@ pub use counters::{nan_samples, reset_nan_samples, simulate_render_counters};
 pub use image::Image;
 pub use ray::{Aabb, Ray};
 pub use render::{render, render_tile, shade_ray, RenderOpts};
-pub use sampler::sample_trilinear;
+pub use sampler::{sample_trilinear, CellSampler};
 pub use shading::{field_gradient, phong_intensity, render_lit, shade_ray_lit, Light};
 pub use transfer::{rgba, Rgba, TransferFunction};
 pub use vec3::{vec3, Vec3};

@@ -12,7 +12,7 @@ use sfc_harness::{run_items, Schedule};
 use crate::camera::Camera;
 use crate::image::Image;
 use crate::ray::Aabb;
-use crate::sampler::sample_trilinear;
+use crate::sampler::CellSampler;
 use crate::transfer::{Rgba, TransferFunction};
 
 /// Renderer options.
@@ -42,22 +42,42 @@ impl Default for RenderOpts {
     }
 }
 
-/// March one ray and return the composited color.
+/// March one ray and return the composited color. `bbox` is the volume's
+/// bounding box (`Aabb::of_dims(vol.dims())`), hoisted to the caller so
+/// per-tile/per-frame loops build it once instead of once per ray.
 pub fn shade_ray<V: Volume3>(
     vol: &V,
     tf: &TransferFunction,
     opts: &RenderOpts,
     ray: &crate::ray::Ray,
+    bbox: &Aabb,
 ) -> Rgba {
-    let bbox = Aabb::of_dims(vol.dims());
+    let (color, nan_seen) = shade_ray_counted(vol, tf, opts, ray, bbox);
+    crate::counters::record_nan_samples(nan_seen);
+    color
+}
+
+/// [`shade_ray`] without the counter flush: returns the composited color
+/// and the ray's NaN-substitution count, letting tile loops batch the
+/// shared-atomic update once per tile.
+pub(crate) fn shade_ray_counted<V: Volume3>(
+    vol: &V,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    ray: &crate::ray::Ray,
+    bbox: &Aabb,
+) -> (Rgba, u64) {
     let Some((t0, t1)) = bbox.intersect(ray) else {
-        return Rgba::default();
+        return (Rgba::default(), 0);
     };
+    // One cached-cell sampler per ray: at sub-voxel steps consecutive
+    // samples usually stay in the same trilinear cell and skip all reads.
+    let mut sampler = CellSampler::new(vol);
     let mut color = Rgba::default();
     let mut t = t0 + opts.step * 0.5;
     while t < t1 {
         let p = ray.at(t);
-        let v = sample_trilinear(vol, p);
+        let v = sampler.sample(p);
         let s = tf.sample(v);
         if s.a > 0.0 {
             // Opacity correction for the step length (reference step = 1 voxel).
@@ -73,12 +93,13 @@ pub fn shade_ray<V: Volume3>(
         }
         t += opts.step;
     }
-    color
+    (color, sampler.take_nan_count())
 }
 
 /// Render every pixel of `tile`, delivering results through `put(x, y, c)`.
 /// This is the unit of work both the native parallel driver and the
-/// counter simulation share.
+/// counter simulation share. The bounding box is computed once per tile
+/// and NaN counts are flushed once per tile.
 pub fn render_tile<V: Volume3>(
     vol: &V,
     cam: &Camera,
@@ -87,10 +108,15 @@ pub fn render_tile<V: Volume3>(
     tile: TileRect,
     mut put: impl FnMut(usize, usize, Rgba),
 ) {
+    let bbox = Aabb::of_dims(vol.dims());
+    let mut nan_seen = 0u64;
     for (x, y) in tile.pixels() {
         let ray = cam.ray_for_pixel(x, y);
-        put(x, y, shade_ray(vol, tf, opts, &ray));
+        let (c, n) = shade_ray_counted(vol, tf, opts, &ray, &bbox);
+        nan_seen += n;
+        put(x, y, c);
     }
+    crate::counters::record_nan_samples(nan_seen);
 }
 
 /// Wrapper making disjoint raw pixel writes shareable across threads.

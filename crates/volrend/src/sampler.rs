@@ -3,10 +3,100 @@
 //! Each sample touches the 8 voxels surrounding the position — this is the
 //! renderer's entire data access pattern, and the reason ray slope
 //! determines which layout wins.
+//!
+//! Two fast paths (both bitwise-neutral to the result):
+//!
+//! * corner gathering goes through [`Volume3::cell_corners`], which grids
+//!   implement as a 7-step incremental cursor walk (one full index
+//!   computation per cell instead of eight);
+//! * [`CellSampler`] additionally caches the most recent cell's corners,
+//!   so consecutive samples landing in the same cell — common at the
+//!   paper's 0.5-voxel ray step — skip the data access entirely.
 
 use sfc_core::Volume3;
 
 use crate::vec3::Vec3;
+
+/// Reusable trilinear sampler with a one-cell corner cache.
+///
+/// The raycaster creates one per ray: at a 0.5-voxel step roughly half of
+/// consecutive samples fall in the cell just sampled, and those re-use the
+/// cached corners with zero volume reads. Results are bit-identical to
+/// [`sample_trilinear`] — the cache only skips re-reading unchanged data.
+///
+/// NaN substitutions are accumulated locally; call
+/// [`take_nan_count`](Self::take_nan_count) to drain the tally into a
+/// shared counter once per work item. NaNs are counted once per *cell
+/// fetch* rather than once per sample, so a cached re-sample of a NaN cell
+/// does not re-count it (the process-wide counter stays monotonic, which
+/// is all its contract promises).
+pub struct CellSampler<'v, V: Volume3> {
+    vol: &'v V,
+    dims: sfc_core::Dims3,
+    /// Low corner of the cached cell, or `usize::MAX` sentinel when empty.
+    cell: (usize, usize, usize),
+    /// Cached corner values, NaN already substituted:
+    /// `[c000, c100, c010, c110, c001, c101, c011, c111]`.
+    corners: [f32; 8],
+    nan_seen: u64,
+}
+
+impl<'v, V: Volume3> CellSampler<'v, V> {
+    /// Create a sampler over `vol` with an empty cell cache.
+    pub fn new(vol: &'v V) -> Self {
+        Self {
+            vol,
+            dims: vol.dims(),
+            cell: (usize::MAX, usize::MAX, usize::MAX),
+            corners: [0.0; 8],
+            nan_seen: 0,
+        }
+    }
+
+    /// Trilinearly interpolate at a continuous position (voxel `(i,j,k)`'s
+    /// center sits at `(i+0.5, j+0.5, k+0.5)`); positions outside the
+    /// volume clamp to the boundary voxels.
+    pub fn sample(&mut self, p: Vec3) -> f32 {
+        let d = self.dims;
+        // Shift so voxel centers are at integers, clamp into the center
+        // range (boundary rule: positions outside snap to the edge
+        // voxels), then split into base + frac.
+        let x = (p.x - 0.5).clamp(0.0, (d.nx - 1) as f32);
+        let y = (p.y - 0.5).clamp(0.0, (d.ny - 1) as f32);
+        let z = (p.z - 0.5).clamp(0.0, (d.nz - 1) as f32);
+        let (x0f, y0f, z0f) = (x.floor(), y.floor(), z.floor());
+        let (tx, ty, tz) = (x - x0f, y - y0f, z - z0f);
+        let cell = (x0f as usize, y0f as usize, z0f as usize);
+
+        if cell != self.cell {
+            let raw = self.vol.cell_corners(cell.0, cell.1, cell.2);
+            for (slot, v) in self.corners.iter_mut().zip(raw) {
+                if v.is_nan() {
+                    self.nan_seen += 1;
+                    *slot = 0.0;
+                } else {
+                    *slot = v;
+                }
+            }
+            self.cell = cell;
+        }
+
+        let [c000, c100, c010, c110, c001, c101, c011, c111] = self.corners;
+        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+        let c00 = lerp(c000, c100, tx);
+        let c10 = lerp(c010, c110, tx);
+        let c01 = lerp(c001, c101, tx);
+        let c11 = lerp(c011, c111, tx);
+        let c0 = lerp(c00, c10, ty);
+        let c1 = lerp(c01, c11, ty);
+        lerp(c0, c1, tz)
+    }
+
+    /// Drain the accumulated NaN-substitution count (resets it to zero).
+    pub fn take_nan_count(&mut self) -> u64 {
+        std::mem::take(&mut self.nan_seen)
+    }
+}
 
 /// Trilinearly interpolate the field at a continuous position in voxel
 /// space (voxel `(i,j,k)`'s center sits at `(i+0.5, j+0.5, k+0.5)`).
@@ -14,56 +104,20 @@ use crate::vec3::Vec3;
 ///
 /// NaN voxels (corrupt data) are substituted with `0.0` rather than
 /// poisoning the whole ray; each substitution is counted in
-/// [`crate::counters::nan_samples`].
+/// [`crate::counters::nan_samples`]. One-shot convenience over
+/// [`CellSampler`]; the renderer keeps a sampler per ray instead.
 pub fn sample_trilinear<V: Volume3>(vol: &V, p: Vec3) -> f32 {
-    let d = vol.dims();
-    // Shift so voxel centers are at integers, clamp into the center range
-    // (boundary rule: positions outside snap to the edge voxels), then
-    // split into base + frac.
-    let x = (p.x - 0.5).clamp(0.0, (d.nx - 1) as f32);
-    let y = (p.y - 0.5).clamp(0.0, (d.ny - 1) as f32);
-    let z = (p.z - 0.5).clamp(0.0, (d.nz - 1) as f32);
-    let (x0f, y0f, z0f) = (x.floor(), y.floor(), z.floor());
-    let (tx, ty, tz) = (x - x0f, y - y0f, z - z0f);
-    let (x0, y0, z0) = (x0f as usize, y0f as usize, z0f as usize);
-    let x1 = (x0 + 1).min(d.nx - 1);
-    let y1 = (y0 + 1).min(d.ny - 1);
-    let z1 = (z0 + 1).min(d.nz - 1);
-
-    let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
-    let mut nan_seen = 0u64;
-    let mut tap = |i: usize, j: usize, k: usize| {
-        let v = vol.get(i, j, k);
-        if v.is_nan() {
-            nan_seen += 1;
-            0.0
-        } else {
-            v
-        }
-    };
-    let c000 = tap(x0, y0, z0);
-    let c100 = tap(x1, y0, z0);
-    let c010 = tap(x0, y1, z0);
-    let c110 = tap(x1, y1, z0);
-    let c001 = tap(x0, y0, z1);
-    let c101 = tap(x1, y0, z1);
-    let c011 = tap(x0, y1, z1);
-    let c111 = tap(x1, y1, z1);
-    crate::counters::record_nan_samples(nan_seen);
-    let c00 = lerp(c000, c100, tx);
-    let c10 = lerp(c010, c110, tx);
-    let c01 = lerp(c001, c101, tx);
-    let c11 = lerp(c011, c111, tx);
-    let c0 = lerp(c00, c10, ty);
-    let c1 = lerp(c01, c11, ty);
-    lerp(c0, c1, tz)
+    let mut sampler = CellSampler::new(vol);
+    let v = sampler.sample(p);
+    crate::counters::record_nan_samples(sampler.take_nan_count());
+    v
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::vec3::vec3;
-    use sfc_core::{Dims3, FnVolume};
+    use sfc_core::{Dims3, FnVolume, Grid3, Tiled3, ZOrder3};
 
     #[test]
     fn at_voxel_center_returns_voxel_value() {
@@ -129,5 +183,60 @@ mod tests {
         for p in [vec3(0.1, 3.9, 2.0), vec3(2.5, 2.5, 2.5), vec3(3.99, 0.01, 1.0)] {
             assert!((sample_trilinear(&v, p) - 0.8).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn cached_sampler_matches_one_shot_bitwise() {
+        let dims = Dims3::new(9, 7, 6);
+        let values: Vec<f32> = (0..dims.len())
+            .map(|v| ((v * 2654435761) % 997) as f32 / 997.0)
+            .collect();
+        let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let mut s = CellSampler::new(&g);
+        // A ray-like march with sub-voxel steps: many consecutive samples
+        // share a cell, exercising the cache path.
+        for t in 0..120 {
+            let p = vec3(
+                0.3 + t as f32 * 0.07,
+                0.9 + t as f32 * 0.05,
+                0.5 + t as f32 * 0.04,
+            );
+            let cached = s.sample(p);
+            let fresh = sample_trilinear(&g, p);
+            assert_eq!(cached.to_bits(), fresh.to_bits(), "step {t}");
+        }
+    }
+
+    #[test]
+    fn cursor_cell_corners_match_default_on_all_edges() {
+        // Cells whose high corner clamps (last plane along each axis) must
+        // duplicate the low plane exactly like the per-get default.
+        let dims = Dims3::new(5, 4, 3);
+        let values: Vec<f32> = (0..dims.len()).map(|v| v as f32 * 0.37).collect();
+        let g = Grid3::<f32, Tiled3>::from_row_major(dims, &values);
+        for (i, j, k) in dims.iter() {
+            let fast = g.cell_corners(i, j, k);
+            let slow = {
+                let vref: &dyn Volume3 = &FnVolume::new(dims, |a, b, c| g.get(a, b, c));
+                vref.cell_corners(i, j, k)
+            };
+            assert_eq!(fast, slow, "cell ({i},{j},{k})");
+        }
+    }
+
+    #[test]
+    fn take_nan_count_drains() {
+        let v = FnVolume::new(Dims3::cube(2), |i, _, _| {
+            if i == 0 {
+                f32::NAN
+            } else {
+                1.0
+            }
+        });
+        let mut s = CellSampler::new(&v);
+        s.sample(vec3(1.0, 1.0, 1.0));
+        let n = s.take_nan_count();
+        assert!(n > 0);
+        assert_eq!(s.take_nan_count(), 0);
     }
 }

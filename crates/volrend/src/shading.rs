@@ -71,15 +71,16 @@ pub fn phong_intensity(normal: Vec3, view: Vec3, light: &Light) -> f32 {
 }
 
 /// March one ray with gradient shading (front-to-back, early termination —
-/// the shaded counterpart of [`crate::render::shade_ray`]).
+/// the shaded counterpart of [`crate::render::shade_ray`]). `bbox` is the
+/// volume's bounding box, hoisted to the caller (built once per frame).
 pub fn shade_ray_lit<V: Volume3>(
     vol: &V,
     tf: &TransferFunction,
     opts: &RenderOpts,
     light: &Light,
     ray: &crate::ray::Ray,
+    bbox: &Aabb,
 ) -> Rgba {
-    let bbox = Aabb::of_dims(vol.dims());
     let Some((t0, t1)) = bbox.intersect(ray) else {
         return Rgba::default();
     };
@@ -122,6 +123,7 @@ pub fn render_lit<V: Volume3 + Sync>(
 
     let (w, h) = (cam.width(), cam.height());
     let tiles = image_tiles(w, h, opts.tile, opts.tile);
+    let bbox = Aabb::of_dims(vol.dims());
     let mut img = crate::image::Image::new(w, h);
     struct PixelSlots(*mut Rgba);
     unsafe impl Sync for PixelSlots {}
@@ -130,7 +132,7 @@ pub fn render_lit<V: Volume3 + Sync>(
     run_items(opts.nthreads, tiles.len(), opts.schedule, |_tid, ti| {
         for (x, y) in tiles[ti].pixels() {
             let ray = cam.ray_for_pixel(x, y);
-            let c = shade_ray_lit(vol, tf, opts, light, &ray);
+            let c = shade_ray_lit(vol, tf, opts, light, &ray, &bbox);
             // SAFETY: tiles partition the image; each pixel written once.
             unsafe { *slots.0.add(y * w + x) = c };
         }

@@ -84,7 +84,7 @@ fn shaded_alpha_in_unit_interval() {
             origin: vec3(4.0, 4.0, 4.0) - d * 30.0,
             dir: d,
         };
-        let c = shade_ray(&vol, &tf, &opts, &ray);
+        let c = shade_ray(&vol, &tf, &opts, &ray, &Aabb::of_dims(Dims3::cube(8)));
         assert!((0.0..=1.0).contains(&c.a));
         for ch in [c.r, c.g, c.b] {
             assert!((0.0..=1.0 + 1e-5).contains(&ch));
@@ -103,7 +103,7 @@ fn empty_volume_shades_to_nothing() {
             origin: vec3(4.0, 4.0, 4.0) - d * 30.0,
             dir: d,
         };
-        let c = shade_ray(&vol, &tf, &RenderOpts::default(), &ray);
+        let c = shade_ray(&vol, &tf, &RenderOpts::default(), &ray, &Aabb::of_dims(Dims3::cube(8)));
         assert_eq!(c.a, 0.0);
     }
 }
