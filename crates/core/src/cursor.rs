@@ -27,7 +27,11 @@
 //! Cursors are plain values (no allocation, no borrows), so kernels can
 //! keep one per scan row and step it millions of times. Stepping outside
 //! the logical domain is a logic error: the resulting index is
-//! unspecified (debug builds assert where the check is cheap).
+//! unspecified in release builds, while debug builds track the logical
+//! coordinate alongside the storage index and panic on the first step
+//! that leaves the domain — misuse fails loudly under `cargo test`
+//! instead of producing a garbage-but-in-bounds index and silently wrong
+//! reads.
 //!
 //! Every implementation upholds the walk invariant verified by the crate's
 //! property tests: after any in-bounds sequence of unit steps from
@@ -35,13 +39,67 @@
 //! the stepped-to coordinate.
 
 use crate::dims::Axis;
+#[cfg(debug_assertions)]
+use crate::dims::Dims3;
+
+/// Debug-build logical-coordinate tracker embedded in every cursor.
+///
+/// Release cursors carry only the storage index (and whatever strides
+/// they need), so a miscomputed iteration domain would silently produce
+/// a wrong-but-in-bounds index. Under `cfg(debug_assertions)` each cursor
+/// also carries its logical `(i,j,k)` and the layout's dims, and every
+/// step asserts it stays inside the domain.
+#[cfg(debug_assertions)]
+#[derive(Debug, Clone, Copy)]
+struct DebugDomain {
+    i: usize,
+    j: usize,
+    k: usize,
+    dims: Dims3,
+}
+
+#[cfg(debug_assertions)]
+impl DebugDomain {
+    fn new((i, j, k): (usize, usize, usize), dims: Dims3) -> Self {
+        assert!(
+            dims.contains(i, j, k),
+            "cursor positioned out of bounds at ({i},{j},{k}) in {dims:?}"
+        );
+        Self { i, j, k, dims }
+    }
+
+    #[track_caller]
+    fn step(&mut self, axis: Axis, forward: bool) {
+        let (coord, extent) = match axis {
+            Axis::X => (&mut self.i, self.dims.nx),
+            Axis::Y => (&mut self.j, self.dims.ny),
+            Axis::Z => (&mut self.k, self.dims.nz),
+        };
+        if forward {
+            assert!(
+                *coord + 1 < extent,
+                "cursor stepped past the {axis:?} extent {extent} (at {coord}) in {:?}",
+                self.dims
+            );
+            *coord += 1;
+        } else {
+            assert!(
+                *coord > 0,
+                "cursor stepped below 0 along {axis:?} in {:?}",
+                self.dims
+            );
+            *coord -= 1;
+        }
+    }
+}
 
 /// An incremental position inside a 3D layout's storage mapping.
 ///
 /// `inc_*` moves one voxel forward along an axis, `dec_*` one voxel
 /// backward; both are O(1) for every layout except Hilbert. The cursor
 /// does not bounds-check in release builds — callers own the iteration
-/// domain (kernels step only within rows they have verified in-bounds).
+/// domain (kernels step only within rows they have verified in-bounds);
+/// debug builds assert every step stays inside the logical domain.
 pub trait Cursor3: Clone {
     /// Storage slot of the current position.
     fn index(&self) -> usize;
@@ -81,11 +139,27 @@ pub struct ArrayCursor3 {
     sy: usize,
     /// `nx * ny` (z stride).
     sz: usize,
+    #[cfg(debug_assertions)]
+    dbg: DebugDomain,
 }
 
 impl ArrayCursor3 {
-    pub(crate) fn new(idx: usize, sy: usize, sz: usize) -> Self {
-        Self { idx, sy, sz }
+    pub(crate) fn new(
+        idx: usize,
+        sy: usize,
+        sz: usize,
+        pos: (usize, usize, usize),
+        dims: crate::dims::Dims3,
+    ) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (pos, dims);
+        Self {
+            idx,
+            sy,
+            sz,
+            #[cfg(debug_assertions)]
+            dbg: DebugDomain::new(pos, dims),
+        }
     }
 }
 
@@ -96,26 +170,38 @@ impl Cursor3 for ArrayCursor3 {
     }
     #[inline]
     fn inc_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, true);
         self.idx += 1;
     }
     #[inline]
     fn dec_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, false);
         self.idx -= 1;
     }
     #[inline]
     fn inc_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, true);
         self.idx += self.sy;
     }
     #[inline]
     fn dec_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, false);
         self.idx -= self.sy;
     }
     #[inline]
     fn inc_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, true);
         self.idx += self.sz;
     }
     #[inline]
     fn dec_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, false);
         self.idx -= self.sz;
     }
 }
@@ -136,11 +222,29 @@ pub struct ZCursor3 {
     mx: u64,
     my: u64,
     mz: u64,
+    #[cfg(debug_assertions)]
+    dbg: DebugDomain,
 }
 
 impl ZCursor3 {
-    pub(crate) fn new(idx: u64, mx: u64, my: u64, mz: u64) -> Self {
-        Self { idx, mx, my, mz }
+    pub(crate) fn new(
+        idx: u64,
+        mx: u64,
+        my: u64,
+        mz: u64,
+        pos: (usize, usize, usize),
+        dims: crate::dims::Dims3,
+    ) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (pos, dims);
+        Self {
+            idx,
+            mx,
+            my,
+            mz,
+            #[cfg(debug_assertions)]
+            dbg: DebugDomain::new(pos, dims),
+        }
     }
 
     #[inline]
@@ -161,26 +265,38 @@ impl Cursor3 for ZCursor3 {
     }
     #[inline]
     fn inc_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, true);
         self.inc(self.mx);
     }
     #[inline]
     fn dec_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, false);
         self.dec(self.mx);
     }
     #[inline]
     fn inc_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, true);
         self.inc(self.my);
     }
     #[inline]
     fn dec_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, false);
         self.dec(self.my);
     }
     #[inline]
     fn inc_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, true);
         self.inc(self.mz);
     }
     #[inline]
     fn dec_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, false);
         self.dec(self.mz);
     }
 }
@@ -210,6 +326,8 @@ pub struct TiledCursor3 {
     cross_x: usize,
     cross_y: usize,
     cross_z: usize,
+    #[cfg(debug_assertions)]
+    dbg: DebugDomain,
 }
 
 impl TiledCursor3 {
@@ -219,7 +337,11 @@ impl TiledCursor3 {
         (ri, rj, rk): (usize, usize, usize),
         (tx, ty, tz): (usize, usize, usize),
         (cross_x, cross_y, cross_z): (usize, usize, usize),
+        pos: (usize, usize, usize),
+        dims: crate::dims::Dims3,
     ) -> Self {
+        #[cfg(not(debug_assertions))]
+        let _ = (pos, dims);
         Self {
             idx,
             ri,
@@ -233,6 +355,8 @@ impl TiledCursor3 {
             cross_x,
             cross_y,
             cross_z,
+            #[cfg(debug_assertions)]
+            dbg: DebugDomain::new(pos, dims),
         }
     }
 }
@@ -244,6 +368,8 @@ impl Cursor3 for TiledCursor3 {
     }
     #[inline]
     fn inc_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, true);
         self.ri += 1;
         if self.ri == self.tx {
             self.ri = 0;
@@ -254,6 +380,8 @@ impl Cursor3 for TiledCursor3 {
     }
     #[inline]
     fn dec_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, false);
         if self.ri == 0 {
             self.ri = self.tx - 1;
             self.idx -= self.cross_x;
@@ -264,6 +392,8 @@ impl Cursor3 for TiledCursor3 {
     }
     #[inline]
     fn inc_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, true);
         self.rj += 1;
         if self.rj == self.ty {
             self.rj = 0;
@@ -274,6 +404,8 @@ impl Cursor3 for TiledCursor3 {
     }
     #[inline]
     fn dec_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, false);
         if self.rj == 0 {
             self.rj = self.ty - 1;
             self.idx -= self.cross_y;
@@ -284,6 +416,8 @@ impl Cursor3 for TiledCursor3 {
     }
     #[inline]
     fn inc_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, true);
         self.rk += 1;
         if self.rk == self.tz {
             self.rk = 0;
@@ -294,6 +428,8 @@ impl Cursor3 for TiledCursor3 {
     }
     #[inline]
     fn dec_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, false);
         if self.rk == 0 {
             self.rk = self.tz - 1;
             self.idx -= self.cross_z;
@@ -345,31 +481,37 @@ impl<L: crate::layout::Layout3> Cursor3 for RecomputeCursor<L> {
     }
     #[inline]
     fn inc_x(&mut self) {
+        debug_assert!(self.i + 1 < self.layout.dims().nx, "cursor stepped past x extent");
         self.i += 1;
         self.refresh();
     }
     #[inline]
     fn dec_x(&mut self) {
+        debug_assert!(self.i > 0, "cursor stepped below 0 along x");
         self.i -= 1;
         self.refresh();
     }
     #[inline]
     fn inc_y(&mut self) {
+        debug_assert!(self.j + 1 < self.layout.dims().ny, "cursor stepped past y extent");
         self.j += 1;
         self.refresh();
     }
     #[inline]
     fn dec_y(&mut self) {
+        debug_assert!(self.j > 0, "cursor stepped below 0 along y");
         self.j -= 1;
         self.refresh();
     }
     #[inline]
     fn inc_z(&mut self) {
+        debug_assert!(self.k + 1 < self.layout.dims().nz, "cursor stepped past z extent");
         self.k += 1;
         self.refresh();
     }
     #[inline]
     fn dec_z(&mut self) {
+        debug_assert!(self.k > 0, "cursor stepped below 0 along z");
         self.k -= 1;
         self.refresh();
     }
@@ -480,6 +622,47 @@ mod tests {
         assert_eq!(c.index(), l.index(8, 0, 0));
         c.dec_x();
         assert_eq!(c.index(), l.index(7, 0, 0));
+    }
+
+    // Misuse must fail loudly in debug builds (release leaves it
+    // unspecified, so these only compile in under debug_assertions).
+    #[cfg(debug_assertions)]
+    mod debug_bounds {
+        use super::*;
+
+        #[test]
+        #[should_panic(expected = "below 0")]
+        fn array_cursor_underflow_panics() {
+            let l = ArrayOrder3::new(Dims3::cube(4));
+            let mut c = l.cursor(0, 0, 0);
+            c.dec_x();
+        }
+
+        #[test]
+        #[should_panic(expected = "past the")]
+        fn zorder_degenerate_axis_step_panics() {
+            // nz == 1: the z axis mask is empty and a release-mode step
+            // would silently no-op; debug must reject it.
+            let l = ZOrder3::new(Dims3::new(4, 4, 1));
+            let mut c = l.cursor(0, 0, 0);
+            c.inc_z();
+        }
+
+        #[test]
+        #[should_panic(expected = "past the")]
+        fn tiled_cursor_overflow_panics() {
+            let l = Tiled3::new(Dims3::cube(4));
+            let mut c = l.cursor(3, 0, 0);
+            c.inc_x();
+        }
+
+        #[test]
+        #[should_panic]
+        fn hilbert_cursor_underflow_panics() {
+            let l = HilbertOrder3::new(Dims3::cube(4));
+            let mut c = l.cursor(0, 2, 2);
+            c.dec_x();
+        }
     }
 
     #[test]

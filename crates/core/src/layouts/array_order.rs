@@ -62,7 +62,13 @@ impl Layout3 for ArrayOrder3 {
 
     #[inline]
     fn cursor(&self, i: usize, j: usize, k: usize) -> ArrayCursor3 {
-        ArrayCursor3::new(self.index(i, j, k), self.dims.nx, self.dims.nx * self.dims.ny)
+        ArrayCursor3::new(
+            self.index(i, j, k),
+            self.dims.nx,
+            self.dims.nx * self.dims.ny,
+            (i, j, k),
+            self.dims,
+        )
     }
 }
 

@@ -134,6 +134,8 @@ impl Layout3 for Tiled3 {
             (i % tx, j % ty, k % tz),
             self.brick,
             cross,
+            (i, j, k),
+            self.dims,
         )
     }
 }

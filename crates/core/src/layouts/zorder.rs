@@ -86,6 +86,8 @@ impl Layout3 for ZOrder3 {
             self.pattern.axis_mask(0),
             self.pattern.axis_mask(1),
             self.pattern.axis_mask(2),
+            (i, j, k),
+            self.dims,
         )
     }
 }

@@ -7,6 +7,13 @@
 //! stream per tile — is identical). Threads mapped onto the same simulated
 //! core have their tile streams interleaved round-robin, as on the MIC's
 //! hardware threads.
+//!
+//! The simulation shades through [`crate::render::shade_ray_replay`], an
+//! *uncached* sampler path: every sample issues its 8 corner `get`s
+//! through the default per-`get` [`sfc_core::Volume3::cell_corners`], so
+//! the traced address stream is exactly the per-sample stream the paper's
+//! methodology assumes — the native renderer's cached-cell fast path
+//! changes throughput, never the simulated counters.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -78,7 +85,10 @@ pub fn simulate_render_counters<L: Layout3>(
             let bbox = crate::ray::Aabb::of_dims(grid.dims());
             for (x, y) in work {
                 let ray = cam.ray_for_pixel(x, y);
-                std::hint::black_box(crate::render::shade_ray(&traced, tf, opts, &ray, &bbox));
+                // Replay path: per-sample access stream, no cell cache.
+                std::hint::black_box(crate::render::shade_ray_replay(
+                    &traced, tf, opts, &ray, &bbox,
+                ));
             }
         },
     )
@@ -157,6 +167,44 @@ mod tests {
             miss_a2 > miss_z2,
             "oblique view: a-order misses ({miss_a2}) must exceed z-order ({miss_z2})"
         );
+    }
+
+    #[test]
+    fn sim_traces_the_per_sample_stream() {
+        // The sim's total read count must equal the number of gets the
+        // uncached per-sample path issues over the same rays — i.e. the
+        // pre-cursor 8-gets-per-sample stream, not the cached-cell one.
+        let dims = Dims3::cube(16);
+        let g = sfc_core::Grid3::<f32, ZOrder3>::from_row_major(dims, &checker(dims));
+        let cam = orbit_viewpoints(
+            8,
+            vec3(8.0, 8.0, 8.0),
+            40.0,
+            Projection::Perspective {
+                fov_y: 35f32.to_radians(),
+            },
+            16,
+            16,
+        )
+        .remove(1);
+        let plat = platform::scaled(&platform::ivy_bridge(), 15);
+        let tf = TransferFunction::fire();
+        let report = simulate_render_counters(&g, &cam, &tf, &opts(), 4, &plat);
+
+        let gets = std::cell::Cell::new(0u64);
+        let counting = sfc_core::FnVolume::new(dims, |i, j, k| {
+            gets.set(gets.get() + 1);
+            sfc_core::Volume3::get(&g, i, j, k)
+        });
+        let bbox = crate::ray::Aabb::of_dims(dims);
+        for y in 0..cam.height() {
+            for x in 0..cam.width() {
+                let ray = cam.ray_for_pixel(x, y);
+                crate::render::shade_ray_replay(&counting, &tf, &opts(), &ray, &bbox);
+            }
+        }
+        assert_eq!(report.total().reads, gets.get());
+        assert_eq!(gets.get() % 8, 0);
     }
 
     #[test]

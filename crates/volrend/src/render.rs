@@ -73,6 +73,46 @@ pub(crate) fn shade_ray_counted<V: Volume3>(
     // One cached-cell sampler per ray: at sub-voxel steps consecutive
     // samples usually stay in the same trilinear cell and skip all reads.
     let mut sampler = CellSampler::new(vol);
+    let color = march_ray(&mut sampler, tf, opts, ray, t0, t1);
+    (color, sampler.take_nan_count())
+}
+
+/// [`shade_ray`] through an *uncached* [`CellSampler`]: every sample
+/// re-fetches its cell's 8 corners, so on a volume using the default
+/// per-`get` [`Volume3::cell_corners`] (the counter simulation's
+/// `TracedGrid`) the access stream is the original 8 `get`s per sample —
+/// same taps, same order, clamped duplicates included. The composited
+/// color is bit-identical to [`shade_ray`]; only the read stream differs.
+/// Used by `counters::simulate_render_counters` so simulated address
+/// streams stay comparable across PRs and with the paper's per-sample
+/// methodology.
+pub(crate) fn shade_ray_replay<V: Volume3>(
+    vol: &V,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    ray: &crate::ray::Ray,
+    bbox: &Aabb,
+) -> Rgba {
+    let Some((t0, t1)) = bbox.intersect(ray) else {
+        return Rgba::default();
+    };
+    let mut sampler = CellSampler::uncached(vol);
+    let color = march_ray(&mut sampler, tf, opts, ray, t0, t1);
+    crate::counters::record_nan_samples(sampler.take_nan_count());
+    color
+}
+
+/// Front-to-back integration loop shared by the native and
+/// simulation-replay shading paths: marches `ray` over `[t0, t1)`,
+/// reading the field through `sampler`.
+fn march_ray<V: Volume3>(
+    sampler: &mut CellSampler<'_, V>,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    ray: &crate::ray::Ray,
+    t0: f32,
+    t1: f32,
+) -> Rgba {
     let mut color = Rgba::default();
     let mut t = t0 + opts.step * 0.5;
     while t < t1 {
@@ -93,7 +133,7 @@ pub(crate) fn shade_ray_counted<V: Volume3>(
         }
         t += opts.step;
     }
-    (color, sampler.take_nan_count())
+    color
 }
 
 /// Render every pixel of `tile`, delivering results through `put(x, y, c)`.
@@ -178,6 +218,41 @@ mod tests {
             px,
             px,
         )
+    }
+
+    #[test]
+    fn replay_path_issues_eight_gets_per_sample_and_matches_shade_ray() {
+        // The counter sim's replay path must reproduce the per-sample
+        // stream (8 gets per sample through the default cell_corners)
+        // while compositing the exact same color as the cached path.
+        let vol = sphere_volume(16);
+        let gets = std::cell::Cell::new(0u64);
+        let counting = FnVolume::new(vol.dims(), |i, j, k| {
+            gets.set(gets.get() + 1);
+            vol.get(i, j, k)
+        });
+        let cam = camera(16, 24);
+        let tf = TransferFunction::fire();
+        let opts = RenderOpts::default();
+        let bbox = Aabb::of_dims(vol.dims());
+        let mut replay_gets = 0u64;
+        let mut cached_gets = 0u64;
+        for (x, y) in [(12usize, 12usize), (8, 14), (15, 6)] {
+            let ray = cam.ray_for_pixel(x, y);
+            gets.set(0);
+            let a = shade_ray_replay(&counting, &tf, &opts, &ray, &bbox);
+            replay_gets += gets.get();
+            gets.set(0);
+            let b = shade_ray(&counting, &tf, &opts, &ray, &bbox);
+            cached_gets += gets.get();
+            assert_eq!(a, b, "replay and cached colors must match at ({x},{y})");
+        }
+        assert!(replay_gets > 0);
+        assert_eq!(replay_gets % 8, 0, "replay must read 8 corners per sample");
+        assert!(
+            cached_gets < replay_gets,
+            "cached path must elide reads ({cached_gets} vs {replay_gets})"
+        );
     }
 
     #[test]

@@ -26,18 +26,23 @@ use crate::vec3::Vec3;
 ///
 /// NaN substitutions are accumulated locally; call
 /// [`take_nan_count`](Self::take_nan_count) to drain the tally into a
-/// shared counter once per work item. NaNs are counted once per *cell
-/// fetch* rather than once per sample, so a cached re-sample of a NaN cell
-/// does not re-count it (the process-wide counter stays monotonic, which
-/// is all its contract promises).
+/// shared counter once per work item. NaNs are counted per sample *tap*:
+/// every sample adds the number of NaN corners in its cell (clamped
+/// duplicate taps included), whether the corners came from the cache or a
+/// fresh fetch — exactly the tally the per-access path produced.
 pub struct CellSampler<'v, V: Volume3> {
     vol: &'v V,
     dims: sfc_core::Dims3,
+    /// When false, every sample re-fetches its cell (see
+    /// [`uncached`](Self::uncached)).
+    cache: bool,
     /// Low corner of the cached cell, or `usize::MAX` sentinel when empty.
     cell: (usize, usize, usize),
     /// Cached corner values, NaN already substituted:
     /// `[c000, c100, c010, c110, c001, c101, c011, c111]`.
     corners: [f32; 8],
+    /// Number of NaN corners in `corners` (before substitution).
+    cell_nans: u64,
     nan_seen: u64,
 }
 
@@ -47,9 +52,27 @@ impl<'v, V: Volume3> CellSampler<'v, V> {
         Self {
             vol,
             dims: vol.dims(),
+            cache: true,
             cell: (usize::MAX, usize::MAX, usize::MAX),
             corners: [0.0; 8],
+            cell_nans: 0,
             nan_seen: 0,
+        }
+    }
+
+    /// Create a sampler with the cell cache disabled: every sample
+    /// re-fetches its 8 corners through [`Volume3::cell_corners`].
+    ///
+    /// Results are bit-identical to [`new`](Self::new); only the volume
+    /// access stream differs. The memory-counter simulation uses this so
+    /// its traced address stream replays the original
+    /// 8-`get`s-per-sample pattern (a `TracedGrid` keeps the default
+    /// per-`get` `cell_corners`), keeping simulated counter reports
+    /// comparable with the paper's per-sample methodology.
+    pub fn uncached(vol: &'v V) -> Self {
+        Self {
+            cache: false,
+            ..Self::new(vol)
         }
     }
 
@@ -70,16 +93,22 @@ impl<'v, V: Volume3> CellSampler<'v, V> {
 
         if cell != self.cell {
             let raw = self.vol.cell_corners(cell.0, cell.1, cell.2);
+            self.cell_nans = 0;
             for (slot, v) in self.corners.iter_mut().zip(raw) {
                 if v.is_nan() {
-                    self.nan_seen += 1;
+                    self.cell_nans += 1;
                     *slot = 0.0;
                 } else {
                     *slot = v;
                 }
             }
-            self.cell = cell;
+            if self.cache {
+                self.cell = cell;
+            }
         }
+        // Tally per sample, not per fetch, so cached re-samples of a NaN
+        // cell count exactly like the per-access path's taps did.
+        self.nan_seen += self.cell_nans;
 
         let [c000, c100, c010, c110, c001, c101, c011, c111] = self.corners;
         let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
@@ -221,6 +250,37 @@ mod tests {
                 vref.cell_corners(i, j, k)
             };
             assert_eq!(fast, slow, "cell ({i},{j},{k})");
+        }
+    }
+
+    #[test]
+    fn nan_counting_is_per_sample_even_on_cache_hits() {
+        // Two samples in the same (fully NaN) cell: the second is served
+        // from the cache but must still count its 8 NaN taps, matching
+        // the per-access path's per-tap tally.
+        let v = FnVolume::new(Dims3::cube(2), |_, _, _| f32::NAN);
+        let mut s = CellSampler::new(&v);
+        s.sample(vec3(1.0, 1.0, 1.0));
+        s.sample(vec3(1.2, 1.0, 1.0));
+        assert_eq!(s.take_nan_count(), 16);
+    }
+
+    #[test]
+    fn uncached_sampler_matches_cached_bitwise() {
+        let dims = Dims3::new(7, 6, 5);
+        let values: Vec<f32> = (0..dims.len())
+            .map(|v| ((v * 2654435761) % 997) as f32 / 997.0)
+            .collect();
+        let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let mut cached = CellSampler::new(&g);
+        let mut uncached = CellSampler::uncached(&g);
+        for t in 0..100 {
+            let p = vec3(
+                0.4 + t as f32 * 0.06,
+                0.7 + t as f32 * 0.05,
+                0.6 + t as f32 * 0.04,
+            );
+            assert_eq!(cached.sample(p).to_bits(), uncached.sample(p).to_bits());
         }
     }
 
