@@ -222,6 +222,7 @@ mod tests {
         let path = std::env::temp_dir()
             .join(format!("sfc_fig_ckpt_{}.json", std::process::id()));
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(format!("{}.journal", path.display())).ok();
 
         let mut ckpt = Some(Checkpoint::open(&path).unwrap());
         let first = run_bilateral_figure_resumable(

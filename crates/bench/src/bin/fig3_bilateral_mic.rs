@@ -42,6 +42,7 @@ fn main() {
     );
 
     let inputs = build_bilateral_inputs(n, 2024);
+    sfc_bench::bilateral_fault_demo(&args, &inputs.z);
     let mut ckpt = checkpoint_from_args(&args);
     let fig = ok_or_exit(run_bilateral_figure_resumable(
         &inputs,

@@ -43,6 +43,7 @@ fn main() {
         tile: args.get_usize("tile", (image / 16).max(4)),
         ..Default::default()
     };
+    sfc_bench::volrend_fault_demo(&args, &inputs.z, &cams[0], &opts);
     let series = run_orbit_series(&inputs, &cams, &opts, threads, &plat, true);
 
     let rows: Vec<String> = (0..cams.len()).map(|v| v.to_string()).collect();

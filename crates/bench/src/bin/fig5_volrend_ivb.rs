@@ -45,6 +45,7 @@ fn main() {
         tile: args.get_usize("tile", (image / 16).max(4)),
         ..Default::default()
     };
+    sfc_bench::volrend_fault_demo(&args, &inputs.z, &cams[0], &opts);
     let mut ckpt = checkpoint_from_args(&args);
     let fig = ok_or_exit(run_volrend_figure_resumable(
         &inputs,

@@ -1,11 +1,23 @@
-//! Checkpoint/resume for long figure sweeps.
+//! Checkpoint/resume for long figure sweeps, crash-consistent.
 //!
-//! A sweep writes one record per completed grid cell to a small JSON file
-//! (rewritten atomically after every cell), so a killed or crashed run can
-//! be restarted and will skip every cell it already finished. The format
-//! is deliberately tiny — a single object of `key -> [numbers]` — and is
-//! read and written by hand here (the workspace carries no JSON
-//! dependency).
+//! A sweep writes one record per completed grid cell so a killed or
+//! crashed run can be restarted and will skip every cell it already
+//! finished. Persistence is two-tier, built on [`sfc_harness::durable`]:
+//!
+//! * a JSON **snapshot** — a single object of `key -> [numbers]`, written
+//!   via temp-file + fsync + atomic rename ([`sfc_harness::write_atomic`]),
+//!   so readers never observe a torn file;
+//! * an append-only **journal** (`<path>.journal`) of checksummed
+//!   per-cell records, fsynced per append ([`sfc_harness::Journal`]). A
+//!   `kill -9` mid-append loses at most the record being written; on the
+//!   next [`Checkpoint::open`] the torn tail is truncated, every intact
+//!   record is replayed on top of the snapshot, and the result is
+//!   compacted back into a fresh snapshot.
+//!
+//! The journal is folded into the snapshot every
+//! [`COMPACT_EVERY`] appends and on every recovering open, bounding both
+//! replay time and journal growth. The JSON is read and written by hand
+//! (the workspace carries no JSON dependency):
 //!
 //! ```text
 //! {"version":1,"entries":{"ivb|r3 pz zyx|t4":[0.52,1.13,0.98], ...}}
@@ -17,35 +29,94 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use sfc_core::{SfcError, SfcResult};
+use sfc_harness::{write_atomic, Journal};
 
 /// On-disk format version understood by this module.
 pub const CHECKPOINT_VERSION: u32 = 1;
 
-/// A resumable record of completed sweep cells, backed by a JSON file.
+/// Journal appends between snapshot compactions.
+pub const COMPACT_EVERY: usize = 64;
+
+/// What [`Checkpoint::open`] found and repaired on disk.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointRecovery {
+    /// Completed cells replayed from the journal — appends that had not
+    /// yet been compacted into the snapshot (e.g. because the previous run
+    /// crashed). None were lost.
+    pub journal_cells: usize,
+    /// Bytes of torn journal tail truncated away (an interrupted append).
+    pub torn_bytes: u64,
+}
+
+impl CheckpointRecovery {
+    /// True when open had anything to repair or fold in.
+    pub fn recovered_anything(&self) -> bool {
+        self.journal_cells > 0 || self.torn_bytes > 0
+    }
+}
+
+/// A resumable record of completed sweep cells, backed by a JSON snapshot
+/// plus an append-only journal (see the module docs).
 #[derive(Debug)]
 pub struct Checkpoint {
     path: PathBuf,
     entries: BTreeMap<String, Vec<f64>>,
+    journal: Journal,
+    recovery: CheckpointRecovery,
+}
+
+/// `<path>.journal`, the sibling journal of a checkpoint snapshot.
+fn journal_path(path: &Path) -> PathBuf {
+    let mut os = path.as_os_str().to_owned();
+    os.push(".journal");
+    PathBuf::from(os)
 }
 
 impl Checkpoint {
-    /// Open (or create) a checkpoint at `path`. A missing file yields an
-    /// empty checkpoint; an unreadable or malformed one is a typed
-    /// [`SfcError::Corrupt`] / [`SfcError::Io`] — delete the file to start
-    /// over.
+    /// Open (or create) a checkpoint at `path`, replaying and folding in
+    /// any journal left by a crashed run. A missing file yields an empty
+    /// checkpoint; an unreadable or malformed one is a typed
+    /// [`SfcError::Corrupt`] / [`SfcError::Io`] — delete the file (and its
+    /// `.journal` sibling) to start over.
     pub fn open(path: impl Into<PathBuf>) -> SfcResult<Self> {
         let path = path.into();
-        let entries = match std::fs::read_to_string(&path) {
+        let mut entries = match std::fs::read_to_string(&path) {
             Ok(text) => parse_checkpoint(&text)?,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => BTreeMap::new(),
             Err(e) => return Err(SfcError::io("read checkpoint", e)),
         };
-        Ok(Checkpoint { path, entries })
+        let (journal, replay) = Journal::open(journal_path(&path))
+            .map_err(|e| SfcError::io("open checkpoint journal", e))?;
+        let recovery = CheckpointRecovery {
+            journal_cells: replay.records.len(),
+            torn_bytes: replay.truncated_bytes,
+        };
+        for record in &replay.records {
+            let (key, values) = parse_journal_record(record)?;
+            entries.insert(key, values);
+        }
+        let mut ckpt = Checkpoint {
+            path,
+            entries,
+            journal,
+            recovery,
+        };
+        // Fold a non-empty (or repaired) journal into a fresh snapshot so
+        // a crashed run's cells are durable in one place again.
+        if recovery.recovered_anything() {
+            ckpt.compact()?;
+        }
+        Ok(ckpt)
     }
 
-    /// File backing this checkpoint.
+    /// File backing this checkpoint's snapshot.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// What [`Checkpoint::open`] recovered from a previous crash.
+    pub fn recovery(&self) -> CheckpointRecovery {
+        self.recovery
     }
 
     /// Number of completed cells on record.
@@ -68,14 +139,29 @@ impl Checkpoint {
         self.entries.contains_key(key)
     }
 
-    /// Record a completed cell and persist immediately (atomic rewrite:
-    /// temp file + rename, so a crash mid-write never corrupts the file).
+    /// Record a completed cell and persist it durably: one fsynced journal
+    /// append (O(cell), not O(sweep)); every [`COMPACT_EVERY`] appends the
+    /// journal is folded into an atomically-rewritten snapshot. After
+    /// `record` returns, the cell survives `kill -9`.
     pub fn record(&mut self, key: &str, values: &[f64]) -> SfcResult<()> {
         self.entries.insert(key.to_string(), values.to_vec());
-        let tmp = self.path.with_extension("json.tmp");
-        std::fs::write(&tmp, render_checkpoint(&self.entries))
-            .map_err(|e| SfcError::io("write checkpoint", e))?;
-        std::fs::rename(&tmp, &self.path).map_err(|e| SfcError::io("commit checkpoint", e))
+        self.journal
+            .append(render_entry(key, values).as_bytes())
+            .map_err(|e| SfcError::io("append checkpoint journal", e))?;
+        if self.journal.len() >= COMPACT_EVERY {
+            self.compact()?;
+        }
+        Ok(())
+    }
+
+    /// Write the full entry set as an atomic snapshot and empty the
+    /// journal.
+    fn compact(&mut self) -> SfcResult<()> {
+        write_atomic(&self.path, render_checkpoint(&self.entries).as_bytes())
+            .map_err(|e| SfcError::io("write checkpoint snapshot", e))?;
+        self.journal
+            .reset()
+            .map_err(|e| SfcError::io("reset checkpoint journal", e))
     }
 
     /// Return the cached values for `key`, or run `compute`, persist its
@@ -119,6 +205,21 @@ pub fn checkpoint_from_args(args: &sfc_harness::Args) -> Option<Checkpoint> {
     let path = PathBuf::from(args.get("checkpoint")?);
     match Checkpoint::open(&path) {
         Ok(c) => {
+            let rec = c.recovery();
+            if rec.torn_bytes > 0 {
+                eprintln!(
+                    "checkpoint {}: truncated a torn journal tail ({} bytes from an interrupted write)",
+                    path.display(),
+                    rec.torn_bytes
+                );
+            }
+            if rec.journal_cells > 0 {
+                eprintln!(
+                    "checkpoint {}: folded {} journaled cells into the snapshot",
+                    path.display(),
+                    rec.journal_cells
+                );
+            }
             if !c.is_empty() {
                 eprintln!(
                     "checkpoint {}: resuming, {} completed cells will be skipped",
@@ -154,23 +255,45 @@ fn render_checkpoint(entries: &BTreeMap<String, Vec<f64>>) -> String {
         if i > 0 {
             s.push(',');
         }
-        s.push('"');
-        s.push_str(&escape_json(key));
-        s.push_str("\":[");
-        for (j, v) in values.iter().enumerate() {
-            if j > 0 {
-                s.push(',');
-            }
-            if v.is_finite() {
-                s.push_str(&format!("{v:?}"));
-            } else {
-                s.push_str("null");
-            }
-        }
-        s.push(']');
+        s.push_str(&render_entry(key, values));
     }
     s.push_str("}}\n");
     s
+}
+
+/// One `"key":[values]` fragment — both an element of the snapshot object
+/// and the payload of a journal record.
+fn render_entry(key: &str, values: &[f64]) -> String {
+    let mut s = String::with_capacity(key.len() + 16 * values.len() + 8);
+    s.push('"');
+    s.push_str(&escape_json(key));
+    s.push_str("\":[");
+    for (j, v) in values.iter().enumerate() {
+        if j > 0 {
+            s.push(',');
+        }
+        if v.is_finite() {
+            s.push_str(&format!("{v:?}"));
+        } else {
+            s.push_str("null");
+        }
+    }
+    s.push(']');
+    s
+}
+
+/// Decode a journal record back into its cell. Records are checksummed by
+/// the journal layer, so a parse failure here means real corruption (or a
+/// foreign file), not a torn write.
+fn parse_journal_record(payload: &[u8]) -> SfcResult<(String, Vec<f64>)> {
+    let fragment = std::str::from_utf8(payload)
+        .map_err(|_| corrupt("journal record is not UTF-8"))?;
+    let wrapped = format!("{{\"version\":{CHECKPOINT_VERSION},\"entries\":{{{fragment}}}}}");
+    let mut entries = parse_checkpoint(&wrapped)?;
+    if entries.len() != 1 {
+        return Err(corrupt("journal record must hold exactly one cell"));
+    }
+    Ok(entries.pop_first().expect("len checked"))
 }
 
 fn escape_json(s: &str) -> String {
@@ -386,10 +509,16 @@ mod tests {
         std::env::temp_dir().join(format!("sfc_ckpt_{}_{tag}.json", std::process::id()))
     }
 
+    /// Remove a checkpoint and its journal sibling.
+    fn clean(path: &Path) {
+        std::fs::remove_file(path).ok();
+        std::fs::remove_file(journal_path(path)).ok();
+    }
+
     #[test]
     fn roundtrip_and_resume() {
         let path = tmp_path("roundtrip");
-        std::fs::remove_file(&path).ok();
+        clean(&path);
         let mut c = Checkpoint::open(&path).unwrap();
         assert!(c.is_empty());
         c.record("fig2|r1 px xyz|t2", &[0.5, -1.25, 3.0]).unwrap();
@@ -401,13 +530,13 @@ mod tests {
         let v = reopened.get("fig2|r1 pz zyx|t2").unwrap();
         assert!(v[0].is_nan(), "NaN survives as null");
         assert_eq!(v[1], 2.0);
-        std::fs::remove_file(&path).ok();
+        clean(&path);
     }
 
     #[test]
     fn cell_skips_completed_configs() {
         let path = tmp_path("cell");
-        std::fs::remove_file(&path).ok();
+        clean(&path);
         let mut c = Checkpoint::open(&path).unwrap();
         let (v, cached) = c.cell("k", || vec![7.0]).unwrap();
         assert_eq!((v.as_slice(), cached), (&[7.0][..], false));
@@ -422,19 +551,19 @@ mod tests {
             .cell("k", || panic!("resume recomputed a completed config"))
             .unwrap();
         assert!(cached);
-        std::fs::remove_file(&path).ok();
+        clean(&path);
     }
 
     #[test]
     fn keys_with_quotes_and_unicode_roundtrip() {
         let path = tmp_path("escape");
-        std::fs::remove_file(&path).ok();
+        clean(&path);
         let mut c = Checkpoint::open(&path).unwrap();
         let key = "weird \"key\"\\ with\ttabs\nand µnicode";
         c.record(key, &[1.0]).unwrap();
         let r = Checkpoint::open(&path).unwrap();
         assert_eq!(r.get(key), Some(&[1.0][..]));
-        std::fs::remove_file(&path).ok();
+        clean(&path);
     }
 
     #[test]
@@ -450,7 +579,95 @@ mod tests {
             Checkpoint::open(&path),
             Err(SfcError::Corrupt { .. })
         ));
-        std::fs::remove_file(&path).ok();
+        clean(&path);
+    }
+
+    #[test]
+    fn uncompacted_journal_cells_survive_an_abrupt_exit() {
+        let path = tmp_path("kill9");
+        clean(&path);
+        {
+            let mut c = Checkpoint::open(&path).unwrap();
+            c.record("a", &[1.0]).unwrap();
+            c.record("b", &[2.0, 3.0]).unwrap();
+            c.record("c", &[4.0]).unwrap();
+            // < COMPACT_EVERY records: everything is journal-only. Drop
+            // without any shutdown hook — exactly what kill -9 leaves.
+        }
+        assert!(!path.exists(), "no snapshot expected before first compaction");
+        let c = Checkpoint::open(&path).unwrap();
+        assert_eq!(c.recovery().journal_cells, 3);
+        assert_eq!(c.get("a"), Some(&[1.0][..]));
+        assert_eq!(c.get("b"), Some(&[2.0, 3.0][..]));
+        assert_eq!(c.get("c"), Some(&[4.0][..]));
+        // Open folded the journal into a fresh snapshot.
+        assert!(path.exists());
+        assert!(c.journal.is_empty());
+        clean(&path);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_without_losing_cells() {
+        use std::io::Write;
+        let path = tmp_path("torn");
+        clean(&path);
+        {
+            let mut c = Checkpoint::open(&path).unwrap();
+            c.record("done1", &[1.0]).unwrap();
+            c.record("done2", &[2.0]).unwrap();
+        }
+        // Simulate kill -9 mid-append: a partial record at the tail.
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(journal_path(&path))
+            .unwrap();
+        f.write_all(&[42, 0, 0, 0, 7, 7, 7]).unwrap(); // len says 42, body torn
+        drop(f);
+
+        let mut c = Checkpoint::open(&path).unwrap();
+        assert_eq!(c.recovery().journal_cells, 2);
+        assert_eq!(c.recovery().torn_bytes, 7);
+        assert!(c.recovery().recovered_anything());
+        assert_eq!(c.get("done1"), Some(&[1.0][..]));
+        assert_eq!(c.get("done2"), Some(&[2.0][..]));
+        // The repaired checkpoint keeps working.
+        c.record("after", &[3.0]).unwrap();
+        let r = Checkpoint::open(&path).unwrap();
+        assert_eq!(r.len(), 3);
+        clean(&path);
+    }
+
+    #[test]
+    fn compaction_bounds_journal_growth() {
+        let path = tmp_path("compact");
+        clean(&path);
+        let mut c = Checkpoint::open(&path).unwrap();
+        for i in 0..COMPACT_EVERY {
+            c.record(&format!("cell{i:03}"), &[i as f64]).unwrap();
+        }
+        assert!(
+            c.journal.is_empty(),
+            "journal must be folded into the snapshot every {COMPACT_EVERY} appends"
+        );
+        let snapshot = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(parse_checkpoint(&snapshot).unwrap().len(), COMPACT_EVERY);
+        c.record("one-more", &[9.0]).unwrap();
+        assert_eq!(c.journal.len(), 1);
+        let r = Checkpoint::open(&path).unwrap();
+        assert_eq!(r.len(), COMPACT_EVERY + 1);
+        clean(&path);
+    }
+
+    #[test]
+    fn journal_record_roundtrips_weird_keys_and_null() {
+        let key = "weird \"key\"\\ with\ttabs µ";
+        let values = [1.5, f64::NAN, -2.0];
+        let (k, v) = parse_journal_record(render_entry(key, &values).as_bytes()).unwrap();
+        assert_eq!(k, key);
+        assert_eq!(v[0], 1.5);
+        assert!(v[1].is_nan());
+        assert_eq!(v[2], -2.0);
+        assert!(parse_journal_record(b"not a record").is_err());
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Fault-injection demonstrations for the figure binaries.
+//!
+//! Every figure binary accepts the shared fault flags — `--fault-seed N`
+//! enables injection, `--panic-rate`, `--flaky-rate`, `--timeout-rate`,
+//! `--corrupt-rate`, and `--stall-ms` shape it (see
+//! [`FaultRates::from_args`]). When `--fault-seed` is present, the binary
+//! first runs the *real* kernel once under the graceful-degradation driver
+//! with a seeded random [`FaultPlan`], then prints the
+//! [`RunReport`](sfc_harness::RunReport) and
+//! [`DefectMap`](sfc_harness::DefectMap) so the degraded-mode machinery is
+//! exercised (and readable) end to end before the simulated sweep starts.
+//!
+//! ```text
+//! cargo run -p sfc-bench --release --bin fig2_bilateral_ivb -- \
+//!     --quick --fault-seed 7 --panic-rate 0.05 --timeout-rate 0.02
+//! ```
+
+use std::time::Duration;
+
+use sfc_core::{
+    image_tiles, pencil_count, ArrayOrder3, Axis, Grid3, StencilOrder, StencilSize, Volume3,
+};
+use sfc_filters::{try_bilateral3d_degraded, BilateralParams, FilterRun};
+use sfc_harness::{Args, DegradedOutcome, FaultPlan, FaultRates, SupervisorConfig};
+use sfc_volrend::{render_degraded, Camera, RenderOpts, TransferFunction};
+
+use crate::checkpoint::ok_or_exit;
+
+/// Supervisor settings for a demo run: a couple of retries, and a watchdog
+/// deadline *below* the scripted stall so `--timeout-rate` items genuinely
+/// expire (healthy pencils/tiles finish orders of magnitude faster).
+fn supervisor(nthreads: usize, rates: &FaultRates) -> SupervisorConfig {
+    SupervisorConfig {
+        nthreads,
+        max_retries: 2,
+        backoff_base: Duration::from_millis(5),
+        timeout: Some(Duration::from_millis((rates.stall_ms / 2).max(50))),
+        watchdog_poll: Duration::from_millis(5),
+        ..Default::default()
+    }
+}
+
+/// Print the supervised-run report and the defect map.
+fn print_outcome(what: &str, unit: &str, nunits: usize, outcome: &DegradedOutcome) {
+    let r = &outcome.report;
+    eprintln!(
+        "fault demo [{what}]: {}/{nunits} {unit}s completed, {} failed, \
+         {} retries, {} replacement workers, {:.1} ms",
+        r.completed,
+        r.failed.len(),
+        r.retried,
+        r.replacements,
+        r.wall_time.as_secs_f64() * 1e3,
+    );
+    eprintln!("fault demo [{what}]: defects: {}", outcome.defects);
+    if outcome.output_is_whole() {
+        eprintln!(
+            "fault demo [{what}]: output is WHOLE — every defect was repaired; \
+             the result is bitwise-identical to a fault-free run"
+        );
+    } else {
+        eprintln!(
+            "fault demo [{what}]: output is DEGRADED — the unrepaired {unit}s \
+             above should be treated as missing"
+        );
+    }
+    eprintln!();
+}
+
+/// When the fault flags are present, run one bilateral filter over `vol`
+/// under the graceful-degradation driver and report what happened.
+/// Returns `true` when a demo ran (i.e. `--fault-seed` was given).
+pub fn bilateral_fault_demo<V: Volume3 + Sync>(args: &Args, vol: &V) -> bool {
+    let Some((seed, rates)) = FaultRates::from_args(args) else {
+        return false;
+    };
+    let run = FilterRun {
+        params: BilateralParams::for_size(StencilSize::R3, StencilOrder::Xyz),
+        pencil_axis: Axis::X,
+        nthreads: args.get_usize("fault-threads", 4),
+    };
+    let n_pencils = pencil_count(vol.dims(), run.pencil_axis);
+    let plan = FaultPlan::random_rates(seed, n_pencils, &rates);
+    let mut out = Grid3::<f32, ArrayOrder3>::new(vol.dims());
+    let outcome = ok_or_exit(try_bilateral3d_degraded(
+        vol,
+        &mut out,
+        &run,
+        &supervisor(run.nthreads, &rates),
+        &plan,
+        None,
+    ));
+    print_outcome("bilateral r3", "pencil", n_pencils, &outcome);
+    true
+}
+
+/// When the fault flags are present, render one frame of `vol` from `cam`
+/// under the graceful-degradation renderer and report what happened.
+/// Returns `true` when a demo ran.
+pub fn volrend_fault_demo<V: Volume3 + Sync>(
+    args: &Args,
+    vol: &V,
+    cam: &Camera,
+    opts: &RenderOpts,
+) -> bool {
+    let Some((seed, rates)) = FaultRates::from_args(args) else {
+        return false;
+    };
+    let ntiles = image_tiles(cam.width(), cam.height(), opts.tile, opts.tile).len();
+    let plan = FaultPlan::random_rates(seed, ntiles, &rates);
+    let cfg = supervisor(args.get_usize("fault-threads", 4), &rates);
+    let (_img, outcome) = ok_or_exit(render_degraded(
+        vol,
+        cam,
+        &TransferFunction::fire(),
+        opts,
+        &cfg,
+        &plan,
+        Some((0.0, 1.0)),
+    ));
+    print_outcome("volrend", "tile", ntiles, &outcome);
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sfc_core::Dims3;
+
+    #[test]
+    fn demos_are_inert_without_the_fault_seed_flag() {
+        let args = Args::parse(["--size", "64"].iter().map(|s| s.to_string()));
+        let vol = Grid3::<f32, ArrayOrder3>::new(Dims3::cube(8));
+        assert!(!bilateral_fault_demo(&args, &vol));
+    }
+
+    #[test]
+    fn bilateral_demo_runs_and_repairs_under_fault_flags() {
+        let args = Args::parse(
+            [
+                "--fault-seed",
+                "7",
+                "--panic-rate",
+                "0.2",
+                "--flaky-rate",
+                "0.2",
+                "--corrupt-rate",
+                "0.2",
+                "--fault-threads",
+                "2",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        let dims = Dims3::cube(10);
+        let data: Vec<f32> = (0..dims.len()).map(|v| (v % 97) as f32 / 97.0).collect();
+        let vol = Grid3::<f32, ArrayOrder3>::from_row_major(dims, &data);
+        assert!(bilateral_fault_demo(&args, &vol));
+    }
+}

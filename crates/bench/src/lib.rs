@@ -15,7 +15,10 @@
 //! (persist tables), `--quick` (reduced grid for smoke runs),
 //! `--native` (additionally measure native wall-clock per row),
 //! `--checkpoint FILE` (figs. 2/3/5/6: persist each completed grid cell
-//! and skip it on restart — see [`checkpoint`]).
+//! durably and skip it on restart — see [`checkpoint`]), and the fault
+//! flags `--fault-seed N --panic-rate P --flaky-rate P --timeout-rate P
+//! --corrupt-rate P` (run the real kernel once under the
+//! graceful-degradation driver with injected faults — see [`faultrun`]).
 //!
 //! Criterion microbenches (`cargo bench`) cover the ablations listed in
 //! DESIGN.md §5: codec cost, indexer parity, traversal patterns, curve and
@@ -25,6 +28,7 @@
 
 pub mod bilateral_exp;
 pub mod checkpoint;
+pub mod faultrun;
 pub mod output;
 pub mod volrend_exp;
 
@@ -32,7 +36,8 @@ pub use bilateral_exp::{
     build_inputs as build_bilateral_inputs, paper_rows, run_bilateral_figure,
     run_bilateral_figure_resumable, BilateralFigure, BilateralInputs,
 };
-pub use checkpoint::{cell_through, checkpoint_from_args, ok_or_exit, Checkpoint};
+pub use checkpoint::{cell_through, checkpoint_from_args, ok_or_exit, Checkpoint, CheckpointRecovery};
+pub use faultrun::{bilateral_fault_demo, volrend_fault_demo};
 pub use output::{banner, emit_figure};
 pub use volrend_exp::{
     build_inputs as build_volrend_inputs, ortho_orbit, paper_orbit, run_orbit_series,

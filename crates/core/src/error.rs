@@ -80,6 +80,13 @@ pub enum SfcError {
         /// The configured per-item deadline.
         limit: Duration,
     },
+    /// An attempt was abandoned cooperatively after its cancel token fired
+    /// (the watchdog already accounted the attempt as a [`SfcError::Timeout`];
+    /// this value is what the *worker* returns when it notices).
+    Cancelled {
+        /// The item index whose attempt was cancelled.
+        item: usize,
+    },
     /// Data failed a NaN/finiteness screen (e.g. a contaminated volume).
     NonFinite {
         /// What was screened.
@@ -115,6 +122,9 @@ impl fmt::Display for SfcError {
             }
             SfcError::Timeout { item, limit } => {
                 write!(f, "item {item} exceeded its {limit:?} deadline")
+            }
+            SfcError::Cancelled { item } => {
+                write!(f, "item {item} was cancelled cooperatively")
             }
             SfcError::NonFinite { what, count } => {
                 write!(f, "{what} contains {count} non-finite value(s)")
@@ -152,7 +162,10 @@ impl SfcError {
     /// True for failures that stem from the *execution environment* (panic,
     /// timeout) rather than the inputs — the class the supervised pool
     /// retries; validation and corruption errors are deterministic and
-    /// retrying them is wasted work.
+    /// retrying them is wasted work. `Cancelled` is excluded: the watchdog
+    /// that fired the token already accounted (and possibly requeued) the
+    /// attempt as a `Timeout`, so a late `Cancelled` return must not spawn
+    /// a second retry chain.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -205,5 +218,6 @@ mod tests {
         .is_retryable());
         assert!(!SfcError::SizeOverflow { what: "n*4" }.is_retryable());
         assert!(!SfcError::corrupt("x", "y").is_retryable());
+        assert!(!SfcError::Cancelled { item: 3 }.is_retryable());
     }
 }

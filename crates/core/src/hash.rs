@@ -1,0 +1,31 @@
+//! Non-cryptographic checksums shared by the durable-write and volume
+//! container code.
+//!
+//! The workspace persists volumes, images, and sweep checkpoints; every
+//! on-disk record carries an FNV-1a 64 checksum so torn writes and
+//! bit-flips are detected before corrupt data reaches a kernel. The hash
+//! lives in `sfc-core` because both `sfc-harness` (journal records) and
+//! `sfc-datagen` (volume container) verify with it.
+
+/// FNV-1a 64-bit checksum — not cryptographic, but reliably catches the
+/// single-bit flips and truncations storage faults produce.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_is_stable_and_sensitive() {
+        assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"ab"));
+    }
+}

@@ -53,6 +53,7 @@ pub mod dims;
 pub mod dyn_grid;
 pub mod error;
 pub mod grid;
+pub mod hash;
 pub mod hilbert;
 pub mod iter;
 pub mod layout;
@@ -69,6 +70,7 @@ pub use dims::{bits_for, next_pow2, Axis, Dims2, Dims3};
 pub use dyn_grid::DynGrid3;
 pub use error::{SfcError, SfcResult};
 pub use grid::{Grid2, Grid3};
+pub use hash::fnv1a64;
 pub use iter::{image_tiles, pencil, pencil_count, pencils, Pencil, TileRect};
 pub use layout::{Layout2, Layout3, LayoutKind};
 pub use layouts::{

@@ -12,27 +12,33 @@
 //! All loaders validate against *untrusted* input: sizes are checked with
 //! overflow-safe arithmetic and failures come back as typed
 //! [`SfcError`] values, never panics.
+//!
+//! All writers are **crash-consistent**: bytes are staged to a sibling
+//! temp file, fsynced, and atomically renamed into place
+//! ([`sfc_harness::write_atomic`]), so a `kill -9` mid-write leaves either
+//! the previous file or the new one — never a torn hybrid that a later
+//! run would have to diagnose.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::io::{BufReader, Read};
 use std::path::Path;
 
 use sfc_core::{Dims3, SfcError, SfcResult};
+use sfc_harness::write_atomic;
 
 /// Magic bytes opening a checksummed volume file.
 pub const VOLUME_MAGIC: [u8; 4] = *b"SFCV";
 /// Current version of the checksummed volume container.
 pub const VOLUME_VERSION: u32 = 1;
 
-/// Write a row-major `f32` volume as raw little-endian bytes.
+/// Write a row-major `f32` volume as raw little-endian bytes
+/// (atomically: temp file + fsync + rename).
 pub fn save_raw_f32(path: &Path, values: &[f32]) -> SfcResult<()> {
-    let ctx = || path.display().to_string();
-    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
+    let mut bytes = Vec::with_capacity(values.len() * 4);
     for &v in values {
-        out.write_all(&v.to_le_bytes())
-            .map_err(|e| SfcError::io(ctx(), e))?;
+        bytes.extend_from_slice(&v.to_le_bytes());
     }
-    out.flush().map_err(|e| SfcError::io(ctx(), e))
+    write_atomic(path, &bytes).map_err(|e| SfcError::io(path.display().to_string(), e))
 }
 
 /// Load a raw little-endian `f32` volume; the file length must be exactly
@@ -72,15 +78,10 @@ fn f32s_from_le_bytes(bytes: &[u8]) -> Vec<f32> {
 }
 
 /// FNV-1a 64-bit checksum — not cryptographic, but reliably catches the
-/// single-bit flips and truncations storage faults produce.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
-}
+/// single-bit flips and truncations storage faults produce. (Shared with
+/// the harness's durable journal; re-exported from `sfc_core` so both
+/// layers hash identically.)
+pub use sfc_core::fnv1a64;
 
 /// Save a volume in the checksummed `SFCV` container:
 ///
@@ -89,7 +90,8 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 /// | payload checksum (FNV-1a 64) | payload (len*4 LE f32 bytes)
 /// ```
 ///
-/// All integers little-endian. [`load_volume`] verifies every field.
+/// All integers little-endian. [`load_volume`] verifies every field; the
+/// write is atomic (temp file + fsync + rename).
 pub fn save_volume(path: &Path, dims: Dims3, values: &[f32]) -> SfcResult<()> {
     if values.len() != dims.len() {
         return Err(SfcError::ShapeMismatch {
@@ -98,21 +100,21 @@ pub fn save_volume(path: &Path, dims: Dims3, values: &[f32]) -> SfcResult<()> {
             actual: format!("{} values", values.len()),
         });
     }
-    let ctx = || path.display().to_string();
-    let mut payload = Vec::with_capacity(dims.checked_byte_len(4)?);
+    let payload_len = dims.checked_byte_len(4)?;
+    let mut bytes = Vec::with_capacity(40 + payload_len);
+    bytes.extend_from_slice(&VOLUME_MAGIC);
+    bytes.extend_from_slice(&VOLUME_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(dims.nx as u64).to_le_bytes());
+    bytes.extend_from_slice(&(dims.ny as u64).to_le_bytes());
+    bytes.extend_from_slice(&(dims.nz as u64).to_le_bytes());
+    let payload_start = bytes.len() + 8;
+    bytes.extend_from_slice(&[0u8; 8]); // checksum placeholder
     for &v in values {
-        payload.extend_from_slice(&v.to_le_bytes());
+        bytes.extend_from_slice(&v.to_le_bytes());
     }
-    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
-    let mut emit = |bytes: &[u8]| out.write_all(bytes).map_err(|e| SfcError::io(ctx(), e));
-    emit(&VOLUME_MAGIC)?;
-    emit(&VOLUME_VERSION.to_le_bytes())?;
-    emit(&(dims.nx as u64).to_le_bytes())?;
-    emit(&(dims.ny as u64).to_le_bytes())?;
-    emit(&(dims.nz as u64).to_le_bytes())?;
-    emit(&fnv1a64(&payload).to_le_bytes())?;
-    emit(&payload)?;
-    out.flush().map_err(|e| SfcError::io(ctx(), e))
+    let sum = fnv1a64(&bytes[payload_start..]);
+    bytes[payload_start - 8..payload_start].copy_from_slice(&sum.to_le_bytes());
+    write_atomic(path, &bytes).map_err(|e| SfcError::io(path.display().to_string(), e))
 }
 
 /// Load a checksummed `SFCV` volume, returning its dims and row-major
@@ -189,11 +191,9 @@ pub fn write_pgm(path: &Path, width: usize, height: usize, pixels: &[u8]) -> Sfc
             actual: format!("{} pixels", pixels.len()),
         });
     }
-    let ctx = || path.display().to_string();
-    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
-    write!(out, "P5\n{width} {height}\n255\n").map_err(|e| SfcError::io(ctx(), e))?;
-    out.write_all(pixels).map_err(|e| SfcError::io(ctx(), e))?;
-    out.flush().map_err(|e| SfcError::io(ctx(), e))
+    let mut bytes = format!("P5\n{width} {height}\n255\n").into_bytes();
+    bytes.extend_from_slice(pixels);
+    write_atomic(path, &bytes).map_err(|e| SfcError::io(path.display().to_string(), e))
 }
 
 /// Write a 24-bit binary PPM (P6) RGB image from interleaved RGB bytes.
@@ -209,11 +209,9 @@ pub fn write_ppm(path: &Path, width: usize, height: usize, rgb: &[u8]) -> SfcRes
             actual: format!("{} bytes", rgb.len()),
         });
     }
-    let ctx = || path.display().to_string();
-    let mut out = BufWriter::new(File::create(path).map_err(|e| SfcError::io(ctx(), e))?);
-    write!(out, "P6\n{width} {height}\n255\n").map_err(|e| SfcError::io(ctx(), e))?;
-    out.write_all(rgb).map_err(|e| SfcError::io(ctx(), e))?;
-    out.flush().map_err(|e| SfcError::io(ctx(), e))
+    let mut bytes = format!("P6\n{width} {height}\n255\n").into_bytes();
+    bytes.extend_from_slice(rgb);
+    write_atomic(path, &bytes).map_err(|e| SfcError::io(path.display().to_string(), e))
 }
 
 /// Normalize a float slice to `u8` over its own min/max (constant input
@@ -276,6 +274,7 @@ pub fn slice_z(values: &[f32], dims: Dims3, slice: usize) -> Vec<f32> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::Write;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -444,5 +443,34 @@ mod tests {
     fn fnv_is_stable_and_sensitive() {
         assert_eq!(fnv1a64(b""), 0xCBF2_9CE4_8422_2325);
         assert_ne!(fnv1a64(b"abc"), fnv1a64(b"abd"));
+    }
+
+    #[test]
+    fn writers_are_atomic_and_tolerate_stale_temps() {
+        // A crashed writer leaves a stale temp sibling; the next write
+        // must overwrite it, commit atomically, and leave no temp behind.
+        let dims = Dims3::new(3, 2, 2);
+        let values: Vec<f32> = (0..dims.len()).map(|v| v as f32).collect();
+        for (name, write) in [
+            ("atomic.sfcv", Box::new(|p: &Path| save_volume(p, dims, &values))
+                as Box<dyn Fn(&Path) -> SfcResult<()>>),
+            ("atomic.raw", Box::new(|p: &Path| save_raw_f32(p, &values))),
+            ("atomic.pgm", Box::new(|p: &Path| write_pgm(p, 3, 4, &[7u8; 12]))),
+            ("atomic.ppm", Box::new(|p: &Path| write_ppm(p, 2, 2, &[9u8; 12]))),
+        ] {
+            let path = tmp(name);
+            let stale = sfc_harness::durable::tmp_sibling(&path);
+            std::fs::write(&stale, b"left by a killed process").unwrap();
+            write(&path).unwrap();
+            assert!(!stale.exists(), "{name}: temp must be renamed away");
+            assert!(path.exists());
+            std::fs::remove_file(&path).ok();
+        }
+        // The committed SFCV still loads cleanly.
+        let path = tmp("atomic_load.sfcv");
+        save_volume(&path, dims, &values).unwrap();
+        let (d2, v2) = load_volume(&path).unwrap();
+        assert_eq!((d2, v2), (dims, values.clone()));
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -13,6 +13,8 @@
 //! * [`parallel`] — pencil-parallel drivers (paper's static round-robin
 //!   pencil assignment; plus a dynamic-schedule variant for the scheduling
 //!   ablation);
+//! * [`degraded`] — the graceful-degradation driver: supervised execution
+//!   with partial-result recovery, typed defect maps, and a repair pass;
 //! * [`counters`] — simulated cache counters replaying the exact parallel
 //!   work split.
 
@@ -21,6 +23,7 @@
 pub mod bilateral;
 pub mod bilateral2d;
 pub mod counters;
+pub mod degraded;
 pub mod gaussian;
 pub mod gradient;
 pub mod parallel;
@@ -30,6 +33,8 @@ pub mod separable;
 pub use bilateral::{bilateral_reference, bilateral_voxel, BilateralParams};
 pub use bilateral2d::{bilateral2d, bilateral2d_pixel, Bilateral2dParams};
 pub use counters::simulate_bilateral_counters;
+pub use degraded::try_bilateral3d_degraded;
+pub use sfc_harness::DegradedOutcome;
 pub use gaussian::{convolve_voxel, gaussian_weight, SpatialKernel};
 pub use gradient::{gradient3d, gradient_voxel};
 pub use counters::{nan_events, reset_nan_events};

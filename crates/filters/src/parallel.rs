@@ -110,6 +110,7 @@ fn drive_bilateral<V, LOut>(
                 // exactly one thread; `idx < storage_len` by the layout
                 // contract.
                 unsafe { *slots.0.add(idx) = value };
+                true
             });
         },
     );

@@ -135,6 +135,11 @@ impl GatherPlan {
 /// Interior spans use the gathered-scratch fast path; everything else
 /// falls back to the per-voxel clamped kernel. Outputs are bitwise
 /// identical to calling [`crate::bilateral::bilateral_voxel`] per voxel.
+///
+/// `write` returns a continue flag: `false` aborts the rest of the pencil
+/// (cooperative cancellation — the degraded driver polls its cancel token
+/// there). Returns `true` when every voxel of the pencil was written; NaN
+/// events seen so far are flushed either way.
 pub(crate) fn bilateral_pencil<V, F>(
     vol: &V,
     kernel: &SpatialKernel,
@@ -142,11 +147,13 @@ pub(crate) fn bilateral_pencil<V, F>(
     plan: &GatherPlan,
     p: &Pencil,
     mut write: F,
-) where
+) -> bool
+where
     V: Volume3,
-    F: FnMut(usize, usize, usize, f32),
+    F: FnMut(usize, usize, usize, f32) -> bool,
 {
     let mut nan_seen = 0u64;
+    let mut completed = true;
     if plan.pencil_is_interior(p) {
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
@@ -160,24 +167,34 @@ pub(crate) fn bilateral_pencil<V, F>(
                 let (v, n) = bilateral_cap_from_scratch(&scratch, plan, kernel, inv_2sr2, t);
                 nan_seen += n;
                 let (i, j, k) = p.coords(t);
-                write(i, j, k, v);
+                if !write(i, j, k, v) {
+                    completed = false;
+                    return;
+                }
             }
             // Interior span: pure scratch arithmetic.
             for a in r..p.len - r {
                 let (v, n) = bilateral_from_scratch(&scratch, plan, kernel, inv_2sr2, a);
                 nan_seen += n;
                 let (i, j, k) = p.coords(a);
-                write(i, j, k, v);
+                if !write(i, j, k, v) {
+                    completed = false;
+                    return;
+                }
             }
         });
     } else {
         for (i, j, k) in p.iter() {
             let (v, n) = bilateral_voxel_counted(vol, kernel, inv_2sr2, i, j, k);
             nan_seen += n;
-            write(i, j, k, v);
+            if !write(i, j, k, v) {
+                completed = false;
+                break;
+            }
         }
     }
     crate::counters::record_nan_events(nan_seen);
+    completed
 }
 
 /// Gather the pencil's `(2r+1)²` neighbor rows into `scratch`
@@ -313,6 +330,7 @@ mod tests {
                             want.to_bits(),
                             "mismatch at ({i},{j},{k}) axis {axis:?}"
                         );
+                        true
                     });
                 }
             }
@@ -331,7 +349,7 @@ mod tests {
         let plan = GatherPlan::new(&kernel, dims, Axis::X);
         let before = crate::counters::nan_events();
         for pen in pencils(dims, Axis::X) {
-            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |_, _, _, _| {});
+            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |_, _, _, _| true);
         }
         // The NaN voxel is seen once per covering stencil: 27 neighbors'
         // stencils include it, plus its own center pre-count.
@@ -356,6 +374,7 @@ mod tests {
                     bilateral_voxel(&grid, &kernel, inv, i, j, k).to_bits()
                 );
                 count += 1;
+                true
             });
             assert_eq!(count, pen.len);
         }

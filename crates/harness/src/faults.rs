@@ -18,6 +18,9 @@ use std::time::Duration;
 
 use sfc_core::{SfcError, SfcResult, SplitMix64};
 
+use crate::cli::Args;
+use crate::supervise::CancelToken;
+
 /// What to inject at a given item.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -32,6 +35,60 @@ pub enum FaultKind {
     /// Return a non-retryable [`SfcError::InvalidParameter`] every attempt
     /// (tests that validation errors are not retried).
     Invalid,
+    /// Let the item complete, but have the degraded driver poison its
+    /// output with NaN and out-of-range values afterwards (tests the
+    /// post-run validation scan + repair path; [`FaultPlan::fire`] is a
+    /// no-op for this kind — drivers consult [`FaultPlan::corrupts`]).
+    CorruptOutput,
+}
+
+/// Per-item fault probabilities for a randomized [`FaultPlan`], typically
+/// parsed from the shared CLI flags (see [`FaultRates::from_args`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRates {
+    /// Probability an item panics on every attempt.
+    pub panic: f32,
+    /// Probability an item fails (retryably) on its first attempt.
+    pub flaky: f32,
+    /// Probability an item stalls past the watchdog deadline.
+    pub stall: f32,
+    /// Probability an item's output is poisoned after completion.
+    pub corrupt: f32,
+    /// How long a stalled item sleeps.
+    pub stall_ms: u64,
+}
+
+impl Default for FaultRates {
+    fn default() -> Self {
+        Self {
+            panic: 0.0,
+            flaky: 0.0,
+            stall: 0.0,
+            corrupt: 0.0,
+            stall_ms: 200,
+        }
+    }
+}
+
+impl FaultRates {
+    /// Parse the shared fault-injection flags from an experiment binary's
+    /// arguments. Returns `None` unless `--fault-seed <u64>` is present;
+    /// the rates (`--panic-rate`, `--flaky-rate`, `--timeout-rate`,
+    /// `--corrupt-rate`, all default 0) and `--stall-ms` ride along.
+    pub fn from_args(args: &Args) -> Option<(u64, FaultRates)> {
+        let seed = args.get("fault-seed")?;
+        let seed: u64 = seed
+            .parse()
+            .unwrap_or_else(|_| panic!("--fault-seed expects an integer, got {seed:?}"));
+        let rates = FaultRates {
+            panic: args.get_f64("panic-rate", 0.0) as f32,
+            flaky: args.get_f64("flaky-rate", 0.0) as f32,
+            stall: args.get_f64("timeout-rate", 0.0) as f32,
+            corrupt: args.get_f64("corrupt-rate", 0.0) as f32,
+            stall_ms: args.get_u64("stall-ms", 200),
+        };
+        Some((seed, rates))
+    }
 }
 
 /// A scripted set of per-item faults plus per-item attempt counters.
@@ -56,13 +113,39 @@ impl FaultPlan {
     /// `panic_rate` or fails its first attempt with probability
     /// `flaky_rate`. Deterministic for a `(seed, nitems)` pair.
     pub fn random(seed: u64, nitems: usize, panic_rate: f32, flaky_rate: f32) -> Self {
+        Self::random_rates(
+            seed,
+            nitems,
+            &FaultRates {
+                panic: panic_rate,
+                flaky: flaky_rate,
+                ..FaultRates::default()
+            },
+        )
+    }
+
+    /// Seeded random plan over the full fault menu. Each item draws at most
+    /// one fault (panic beats flaky beats stall beats corrupt); the per-item
+    /// RNG stream consumes a fixed number of draws so the assignment for a
+    /// `(seed, nitems)` pair is stable even as rates change.
+    pub fn random_rates(seed: u64, nitems: usize, rates: &FaultRates) -> Self {
         let mut rng = SplitMix64::new(seed);
         let mut plan = Self::none();
         for item in 0..nitems {
-            if rng.chance(panic_rate) {
+            let draws = [
+                rng.chance(rates.panic),
+                rng.chance(rates.flaky),
+                rng.chance(rates.stall),
+                rng.chance(rates.corrupt),
+            ];
+            if draws[0] {
                 plan = plan.with(item, FaultKind::Panic);
-            } else if rng.chance(flaky_rate) {
+            } else if draws[1] {
                 plan = plan.with(item, FaultKind::FailFirst(1));
+            } else if draws[2] {
+                plan = plan.with(item, FaultKind::Stall(Duration::from_millis(rates.stall_ms)));
+            } else if draws[3] {
+                plan = plan.with(item, FaultKind::CorruptOutput);
             }
         }
         plan
@@ -90,10 +173,42 @@ impl FaultPlan {
         v
     }
 
+    /// Items whose output is scripted to be poisoned after completion
+    /// (see [`FaultKind::CorruptOutput`]).
+    pub fn corrupt_items(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .faults
+            .iter()
+            .filter(|(_, (k, _))| matches!(k, FaultKind::CorruptOutput))
+            .map(|(&i, _)| i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// True when `item` is scripted for [`FaultKind::CorruptOutput`].
+    /// Degraded drivers call this after computing a unit to decide whether
+    /// to poison its committed output.
+    pub fn corrupts(&self, item: usize) -> bool {
+        matches!(self.faults.get(&item), Some((FaultKind::CorruptOutput, _)))
+    }
+
     /// Fire the fault scripted for `item`, if any. Call at the top of a
     /// worker closure; panics, sleeps, or returns `Err` according to the
     /// plan and the per-item attempt count.
     pub fn fire(&self, item: usize) -> SfcResult<()> {
+        self.fire_inner(item, None)
+    }
+
+    /// Like [`FaultPlan::fire`], but a stalled item sleeps cooperatively:
+    /// when the watchdog fires `token`, the stall is abandoned with
+    /// [`SfcError::Cancelled`] instead of wedging a worker thread for the
+    /// full scripted duration.
+    pub fn fire_cancellable(&self, item: usize, token: &CancelToken) -> SfcResult<()> {
+        self.fire_inner(item, Some(token))
+    }
+
+    fn fire_inner(&self, item: usize, token: Option<&CancelToken>) -> SfcResult<()> {
         let Some((kind, attempts)) = self.faults.get(&item) else {
             return Ok(());
         };
@@ -101,7 +216,10 @@ impl FaultPlan {
         match kind {
             FaultKind::Panic => panic!("injected fault: panic on item {item}"),
             FaultKind::Stall(d) => {
-                std::thread::sleep(*d);
+                match token {
+                    Some(t) => t.sleep_cancellable(item, *d)?,
+                    None => std::thread::sleep(*d),
+                }
                 Ok(())
             }
             FaultKind::FailFirst(n) => {
@@ -120,6 +238,7 @@ impl FaultPlan {
                 name: "injected",
                 reason: format!("non-retryable fault on item {item}"),
             }),
+            FaultKind::CorruptOutput => Ok(()),
         }
     }
 
@@ -131,6 +250,21 @@ impl FaultPlan {
         move |tid, item| {
             self.fire(item)?;
             inner(tid, item)
+        }
+    }
+
+    /// [`FaultPlan::wrap`] for cancellation-aware workers: scripted stalls
+    /// observe the supervisor's cancel token.
+    pub fn wrap_cancellable<'a, F>(
+        &'a self,
+        inner: F,
+    ) -> impl Fn(usize, usize, &CancelToken) -> SfcResult<()> + 'a
+    where
+        F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + 'a,
+    {
+        move |tid, item, token| {
+            self.fire_cancellable(item, token)?;
+            inner(tid, item, token)
         }
     }
 }
@@ -219,6 +353,59 @@ mod tests {
         assert_eq!(a.doomed_items(), b.doomed_items());
         assert_eq!(a.len(), b.len());
         assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn random_rates_covers_the_full_menu() {
+        let rates = FaultRates {
+            panic: 0.1,
+            flaky: 0.1,
+            stall: 0.1,
+            corrupt: 0.1,
+            stall_ms: 5,
+        };
+        let a = FaultPlan::random_rates(11, 400, &rates);
+        let b = FaultPlan::random_rates(11, 400, &rates);
+        assert_eq!(a.doomed_items(), b.doomed_items());
+        assert_eq!(a.corrupt_items(), b.corrupt_items());
+        assert!(!a.doomed_items().is_empty(), "panic faults should land at 10%");
+        assert!(!a.corrupt_items().is_empty(), "corrupt faults should land at 10%");
+        // Corrupt items fire as no-ops and are not doomed.
+        let c = a.corrupt_items()[0];
+        assert!(a.corrupts(c));
+        assert!(a.fire(c).is_ok());
+        assert!(!a.doomed_items().contains(&c));
+    }
+
+    #[test]
+    fn rates_parse_from_cli_flags() {
+        let args = Args::parse(
+            "--fault-seed 42 --panic-rate 0.02 --flaky-rate 0.1 --timeout-rate 0.05 \
+             --corrupt-rate 0.03 --stall-ms 150"
+                .split_whitespace()
+                .map(String::from),
+        );
+        let (seed, rates) = FaultRates::from_args(&args).expect("seed present");
+        assert_eq!(seed, 42);
+        assert!((rates.panic - 0.02).abs() < 1e-6);
+        assert!((rates.flaky - 0.1).abs() < 1e-6);
+        assert!((rates.stall - 0.05).abs() < 1e-6);
+        assert!((rates.corrupt - 0.03).abs() < 1e-6);
+        assert_eq!(rates.stall_ms, 150);
+        // No --fault-seed → fault injection disabled entirely.
+        let off = Args::parse("--panic-rate 0.5".split_whitespace().map(String::from));
+        assert!(FaultRates::from_args(&off).is_none());
+    }
+
+    #[test]
+    fn cancellable_stall_is_released_by_the_token() {
+        let plan = FaultPlan::none().with(0, FaultKind::Stall(Duration::from_secs(30)));
+        let token = CancelToken::new();
+        token.cancel();
+        let start = std::time::Instant::now();
+        let err = plan.fire_cancellable(0, &token).unwrap_err();
+        assert!(matches!(err, SfcError::Cancelled { item: 0 }));
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

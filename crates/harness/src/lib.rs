@@ -5,9 +5,15 @@
 //! * [`pool`] — the paper's two work-assignment strategies (static
 //!   round-robin pencils, dynamic tile queue) over OS threads;
 //! * [`supervise`] — the supervised variant: panic isolation, watchdog
-//!   timeouts, bounded retry with backoff, structured failure reports;
+//!   timeouts with cooperative cancellation, bounded retry with backoff,
+//!   structured failure reports;
 //! * [`faults`] — deterministic fault injection (panics, stalls, flaky
-//!   items, NaN/file corruption) for exercising the supervisor;
+//!   items, output/NaN/file corruption) for exercising the supervisor;
+//! * [`degrade`] — the typed [`DefectMap`] of failed/invalid output units
+//!   that graceful-degradation drivers return alongside partial results;
+//! * [`durable`] — crash-consistent persistence: atomic whole-file
+//!   replacement and an append-only checksummed journal with torn-tail
+//!   recovery;
 //! * [`timing`] — warmup/repeat wall-clock measurement;
 //! * [`ds`] — the paper's "scaled, relative difference" metric;
 //! * [`table`] — paper-figure-shaped result tables (text/Markdown/CSV);
@@ -17,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod degrade;
 pub mod ds;
+pub mod durable;
 pub mod faults;
 pub mod pool;
 pub mod supervise;
@@ -25,9 +33,14 @@ pub mod table;
 pub mod timing;
 
 pub use cli::Args;
+pub use degrade::{scan_unit, Defect, DefectKind, DefectMap, DegradedOutcome, FailureClass};
 pub use ds::{format_ds, scaled_relative_difference};
-pub use faults::{FaultKind, FaultPlan};
+pub use durable::{write_atomic, Journal, JournalRecovery};
+pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};
-pub use supervise::{run_items_supervised, ItemFailure, RunReport, SupervisorConfig};
+pub use supervise::{
+    run_items_supervised, run_items_supervised_cancellable, CancelToken, ItemFailure,
+    RunReport, SupervisorConfig,
+};
 pub use table::PaperTable;
 pub use timing::{measure, time_once, TimingStats};

@@ -26,17 +26,74 @@
 //! itself completes as soon as every item is accounted — but process exit
 //! still waits on the scoped thread, so worker closures must terminate
 //! *eventually*. The supervisor turns "slow" into a reported failure; it
-//! cannot turn "infinite loop" into one.
+//! cannot turn "infinite loop" into one — unless the worker cooperates:
+//! [`run_items_supervised_cancellable`] hands each attempt a
+//! [`CancelToken`] that the watchdog fires together with the timeout, so a
+//! cooperative worker notices (`token.is_cancelled()` / `token.bail(item)?`)
+//! and abandons the wedged unit instead of wedging its thread.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use sfc_core::{SfcError, SfcResult};
 
 use crate::pool::Schedule;
+
+/// Cooperative cancellation flag for one supervised attempt.
+///
+/// The watchdog fires the token when it expires an attempt's deadline;
+/// long-running worker closures should poll it at a convenient granularity
+/// (per voxel row, per pixel, per chunk) and return early. The token is a
+/// single relaxed atomic load per poll — cheap enough for inner loops.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fire the token (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+
+    /// Convenience for worker closures: `token.bail(item)?` returns
+    /// [`SfcError::Cancelled`] once the token has fired.
+    pub fn bail(&self, item: usize) -> SfcResult<()> {
+        if self.is_cancelled() {
+            Err(SfcError::Cancelled { item })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Sleep up to `total`, waking early (and returning
+    /// [`SfcError::Cancelled`]) if the token fires. Polls every 1 ms; used
+    /// by the fault injector's stalls so a cancelled stall releases its
+    /// thread promptly instead of sleeping out the full duration.
+    pub fn sleep_cancellable(&self, item: usize, total: Duration) -> SfcResult<()> {
+        let slice = Duration::from_millis(1);
+        let deadline = Instant::now() + total;
+        loop {
+            self.bail(item)?;
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(());
+            }
+            std::thread::sleep(slice.min(deadline - now));
+        }
+    }
+}
 
 /// Configuration of a supervised run.
 #[derive(Debug, Clone, Copy)]
@@ -114,10 +171,11 @@ struct Entry {
     not_before: Instant,
 }
 
-/// Per-worker heartbeat: what the worker is running and since when.
+/// Per-worker heartbeat: what the worker is running, since when, and the
+/// cancel token the watchdog fires if the attempt overstays its deadline.
 #[derive(Default)]
 struct Heartbeat {
-    current: Mutex<Option<(usize, u32, Instant)>>,
+    current: Mutex<Option<(usize, u32, Instant, CancelToken)>>,
 }
 
 struct Shared<'a, F> {
@@ -130,7 +188,7 @@ struct Shared<'a, F> {
     /// watchdog timeout) is claimed by CAS-ing `attempt -> attempt + 1`,
     /// so a wedged worker finishing late can never double-account.
     epoch: Vec<AtomicU32>,
-    heartbeats: Mutex<Vec<std::sync::Arc<Heartbeat>>>,
+    heartbeats: Mutex<Vec<Arc<Heartbeat>>>,
     accounted: AtomicUsize,
     completed: AtomicUsize,
     retried: AtomicUsize,
@@ -142,7 +200,7 @@ struct Shared<'a, F> {
 
 impl<F> Shared<'_, F>
 where
-    F: Fn(usize, usize) -> SfcResult<()> + Sync,
+    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
 {
     fn next_entry(&self) -> Option<Entry> {
         let mut q = self.queue.lock().unwrap();
@@ -205,11 +263,14 @@ where
     }
 
     fn worker_loop(&self, tid: usize) {
-        let hb = std::sync::Arc::new(Heartbeat::default());
+        let hb = Arc::new(Heartbeat::default());
         self.heartbeats.lock().unwrap().push(hb.clone());
         while let Some(entry) = self.next_entry() {
-            *hb.current.lock().unwrap() = Some((entry.item, entry.attempt, Instant::now()));
-            let result = catch_unwind(AssertUnwindSafe(|| (self.worker)(tid, entry.item)));
+            let token = CancelToken::new();
+            *hb.current.lock().unwrap() =
+                Some((entry.item, entry.attempt, Instant::now(), token.clone()));
+            let result =
+                catch_unwind(AssertUnwindSafe(|| (self.worker)(tid, entry.item, &token)));
             *hb.current.lock().unwrap() = None;
             // Claim this attempt's outcome; if the watchdog already timed
             // it out, the late result is discarded.
@@ -281,6 +342,27 @@ pub fn run_items_supervised<F>(cfg: &SupervisorConfig, nitems: usize, worker: F)
 where
     F: Fn(usize, usize) -> SfcResult<()> + Sync,
 {
+    run_items_supervised_cancellable(cfg, nitems, |tid, item, _token| worker(tid, item))
+}
+
+/// [`run_items_supervised`] with cooperative cancellation: the worker
+/// receives a per-attempt [`CancelToken`] that the watchdog fires when it
+/// expires the attempt's deadline. A cooperative worker polls the token
+/// (`token.bail(item)?`) and abandons the wedged unit, releasing its
+/// thread back to the pool instead of running the doomed attempt to
+/// completion; its `Cancelled` return is discarded because the watchdog
+/// already claimed the attempt's outcome as a [`SfcError::Timeout`].
+///
+/// # Panics
+/// Panics if `cfg.nthreads == 0` (misconfiguration, not worker failure).
+pub fn run_items_supervised_cancellable<F>(
+    cfg: &SupervisorConfig,
+    nitems: usize,
+    worker: F,
+) -> RunReport
+where
+    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
+{
     assert!(cfg.nthreads > 0, "need at least one thread");
     let start = Instant::now();
     if nitems == 0 {
@@ -338,7 +420,7 @@ fn watchdog_loop<'scope, 'env, F>(
     scope: &'scope std::thread::Scope<'scope, 'env>,
     limit: Duration,
 ) where
-    F: Fn(usize, usize) -> SfcResult<()> + Sync,
+    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
 {
     loop {
         {
@@ -356,8 +438,8 @@ fn watchdog_loop<'scope, 'env, F>(
         let now = Instant::now();
         let slots: Vec<_> = sh.heartbeats.lock().unwrap().clone();
         for hb in slots {
-            let current = *hb.current.lock().unwrap();
-            let Some((item, attempt, started)) = current else {
+            let current = hb.current.lock().unwrap().clone();
+            let Some((item, attempt, started, token)) = current else {
                 continue;
             };
             if now.saturating_duration_since(started) < limit {
@@ -371,6 +453,9 @@ fn watchdog_loop<'scope, 'env, F>(
             {
                 continue;
             }
+            // Ask the wedged worker to abandon the unit; a cooperative
+            // closure returns promptly and its thread rejoins the pool.
+            token.cancel();
             sh.failure(
                 Entry {
                     item,
@@ -538,5 +623,149 @@ mod tests {
     #[should_panic(expected = "at least one thread")]
     fn zero_threads_panics() {
         run_items_supervised(&quick(0), 1, |_, _| Ok(()));
+    }
+
+    #[test]
+    fn attempt_count_is_bounded_for_every_max_retries() {
+        for max_retries in [0u32, 1, 2, 5] {
+            let attempts = AtomicU64::new(0);
+            let cfg = SupervisorConfig {
+                max_retries,
+                ..quick(3)
+            };
+            let report = run_items_supervised(&cfg, 1, |_tid, item| {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                Err(SfcError::WorkerPanic {
+                    item,
+                    payload: "always fails".into(),
+                })
+            });
+            assert_eq!(
+                attempts.load(Ordering::Relaxed),
+                u64::from(max_retries) + 1,
+                "exactly max_retries + 1 attempts for max_retries={max_retries}"
+            );
+            assert_eq!(report.failed[0].attempts, max_retries + 1);
+        }
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_exponential() {
+        // Attempt n is delayed by backoff_base * 2^(n-1); record the
+        // timestamps of each attempt and check the lower bounds (upper
+        // bounds would race the scheduler). Single item, single thread:
+        // the schedule is fully deterministic.
+        let base = Duration::from_millis(8);
+        let cfg = SupervisorConfig {
+            nthreads: 1,
+            max_retries: 3,
+            backoff_base: base,
+            ..Default::default()
+        };
+        let stamps: Mutex<Vec<Instant>> = Mutex::new(Vec::new());
+        let report = run_items_supervised(&cfg, 1, |_tid, item| {
+            stamps.lock().unwrap().push(Instant::now());
+            Err(SfcError::WorkerPanic {
+                item,
+                payload: "flaky".into(),
+            })
+        });
+        assert_eq!(report.retried, 3);
+        let stamps = stamps.into_inner().unwrap();
+        assert_eq!(stamps.len(), 4);
+        for n in 1..stamps.len() {
+            let gap = stamps[n] - stamps[n - 1];
+            let want = base * (1 << (n - 1));
+            assert!(
+                gap >= want,
+                "attempt {n} fired after {gap:?}, backoff schedule requires >= {want:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_expired_item_is_reported_within_its_retry_budget() {
+        // A perpetually-stalling item must end in the failure report after
+        // at most max_retries + 1 timed-out attempts — reported, never
+        // retried forever. No should_panic: the run returns normally.
+        let attempts = AtomicU64::new(0);
+        let cfg = SupervisorConfig {
+            nthreads: 2,
+            timeout: Some(Duration::from_millis(20)),
+            max_retries: 1,
+            watchdog_poll: Duration::from_millis(2),
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let report = run_items_supervised_cancellable(&cfg, 6, |_tid, item, token| {
+            if item == 2 {
+                attempts.fetch_add(1, Ordering::Relaxed);
+                // Stall "forever" (bounded only by the cancel token).
+                token.sleep_cancellable(item, Duration::from_secs(10))?;
+            }
+            Ok(())
+        });
+        assert_eq!(report.completed, 5);
+        assert_eq!(report.failed.len(), 1);
+        let f = &report.failed[0];
+        assert_eq!(f.item, 2);
+        assert!(matches!(f.error, SfcError::Timeout { item: 2, .. }), "{:?}", f.error);
+        assert_eq!(f.attempts, 2, "one original attempt + one retry, then reported");
+        let tried = attempts.load(Ordering::Relaxed);
+        assert!(tried <= 2, "watchdog-expired item must not retry forever ({tried} attempts)");
+    }
+
+    #[test]
+    fn cancel_token_releases_a_cooperative_worker() {
+        // The watchdog fires the token at the deadline; the worker notices
+        // and returns, so the run needs no replacement threads beyond the
+        // watchdog's own accounting and finishes fast.
+        let observed = AtomicBool::new(false);
+        let cfg = SupervisorConfig {
+            nthreads: 2,
+            timeout: Some(Duration::from_millis(15)),
+            max_retries: 0,
+            watchdog_poll: Duration::from_millis(1),
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let start = Instant::now();
+        let report = run_items_supervised_cancellable(&cfg, 8, |_tid, item, token| {
+            if item == 3 {
+                let r = token.sleep_cancellable(item, Duration::from_secs(30));
+                if r.is_err() {
+                    observed.store(true, Ordering::Release);
+                }
+                r?;
+            }
+            Ok(())
+        });
+        assert!(start.elapsed() < Duration::from_secs(5), "cancel must unwedge the run");
+        assert!(observed.load(Ordering::Acquire), "worker must observe its token");
+        assert_eq!(report.completed, 7);
+        assert!(matches!(report.failed[0].error, SfcError::Timeout { item: 3, .. }));
+    }
+
+    #[test]
+    fn late_cancelled_return_is_not_double_accounted() {
+        // The watchdog claims the attempt as Timeout; the worker's
+        // Cancelled return must lose the epoch CAS and be discarded, so
+        // the item contributes exactly one unit to completed + failed.
+        let cfg = SupervisorConfig {
+            nthreads: 2,
+            timeout: Some(Duration::from_millis(10)),
+            max_retries: 0,
+            watchdog_poll: Duration::from_millis(1),
+            backoff_base: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let report = run_items_supervised_cancellable(&cfg, 4, |_tid, item, token| {
+            if item == 1 {
+                token.sleep_cancellable(item, Duration::from_millis(200))?;
+            }
+            Ok(())
+        });
+        assert_eq!(report.completed + report.failed.len(), 4);
+        assert_eq!(report.failed.len(), 1);
     }
 }

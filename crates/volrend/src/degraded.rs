@@ -1,0 +1,308 @@
+//! Graceful-degradation renderer: partial images + typed tile defects.
+//!
+//! [`render_degraded`] is the renderer-side twin of
+//! `sfc_filters::try_bilateral3d_degraded`: the tile decomposition runs
+//! under the supervised pool (panic isolation, watchdog deadlines with
+//! cooperative cancellation, bounded retries); each tile is shaded into a
+//! local buffer and committed to the framebuffer only after its cancel
+//! token is checked, so an abandoned attempt never leaves a half-written
+//! tile. Supervised failures become a typed
+//! [`DefectMap`](sfc_harness::DefectMap) over tile ids, a post-run
+//! validation scan (non-finite components, optional plausibility range)
+//! feeds the same map, and a single-threaded repair pass re-renders every
+//! defective tile with fault injection disabled. Raycasting is
+//! deterministic, so a run whose map ends
+//! [`is_whole`](sfc_harness::DefectMap::is_whole) is pixel-for-pixel
+//! identical to a fault-free render.
+
+use sfc_core::{image_tiles, SfcError, SfcResult, TileRect, Volume3};
+use sfc_harness::{
+    run_items_supervised_cancellable, scan_unit, DefectMap, DegradedOutcome, FaultPlan,
+    SupervisorConfig,
+};
+
+use crate::camera::Camera;
+use crate::image::Image;
+use crate::ray::Aabb;
+use crate::render::{shade_ray_counted, RenderOpts};
+use crate::transfer::{Rgba, TransferFunction};
+
+/// Wrapper making disjoint raw pixel writes shareable across threads.
+struct PixelSlots(*mut Rgba);
+unsafe impl Sync for PixelSlots {}
+
+/// Poison a shaded tile the way [`sfc_harness::FaultKind::CorruptOutput`]
+/// prescribes: alternate non-finite and absurd-but-finite pixels so both
+/// arms of the validation scan are exercised.
+fn poison(buf: &mut [Rgba]) {
+    for (t, p) in buf.iter_mut().enumerate() {
+        let v = if t % 2 == 0 { f32::NAN } else { 1e30 };
+        *p = Rgba {
+            r: v,
+            g: v,
+            b: v,
+            a: v,
+        };
+    }
+}
+
+/// Shade every pixel of `tile` into `buf` (in [`TileRect::pixels`] order),
+/// polling `keep_going` once per pixel. Returns `false` when aborted;
+/// NaN-sample counts seen so far are flushed either way.
+#[allow(clippy::too_many_arguments)]
+fn shade_tile_into_buf<V: Volume3>(
+    vol: &V,
+    cam: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    bbox: &Aabb,
+    tile: TileRect,
+    buf: &mut Vec<Rgba>,
+    mut keep_going: impl FnMut() -> bool,
+) -> bool {
+    buf.clear();
+    let mut nan_seen = 0u64;
+    let mut completed = true;
+    for (x, y) in tile.pixels() {
+        if !keep_going() {
+            completed = false;
+            break;
+        }
+        let ray = cam.ray_for_pixel(x, y);
+        let (c, n) = shade_ray_counted(vol, tf, opts, &ray, bbox);
+        nan_seen += n;
+        buf.push(c);
+    }
+    crate::counters::record_nan_samples(nan_seen);
+    completed
+}
+
+/// Render a full image under the supervised pool, returning the partial
+/// framebuffer plus a typed [`DefectMap`] over tiles instead of failing
+/// the frame.
+///
+/// `faults` scripts injected failures (pass [`FaultPlan::none`] for
+/// production); `pixel_range` is the optional inclusive plausibility
+/// interval for finite pixel components (front-to-back compositing of an
+/// in-range transfer function keeps every component in `[0, 1]`). Errors
+/// are returned only for invalid configuration — execution failures land
+/// in the outcome.
+pub fn render_degraded<V: Volume3 + Sync>(
+    vol: &V,
+    cam: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    cfg: &SupervisorConfig,
+    faults: &FaultPlan,
+    pixel_range: Option<(f32, f32)>,
+) -> SfcResult<(Image, DegradedOutcome)> {
+    if opts.step <= 0.0 || !opts.step.is_finite() {
+        return Err(SfcError::InvalidParameter {
+            name: "step",
+            reason: format!("ray step must be positive and finite, got {}", opts.step),
+        });
+    }
+    let (w, h) = (cam.width(), cam.height());
+    let tiles = image_tiles(w, h, opts.tile, opts.tile);
+    let ntiles = tiles.len();
+    let bbox = Aabb::of_dims(vol.dims());
+    let mut img = Image::new(w, h);
+
+    // Phase 1: supervised tile rendering with buffered commit. The raw
+    // framebuffer pointer lives only for this phase.
+    let report = {
+        let slots = PixelSlots(img.pixels_mut().as_mut_ptr());
+        let slots = &slots;
+        run_items_supervised_cancellable(cfg, ntiles, |_tid, t, token| {
+            faults.fire_cancellable(t, token)?;
+            let tile = tiles[t];
+            let mut buf = Vec::with_capacity(tile.area());
+            let done = shade_tile_into_buf(vol, cam, tf, opts, &bbox, tile, &mut buf, || {
+                !token.is_cancelled()
+            });
+            if !done {
+                return Err(SfcError::Cancelled { item: t });
+            }
+            token.bail(t)?;
+            if faults.corrupts(t) {
+                poison(&mut buf);
+            }
+            for ((x, y), &c) in tile.pixels().zip(buf.iter()) {
+                // SAFETY: tiles partition the image, so each (x, y) is
+                // written by exactly one item; concurrent attempts at the
+                // *same* tile write identical bytes (deterministic
+                // raycaster); index < w*h by TileRect construction.
+                unsafe { *slots.0.add(y * w + x) = c };
+            }
+            Ok(())
+        })
+    };
+
+    // Phase 2: typed defects from execution failures + validation scan.
+    let mut defects = DefectMap::from_run_report("tile", ntiles, &report);
+    let failed: Vec<usize> = defects.units();
+    for (t, tile) in tiles.iter().enumerate() {
+        if failed.binary_search(&t).is_ok() {
+            continue; // already defective; its content is a placeholder
+        }
+        scan_unit(
+            &mut defects,
+            t,
+            tile.pixels().flat_map(|(x, y)| {
+                let p = img.get(x, y);
+                [p.r, p.g, p.b, p.a]
+            }),
+            pixel_range,
+        );
+    }
+
+    // Phase 3: single-threaded repair with faults disabled, then rescan.
+    for t in defects.units() {
+        let tile = tiles[t];
+        let mut buf = Vec::with_capacity(tile.area());
+        shade_tile_into_buf(vol, cam, tf, opts, &bbox, tile, &mut buf, || true);
+        for ((x, y), &c) in tile.pixels().zip(buf.iter()) {
+            img.set(x, y, c);
+        }
+        let mut rescan = DefectMap::new("tile", ntiles);
+        let dirty = scan_unit(
+            &mut rescan,
+            t,
+            buf.iter().flat_map(|p| [p.r, p.g, p.b, p.a]),
+            pixel_range,
+        );
+        if dirty {
+            defects.merge(rescan); // genuinely bad data (e.g. NaN volume)
+        } else {
+            defects.mark_repaired(t);
+        }
+    }
+
+    Ok((img, DegradedOutcome { report, defects }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::camera::Projection;
+    use crate::render::render;
+    use crate::vec3::vec3;
+    use sfc_core::{Dims3, FnVolume};
+    use sfc_harness::FaultKind;
+    use std::time::Duration;
+
+    fn sphere_volume(n: usize) -> FnVolume<impl Fn(usize, usize, usize) -> f32> {
+        let c = n as f32 / 2.0;
+        let r = n as f32 / 4.0;
+        FnVolume::new(Dims3::cube(n), move |i, j, k| {
+            let d2 = (i as f32 + 0.5 - c).powi(2)
+                + (j as f32 + 0.5 - c).powi(2)
+                + (k as f32 + 0.5 - c).powi(2);
+            if d2 < r * r {
+                1.0
+            } else {
+                0.0
+            }
+        })
+    }
+
+    fn camera(n: usize, px: usize) -> Camera {
+        Camera::look_at(
+            vec3(n as f32 * 3.0, n as f32 / 2.0, n as f32 / 2.0),
+            vec3(n as f32 / 2.0, n as f32 / 2.0, n as f32 / 2.0),
+            vec3(0.0, 1.0, 0.0),
+            Projection::Perspective {
+                fov_y: 40f32.to_radians(),
+            },
+            px,
+            px,
+        )
+    }
+
+    fn cfg(nthreads: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            nthreads,
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            timeout: Some(Duration::from_millis(1000)),
+            watchdog_poll: Duration::from_millis(2),
+            ..Default::default()
+        }
+    }
+
+    fn opts(nthreads: usize) -> RenderOpts {
+        RenderOpts {
+            nthreads,
+            tile: 16,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_degraded_render_matches_plain_render() {
+        let vol = sphere_volume(16);
+        let cam = camera(16, 48);
+        let tf = TransferFunction::fire();
+        let o = opts(4);
+        let reference = render(&vol, &cam, &tf, &o);
+        let (img, outcome) = render_degraded(
+            &vol,
+            &cam,
+            &tf,
+            &o,
+            &cfg(4),
+            &FaultPlan::none(),
+            Some((0.0, 1.0)),
+        )
+        .unwrap();
+        assert!(outcome.defects.is_clean());
+        assert_eq!(img.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn injected_tile_faults_are_repaired_to_identical_pixels() {
+        let vol = sphere_volume(16);
+        let cam = camera(16, 48); // 48/16 = 3x3 = 9 tiles
+        let tf = TransferFunction::grayscale();
+        let o = opts(3);
+        let reference = render(&vol, &cam, &tf, &o);
+        let faults = FaultPlan::none()
+            .with(0, FaultKind::Panic)
+            .with(3, FaultKind::CorruptOutput)
+            .with(5, FaultKind::Stall(Duration::from_secs(10)))
+            .with(7, FaultKind::FailFirst(9));
+        let (img, outcome) = render_degraded(
+            &vol,
+            &cam,
+            &tf,
+            &o,
+            &cfg(3),
+            &faults,
+            Some((0.0, 1.0)),
+        )
+        .unwrap();
+        assert_eq!(outcome.defects.units(), vec![0, 3, 5, 7]);
+        assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert_eq!(img.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn invalid_step_is_a_config_error() {
+        let vol = sphere_volume(8);
+        let bad = RenderOpts {
+            step: 0.0,
+            ..opts(1)
+        };
+        let err = render_degraded(
+            &vol,
+            &camera(8, 16),
+            &TransferFunction::fire(),
+            &bad,
+            &cfg(1),
+            &FaultPlan::none(),
+            None,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SfcError::InvalidParameter { name: "step", .. }));
+    }
+}

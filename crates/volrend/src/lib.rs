@@ -22,6 +22,7 @@
 
 pub mod camera;
 pub mod counters;
+pub mod degraded;
 pub mod image;
 pub mod ray;
 pub mod render;
@@ -32,6 +33,7 @@ pub mod vec3;
 
 pub use camera::{orbit_viewpoints, Camera, Projection};
 pub use counters::{nan_samples, reset_nan_samples, simulate_render_counters};
+pub use degraded::render_degraded;
 pub use image::Image;
 pub use ray::{Aabb, Ray};
 pub use render::{render, render_tile, shade_ray, RenderOpts};
