@@ -9,24 +9,18 @@ use sfc_bench::{
     banner, build_bilateral_inputs, checkpoint_from_args, emit_figure, ok_or_exit,
     paper_rows, run_bilateral_figure_resumable,
 };
-use sfc_harness::Args;
+use sfc_harness::FigArgs;
 use sfc_memsim::{ivy_bridge, scaled, shift_for_volume_edge};
-use std::path::PathBuf;
 
 fn main() {
-    let args = Args::from_env();
-    let n = args.get_usize("size", 64);
-    let quick = args.has("quick");
-    let csv = args.get("csv").map(PathBuf::from);
+    let fig_args = FigArgs::from_env();
+    let n = fig_args.size();
+    let csv = fig_args.csv();
 
     let base = ivy_bridge();
-    let threads = if quick {
-        vec![2, 24]
-    } else {
-        args.get_usize_list("threads", &base.concurrency)
-    };
+    let threads = fig_args.thread_grid([2, 24], &base.concurrency);
     let mut rows = paper_rows();
-    if quick {
+    if fig_args.quick() {
         rows.truncate(4); // drop the two expensive r5 rows in smoke mode
     }
     let plat = scaled(&base, shift_for_volume_edge(n));
@@ -44,8 +38,8 @@ fn main() {
     );
 
     let inputs = build_bilateral_inputs(n, 2024);
-    sfc_bench::bilateral_fault_demo(&args, &inputs.z);
-    let mut ckpt = checkpoint_from_args(&args);
+    sfc_bench::bilateral_fault_demo(fig_args.raw(), &inputs.z);
+    let mut ckpt = checkpoint_from_args(fig_args.raw());
     let fig = ok_or_exit(run_bilateral_figure_resumable(
         &inputs,
         &rows,
@@ -58,8 +52,8 @@ fn main() {
     println!();
     emit_figure("fig2", &[&fig.runtime_ds, &fig.counter_ds, &fig.l2_accesses_ds], 2, csv.as_deref());
 
-    if args.has("native") {
-        let nthreads = args.get_usize("native-threads", 4);
+    if fig_args.native() {
+        let nthreads = fig_args.raw().get_usize("native-threads", 4);
         let t = sfc_bench::bilateral_exp::native_row_times(&inputs, &rows, nthreads, 3);
         println!("{}", t.render_text(2));
         println!(

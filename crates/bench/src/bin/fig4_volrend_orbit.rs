@@ -8,17 +8,16 @@
 //! `cargo run -p sfc-bench --release --bin fig4_volrend_orbit -- [--size 64] [--image 128] [--threads 12] [--csv DIR] [--native]`
 
 use sfc_bench::{banner, build_volrend_inputs, emit_figure, paper_orbit, run_orbit_series};
-use sfc_harness::{scaled_relative_difference, Args, PaperTable};
+use sfc_harness::{scaled_relative_difference, FigArgs, PaperTable};
 use sfc_memsim::{ivy_bridge, scaled, shift_for_volume_edge};
 use sfc_volrend::RenderOpts;
-use std::path::PathBuf;
 
 fn main() {
-    let args = Args::from_env();
-    let n = args.get_usize("size", 64);
-    let image = args.get_usize("image", n); // 1 ray per voxel face, as at 512^2/512^3
-    let threads = args.get_usize("threads", 12);
-    let csv = args.get("csv").map(PathBuf::from);
+    let fig_args = FigArgs::from_env();
+    let n = fig_args.size();
+    let image = fig_args.image(); // 1 ray per voxel face, as at 512^2/512^3
+    let threads = fig_args.raw().get_usize("threads", 12);
+    let csv = fig_args.csv();
 
     let plat = scaled(&ivy_bridge(), shift_for_volume_edge(n));
     banner(
@@ -31,19 +30,17 @@ fn main() {
     // --ortho renders the paper's §III-B contrast case: orthographic rays
     // all share one slope, so each viewpoint is purely good or purely bad
     // for array order.
-    let cams = if args.has("ortho") {
+    let cams = if fig_args.raw().has("ortho") {
         sfc_bench::ortho_orbit(n, image)
     } else {
         paper_orbit(n, image)
     };
-    // tile = image/16 preserves the paper's 256-tile decomposition
-    // (their 32^2 tiles on a 512^2 framebuffer).
     let opts = RenderOpts {
         nthreads: threads,
-        tile: args.get_usize("tile", (image / 16).max(4)),
+        tile: fig_args.tile(image),
         ..Default::default()
     };
-    sfc_bench::volrend_fault_demo(&args, &inputs.z, &cams[0], &opts);
+    sfc_bench::volrend_fault_demo(fig_args.raw(), &inputs.z, &cams[0], &opts);
     let series = run_orbit_series(&inputs, &cams, &opts, threads, &plat, true);
 
     let rows: Vec<String> = (0..cams.len()).map(|v| v.to_string()).collect();
@@ -78,7 +75,7 @@ fn main() {
     println!();
     emit_figure("fig4", &[&runtime, &counter], 2, csv.as_deref());
 
-    if args.has("native") {
+    if fig_args.native() {
         native_orbit(&inputs, &cams, &opts);
     }
 }

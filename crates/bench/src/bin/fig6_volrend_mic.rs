@@ -12,24 +12,18 @@ use sfc_bench::{
     banner, build_volrend_inputs, checkpoint_from_args, emit_figure, ok_or_exit, paper_orbit,
     run_volrend_figure_resumable,
 };
-use sfc_harness::Args;
+use sfc_harness::FigArgs;
 use sfc_memsim::{mic_knc, scaled, shift_for_volume_edge};
 use sfc_volrend::RenderOpts;
-use std::path::PathBuf;
 
 fn main() {
-    let args = Args::from_env();
-    let n = args.get_usize("size", 64);
-    let quick = args.has("quick");
-    let image = args.get_usize("image", n); // 1 ray per voxel face, as at 512^2/512^3
-    let csv = args.get("csv").map(PathBuf::from);
+    let fig_args = FigArgs::from_env();
+    let n = fig_args.size();
+    let image = fig_args.image(); // 1 ray per voxel face, as at 512^2/512^3
+    let csv = fig_args.csv();
 
     let base = mic_knc();
-    let threads = if quick {
-        vec![59, 236]
-    } else {
-        args.get_usize_list("threads", &base.concurrency)
-    };
+    let threads = fig_args.thread_grid([59, 236], &base.concurrency);
     let plat = scaled(&base, shift_for_volume_edge(n));
 
     banner(
@@ -40,17 +34,15 @@ fn main() {
 
     let inputs = build_volrend_inputs(n, 7);
     let mut cams = paper_orbit(n, image);
-    if quick {
+    if fig_args.quick() {
         cams.truncate(4);
     }
-    // tile = image/16 preserves the paper's 256-tile decomposition
-    // (their 32^2 tiles on a 512^2 framebuffer).
     let opts = RenderOpts {
-        tile: args.get_usize("tile", (image / 16).max(4)),
+        tile: fig_args.tile(image),
         ..Default::default()
     };
-    sfc_bench::volrend_fault_demo(&args, &inputs.z, &cams[0], &opts);
-    let mut ckpt = checkpoint_from_args(&args);
+    sfc_bench::volrend_fault_demo(fig_args.raw(), &inputs.z, &cams[0], &opts);
+    let mut ckpt = checkpoint_from_args(fig_args.raw());
     let fig = ok_or_exit(run_volrend_figure_resumable(
         &inputs,
         &cams,

@@ -4,8 +4,9 @@
 //! enables injection, `--panic-rate`, `--flaky-rate`, `--timeout-rate`,
 //! `--corrupt-rate`, and `--stall-ms` shape it (see
 //! [`FaultRates::from_args`]). When `--fault-seed` is present, the binary
-//! first runs the *real* kernel once under the graceful-degradation driver
-//! with a seeded random [`FaultPlan`], then prints the
+//! first runs the *real* kernel once through the execution engine under a
+//! selectable [`ExecPolicy`] (`--fault-policy degraded|supervised`,
+//! default `degraded`) with a seeded random [`FaultPlan`], then prints the
 //! [`RunReport`](sfc_harness::RunReport) and
 //! [`DefectMap`](sfc_harness::DefectMap) so the degraded-mode machinery is
 //! exercised (and readable) end to end before the simulated sweep starts.
@@ -20,9 +21,9 @@ use std::time::Duration;
 use sfc_core::{
     image_tiles, pencil_count, ArrayOrder3, Axis, Grid3, StencilOrder, StencilSize, Volume3,
 };
-use sfc_filters::{try_bilateral3d_degraded, BilateralParams, FilterRun};
-use sfc_harness::{Args, DegradedOutcome, FaultPlan, FaultRates, SupervisorConfig};
-use sfc_volrend::{render_degraded, Camera, RenderOpts, TransferFunction};
+use sfc_filters::{try_bilateral3d_with_policy, BilateralParams, FilterRun};
+use sfc_harness::{Args, DegradedOutcome, ExecPolicy, FaultPlan, FaultRates, SupervisorConfig};
+use sfc_volrend::{render_with_policy, Camera, RenderOpts, TransferFunction};
 
 use crate::checkpoint::ok_or_exit;
 
@@ -37,6 +38,23 @@ fn supervisor(nthreads: usize, rates: &FaultRates) -> SupervisorConfig {
         timeout: Some(Duration::from_millis((rates.stall_ms / 2).max(50))),
         watchdog_poll: Duration::from_millis(5),
         ..Default::default()
+    }
+}
+
+/// The engine policy a demo runs under: the full graceful-degradation
+/// stack (`--fault-policy degraded`, the default) or supervision without
+/// repair (`--fault-policy supervised`).
+fn demo_policy(
+    args: &Args,
+    nthreads: usize,
+    rates: &FaultRates,
+    output_range: Option<(f32, f32)>,
+) -> ExecPolicy {
+    let cfg = supervisor(nthreads, rates);
+    match args.get_str("fault-policy", "degraded") {
+        "supervised" => ExecPolicy::Supervised(cfg),
+        "degraded" => ExecPolicy::degraded(cfg, output_range),
+        other => panic!("--fault-policy expects 'degraded' or 'supervised', got {other:?}"),
     }
 }
 
@@ -81,15 +99,9 @@ pub fn bilateral_fault_demo<V: Volume3 + Sync>(args: &Args, vol: &V) -> bool {
     };
     let n_pencils = pencil_count(vol.dims(), run.pencil_axis);
     let plan = FaultPlan::random_rates(seed, n_pencils, &rates);
+    let policy = demo_policy(args, run.nthreads, &rates, None);
     let mut out = Grid3::<f32, ArrayOrder3>::new(vol.dims());
-    let outcome = ok_or_exit(try_bilateral3d_degraded(
-        vol,
-        &mut out,
-        &run,
-        &supervisor(run.nthreads, &rates),
-        &plan,
-        None,
-    ));
+    let outcome = ok_or_exit(try_bilateral3d_with_policy(vol, &mut out, &run, &policy, &plan));
     print_outcome("bilateral r3", "pencil", n_pencils, &outcome);
     true
 }
@@ -108,15 +120,19 @@ pub fn volrend_fault_demo<V: Volume3 + Sync>(
     };
     let ntiles = image_tiles(cam.width(), cam.height(), opts.tile, opts.tile).len();
     let plan = FaultPlan::random_rates(seed, ntiles, &rates);
-    let cfg = supervisor(args.get_usize("fault-threads", 4), &rates);
-    let (_img, outcome) = ok_or_exit(render_degraded(
+    let policy = demo_policy(
+        args,
+        args.get_usize("fault-threads", 4),
+        &rates,
+        Some((0.0, 1.0)),
+    );
+    let (_img, outcome) = ok_or_exit(render_with_policy(
         vol,
         cam,
         &TransferFunction::fire(),
         opts,
-        &cfg,
+        &policy,
         &plan,
-        Some((0.0, 1.0)),
     ));
     print_outcome("volrend", "tile", ntiles, &outcome);
     true

@@ -6,10 +6,8 @@
 //! Bridge; up to four threads sharing a core's private caches on the MIC,
 //! modeled by interleaving their pencil streams round-robin).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use sfc_core::{pencil, pencil_count, Axis, Grid3, Layout3};
-use sfc_harness::items_for_thread;
+use sfc_harness::{items_for_thread, EventCounter, UnitCounters};
 use sfc_memsim::{
     assign_threads_to_cores, interleave_round_robin, run_multicore, CoreSim, Platform,
     SimReport, TracedGrid,
@@ -19,24 +17,23 @@ use crate::bilateral::{bilateral_voxel, BilateralParams};
 
 /// Process-wide count of NaN voxels the bilateral kernel has encountered
 /// and excluded (photometric weight forced to 0). Monotonic; reset
-/// explicitly between measurements.
-static NAN_EVENTS: AtomicU64 = AtomicU64::new(0);
+/// explicitly between measurements. Shared [`UnitCounters`] sink batched
+/// once per pencil.
+static NAN_EVENTS: EventCounter = EventCounter::new();
 
 /// NaN voxels excluded by the bilateral kernel since the last
 /// [`reset_nan_events`].
 pub fn nan_events() -> u64 {
-    NAN_EVENTS.load(Ordering::Relaxed)
+    NAN_EVENTS.total()
 }
 
 /// Reset the NaN event counter (call before a measured run).
 pub fn reset_nan_events() {
-    NAN_EVENTS.store(0, Ordering::Relaxed);
+    NAN_EVENTS.reset();
 }
 
 pub(crate) fn record_nan_events(n: u64) {
-    if n > 0 {
-        NAN_EVENTS.fetch_add(n, Ordering::Relaxed);
-    }
+    NAN_EVENTS.record_unit(n);
 }
 
 /// Simulate the cache behaviour of a bilateral-filter run.

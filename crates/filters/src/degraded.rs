@@ -3,31 +3,35 @@
 //! The plain parallel drivers ([`crate::parallel`]) abort the whole run
 //! when any pencil fails. For long sweeps that is the wrong trade: one
 //! poisoned pencil out of thousands should cost one pencil, not the run.
-//! [`try_bilateral3d_degraded`] instead:
+//! This module adapts the bilateral filter to the execution engine's
+//! policy stack ([`sfc_harness::engine`]): [`PencilKernel`] implements
+//! [`UnitKernel`] over the pencil decomposition (compute into a dense
+//! along-axis buffer, commit through the output layout, read back for
+//! validation), and [`try_bilateral3d_with_policy`] runs it under any
+//! [`ExecPolicy`]:
 //!
-//! 1. executes the pencil decomposition under the supervised pool
-//!    (panic isolation, watchdog deadlines with cooperative cancellation,
-//!    bounded retries), **buffering** each pencil and committing it to the
-//!    output grid only after its cancel token is checked — an abandoned
-//!    attempt never leaves a half-written pencil;
-//! 2. folds the supervised failures into a typed
-//!    [`DefectMap`](sfc_harness::DefectMap) over pencil ids;
-//! 3. runs a post-run validation scan (non-finite + optional plausible
-//!    output range) over every pencil, feeding the same map;
-//! 4. re-executes every defective pencil single-threaded with fault
-//!    injection disabled (the repair pass), rescans it, and marks it
-//!    repaired when clean.
+//! * [`ExecPolicy::Plain`] — the unbuffered fast drivers of
+//!   [`crate::parallel`], plus a synthesized clean outcome;
+//! * [`ExecPolicy::Supervised`] — panic isolation, watchdog deadlines with
+//!   cooperative cancellation, bounded retries, buffered per-pencil commit
+//!   (an abandoned attempt never leaves a half-written pencil);
+//! * [`ExecPolicy::Degraded`] — supervision plus the engine's three-phase
+//!   pipeline: post-run validation scan (non-finite + optional plausible
+//!   output range) and a single-threaded faults-off repair pass.
 //!
 //! The kernel is deterministic, so a repaired pencil is bitwise identical
 //! to what a fault-free run would have produced: a run whose map ends
-//! [`DefectMap::is_whole`] has *exactly* the fault-free output.
+//! [`DefectMap::is_whole`](sfc_harness::DefectMap::is_whole) has *exactly*
+//! the fault-free output. [`try_bilateral3d_degraded`] keeps the PR-3
+//! signature as a wrapper over the `Degraded` policy.
 
-use sfc_core::{pencil, pencil_count, Grid3, Layout3, SfcError, SfcResult, Volume3};
+use sfc_core::{pencil, pencil_count, Axis, Dims3, Grid3, Layout3, SfcError, SfcResult, Volume3};
 use sfc_harness::{
-    run_items_supervised_cancellable, scan_unit, DefectMap, DegradedOutcome, FaultPlan,
-    SupervisorConfig,
+    DegradedOutcome, ExecPolicy, Executor, FaultPlan, RunReport, SupervisorConfig, UnitKernel,
+    WorkPlan,
 };
 
+use crate::gaussian::SpatialKernel;
 use crate::parallel::FilterRun;
 use crate::pencil_gather::{bilateral_pencil, GatherPlan};
 
@@ -35,62 +39,106 @@ use crate::pencil_gather::{bilateral_pencil, GatherPlan};
 struct Slots(*mut f32);
 unsafe impl Sync for Slots {}
 
-/// Poison a computed pencil the way [`sfc_harness::FaultKind::CorruptOutput`]
-/// prescribes: alternating non-finite and absurd-but-finite values, so both
-/// the NaN and the range arms of the validation scan are exercised.
-fn poison(buf: &mut [f32]) {
-    for (t, v) in buf.iter_mut().enumerate() {
-        *v = if t % 2 == 0 { f32::NAN } else { 1e30 };
-    }
-}
-
 /// Position of a voxel along its pencil's axis ([`Pencil::coords`]'
 /// inverse for the `t` coordinate — pencils span the full axis extent).
 #[inline]
-fn along(axis: sfc_core::Axis, i: usize, j: usize, k: usize) -> usize {
+fn along(axis: Axis, i: usize, j: usize, k: usize) -> usize {
     match axis {
-        sfc_core::Axis::X => i,
-        sfc_core::Axis::Y => j,
-        sfc_core::Axis::Z => k,
+        Axis::X => i,
+        Axis::Y => j,
+        Axis::Z => k,
     }
 }
 
-/// Compute one pencil into a dense buffer indexed by along-axis position
-/// (the emission order of `bilateral_pencil` interleaves caps and interior,
-/// so sequential pushes would scramble coordinates). Returns `false` if
-/// `keep_going` aborted the pencil.
-fn pencil_into_buf<V: Volume3>(
-    vol: &V,
-    kernel: &crate::gaussian::SpatialKernel,
+/// The bilateral filter as an engine [`UnitKernel`]: one work unit is one
+/// voxel pencil, computed with the pencil-gather fast path into a dense
+/// buffer indexed by along-axis position and committed through the output
+/// layout. Holds a raw output pointer; construct it only for the duration
+/// of one engine run over an exclusively borrowed grid.
+struct PencilKernel<'a, V, LOut> {
+    vol: &'a V,
+    kernel: SpatialKernel,
     inv: f32,
-    plan: &GatherPlan,
-    p: &sfc_core::Pencil,
-    buf: &mut Vec<f32>,
-    mut keep_going: impl FnMut() -> bool,
-) -> bool {
-    buf.clear();
-    buf.resize(p.len, 0.0);
-    bilateral_pencil(vol, kernel, inv, plan, p, |i, j, k, v| {
-        buf[along(p.axis, i, j, k)] = v;
-        keep_going()
-    })
+    plan: GatherPlan,
+    dims: Dims3,
+    axis: Axis,
+    out_layout: LOut,
+    slots: Slots,
 }
 
-/// Bilateral-filter `vol` into `out` under the supervised pool, returning
-/// partial output plus a typed [`DefectMap`] instead of failing the run.
+impl<V: Volume3 + Sync, LOut: Layout3> UnitKernel for PencilKernel<'_, V, LOut> {
+    type Value = f32;
+
+    fn unit_kind(&self) -> &'static str {
+        "pencil"
+    }
+
+    /// Fill `buf[t]` with the filtered value at along-axis position `t`
+    /// (the emission order of [`bilateral_pencil`] interleaves caps and
+    /// interior, so sequential pushes would scramble coordinates).
+    fn compute(
+        &self,
+        unit: usize,
+        buf: &mut Vec<f32>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        let p = pencil(self.dims, self.axis, unit);
+        buf.clear();
+        buf.resize(p.len, 0.0);
+        bilateral_pencil(self.vol, &self.kernel, self.inv, &self.plan, &p, |i, j, k, v| {
+            buf[along(p.axis, i, j, k)] = v;
+            keep_going()
+        })
+    }
+
+    fn commit(&self, unit: usize, buf: &[f32]) {
+        let p = pencil(self.dims, self.axis, unit);
+        for (t, &v) in buf.iter().enumerate() {
+            let (i, j, k) = p.coords(t);
+            let idx = self.out_layout.index(i, j, k);
+            // SAFETY: the layout is injective over the logical domain and
+            // pencils partition it; concurrent attempts at the *same*
+            // pencil write identical bytes (deterministic kernel), so the
+            // race between an abandoned straggler and its retry is benign;
+            // `idx < storage_len` by the layout contract.
+            unsafe { *self.slots.0.add(idx) = v };
+        }
+    }
+
+    fn read_back(&self, unit: usize, buf: &mut Vec<f32>) {
+        let p = pencil(self.dims, self.axis, unit);
+        for (i, j, k) in p.iter() {
+            let idx = self.out_layout.index(i, j, k);
+            // SAFETY: single-threaded phase, after every commit finished.
+            buf.push(unsafe { *self.slots.0.add(idx) });
+        }
+    }
+
+    fn components(value: f32, sink: &mut dyn FnMut(f32)) {
+        sink(value);
+    }
+
+    fn poison(buf: &mut [f32]) {
+        for (t, v) in buf.iter_mut().enumerate() {
+            *v = if t % 2 == 0 { f32::NAN } else { 1e30 };
+        }
+    }
+}
+
+/// Bilateral-filter `vol` into `out` under an engine [`ExecPolicy`].
 ///
-/// `faults` scripts injected failures (pass [`FaultPlan::none`] for
-/// production); `output_range` is the optional inclusive plausibility
-/// interval the validation scan enforces on finite output values. Errors
-/// are returned only for invalid *configuration* — execution failures
-/// land in the outcome, never abort the run.
-pub fn try_bilateral3d_degraded<V, LOut>(
+/// `Plain` runs the unbuffered fast driver (panics propagate, `faults`
+/// ignored) and synthesizes a clean outcome; `Supervised` and `Degraded`
+/// run the buffered [`PencilKernel`] under the engine, taking their thread
+/// count from the policy's supervisor configuration. Errors are returned
+/// only for invalid *configuration* — execution failures land in the
+/// outcome, never abort the run.
+pub fn try_bilateral3d_with_policy<V, LOut>(
     vol: &V,
     out: &mut Grid3<f32, LOut>,
     run: &FilterRun,
-    cfg: &SupervisorConfig,
+    policy: &ExecPolicy,
     faults: &FaultPlan,
-    output_range: Option<(f32, f32)>,
 ) -> SfcResult<DegradedOutcome>
 where
     V: Volume3 + Sync,
@@ -107,80 +155,65 @@ where
     let dims = vol.dims();
     let axis = run.pencil_axis;
     let n_pencils = pencil_count(dims, axis);
-    let kernel = run.params.spatial_kernel();
-    let inv = run.params.inv_two_sigma_range_sq();
-    let plan = GatherPlan::new(&kernel, dims, axis);
-    // Phase 1: supervised execution with buffered per-pencil commit. The
-    // raw output pointer lives only for this phase; the scan and repair
-    // phases below use the safe accessors.
-    let report = {
-        let out_layout = out.layout().clone();
-        let slots = Slots(out.storage_mut().as_mut_ptr());
-        let slots = &slots;
-        run_items_supervised_cancellable(cfg, n_pencils, |_tid, pid, token| {
-            faults.fire_cancellable(pid, token)?;
-            let p = pencil(dims, axis, pid);
-            let mut buf = Vec::new();
-            let done = pencil_into_buf(vol, &kernel, inv, &plan, &p, &mut buf, || {
-                !token.is_cancelled()
-            });
-            if !done {
-                return Err(SfcError::Cancelled { item: pid });
-            }
-            token.bail(pid)?;
-            if faults.corrupts(pid) {
-                poison(&mut buf);
-            }
-            for (t, &v) in buf.iter().enumerate() {
-                let (i, j, k) = p.coords(t);
-                let idx = out_layout.index(i, j, k);
-                // SAFETY: the layout is injective over the logical domain
-                // and pencils partition it; concurrent attempts at the
-                // *same* pencil write identical bytes (deterministic
-                // kernel), so the race between an abandoned straggler and
-                // its retry is benign; `idx < storage_len` by the layout
-                // contract.
-                unsafe { *slots.0.add(idx) = v };
-            }
-            Ok(())
-        })
+    if let ExecPolicy::Plain = policy {
+        let start = std::time::Instant::now();
+        crate::parallel::try_bilateral3d_into(vol, out, run)?;
+        return Ok(DegradedOutcome {
+            report: RunReport {
+                completed: n_pencils,
+                wall_time: start.elapsed(),
+                ..RunReport::default()
+            },
+            defects: sfc_harness::DefectMap::new("pencil", n_pencils),
+        });
+    }
+    let supervisor = match policy {
+        ExecPolicy::Supervised(cfg) => cfg,
+        ExecPolicy::Degraded(p) => &p.supervisor,
+        ExecPolicy::Plain => unreachable!(),
     };
+    let spatial = run.params.spatial_kernel();
+    let kernel = PencilKernel {
+        vol,
+        plan: GatherPlan::new(&spatial, dims, axis),
+        kernel: spatial,
+        inv: run.params.inv_two_sigma_range_sq(),
+        dims,
+        axis,
+        out_layout: out.layout().clone(),
+        slots: Slots(out.storage_mut().as_mut_ptr()),
+    };
+    Ok(Executor::new(supervisor.nthreads).execute(
+        &WorkPlan::from_schedule(n_pencils, supervisor.schedule),
+        policy,
+        &kernel,
+        faults,
+    ))
+}
 
-    // Phase 2: typed defects from execution failures + validation scan.
-    let mut defects = DefectMap::from_run_report("pencil", n_pencils, &report);
-    let failed: Vec<usize> = defects.units();
-    for pid in 0..n_pencils {
-        if failed.binary_search(&pid).is_ok() {
-            continue; // already defective; its content is a placeholder
-        }
-        let p = pencil(dims, axis, pid);
-        scan_unit(
-            &mut defects,
-            pid,
-            p.iter().map(|(i, j, k)| out.get(i, j, k)),
-            output_range,
-        );
-    }
-
-    // Phase 3: single-threaded repair with faults disabled, then rescan.
-    for pid in defects.units() {
-        let p = pencil(dims, axis, pid);
-        let mut buf = Vec::new();
-        pencil_into_buf(vol, &kernel, inv, &plan, &p, &mut buf, || true);
-        for (t, &v) in buf.iter().enumerate() {
-            let (i, j, k) = p.coords(t);
-            out.set(i, j, k, v);
-        }
-        let mut rescan = DefectMap::new("pencil", n_pencils);
-        let dirty = scan_unit(&mut rescan, pid, buf.iter().copied(), output_range);
-        if dirty {
-            defects.merge(rescan); // genuinely bad data (e.g. NaN input)
-        } else {
-            defects.mark_repaired(pid);
-        }
-    }
-
-    Ok(DegradedOutcome { report, defects })
+/// Bilateral-filter `vol` into `out` under the supervised pool, returning
+/// partial output plus a typed [`DefectMap`](sfc_harness::DefectMap)
+/// instead of failing the run.
+///
+/// `faults` scripts injected failures (pass [`FaultPlan::none`] for
+/// production); `output_range` is the optional inclusive plausibility
+/// interval the validation scan enforces on finite output values. This is
+/// the PR-3 entry point, now a wrapper over
+/// [`try_bilateral3d_with_policy`] with the full
+/// [`ExecPolicy::Degraded`] stack.
+pub fn try_bilateral3d_degraded<V, LOut>(
+    vol: &V,
+    out: &mut Grid3<f32, LOut>,
+    run: &FilterRun,
+    cfg: &SupervisorConfig,
+    faults: &FaultPlan,
+    output_range: Option<(f32, f32)>,
+) -> SfcResult<DegradedOutcome>
+where
+    V: Volume3 + Sync,
+    LOut: Layout3,
+{
+    try_bilateral3d_with_policy(vol, out, run, &ExecPolicy::degraded(*cfg, output_range), faults)
 }
 
 #[cfg(test)]
@@ -301,5 +334,50 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SfcError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn plain_policy_is_the_fast_driver_with_a_clean_outcome() {
+        let dims = Dims3::new(7, 6, 5);
+        let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &test_volume(dims));
+        let r = run(2);
+        let reference: Grid3<f32, ArrayOrder3> = bilateral3d(&grid, &r);
+        let mut out = Grid3::<f32, ArrayOrder3>::new(dims);
+        let outcome = try_bilateral3d_with_policy(
+            &grid,
+            &mut out,
+            &r,
+            &ExecPolicy::Plain,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(outcome.defects.is_clean());
+        assert_eq!(outcome.report.completed, pencil_count(dims, Axis::X));
+        assert_eq!(out.to_row_major(), reference.to_row_major());
+    }
+
+    #[test]
+    fn supervised_policy_isolates_panics_without_repair() {
+        let dims = Dims3::new(8, 5, 4);
+        let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &test_volume(dims));
+        let r = run(2);
+        let faults = FaultPlan::none().with(3, FaultKind::Panic);
+        let mut out = Grid3::<f32, ArrayOrder3>::new(dims);
+        let supervisor = SupervisorConfig {
+            max_retries: 0,
+            ..cfg(2)
+        };
+        let outcome = try_bilateral3d_with_policy(
+            &grid,
+            &mut out,
+            &r,
+            &ExecPolicy::Supervised(supervisor),
+            &faults,
+        )
+        .unwrap();
+        // Supervised-only: the failed pencil is in the map but nothing is
+        // repaired, so the output is not whole.
+        assert_eq!(outcome.defects.units(), vec![3]);
+        assert!(!outcome.output_is_whole());
     }
 }

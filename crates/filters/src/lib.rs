@@ -33,7 +33,7 @@ pub mod separable;
 pub use bilateral::{bilateral_reference, bilateral_voxel, BilateralParams};
 pub use bilateral2d::{bilateral2d, bilateral2d_pixel, Bilateral2dParams};
 pub use counters::simulate_bilateral_counters;
-pub use degraded::try_bilateral3d_degraded;
+pub use degraded::{try_bilateral3d_degraded, try_bilateral3d_with_policy};
 pub use sfc_harness::DegradedOutcome;
 pub use gaussian::{convolve_voxel, gaussian_weight, SpatialKernel};
 pub use gradient::{gradient3d, gradient_voxel};

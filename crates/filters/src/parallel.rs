@@ -7,7 +7,7 @@
 //! access patterns.
 
 use sfc_core::{pencil, pencil_count, Axis, Grid3, Layout3, SfcError, SfcResult, Volume3};
-use sfc_harness::{run_items, Schedule};
+use sfc_harness::{Executor, Schedule, WorkPlan};
 
 use crate::bilateral::BilateralParams;
 use crate::gaussian::convolve_voxel;
@@ -56,23 +56,18 @@ where
     let out_layout = out.layout().clone();
     let slots = Slots(out.storage_mut().as_mut_ptr());
     let slots = &slots;
-    run_items(
-        run.nthreads,
-        n_pencils,
-        Schedule::StaticRoundRobin,
-        |_tid, pid| {
-            let p = pencil(dims, axis, pid);
-            for (i, j, k) in p.iter() {
-                let value = per_voxel(i, j, k);
-                let idx = out_layout.index(i, j, k);
-                // SAFETY: the layout is injective over the logical domain
-                // and pencils partition it, so each slot is written by
-                // exactly one thread; `idx < storage_len` by the layout
-                // contract.
-                unsafe { *slots.0.add(idx) = value };
-            }
-        },
-    );
+    Executor::new(run.nthreads).run(&WorkPlan::static_round_robin(n_pencils), |_tid, pid| {
+        let p = pencil(dims, axis, pid);
+        for (i, j, k) in p.iter() {
+            let value = per_voxel(i, j, k);
+            let idx = out_layout.index(i, j, k);
+            // SAFETY: the layout is injective over the logical domain
+            // and pencils partition it, so each slot is written by
+            // exactly one thread; `idx < storage_len` by the layout
+            // contract.
+            unsafe { *slots.0.add(idx) = value };
+        }
+    });
 }
 
 /// The bilateral driver shared by the static and dynamic schedules:
@@ -97,23 +92,19 @@ fn drive_bilateral<V, LOut>(
     let out_layout = out.layout().clone();
     let slots = Slots(out.storage_mut().as_mut_ptr());
     let slots = &slots;
-    run_items(
-        nthreads,
-        pencil_count(dims, pencil_axis),
-        schedule,
-        |_tid, pid| {
-            let p = pencil(dims, pencil_axis, pid);
-            bilateral_pencil(vol, &kernel, inv, &plan, &p, |i, j, k, value| {
-                let idx = out_layout.index(i, j, k);
-                // SAFETY: the layout is injective over the logical domain
-                // and pencils partition it, so each slot is written by
-                // exactly one thread; `idx < storage_len` by the layout
-                // contract.
-                unsafe { *slots.0.add(idx) = value };
-                true
-            });
-        },
-    );
+    let work = WorkPlan::from_schedule(pencil_count(dims, pencil_axis), schedule);
+    Executor::new(nthreads).run(&work, |_tid, pid| {
+        let p = pencil(dims, pencil_axis, pid);
+        bilateral_pencil(vol, &kernel, inv, &plan, &p, |i, j, k, value| {
+            let idx = out_layout.index(i, j, k);
+            // SAFETY: the layout is injective over the logical domain
+            // and pencils partition it, so each slot is written by
+            // exactly one thread; `idx < storage_len` by the layout
+            // contract.
+            unsafe { *slots.0.add(idx) = value };
+            true
+        });
+    });
 }
 
 /// Bilateral-filter `vol` into `out` (same dimensions, any layouts),

@@ -1,7 +1,9 @@
 //! A minimal `--key value` argument parser for the experiment binaries
-//! (keeps the workspace free of CLI dependencies).
+//! (keeps the workspace free of CLI dependencies), plus [`FigArgs`], the
+//! shared flag vocabulary of the paper-figure binaries.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// Parsed command-line options: `--key value`, `--key=value`, and bare
 /// `--flag` (a key with no value).
@@ -98,12 +100,124 @@ impl Args {
     }
 }
 
+/// The flag vocabulary shared by the paper-figure binaries (fig2–fig6):
+/// `--size N`, `--quick`, `--csv DIR`, `--native`, `--checkpoint FILE`,
+/// `--image N`, `--tile N`, `--threads LIST`, plus the fault-injection
+/// keys read by `FaultRates::from_args`. Each binary previously
+/// hand-parsed these; this builder is the single definition of their
+/// names and defaults.
+#[derive(Debug, Clone, Default)]
+pub struct FigArgs {
+    args: Args,
+}
+
+impl FigArgs {
+    /// Wrap already-parsed arguments.
+    pub fn new(args: Args) -> Self {
+        Self { args }
+    }
+
+    /// Parse the process's own arguments.
+    pub fn from_env() -> Self {
+        Self::new(Args::from_env())
+    }
+
+    /// The underlying parser, for binary-specific keys (fault flags,
+    /// `--ortho`, `--native-threads`, …).
+    pub fn raw(&self) -> &Args {
+        &self.args
+    }
+
+    /// `--size N` — volume edge (default 64).
+    pub fn size(&self) -> usize {
+        self.args.get_usize("size", 64)
+    }
+
+    /// `--quick` — smoke mode: truncated rows/viewpoints and a two-point
+    /// thread grid.
+    pub fn quick(&self) -> bool {
+        self.args.has("quick")
+    }
+
+    /// `--csv DIR` — emit per-table CSV files into `DIR`.
+    pub fn csv(&self) -> Option<PathBuf> {
+        self.args.get("csv").map(PathBuf::from)
+    }
+
+    /// `--native` — also run the native wall-clock rows on this host.
+    pub fn native(&self) -> bool {
+        self.args.has("native")
+    }
+
+    /// `--checkpoint FILE` — journal path for resumable sweeps.
+    pub fn checkpoint(&self) -> Option<PathBuf> {
+        self.args.get("checkpoint").map(PathBuf::from)
+    }
+
+    /// The thread-count grid: `quick_pair` under `--quick`, else
+    /// `--threads LIST` (defaulting to the platform's concurrency grid).
+    pub fn thread_grid(&self, quick_pair: [usize; 2], default: &[usize]) -> Vec<usize> {
+        if self.quick() {
+            quick_pair.to_vec()
+        } else {
+            self.args.get_usize_list("threads", default)
+        }
+    }
+
+    /// `--image N` — framebuffer edge in pixels (default: one ray per
+    /// voxel face, i.e. [`FigArgs::size`]).
+    pub fn image(&self) -> usize {
+        self.args.get_usize("image", self.size())
+    }
+
+    /// `--tile N` — tile edge; the default `image/16` preserves the
+    /// paper's 256-tile decomposition (32² tiles on a 512² framebuffer).
+    pub fn tile(&self, image: usize) -> usize {
+        self.args.get_usize("tile", (image / 16).max(4))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(s: &str) -> Args {
         Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    fn fig(s: &str) -> FigArgs {
+        FigArgs::new(parse(s))
+    }
+
+    #[test]
+    fn fig_args_defaults() {
+        let f = fig("");
+        assert_eq!(f.size(), 64);
+        assert!(!f.quick());
+        assert!(f.csv().is_none());
+        assert!(f.checkpoint().is_none());
+        assert_eq!(f.image(), 64);
+        assert_eq!(f.tile(f.image()), 4);
+        assert_eq!(f.thread_grid([2, 24], &[2, 4, 8]), vec![2, 4, 8]);
+    }
+
+    #[test]
+    fn fig_args_quick_selects_the_two_point_grid() {
+        let f = fig("--quick --threads 3,5");
+        // --quick wins over an explicit list: smoke mode is a fixed shape.
+        assert_eq!(f.thread_grid([59, 236], &[1]), vec![59, 236]);
+    }
+
+    #[test]
+    fn fig_args_explicit_values() {
+        let f = fig("--size 128 --image 256 --tile 32 --csv out --checkpoint ck.bin --native");
+        assert_eq!(f.size(), 128);
+        assert_eq!(f.image(), 256);
+        assert_eq!(f.tile(f.image()), 32);
+        assert_eq!(f.csv().unwrap(), PathBuf::from("out"));
+        assert_eq!(f.checkpoint().unwrap(), PathBuf::from("ck.bin"));
+        assert!(f.native());
+        assert_eq!(f.thread_grid([2, 24], &[2]), vec![2]);
     }
 
     #[test]

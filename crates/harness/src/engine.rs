@@ -1,0 +1,1071 @@
+//! The composable execution engine every kernel driver runs on.
+//!
+//! The paper's two kernels share one parallelization story — partition the
+//! volume into ordered work units (voxel pencils for the bilateral filter,
+//! §III-D; 32×32 image tiles for the raycaster, §III-E) and hand units to
+//! threads either statically round-robin or through a dynamic queue. This
+//! module implements that story **once**, as three composable pieces:
+//!
+//! * a [`WorkPlan`] — how many units there are and how they are
+//!   partitioned across threads ([`Partition::StaticRoundRobin`] or
+//!   [`Partition::DynamicQueue`] with a configurable claim chunk);
+//! * an [`Executor`] — owns the **single** `std::thread::scope` worker
+//!   loop in the workspace. Every parallel kernel path (plain pools,
+//!   supervised pools, degraded pipelines, the cache-simulator core sweep)
+//!   funnels through [`scoped_workers`];
+//! * a stack of [`ExecPolicy`] layers — [`ExecPolicy::Plain`] (run to
+//!   completion, panics propagate), [`ExecPolicy::Supervised`] (panic
+//!   isolation, watchdog timeouts with cooperative cancellation, bounded
+//!   retry with exponential backoff), and [`ExecPolicy::Degraded`]
+//!   (supervised execution with buffered per-unit commit, a typed
+//!   [`DefectMap`] over units, a post-run validation scan, and a
+//!   single-threaded faults-off repair pass).
+//!
+//! Kernels plug in through the [`UnitKernel`] trait (compute a unit into a
+//! buffer, commit it, read it back for validation) and batch their NaN
+//! tallies through the [`UnitCounters`] sink trait (one shared-atomic
+//! update per unit, not per voxel). The legacy entry points —
+//! [`run_items`](crate::run_items),
+//! [`run_items_supervised`](crate::run_items_supervised) and friends — are
+//! thin wrappers over [`Executor`] and keep their exact semantics.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use sfc_core::{SfcError, SfcResult};
+
+use crate::degrade::{scan_unit, DefectMap, DegradedOutcome};
+use crate::faults::FaultPlan;
+use crate::pool::{items_for_thread, Schedule};
+use crate::supervise::{CancelToken, ItemFailure, RunReport, SupervisorConfig};
+
+// ---------------------------------------------------------------------------
+// Work plans
+// ---------------------------------------------------------------------------
+
+/// How a plan's units are split across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Unit `i` is processed by thread `i % nthreads` (the paper's pencil
+    /// assignment).
+    StaticRoundRobin,
+    /// Threads repeatedly claim the next `chunk` unprocessed units from a
+    /// shared cursor (the paper's tile worker pool; `chunk = 1` is the
+    /// classic one-item-at-a-time queue).
+    DynamicQueue {
+        /// Units claimed per queue operation (normalized to at least 1).
+        chunk: usize,
+    },
+}
+
+/// An ordered set of work units plus its partitioning strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPlan {
+    nunits: usize,
+    partition: Partition,
+}
+
+impl WorkPlan {
+    /// A plan over `0..nunits` with an explicit partition. A
+    /// `DynamicQueue` chunk of 0 is normalized to 1.
+    pub fn new(nunits: usize, partition: Partition) -> Self {
+        let partition = match partition {
+            Partition::DynamicQueue { chunk } => Partition::DynamicQueue {
+                chunk: chunk.max(1),
+            },
+            p => p,
+        };
+        Self { nunits, partition }
+    }
+
+    /// Static round-robin plan (pencil assignment).
+    pub fn static_round_robin(nunits: usize) -> Self {
+        Self::new(nunits, Partition::StaticRoundRobin)
+    }
+
+    /// Dynamic-queue plan with single-unit claims (tile worker pool).
+    pub fn dynamic(nunits: usize) -> Self {
+        Self::new(nunits, Partition::DynamicQueue { chunk: 1 })
+    }
+
+    /// The plan matching a legacy [`Schedule`] value.
+    pub fn from_schedule(nunits: usize, schedule: Schedule) -> Self {
+        match schedule {
+            Schedule::StaticRoundRobin => Self::static_round_robin(nunits),
+            Schedule::Dynamic => Self::dynamic(nunits),
+        }
+    }
+
+    /// Number of work units.
+    pub fn nunits(&self) -> usize {
+        self.nunits
+    }
+
+    /// Partitioning strategy.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Initial claim order for a supervised queue. A dynamic plan offers
+    /// `0..nunits`; a static plan offers the concatenated per-thread
+    /// round-robin batches of the unsupervised pool, so the first claims
+    /// reproduce the static split while retries can still rebalance.
+    pub fn initial_order(&self, nthreads: usize) -> Vec<usize> {
+        match self.partition {
+            Partition::DynamicQueue { .. } => (0..self.nunits).collect(),
+            Partition::StaticRoundRobin => {
+                let nthreads = nthreads.max(1);
+                let mut order = Vec::with_capacity(self.nunits);
+                for tid in 0..nthreads {
+                    order.extend(items_for_thread(self.nunits, nthreads, tid));
+                }
+                order
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The one thread scope
+// ---------------------------------------------------------------------------
+
+/// Spawn `nthreads` workers running `worker(tid)` inside the workspace's
+/// single `std::thread::scope`, plus an optional monitor thread (the
+/// supervised watchdog). The monitor receives a `respawn` callback that
+/// starts replacement workers inside the same scope — that is how a
+/// wedged worker's capacity is restored without a second scope anywhere.
+fn scoped_workers<W, M>(nthreads: usize, worker: &W, monitor: Option<M>)
+where
+    W: Fn(usize) + Sync,
+    M: FnOnce(&dyn Fn(usize)) + Send,
+{
+    std::thread::scope(|s| {
+        for tid in 0..nthreads {
+            s.spawn(move || worker(tid));
+        }
+        if let Some(monitor) = monitor {
+            s.spawn(move || {
+                let respawn = |tid: usize| {
+                    s.spawn(move || worker(tid));
+                };
+                monitor(&respawn);
+            });
+        }
+    });
+}
+
+/// Placeholder monitor type for callers that do not supervise.
+type NoMonitor = fn(&dyn Fn(usize));
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+/// Executes [`WorkPlan`]s on a fixed-size worker pool. Construction is the
+/// only place a thread count is validated; every kernel driver goes
+/// through here.
+#[derive(Debug, Clone, Copy)]
+pub struct Executor {
+    nthreads: usize,
+}
+
+impl Executor {
+    /// An executor with `nthreads` workers.
+    ///
+    /// # Panics
+    /// Panics if `nthreads == 0` (misconfiguration, not worker failure).
+    pub fn new(nthreads: usize) -> Self {
+        assert!(nthreads > 0, "need at least one thread");
+        Self { nthreads }
+    }
+
+    /// Worker-pool size.
+    pub fn nthreads(&self) -> usize {
+        self.nthreads
+    }
+
+    /// Run `worker(tid, unit)` over every unit of `plan`. Blocks until all
+    /// units are processed; each unit is processed exactly once. With one
+    /// thread the units run serially in index order on the caller's thread
+    /// (no spawn, no atomics) — the fast path every single-threaded
+    /// benchmark row takes.
+    pub fn run<F>(&self, plan: &WorkPlan, worker: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let n = plan.nunits;
+        if self.nthreads == 1 {
+            for unit in 0..n {
+                worker(0, unit);
+            }
+            return;
+        }
+        match plan.partition {
+            Partition::StaticRoundRobin => {
+                let nthreads = self.nthreads;
+                scoped_workers(
+                    nthreads,
+                    &|tid| {
+                        for unit in items_for_thread(n, nthreads, tid) {
+                            worker(tid, unit);
+                        }
+                    },
+                    None::<NoMonitor>,
+                );
+            }
+            Partition::DynamicQueue { chunk } => {
+                let next = AtomicUsize::new(0);
+                let next = &next;
+                scoped_workers(
+                    self.nthreads,
+                    &|tid| loop {
+                        let start = next.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        for unit in start..n.min(start + chunk) {
+                            worker(tid, unit);
+                        }
+                    },
+                    None::<NoMonitor>,
+                );
+            }
+        }
+    }
+
+    /// [`Executor::run`] with per-unit panic isolation: a panicking unit is
+    /// caught, the remaining units still run, and the lowest-indexed
+    /// panicked unit is reported as a typed [`SfcError::WorkerPanic`].
+    /// Used by the cache-simulator core sweep so one bad core simulation
+    /// no longer aborts the whole sweep.
+    pub fn try_run<F>(&self, plan: &WorkPlan, worker: F) -> SfcResult<()>
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        let first: Mutex<Option<(usize, String)>> = Mutex::new(None);
+        self.run(plan, |tid, unit| {
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker(tid, unit))) {
+                let mut slot = first.lock().unwrap();
+                // Keep the lowest unit index so the reported error is
+                // deterministic regardless of thread interleaving.
+                if slot.as_ref().is_none_or(|(u, _)| unit < *u) {
+                    *slot = Some((unit, panic_payload_string(&payload)));
+                }
+            }
+        });
+        match first.into_inner().unwrap() {
+            None => Ok(()),
+            Some((item, payload)) => Err(SfcError::WorkerPanic { item, payload }),
+        }
+    }
+
+    /// Run `worker(tid, unit, token)` under supervision: per-unit panic
+    /// isolation, bounded retry with exponential backoff, and — when
+    /// `cfg.timeout` is set — a watchdog that expires overdue attempts,
+    /// fires their cancel token, and respawns replacement workers. Returns
+    /// a [`RunReport`]; never panics because of worker behaviour.
+    ///
+    /// The executor's thread count and the plan's partition supersede the
+    /// `nthreads`/`schedule` fields of `cfg` (the legacy wrappers pass
+    /// consistent values). Each *attempt's* outcome is accounted exactly
+    /// once (per-unit epoch CAS), and each unit contributes exactly one
+    /// unit to `completed + failed.len()`.
+    pub fn run_supervised<F>(&self, plan: &WorkPlan, cfg: &SupervisorConfig, worker: F) -> RunReport
+    where
+        F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
+    {
+        let start = Instant::now();
+        let nitems = plan.nunits;
+        if nitems == 0 {
+            return RunReport::default();
+        }
+
+        let queue: VecDeque<Entry> = plan
+            .initial_order(self.nthreads)
+            .into_iter()
+            .map(|item| Entry {
+                item,
+                attempt: 0,
+                not_before: start,
+            })
+            .collect();
+        let shared = Shared {
+            worker: &worker,
+            cfg: *cfg,
+            nitems,
+            queue: Mutex::new(queue),
+            cv: Condvar::new(),
+            epoch: (0..nitems).map(|_| AtomicU32::new(0)).collect(),
+            heartbeats: Mutex::new(Vec::new()),
+            accounted: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            retried: AtomicUsize::new(0),
+            replacements: AtomicUsize::new(0),
+            failures: Mutex::new(Vec::new()),
+            done: AtomicBool::new(false),
+            next_tid: AtomicUsize::new(self.nthreads),
+        };
+
+        {
+            let sh = &shared;
+            scoped_workers(
+                self.nthreads,
+                &|tid| sh.worker_loop(tid),
+                cfg.timeout
+                    .map(|limit| move |respawn: &dyn Fn(usize)| watchdog_loop(sh, respawn, limit)),
+            );
+        }
+
+        let mut failed = shared.failures.into_inner().unwrap();
+        failed.sort_by_key(|f| f.item);
+        RunReport {
+            completed: shared.completed.load(Ordering::Relaxed),
+            failed,
+            retried: shared.retried.load(Ordering::Relaxed),
+            replacements: shared.replacements.load(Ordering::Relaxed),
+            wall_time: start.elapsed(),
+        }
+    }
+
+    /// Execute a [`UnitKernel`] under a policy stack. All three policies
+    /// use the kernel's buffered compute/commit cycle:
+    ///
+    /// * [`ExecPolicy::Plain`] — every unit computed and committed, panics
+    ///   propagate, `faults` is ignored (fault injection requires
+    ///   supervision); the outcome is a clean [`DefectMap`].
+    /// * [`ExecPolicy::Supervised`] — supervised execution with buffered
+    ///   commit; failed units become [`DefectMap`] entries, no validation
+    ///   scan or repair.
+    /// * [`ExecPolicy::Degraded`] — the full three-phase pipeline:
+    ///   supervised execution, post-run validation scan (non-finite +
+    ///   optional plausibility range over every committed unit), and a
+    ///   single-threaded faults-off repair pass that re-computes each
+    ///   defective unit and marks it repaired when its rescan is clean.
+    pub fn execute<K: UnitKernel>(
+        &self,
+        plan: &WorkPlan,
+        policy: &ExecPolicy,
+        kernel: &K,
+        faults: &FaultPlan,
+    ) -> DegradedOutcome {
+        let nunits = plan.nunits;
+        match policy {
+            ExecPolicy::Plain => {
+                let start = Instant::now();
+                self.run(plan, |_tid, unit| {
+                    let mut buf = Vec::new();
+                    kernel.compute(unit, &mut buf, &mut || true);
+                    kernel.commit(unit, &buf);
+                });
+                DegradedOutcome {
+                    report: RunReport {
+                        completed: nunits,
+                        wall_time: start.elapsed(),
+                        ..RunReport::default()
+                    },
+                    defects: DefectMap::new(kernel.unit_kind(), nunits),
+                }
+            }
+            ExecPolicy::Supervised(cfg) => {
+                let report = self.supervised_commit_phase(plan, cfg, kernel, faults);
+                let defects = DefectMap::from_run_report(kernel.unit_kind(), nunits, &report);
+                DegradedOutcome { report, defects }
+            }
+            ExecPolicy::Degraded(policy) => self.run_degraded(plan, policy, kernel, faults),
+        }
+    }
+
+    /// Phase 1 of the supervised/degraded pipelines: compute each unit
+    /// into a local buffer under supervision, check the cancel token, then
+    /// commit — an abandoned attempt never leaves a half-written unit.
+    fn supervised_commit_phase<K: UnitKernel>(
+        &self,
+        plan: &WorkPlan,
+        cfg: &SupervisorConfig,
+        kernel: &K,
+        faults: &FaultPlan,
+    ) -> RunReport {
+        self.run_supervised(plan, cfg, |_tid, unit, token| {
+            faults.fire_cancellable(unit, token)?;
+            let mut buf = Vec::new();
+            let done = kernel.compute(unit, &mut buf, &mut || !token.is_cancelled());
+            if !done {
+                return Err(SfcError::Cancelled { item: unit });
+            }
+            token.bail(unit)?;
+            if faults.corrupts(unit) {
+                K::poison(&mut buf);
+            }
+            kernel.commit(unit, &buf);
+            Ok(())
+        })
+    }
+
+    /// The generic graceful-degradation pipeline (execute → validate →
+    /// repair) shared by the bilateral and raycasting degraded drivers.
+    fn run_degraded<K: UnitKernel>(
+        &self,
+        plan: &WorkPlan,
+        policy: &DegradedPolicy,
+        kernel: &K,
+        faults: &FaultPlan,
+    ) -> DegradedOutcome {
+        let nunits = plan.nunits;
+        let report = self.supervised_commit_phase(plan, &policy.supervisor, kernel, faults);
+
+        // Phase 2: typed defects from execution failures + validation scan
+        // of every successfully committed unit (failed units hold
+        // placeholder data and are already in the map).
+        let mut defects = DefectMap::from_run_report(kernel.unit_kind(), nunits, &report);
+        let failed: Vec<usize> = defects.units();
+        let mut values = Vec::new();
+        let mut comps = Vec::new();
+        for unit in 0..nunits {
+            if failed.binary_search(&unit).is_ok() {
+                continue;
+            }
+            values.clear();
+            kernel.read_back(unit, &mut values);
+            comps.clear();
+            for &v in &values {
+                K::components(v, &mut |c| comps.push(c));
+            }
+            scan_unit(&mut defects, unit, comps.iter().copied(), policy.output_range);
+        }
+
+        // Phase 3: single-threaded repair with faults disabled, then a
+        // rescan of the freshly computed buffer (not a read-back — the
+        // rescan judges the recomputation itself).
+        for unit in defects.units() {
+            let mut buf = Vec::new();
+            kernel.compute(unit, &mut buf, &mut || true);
+            kernel.commit(unit, &buf);
+            comps.clear();
+            for &v in &buf {
+                K::components(v, &mut |c| comps.push(c));
+            }
+            let mut rescan = DefectMap::new(kernel.unit_kind(), nunits);
+            let dirty = scan_unit(&mut rescan, unit, comps.iter().copied(), policy.output_range);
+            if dirty {
+                defects.merge(rescan); // genuinely bad data (e.g. NaN input)
+            } else {
+                defects.mark_repaired(unit);
+            }
+        }
+
+        DegradedOutcome { report, defects }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+/// Stackable execution-policy layers (see [`Executor::execute`]).
+#[derive(Debug, Clone)]
+pub enum ExecPolicy {
+    /// Run to completion; worker panics propagate; no fault injection.
+    Plain,
+    /// Supervised execution: panic isolation, watchdog timeouts with
+    /// cooperative cancellation, bounded retry with backoff.
+    Supervised(SupervisorConfig),
+    /// Supervised execution plus the validate/repair pipeline.
+    Degraded(DegradedPolicy),
+}
+
+impl ExecPolicy {
+    /// The full graceful-degradation stack with an optional inclusive
+    /// plausibility range for finite output components.
+    pub fn degraded(supervisor: SupervisorConfig, output_range: Option<(f32, f32)>) -> Self {
+        ExecPolicy::Degraded(DegradedPolicy {
+            supervisor,
+            output_range,
+        })
+    }
+
+    /// Human-readable policy name for logs and demo banners.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecPolicy::Plain => "plain",
+            ExecPolicy::Supervised(_) => "supervised",
+            ExecPolicy::Degraded(_) => "degraded",
+        }
+    }
+}
+
+/// Configuration of the [`ExecPolicy::Degraded`] stack.
+#[derive(Debug, Clone)]
+pub struct DegradedPolicy {
+    /// Supervision parameters for the execute phase.
+    pub supervisor: SupervisorConfig,
+    /// Optional inclusive plausibility interval the validation scan
+    /// enforces on finite output components.
+    pub output_range: Option<(f32, f32)>,
+}
+
+// ---------------------------------------------------------------------------
+// Kernels
+// ---------------------------------------------------------------------------
+
+/// A kernel the engine can drive: computes one work unit at a time into a
+/// dense buffer, commits the buffer to the output, and can read a
+/// committed unit back for validation. Implementations wrap the output in
+/// a raw-pointer slot structure so disjoint units commit concurrently.
+pub trait UnitKernel: Sync {
+    /// Element type of a unit's buffer (a voxel value, a pixel, …).
+    type Value: Copy + Send;
+
+    /// The unit noun used in defect maps ("pencil", "tile", …).
+    fn unit_kind(&self) -> &'static str;
+
+    /// Compute `unit` into `buf` (cleared/sized by the implementation),
+    /// polling `keep_going` at a convenient granularity. Returns `false`
+    /// when aborted by `keep_going`; partial buffers are never committed.
+    fn compute(&self, unit: usize, buf: &mut Vec<Self::Value>, keep_going: &mut dyn FnMut() -> bool)
+        -> bool;
+
+    /// Commit a fully computed buffer to the output. May be called
+    /// concurrently for distinct units; concurrent commits of the *same*
+    /// unit must write identical bytes (deterministic kernels do).
+    fn commit(&self, unit: usize, buf: &[Self::Value]);
+
+    /// Read a committed unit back from the output, in the same order
+    /// `compute` fills the buffer. Only called single-threaded, after all
+    /// concurrent commits have finished.
+    fn read_back(&self, unit: usize, buf: &mut Vec<Self::Value>);
+
+    /// Decompose a value into its finite-checkable f32 components (one
+    /// per voxel value, four per RGBA pixel, …) for the validation scan.
+    fn components(value: Self::Value, sink: &mut dyn FnMut(f32));
+
+    /// Overwrite a computed buffer the way
+    /// [`FaultKind::CorruptOutput`](crate::FaultKind::CorruptOutput)
+    /// prescribes (alternating non-finite and absurd-but-finite values),
+    /// so both arms of the validation scan are exercised.
+    fn poison(buf: &mut [Self::Value]);
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A sink for per-unit event tallies (NaN substitutions, excluded voxels).
+/// Kernels count locally while computing a unit and flush **once per
+/// unit**, so the shared atomic is touched per pencil/tile, not per voxel.
+pub trait UnitCounters: Sync {
+    /// Add one unit's event count (no-op for zero).
+    fn record_unit(&self, events: u64);
+    /// Total events recorded since the last [`UnitCounters::reset`].
+    fn total(&self) -> u64;
+    /// Reset to zero (call before a measured run).
+    fn reset(&self);
+}
+
+/// The standard process-wide [`UnitCounters`] sink: a single relaxed
+/// atomic, const-constructible so crates can keep their counters in
+/// `static`s.
+#[derive(Debug, Default)]
+pub struct EventCounter(AtomicU64);
+
+impl EventCounter {
+    /// A zeroed counter (usable in `static` initializers).
+    pub const fn new() -> Self {
+        Self(AtomicU64::new(0))
+    }
+}
+
+impl UnitCounters for EventCounter {
+    fn record_unit(&self, events: u64) {
+        if events > 0 {
+            self.0.fetch_add(events, Ordering::Relaxed);
+        }
+    }
+
+    fn total(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervised machinery (moved here from supervise.rs so the watchdog's
+// replacement workers spawn inside the same single thread scope)
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    item: usize,
+    attempt: u32,
+    not_before: Instant,
+}
+
+/// Per-worker heartbeat: what the worker is running, since when, and the
+/// cancel token the watchdog fires if the attempt overstays its deadline.
+#[derive(Default)]
+struct Heartbeat {
+    current: Mutex<Option<(usize, u32, Instant, CancelToken)>>,
+}
+
+struct Shared<'a, F> {
+    worker: &'a F,
+    cfg: SupervisorConfig,
+    nitems: usize,
+    queue: Mutex<VecDeque<Entry>>,
+    cv: Condvar,
+    /// Per-item attempt epoch: an attempt's outcome (completion, error, or
+    /// watchdog timeout) is claimed by CAS-ing `attempt -> attempt + 1`,
+    /// so a wedged worker finishing late can never double-account.
+    epoch: Vec<AtomicU32>,
+    heartbeats: Mutex<Vec<Arc<Heartbeat>>>,
+    accounted: AtomicUsize,
+    completed: AtomicUsize,
+    retried: AtomicUsize,
+    replacements: AtomicUsize,
+    failures: Mutex<Vec<ItemFailure>>,
+    done: AtomicBool,
+    next_tid: AtomicUsize,
+}
+
+impl<F> Shared<'_, F>
+where
+    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
+{
+    fn next_entry(&self) -> Option<Entry> {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if self.done.load(Ordering::Acquire) {
+                return None;
+            }
+            let now = Instant::now();
+            if let Some(pos) = q.iter().position(|e| e.not_before <= now) {
+                return q.remove(pos);
+            }
+            // Nothing ready: sleep until the earliest backoff expires, or a
+            // bounded interval if the queue is empty (another worker may
+            // still fail and requeue, or the run may finish).
+            let wait = q
+                .iter()
+                .map(|e| e.not_before.saturating_duration_since(now))
+                .min()
+                .unwrap_or(Duration::from_millis(20))
+                .max(Duration::from_micros(100));
+            q = self.cv.wait_timeout(q, wait).unwrap().0;
+        }
+    }
+
+    fn account_one(&self) {
+        let n = self.accounted.fetch_add(1, Ordering::AcqRel) + 1;
+        if n == self.nitems {
+            self.done.store(true, Ordering::Release);
+            self.cv.notify_all();
+        }
+    }
+
+    fn success(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.account_one();
+    }
+
+    fn failure(&self, entry: Entry, error: SfcError) {
+        let attempts = entry.attempt + 1;
+        if entry.attempt < self.cfg.max_retries && error.is_retryable() {
+            self.retried.fetch_add(1, Ordering::Relaxed);
+            let factor = 1u32 << entry.attempt.min(16);
+            let delay = self.cfg.backoff_base.saturating_mul(factor);
+            let mut q = self.queue.lock().unwrap();
+            q.push_back(Entry {
+                item: entry.item,
+                attempt: attempts,
+                not_before: Instant::now() + delay,
+            });
+            drop(q);
+            self.cv.notify_all();
+        } else {
+            self.failures.lock().unwrap().push(ItemFailure {
+                item: entry.item,
+                attempts,
+                error,
+            });
+            self.account_one();
+        }
+    }
+
+    fn worker_loop(&self, tid: usize) {
+        let hb = Arc::new(Heartbeat::default());
+        self.heartbeats.lock().unwrap().push(hb.clone());
+        while let Some(entry) = self.next_entry() {
+            let token = CancelToken::new();
+            *hb.current.lock().unwrap() =
+                Some((entry.item, entry.attempt, Instant::now(), token.clone()));
+            let result =
+                catch_unwind(AssertUnwindSafe(|| (self.worker)(tid, entry.item, &token)));
+            *hb.current.lock().unwrap() = None;
+            // Claim this attempt's outcome; if the watchdog already timed
+            // it out, the late result is discarded.
+            if self.epoch[entry.item]
+                .compare_exchange(
+                    entry.attempt,
+                    entry.attempt + 1,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            match result {
+                Ok(Ok(())) => self.success(),
+                Ok(Err(e)) => self.failure(entry, e),
+                Err(payload) => self.failure(
+                    entry,
+                    SfcError::WorkerPanic {
+                        item: entry.item,
+                        payload: panic_payload_string(&payload),
+                    },
+                ),
+            }
+        }
+    }
+}
+
+pub(crate) fn panic_payload_string(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn watchdog_loop<F>(sh: &Shared<'_, F>, respawn: &dyn Fn(usize), limit: Duration)
+where
+    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
+{
+    loop {
+        {
+            let q = sh.queue.lock().unwrap();
+            if sh.done.load(Ordering::Acquire) {
+                return;
+            }
+            // Waking on the queue condvar lets run completion end the
+            // watchdog immediately instead of after one more poll.
+            let _ = sh.cv.wait_timeout(q, sh.cfg.watchdog_poll).unwrap();
+        }
+        if sh.done.load(Ordering::Acquire) {
+            return;
+        }
+        let now = Instant::now();
+        let slots: Vec<_> = sh.heartbeats.lock().unwrap().clone();
+        for hb in slots {
+            let current = hb.current.lock().unwrap().clone();
+            let Some((item, attempt, started, token)) = current else {
+                continue;
+            };
+            if now.saturating_duration_since(started) < limit {
+                continue;
+            }
+            // Claim the overdue attempt; if the worker finished in the
+            // meantime its own CAS won and this is a no-op.
+            if sh.epoch[item]
+                .compare_exchange(attempt, attempt + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // Ask the wedged worker to abandon the unit; a cooperative
+            // closure returns promptly and its thread rejoins the pool.
+            token.cancel();
+            sh.failure(
+                Entry {
+                    item,
+                    attempt,
+                    not_before: now,
+                },
+                SfcError::Timeout { item, limit },
+            );
+            // The wedged worker may never come back: restore pool capacity.
+            sh.replacements.fetch_add(1, Ordering::Relaxed);
+            let tid = sh.next_tid.fetch_add(1, Ordering::Relaxed);
+            respawn(tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultKind;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn static_plan_order_matches_pool_split() {
+        let plan = WorkPlan::static_round_robin(10);
+        let order = plan.initial_order(3);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        assert_eq!(order[..4], [0, 3, 6, 9]);
+        let concat: Vec<usize> = (0..3)
+            .flat_map(|tid| items_for_thread(10, 3, tid))
+            .collect();
+        assert_eq!(order, concat);
+        assert_eq!(WorkPlan::dynamic(5).initial_order(4), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn chunked_dynamic_queue_processes_each_unit_once() {
+        let n = 103;
+        let counts: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let plan = WorkPlan::new(n, Partition::DynamicQueue { chunk: 4 });
+        Executor::new(5).run(&plan, |_tid, unit| {
+            counts[unit].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn zero_chunk_is_normalized() {
+        let plan = WorkPlan::new(7, Partition::DynamicQueue { chunk: 0 });
+        assert_eq!(plan.partition(), Partition::DynamicQueue { chunk: 1 });
+        let seen = AtomicU64::new(0);
+        Executor::new(3).run(&plan, |_tid, _unit| {
+            seen.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(seen.load(Ordering::Relaxed), 7);
+    }
+
+    #[test]
+    fn single_thread_runs_serially_in_order() {
+        let order = Mutex::new(Vec::new());
+        Executor::new(1).run(&WorkPlan::dynamic(5), |tid, unit| {
+            assert_eq!(tid, 0);
+            order.lock().unwrap().push(unit);
+        });
+        assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_run_isolates_panics_and_finishes_other_units() {
+        let n = 20;
+        let done: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let err = Executor::new(4)
+            .try_run(&WorkPlan::static_round_robin(n), |_tid, unit| {
+                if unit == 7 || unit == 13 {
+                    panic!("boom on {unit}");
+                }
+                done[unit].fetch_add(1, Ordering::Relaxed);
+            })
+            .unwrap_err();
+        assert!(
+            matches!(&err, SfcError::WorkerPanic { item: 7, payload } if payload.contains("boom on 7")),
+            "{err:?}"
+        );
+        for (u, d) in done.iter().enumerate() {
+            let want = u64::from(u != 7 && u != 13);
+            assert_eq!(d.load(Ordering::Relaxed), want, "unit {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        Executor::new(0);
+    }
+
+    #[test]
+    fn run_supervised_retries_transient_failures() {
+        let n = 12;
+        let tries: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+        let cfg = SupervisorConfig {
+            backoff_base: Duration::from_millis(1),
+            ..SupervisorConfig::default()
+        };
+        let report = Executor::new(4).run_supervised(
+            &WorkPlan::dynamic(n),
+            &cfg,
+            |_tid, unit, _token| {
+                if tries[unit].fetch_add(1, Ordering::Relaxed) == 0 && unit % 4 == 0 {
+                    panic!("flaky first attempt");
+                }
+                Ok(())
+            },
+        );
+        assert_eq!(report.completed, n);
+        assert!(report.all_ok());
+        assert_eq!(report.retried, 3); // units 0, 4, 8
+    }
+
+    /// Toy kernel over a flat f32 output, with a scriptable set of source
+    /// units whose recomputation stays bad (NaN input analog).
+    struct ToyKernel {
+        out: Mutex<Vec<f32>>,
+        unit_len: usize,
+        always_bad: Vec<usize>,
+    }
+
+    impl ToyKernel {
+        fn new(nunits: usize, unit_len: usize) -> Self {
+            Self {
+                out: Mutex::new(vec![0.0; nunits * unit_len]),
+                unit_len,
+                always_bad: Vec::new(),
+            }
+        }
+    }
+
+    impl UnitKernel for ToyKernel {
+        type Value = f32;
+
+        fn unit_kind(&self) -> &'static str {
+            "toyunit"
+        }
+
+        fn compute(
+            &self,
+            unit: usize,
+            buf: &mut Vec<f32>,
+            keep_going: &mut dyn FnMut() -> bool,
+        ) -> bool {
+            buf.clear();
+            for t in 0..self.unit_len {
+                if !keep_going() {
+                    return false;
+                }
+                let v = if self.always_bad.contains(&unit) {
+                    f32::NAN
+                } else {
+                    (unit * self.unit_len + t) as f32 * 0.5
+                };
+                buf.push(v);
+            }
+            true
+        }
+
+        fn commit(&self, unit: usize, buf: &[f32]) {
+            let mut out = self.out.lock().unwrap();
+            out[unit * self.unit_len..(unit + 1) * self.unit_len].copy_from_slice(buf);
+        }
+
+        fn read_back(&self, unit: usize, buf: &mut Vec<f32>) {
+            let out = self.out.lock().unwrap();
+            buf.extend_from_slice(&out[unit * self.unit_len..(unit + 1) * self.unit_len]);
+        }
+
+        fn components(value: f32, sink: &mut dyn FnMut(f32)) {
+            sink(value);
+        }
+
+        fn poison(buf: &mut [f32]) {
+            for (t, v) in buf.iter_mut().enumerate() {
+                *v = if t % 2 == 0 { f32::NAN } else { 1e30 };
+            }
+        }
+    }
+
+    fn expected_output(nunits: usize, unit_len: usize) -> Vec<f32> {
+        (0..nunits * unit_len).map(|i| i as f32 * 0.5).collect()
+    }
+
+    fn quick_cfg(nthreads: usize) -> SupervisorConfig {
+        SupervisorConfig {
+            nthreads,
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            timeout: Some(Duration::from_millis(500)),
+            watchdog_poll: Duration::from_millis(2),
+            ..SupervisorConfig::default()
+        }
+    }
+
+    #[test]
+    fn plain_policy_executes_every_unit_with_clean_outcome() {
+        let kernel = ToyKernel::new(9, 4);
+        let exec = Executor::new(3);
+        let outcome = exec.execute(
+            &WorkPlan::dynamic(9),
+            &ExecPolicy::Plain,
+            &kernel,
+            &FaultPlan::none(),
+        );
+        assert!(outcome.defects.is_clean());
+        assert_eq!(outcome.report.completed, 9);
+        assert_eq!(*kernel.out.lock().unwrap(), expected_output(9, 4));
+    }
+
+    #[test]
+    fn degraded_policy_repairs_injected_faults_to_identical_output() {
+        let kernel = ToyKernel::new(12, 5);
+        let faults = FaultPlan::none()
+            .with(1, FaultKind::Panic)
+            .with(4, FaultKind::CorruptOutput)
+            .with(6, FaultKind::FailFirst(5)); // exceeds max_retries=1
+        let outcome = Executor::new(3).execute(
+            &WorkPlan::static_round_robin(12),
+            &ExecPolicy::degraded(quick_cfg(3), Some((0.0, 1e6))),
+            &kernel,
+            &faults,
+        );
+        assert_eq!(outcome.defects.units(), vec![1, 4, 6]);
+        assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert_eq!(*kernel.out.lock().unwrap(), expected_output(12, 5));
+    }
+
+    #[test]
+    fn degraded_policy_keeps_unrepairable_units_in_the_map() {
+        let mut kernel = ToyKernel::new(6, 3);
+        kernel.always_bad.push(2); // recomputation is NaN too
+        let outcome = Executor::new(2).execute(
+            &WorkPlan::dynamic(6),
+            &ExecPolicy::degraded(quick_cfg(2), None),
+            &kernel,
+            &FaultPlan::none(),
+        );
+        assert_eq!(outcome.defects.unrepaired_units(), vec![2]);
+        assert!(!outcome.output_is_whole());
+    }
+
+    #[test]
+    fn supervised_policy_records_failures_without_scanning() {
+        let kernel = ToyKernel::new(8, 2);
+        // CorruptOutput poisons the committed buffer but supervised-only
+        // execution does not scan, so the defect map stays empty while a
+        // panic fault is still recorded from the run report.
+        let faults = FaultPlan::none()
+            .with(3, FaultKind::CorruptOutput)
+            .with(5, FaultKind::Panic);
+        let cfg = SupervisorConfig {
+            max_retries: 0,
+            ..quick_cfg(2)
+        };
+        let outcome = Executor::new(2).execute(
+            &WorkPlan::dynamic(8),
+            &ExecPolicy::Supervised(cfg),
+            &kernel,
+            &faults,
+        );
+        assert_eq!(outcome.defects.units(), vec![5]);
+        assert_eq!(outcome.report.completed, 7);
+        assert_eq!(ExecPolicy::Plain.label(), "plain");
+    }
+
+    #[test]
+    fn event_counter_batches_and_resets() {
+        static COUNTER: EventCounter = EventCounter::new();
+        COUNTER.reset();
+        Executor::new(4).run(&WorkPlan::dynamic(100), |_tid, unit| {
+            COUNTER.record_unit(u64::from(unit % 3 == 0)); // 34 units
+        });
+        assert_eq!(COUNTER.total(), 34);
+        COUNTER.record_unit(0);
+        assert_eq!(COUNTER.total(), 34);
+        COUNTER.reset();
+        assert_eq!(COUNTER.total(), 0);
+    }
+}

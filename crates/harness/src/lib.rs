@@ -2,8 +2,12 @@
 //!
 //! Shared machinery for the timing and counter experiments:
 //!
+//! * [`engine`] — the composable execution engine: [`WorkPlan`]
+//!   partitioning, the single [`Executor`]-owned thread scope, stackable
+//!   [`ExecPolicy`] layers (plain / supervised / degraded) over a
+//!   [`UnitKernel`], and the shared [`UnitCounters`] event sink;
 //! * [`pool`] — the paper's two work-assignment strategies (static
-//!   round-robin pencils, dynamic tile queue) over OS threads;
+//!   round-robin pencils, dynamic tile queue), a façade over the engine;
 //! * [`supervise`] — the supervised variant: panic isolation, watchdog
 //!   timeouts with cooperative cancellation, bounded retry with backoff,
 //!   structured failure reports;
@@ -26,16 +30,21 @@ pub mod cli;
 pub mod degrade;
 pub mod ds;
 pub mod durable;
+pub mod engine;
 pub mod faults;
 pub mod pool;
 pub mod supervise;
 pub mod table;
 pub mod timing;
 
-pub use cli::Args;
+pub use cli::{Args, FigArgs};
 pub use degrade::{scan_unit, Defect, DefectKind, DefectMap, DegradedOutcome, FailureClass};
 pub use ds::{format_ds, scaled_relative_difference};
 pub use durable::{write_atomic, Journal, JournalRecovery};
+pub use engine::{
+    DegradedPolicy, EventCounter, ExecPolicy, Executor, Partition, UnitCounters, UnitKernel,
+    WorkPlan,
+};
 pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};
 pub use supervise::{

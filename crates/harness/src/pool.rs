@@ -4,9 +4,12 @@
 //! pencils to threads **statically round-robin**, and the raycaster by
 //! letting threads pull 32×32 image tiles from a **dynamic** queue (the
 //! "worker-pool model" that motivated their POSIX-threads implementation).
-//! Both strategies are implemented here over abstract item indices.
+//! Both strategies are implemented here over abstract item indices; the
+//! actual thread scope lives in the execution engine ([`crate::engine`]) —
+//! [`run_items`] is a thin façade over
+//! [`Executor::run`](crate::engine::Executor::run).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::engine::{Executor, WorkPlan};
 
 /// Work-assignment strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,43 +43,7 @@ pub fn run_items<F>(nthreads: usize, nitems: usize, schedule: Schedule, worker: 
 where
     F: Fn(usize, usize) + Sync,
 {
-    assert!(nthreads > 0, "need at least one thread");
-    if nthreads == 1 {
-        for item in 0..nitems {
-            worker(0, item);
-        }
-        return;
-    }
-    match schedule {
-        Schedule::StaticRoundRobin => {
-            std::thread::scope(|s| {
-                let worker = &worker;
-                for tid in 0..nthreads {
-                    s.spawn(move || {
-                        for item in items_for_thread(nitems, nthreads, tid) {
-                            worker(tid, item);
-                        }
-                    });
-                }
-            });
-        }
-        Schedule::Dynamic => {
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|s| {
-                let worker = &worker;
-                let next = &next;
-                for tid in 0..nthreads {
-                    s.spawn(move || loop {
-                        let item = next.fetch_add(1, Ordering::Relaxed);
-                        if item >= nitems {
-                            break;
-                        }
-                        worker(tid, item);
-                    });
-                }
-            });
-        }
-    }
+    Executor::new(nthreads).run(&WorkPlan::from_schedule(nitems, schedule), worker);
 }
 
 /// Mutable-output variant: splits `outputs` so each item owns one output
@@ -109,7 +76,7 @@ pub fn run_items_with_output<T, F>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU64;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn round_robin_split_covers_all_items_once() {

@@ -18,6 +18,13 @@
 //!   times with exponential backoff, then recorded in
 //!   [`RunReport::failed`].
 //!
+//! This module holds the supervised *vocabulary* — [`CancelToken`],
+//! [`SupervisorConfig`], [`ItemFailure`], [`RunReport`] — and the legacy
+//! entry points; the queue/epoch/watchdog machinery itself lives in the
+//! execution engine ([`crate::engine`]), whose single thread scope also
+//! hosts the watchdog's replacement workers
+//! ([`Executor::run_supervised`](crate::engine::Executor::run_supervised)).
+//!
 //! ## Timeout semantics
 //!
 //! Threads cannot be killed, so a timed-out worker closure keeps running
@@ -32,14 +39,13 @@
 //! cooperative worker notices (`token.is_cancelled()` / `token.bail(item)?`)
 //! and abandons the wedged unit instead of wedging its thread.
 
-use std::collections::VecDeque;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use sfc_core::{SfcError, SfcResult};
 
+use crate::engine::{Executor, WorkPlan};
 use crate::pool::Schedule;
 
 /// Cooperative cancellation flag for one supervised attempt.
@@ -164,167 +170,6 @@ impl RunReport {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    item: usize,
-    attempt: u32,
-    not_before: Instant,
-}
-
-/// Per-worker heartbeat: what the worker is running, since when, and the
-/// cancel token the watchdog fires if the attempt overstays its deadline.
-#[derive(Default)]
-struct Heartbeat {
-    current: Mutex<Option<(usize, u32, Instant, CancelToken)>>,
-}
-
-struct Shared<'a, F> {
-    worker: &'a F,
-    cfg: SupervisorConfig,
-    nitems: usize,
-    queue: Mutex<VecDeque<Entry>>,
-    cv: Condvar,
-    /// Per-item attempt epoch: an attempt's outcome (completion, error, or
-    /// watchdog timeout) is claimed by CAS-ing `attempt -> attempt + 1`,
-    /// so a wedged worker finishing late can never double-account.
-    epoch: Vec<AtomicU32>,
-    heartbeats: Mutex<Vec<Arc<Heartbeat>>>,
-    accounted: AtomicUsize,
-    completed: AtomicUsize,
-    retried: AtomicUsize,
-    replacements: AtomicUsize,
-    failures: Mutex<Vec<ItemFailure>>,
-    done: AtomicBool,
-    next_tid: AtomicUsize,
-}
-
-impl<F> Shared<'_, F>
-where
-    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
-{
-    fn next_entry(&self) -> Option<Entry> {
-        let mut q = self.queue.lock().unwrap();
-        loop {
-            if self.done.load(Ordering::Acquire) {
-                return None;
-            }
-            let now = Instant::now();
-            if let Some(pos) = q.iter().position(|e| e.not_before <= now) {
-                return q.remove(pos);
-            }
-            // Nothing ready: sleep until the earliest backoff expires, or a
-            // bounded interval if the queue is empty (another worker may
-            // still fail and requeue, or the run may finish).
-            let wait = q
-                .iter()
-                .map(|e| e.not_before.saturating_duration_since(now))
-                .min()
-                .unwrap_or(Duration::from_millis(20))
-                .max(Duration::from_micros(100));
-            q = self.cv.wait_timeout(q, wait).unwrap().0;
-        }
-    }
-
-    fn account_one(&self) {
-        let n = self.accounted.fetch_add(1, Ordering::AcqRel) + 1;
-        if n == self.nitems {
-            self.done.store(true, Ordering::Release);
-            self.cv.notify_all();
-        }
-    }
-
-    fn success(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
-        self.account_one();
-    }
-
-    fn failure(&self, entry: Entry, error: SfcError) {
-        let attempts = entry.attempt + 1;
-        if entry.attempt < self.cfg.max_retries && error.is_retryable() {
-            self.retried.fetch_add(1, Ordering::Relaxed);
-            let factor = 1u32 << entry.attempt.min(16);
-            let delay = self.cfg.backoff_base.saturating_mul(factor);
-            let mut q = self.queue.lock().unwrap();
-            q.push_back(Entry {
-                item: entry.item,
-                attempt: attempts,
-                not_before: Instant::now() + delay,
-            });
-            drop(q);
-            self.cv.notify_all();
-        } else {
-            self.failures.lock().unwrap().push(ItemFailure {
-                item: entry.item,
-                attempts,
-                error,
-            });
-            self.account_one();
-        }
-    }
-
-    fn worker_loop(&self, tid: usize) {
-        let hb = Arc::new(Heartbeat::default());
-        self.heartbeats.lock().unwrap().push(hb.clone());
-        while let Some(entry) = self.next_entry() {
-            let token = CancelToken::new();
-            *hb.current.lock().unwrap() =
-                Some((entry.item, entry.attempt, Instant::now(), token.clone()));
-            let result =
-                catch_unwind(AssertUnwindSafe(|| (self.worker)(tid, entry.item, &token)));
-            *hb.current.lock().unwrap() = None;
-            // Claim this attempt's outcome; if the watchdog already timed
-            // it out, the late result is discarded.
-            if self.epoch[entry.item]
-                .compare_exchange(
-                    entry.attempt,
-                    entry.attempt + 1,
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_err()
-            {
-                continue;
-            }
-            match result {
-                Ok(Ok(())) => self.success(),
-                Ok(Err(e)) => self.failure(entry, e),
-                Err(payload) => self.failure(
-                    entry,
-                    SfcError::WorkerPanic {
-                        item: entry.item,
-                        payload: panic_payload_string(&payload),
-                    },
-                ),
-            }
-        }
-    }
-}
-
-fn panic_payload_string(payload: &Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "<non-string panic payload>".to_string()
-    }
-}
-
-/// Initial claim order for the shared queue (see
-/// [`SupervisorConfig::schedule`]).
-fn initial_order(nitems: usize, nthreads: usize, schedule: Schedule) -> Vec<usize> {
-    match schedule {
-        Schedule::Dynamic => (0..nitems).collect(),
-        Schedule::StaticRoundRobin => {
-            let mut order = Vec::with_capacity(nitems);
-            for tid in 0..nthreads.max(1) {
-                order.extend(crate::pool::items_for_thread(nitems, nthreads.max(1), tid));
-            }
-            order
-        }
-    }
-}
-
 /// Run `worker(tid, item)` over `0..nitems` under supervision: panics are
 /// isolated per item, failures are retried with exponential backoff, and —
 /// when [`SupervisorConfig::timeout`] is set — a watchdog times out stuck
@@ -363,119 +208,18 @@ pub fn run_items_supervised_cancellable<F>(
 where
     F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
 {
-    assert!(cfg.nthreads > 0, "need at least one thread");
-    let start = Instant::now();
-    if nitems == 0 {
-        return RunReport::default();
-    }
-
-    let queue: VecDeque<Entry> = initial_order(nitems, cfg.nthreads, cfg.schedule)
-        .into_iter()
-        .map(|item| Entry {
-            item,
-            attempt: 0,
-            not_before: start,
-        })
-        .collect();
-    let shared = Shared {
-        worker: &worker,
-        cfg: *cfg,
-        nitems,
-        queue: Mutex::new(queue),
-        cv: Condvar::new(),
-        epoch: (0..nitems).map(|_| AtomicU32::new(0)).collect(),
-        heartbeats: Mutex::new(Vec::new()),
-        accounted: AtomicUsize::new(0),
-        completed: AtomicUsize::new(0),
-        retried: AtomicUsize::new(0),
-        replacements: AtomicUsize::new(0),
-        failures: Mutex::new(Vec::new()),
-        done: AtomicBool::new(false),
-        next_tid: AtomicUsize::new(cfg.nthreads),
-    };
-
-    std::thread::scope(|s| {
-        let sh = &shared;
-        for tid in 0..cfg.nthreads {
-            s.spawn(move || sh.worker_loop(tid));
-        }
-        if let Some(limit) = cfg.timeout {
-            s.spawn(move || watchdog_loop(sh, s, limit));
-        }
-    });
-
-    let mut failed = shared.failures.into_inner().unwrap();
-    failed.sort_by_key(|f| f.item);
-    RunReport {
-        completed: shared.completed.load(Ordering::Relaxed),
-        failed,
-        retried: shared.retried.load(Ordering::Relaxed),
-        replacements: shared.replacements.load(Ordering::Relaxed),
-        wall_time: start.elapsed(),
-    }
-}
-
-fn watchdog_loop<'scope, 'env, F>(
-    sh: &'scope Shared<'_, F>,
-    scope: &'scope std::thread::Scope<'scope, 'env>,
-    limit: Duration,
-) where
-    F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
-{
-    loop {
-        {
-            let q = sh.queue.lock().unwrap();
-            if sh.done.load(Ordering::Acquire) {
-                return;
-            }
-            // Waking on the queue condvar lets run completion end the
-            // watchdog immediately instead of after one more poll.
-            let _ = sh.cv.wait_timeout(q, sh.cfg.watchdog_poll).unwrap();
-        }
-        if sh.done.load(Ordering::Acquire) {
-            return;
-        }
-        let now = Instant::now();
-        let slots: Vec<_> = sh.heartbeats.lock().unwrap().clone();
-        for hb in slots {
-            let current = hb.current.lock().unwrap().clone();
-            let Some((item, attempt, started, token)) = current else {
-                continue;
-            };
-            if now.saturating_duration_since(started) < limit {
-                continue;
-            }
-            // Claim the overdue attempt; if the worker finished in the
-            // meantime its own CAS won and this is a no-op.
-            if sh.epoch[item]
-                .compare_exchange(attempt, attempt + 1, Ordering::AcqRel, Ordering::Acquire)
-                .is_err()
-            {
-                continue;
-            }
-            // Ask the wedged worker to abandon the unit; a cooperative
-            // closure returns promptly and its thread rejoins the pool.
-            token.cancel();
-            sh.failure(
-                Entry {
-                    item,
-                    attempt,
-                    not_before: now,
-                },
-                SfcError::Timeout { item, limit },
-            );
-            // The wedged worker may never come back: restore pool capacity.
-            sh.replacements.fetch_add(1, Ordering::Relaxed);
-            let tid = sh.next_tid.fetch_add(1, Ordering::Relaxed);
-            scope.spawn(move || sh.worker_loop(tid));
-        }
-    }
+    Executor::new(cfg.nthreads).run_supervised(
+        &WorkPlan::from_schedule(nitems, cfg.schedule),
+        cfg,
+        worker,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicU64;
+    use std::sync::Mutex;
 
     fn quick(nthreads: usize) -> SupervisorConfig {
         SupervisorConfig {
@@ -606,7 +350,7 @@ mod tests {
 
     #[test]
     fn static_order_covers_all_items() {
-        let order = initial_order(10, 3, Schedule::StaticRoundRobin);
+        let order = WorkPlan::from_schedule(10, Schedule::StaticRoundRobin).initial_order(3);
         let mut sorted = order.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..10).collect::<Vec<_>>());

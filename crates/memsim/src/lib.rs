@@ -45,6 +45,7 @@ pub use cost::CostModel;
 pub use hierarchy::{CoreCounters, CoreSim, HierarchyConfig, SimReport, TlbConfig};
 pub use llc::{
     assign_threads_to_cores, interleave_round_robin, replay_shared_llc, run_multicore,
+    try_run_multicore,
 };
 pub use platform::{ivy_bridge, mic_knc, scaled, shift_for_volume_edge, Platform};
 pub use trace::{TracedGrid, ELEM_BYTES};

@@ -7,21 +7,27 @@
 //! unknowable true interleaving (the paper's headline counters do not
 //! depend on it; see [`crate::hierarchy`] docs).
 
+use sfc_core::SfcResult;
+use sfc_harness::{Executor, WorkPlan};
+
 use crate::cache::Cache;
 use crate::hierarchy::{CoreCounters, CoreSim, HierarchyConfig, SimReport};
 
 /// Lines replayed from one core before moving to the next.
 pub const DEFAULT_LLC_CHUNK: usize = 64;
 
-/// Run `work(core_id, sim)` for each of `ncores` simulated cores and
-/// aggregate counters. Cores run on real threads when `parallel` is true
-/// (results are identical either way — each core's stream is independent).
-pub fn run_multicore<F>(
+/// [`run_multicore`] with typed panic isolation: each core simulation runs
+/// under the execution engine's [`Executor::try_run`], so a panicking core
+/// (a buggy kernel closure, a poisoned trace) is caught, the remaining
+/// cores still complete, and the lowest-indexed failure is returned as a
+/// typed [`sfc_core::SfcError::WorkerPanic`] instead of aborting the
+/// whole sweep.
+pub fn try_run_multicore<F>(
     config: &HierarchyConfig,
     ncores: usize,
     parallel: bool,
     work: F,
-) -> SimReport
+) -> SfcResult<SimReport>
 where
     F: Fn(usize, &mut CoreSim) + Sync,
 {
@@ -37,19 +43,28 @@ where
         (sim.counters(), trace)
     };
 
-    let results: Vec<(CoreCounters, Vec<u64>)> = if parallel && ncores > 1 {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = (0..ncores)
-                .map(|core| s.spawn(move || run_one(core)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("core simulation thread panicked"))
-                .collect()
-        })
-    } else {
-        (0..ncores).map(run_one).collect()
-    };
+    // One engine unit per core; with `parallel` each thread owns exactly
+    // one core under the static split (the historical one-thread-per-core
+    // behaviour), otherwise the single-thread serial fast path runs cores
+    // in index order. Results land in disjoint slots.
+    struct ResultSlots(*mut Option<(CoreCounters, Vec<u64>)>);
+    unsafe impl Sync for ResultSlots {}
+    let mut results: Vec<Option<(CoreCounters, Vec<u64>)>> = (0..ncores).map(|_| None).collect();
+    {
+        let slots = ResultSlots(results.as_mut_ptr());
+        let slots = &slots;
+        let nthreads = if parallel { ncores } else { 1 };
+        Executor::new(nthreads).try_run(&WorkPlan::static_round_robin(ncores), |_tid, core| {
+            let r = run_one(core);
+            // SAFETY: each core index is processed exactly once (engine
+            // contract), so the slots are written disjointly.
+            unsafe { *slots.0.add(core) = Some(r) };
+        })?;
+    }
+    let results: Vec<(CoreCounters, Vec<u64>)> = results
+        .into_iter()
+        .map(|r| r.expect("engine processed every core"))
+        .collect();
 
     let per_core: Vec<CoreCounters> = results.iter().map(|(c, _)| *c).collect();
     let llc = config.llc.map(|llc_cfg| {
@@ -57,7 +72,29 @@ where
         replay_shared_llc(llc_cfg, &traces, DEFAULT_LLC_CHUNK)
     });
 
-    SimReport { per_core, llc }
+    Ok(SimReport { per_core, llc })
+}
+
+/// Run `work(core_id, sim)` for each of `ncores` simulated cores and
+/// aggregate counters. Cores run on real threads when `parallel` is true
+/// (results are identical either way — each core's stream is independent).
+///
+/// # Panics
+/// Panics if any core simulation panics; use [`try_run_multicore`] to get
+/// the failure as a typed error while the other cores still complete.
+pub fn run_multicore<F>(
+    config: &HierarchyConfig,
+    ncores: usize,
+    parallel: bool,
+    work: F,
+) -> SimReport
+where
+    F: Fn(usize, &mut CoreSim) + Sync,
+{
+    match try_run_multicore(config, ncores, parallel, work) {
+        Ok(report) => report,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Replay per-core miss streams into a shared cache, taking `chunk`
@@ -198,6 +235,29 @@ mod tests {
         let a = vec![1, 2, 3];
         let b = vec![10, 20];
         assert_eq!(interleave_round_robin(&[a, b]), vec![1, 10, 2, 20, 3]);
+    }
+
+    #[test]
+    fn panicking_core_is_isolated_and_typed() {
+        // One bad core costs a typed error, not the process; the healthy
+        // cores still run to completion (observable via the counter).
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let cfg = config_with_llc();
+        let completed = AtomicU64::new(0);
+        let err = try_run_multicore(&cfg, 4, true, |core, sim| {
+            if core == 2 {
+                panic!("injected core failure");
+            }
+            sim.read(core as u64 * 64, 4);
+            completed.fetch_add(1, Ordering::Relaxed);
+        })
+        .unwrap_err();
+        assert!(
+            matches!(&err, sfc_core::SfcError::WorkerPanic { item: 2, payload }
+                if payload.contains("injected core failure")),
+            "{err:?}"
+        );
+        assert_eq!(completed.load(Ordering::Relaxed), 3);
     }
 
     #[test]

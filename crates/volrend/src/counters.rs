@@ -15,10 +15,8 @@
 //! methodology assumes — the native renderer's cached-cell fast path
 //! changes throughput, never the simulated counters.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-
 use sfc_core::{image_tiles, Grid3, Layout3};
-use sfc_harness::items_for_thread;
+use sfc_harness::{items_for_thread, EventCounter, UnitCounters};
 use sfc_memsim::{
     assign_threads_to_cores, interleave_round_robin, run_multicore, CoreSim, Platform,
     SimReport, TracedGrid,
@@ -30,24 +28,22 @@ use crate::transfer::TransferFunction;
 
 /// Process-wide count of NaN voxel taps the trilinear sampler has
 /// substituted with `0.0`. Monotonic; reset explicitly between
-/// measurements.
-static NAN_SAMPLES: AtomicU64 = AtomicU64::new(0);
+/// measurements. Shared [`UnitCounters`] sink batched once per tile/ray.
+static NAN_SAMPLES: EventCounter = EventCounter::new();
 
 /// NaN voxel taps substituted by the sampler since the last
 /// [`reset_nan_samples`].
 pub fn nan_samples() -> u64 {
-    NAN_SAMPLES.load(Ordering::Relaxed)
+    NAN_SAMPLES.total()
 }
 
 /// Reset the NaN sample counter (call before a measured run).
 pub fn reset_nan_samples() {
-    NAN_SAMPLES.store(0, Ordering::Relaxed);
+    NAN_SAMPLES.reset();
 }
 
 pub(crate) fn record_nan_samples(n: u64) {
-    if n > 0 {
-        NAN_SAMPLES.fetch_add(n, Ordering::Relaxed);
-    }
+    NAN_SAMPLES.record_unit(n);
 }
 
 /// Simulate the cache behaviour of rendering one frame with `nthreads`

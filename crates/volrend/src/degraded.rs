@@ -1,100 +1,146 @@
 //! Graceful-degradation renderer: partial images + typed tile defects.
 //!
 //! [`render_degraded`] is the renderer-side twin of
-//! `sfc_filters::try_bilateral3d_degraded`: the tile decomposition runs
-//! under the supervised pool (panic isolation, watchdog deadlines with
-//! cooperative cancellation, bounded retries); each tile is shaded into a
-//! local buffer and committed to the framebuffer only after its cancel
-//! token is checked, so an abandoned attempt never leaves a half-written
-//! tile. Supervised failures become a typed
-//! [`DefectMap`](sfc_harness::DefectMap) over tile ids, a post-run
-//! validation scan (non-finite components, optional plausibility range)
-//! feeds the same map, and a single-threaded repair pass re-renders every
-//! defective tile with fault injection disabled. Raycasting is
-//! deterministic, so a run whose map ends
+//! `sfc_filters::try_bilateral3d_degraded`: the tile decomposition runs on
+//! the execution engine ([`sfc_harness::engine`]) through [`TileKernel`],
+//! an adapter implementing [`UnitKernel`] over 32×32 image tiles (shade
+//! into a local pixel buffer, commit to the framebuffer, read back for
+//! validation). [`render_with_policy`] selects the policy stack:
+//!
+//! * [`ExecPolicy::Plain`] — the unbuffered fast [`render`] driver plus a
+//!   synthesized clean outcome;
+//! * [`ExecPolicy::Supervised`] — panic isolation, watchdog deadlines with
+//!   cooperative cancellation, bounded retries, buffered per-tile commit
+//!   (an abandoned attempt never leaves a half-written tile);
+//! * [`ExecPolicy::Degraded`] — supervision plus the engine's validation
+//!   scan (non-finite pixel components, optional plausibility range) and
+//!   single-threaded faults-off repair pass.
+//!
+//! Raycasting is deterministic, so a run whose map ends
 //! [`is_whole`](sfc_harness::DefectMap::is_whole) is pixel-for-pixel
 //! identical to a fault-free render.
 
 use sfc_core::{image_tiles, SfcError, SfcResult, TileRect, Volume3};
 use sfc_harness::{
-    run_items_supervised_cancellable, scan_unit, DefectMap, DegradedOutcome, FaultPlan,
-    SupervisorConfig,
+    DefectMap, DegradedOutcome, ExecPolicy, Executor, FaultPlan, RunReport, SupervisorConfig,
+    UnitKernel, WorkPlan,
 };
 
 use crate::camera::Camera;
 use crate::image::Image;
 use crate::ray::Aabb;
-use crate::render::{shade_ray_counted, RenderOpts};
+use crate::render::{render, shade_ray_counted, RenderOpts};
 use crate::transfer::{Rgba, TransferFunction};
 
 /// Wrapper making disjoint raw pixel writes shareable across threads.
 struct PixelSlots(*mut Rgba);
 unsafe impl Sync for PixelSlots {}
 
-/// Poison a shaded tile the way [`sfc_harness::FaultKind::CorruptOutput`]
-/// prescribes: alternate non-finite and absurd-but-finite pixels so both
-/// arms of the validation scan are exercised.
-fn poison(buf: &mut [Rgba]) {
-    for (t, p) in buf.iter_mut().enumerate() {
-        let v = if t % 2 == 0 { f32::NAN } else { 1e30 };
-        *p = Rgba {
-            r: v,
-            g: v,
-            b: v,
-            a: v,
-        };
-    }
+/// The raycaster as an engine [`UnitKernel`]: one work unit is one image
+/// tile, shaded into a local pixel buffer (in [`TileRect::pixels`] order)
+/// and committed to the framebuffer. Holds a raw framebuffer pointer;
+/// construct it only for the duration of one engine run over an
+/// exclusively borrowed image.
+struct TileKernel<'a, V> {
+    vol: &'a V,
+    cam: &'a Camera,
+    tf: &'a TransferFunction,
+    opts: &'a RenderOpts,
+    bbox: Aabb,
+    tiles: &'a [TileRect],
+    width: usize,
+    slots: PixelSlots,
 }
 
-/// Shade every pixel of `tile` into `buf` (in [`TileRect::pixels`] order),
-/// polling `keep_going` once per pixel. Returns `false` when aborted;
-/// NaN-sample counts seen so far are flushed either way.
-#[allow(clippy::too_many_arguments)]
-fn shade_tile_into_buf<V: Volume3>(
-    vol: &V,
-    cam: &Camera,
-    tf: &TransferFunction,
-    opts: &RenderOpts,
-    bbox: &Aabb,
-    tile: TileRect,
-    buf: &mut Vec<Rgba>,
-    mut keep_going: impl FnMut() -> bool,
-) -> bool {
-    buf.clear();
-    let mut nan_seen = 0u64;
-    let mut completed = true;
-    for (x, y) in tile.pixels() {
-        if !keep_going() {
-            completed = false;
-            break;
+impl<V: Volume3 + Sync> UnitKernel for TileKernel<'_, V> {
+    type Value = Rgba;
+
+    fn unit_kind(&self) -> &'static str {
+        "tile"
+    }
+
+    /// Shade every pixel of the tile, polling `keep_going` once per pixel.
+    /// NaN-sample counts seen so far are flushed even when aborted.
+    fn compute(
+        &self,
+        unit: usize,
+        buf: &mut Vec<Rgba>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        let tile = self.tiles[unit];
+        buf.clear();
+        buf.reserve(tile.area());
+        let mut nan_seen = 0u64;
+        let mut completed = true;
+        for (x, y) in tile.pixels() {
+            if !keep_going() {
+                completed = false;
+                break;
+            }
+            let ray = self.cam.ray_for_pixel(x, y);
+            let (c, n) = shade_ray_counted(self.vol, self.tf, self.opts, &ray, &self.bbox);
+            nan_seen += n;
+            buf.push(c);
         }
-        let ray = cam.ray_for_pixel(x, y);
-        let (c, n) = shade_ray_counted(vol, tf, opts, &ray, bbox);
-        nan_seen += n;
-        buf.push(c);
+        crate::counters::record_nan_samples(nan_seen);
+        completed
     }
-    crate::counters::record_nan_samples(nan_seen);
-    completed
+
+    fn commit(&self, unit: usize, buf: &[Rgba]) {
+        let tile = self.tiles[unit];
+        for ((x, y), &c) in tile.pixels().zip(buf.iter()) {
+            // SAFETY: tiles partition the image, so each (x, y) is written
+            // by exactly one unit; concurrent attempts at the *same* tile
+            // write identical bytes (deterministic raycaster); index < w*h
+            // by TileRect construction.
+            unsafe { *self.slots.0.add(y * self.width + x) = c };
+        }
+    }
+
+    fn read_back(&self, unit: usize, buf: &mut Vec<Rgba>) {
+        let tile = self.tiles[unit];
+        for (x, y) in tile.pixels() {
+            // SAFETY: single-threaded phase, after every commit finished.
+            buf.push(unsafe { *self.slots.0.add(y * self.width + x) });
+        }
+    }
+
+    fn components(value: Rgba, sink: &mut dyn FnMut(f32)) {
+        sink(value.r);
+        sink(value.g);
+        sink(value.b);
+        sink(value.a);
+    }
+
+    fn poison(buf: &mut [Rgba]) {
+        for (t, p) in buf.iter_mut().enumerate() {
+            let v = if t % 2 == 0 { f32::NAN } else { 1e30 };
+            *p = Rgba {
+                r: v,
+                g: v,
+                b: v,
+                a: v,
+            };
+        }
+    }
 }
 
-/// Render a full image under the supervised pool, returning the partial
-/// framebuffer plus a typed [`DefectMap`] over tiles instead of failing
-/// the frame.
+/// Render a full image under an engine [`ExecPolicy`], returning the
+/// (possibly partial) framebuffer plus a typed outcome.
 ///
-/// `faults` scripts injected failures (pass [`FaultPlan::none`] for
-/// production); `pixel_range` is the optional inclusive plausibility
-/// interval for finite pixel components (front-to-back compositing of an
-/// in-range transfer function keeps every component in `[0, 1]`). Errors
+/// `Plain` runs the unbuffered fast [`render`] driver (panics propagate,
+/// `faults` ignored) and synthesizes a clean outcome; `Supervised` and
+/// `Degraded` run the buffered [`TileKernel`] under the engine, taking
+/// their thread count from the policy's supervisor configuration. Errors
 /// are returned only for invalid configuration — execution failures land
 /// in the outcome.
-pub fn render_degraded<V: Volume3 + Sync>(
+pub fn render_with_policy<V: Volume3 + Sync>(
     vol: &V,
     cam: &Camera,
     tf: &TransferFunction,
     opts: &RenderOpts,
-    cfg: &SupervisorConfig,
+    policy: &ExecPolicy,
     faults: &FaultPlan,
-    pixel_range: Option<(f32, f32)>,
 ) -> SfcResult<(Image, DegradedOutcome)> {
     if opts.step <= 0.0 || !opts.step.is_finite() {
         return Err(SfcError::InvalidParameter {
@@ -105,80 +151,68 @@ pub fn render_degraded<V: Volume3 + Sync>(
     let (w, h) = (cam.width(), cam.height());
     let tiles = image_tiles(w, h, opts.tile, opts.tile);
     let ntiles = tiles.len();
-    let bbox = Aabb::of_dims(vol.dims());
-    let mut img = Image::new(w, h);
-
-    // Phase 1: supervised tile rendering with buffered commit. The raw
-    // framebuffer pointer lives only for this phase.
-    let report = {
-        let slots = PixelSlots(img.pixels_mut().as_mut_ptr());
-        let slots = &slots;
-        run_items_supervised_cancellable(cfg, ntiles, |_tid, t, token| {
-            faults.fire_cancellable(t, token)?;
-            let tile = tiles[t];
-            let mut buf = Vec::with_capacity(tile.area());
-            let done = shade_tile_into_buf(vol, cam, tf, opts, &bbox, tile, &mut buf, || {
-                !token.is_cancelled()
-            });
-            if !done {
-                return Err(SfcError::Cancelled { item: t });
-            }
-            token.bail(t)?;
-            if faults.corrupts(t) {
-                poison(&mut buf);
-            }
-            for ((x, y), &c) in tile.pixels().zip(buf.iter()) {
-                // SAFETY: tiles partition the image, so each (x, y) is
-                // written by exactly one item; concurrent attempts at the
-                // *same* tile write identical bytes (deterministic
-                // raycaster); index < w*h by TileRect construction.
-                unsafe { *slots.0.add(y * w + x) = c };
-            }
-            Ok(())
-        })
+    if let ExecPolicy::Plain = policy {
+        let start = std::time::Instant::now();
+        let img = render(vol, cam, tf, opts);
+        return Ok((
+            img,
+            DegradedOutcome {
+                report: RunReport {
+                    completed: ntiles,
+                    wall_time: start.elapsed(),
+                    ..RunReport::default()
+                },
+                defects: DefectMap::new("tile", ntiles),
+            },
+        ));
+    }
+    let supervisor = match policy {
+        ExecPolicy::Supervised(cfg) => cfg,
+        ExecPolicy::Degraded(p) => &p.supervisor,
+        ExecPolicy::Plain => unreachable!(),
     };
+    let mut img = Image::new(w, h);
+    let outcome = {
+        let kernel = TileKernel {
+            vol,
+            cam,
+            tf,
+            opts,
+            bbox: Aabb::of_dims(vol.dims()),
+            tiles: &tiles,
+            width: w,
+            slots: PixelSlots(img.pixels_mut().as_mut_ptr()),
+        };
+        Executor::new(supervisor.nthreads).execute(
+            &WorkPlan::from_schedule(ntiles, supervisor.schedule),
+            policy,
+            &kernel,
+            faults,
+        )
+    };
+    Ok((img, outcome))
+}
 
-    // Phase 2: typed defects from execution failures + validation scan.
-    let mut defects = DefectMap::from_run_report("tile", ntiles, &report);
-    let failed: Vec<usize> = defects.units();
-    for (t, tile) in tiles.iter().enumerate() {
-        if failed.binary_search(&t).is_ok() {
-            continue; // already defective; its content is a placeholder
-        }
-        scan_unit(
-            &mut defects,
-            t,
-            tile.pixels().flat_map(|(x, y)| {
-                let p = img.get(x, y);
-                [p.r, p.g, p.b, p.a]
-            }),
-            pixel_range,
-        );
-    }
-
-    // Phase 3: single-threaded repair with faults disabled, then rescan.
-    for t in defects.units() {
-        let tile = tiles[t];
-        let mut buf = Vec::with_capacity(tile.area());
-        shade_tile_into_buf(vol, cam, tf, opts, &bbox, tile, &mut buf, || true);
-        for ((x, y), &c) in tile.pixels().zip(buf.iter()) {
-            img.set(x, y, c);
-        }
-        let mut rescan = DefectMap::new("tile", ntiles);
-        let dirty = scan_unit(
-            &mut rescan,
-            t,
-            buf.iter().flat_map(|p| [p.r, p.g, p.b, p.a]),
-            pixel_range,
-        );
-        if dirty {
-            defects.merge(rescan); // genuinely bad data (e.g. NaN volume)
-        } else {
-            defects.mark_repaired(t);
-        }
-    }
-
-    Ok((img, DegradedOutcome { report, defects }))
+/// Render a full image under the supervised pool, returning the partial
+/// framebuffer plus a typed [`DefectMap`] over tiles instead of failing
+/// the frame.
+///
+/// `faults` scripts injected failures (pass [`FaultPlan::none`] for
+/// production); `pixel_range` is the optional inclusive plausibility
+/// interval for finite pixel components (front-to-back compositing of an
+/// in-range transfer function keeps every component in `[0, 1]`). This is
+/// the PR-3 entry point, now a wrapper over [`render_with_policy`] with
+/// the full [`ExecPolicy::Degraded`] stack.
+pub fn render_degraded<V: Volume3 + Sync>(
+    vol: &V,
+    cam: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    cfg: &SupervisorConfig,
+    faults: &FaultPlan,
+    pixel_range: Option<(f32, f32)>,
+) -> SfcResult<(Image, DegradedOutcome)> {
+    render_with_policy(vol, cam, tf, opts, &ExecPolicy::degraded(*cfg, pixel_range), faults)
 }
 
 #[cfg(test)]
@@ -304,5 +338,44 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SfcError::InvalidParameter { name: "step", .. }));
+    }
+
+    #[test]
+    fn plain_policy_is_the_fast_renderer_with_a_clean_outcome() {
+        let vol = sphere_volume(16);
+        let cam = camera(16, 32);
+        let tf = TransferFunction::fire();
+        let o = opts(2);
+        let reference = render(&vol, &cam, &tf, &o);
+        let (img, outcome) =
+            render_with_policy(&vol, &cam, &tf, &o, &ExecPolicy::Plain, &FaultPlan::none())
+                .unwrap();
+        assert!(outcome.defects.is_clean());
+        assert_eq!(outcome.report.completed, 4); // 32/16 = 2x2 tiles
+        assert_eq!(img.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn supervised_policy_isolates_tile_panics_without_repair() {
+        let vol = sphere_volume(16);
+        let cam = camera(16, 48); // 3x3 tiles
+        let tf = TransferFunction::grayscale();
+        let o = opts(2);
+        let faults = FaultPlan::none().with(4, FaultKind::Panic);
+        let supervisor = SupervisorConfig {
+            max_retries: 0,
+            ..cfg(2)
+        };
+        let (_, outcome) = render_with_policy(
+            &vol,
+            &cam,
+            &tf,
+            &o,
+            &ExecPolicy::Supervised(supervisor),
+            &faults,
+        )
+        .unwrap();
+        assert_eq!(outcome.defects.units(), vec![4]);
+        assert!(!outcome.output_is_whole());
     }
 }

@@ -33,7 +33,7 @@ pub mod vec3;
 
 pub use camera::{orbit_viewpoints, Camera, Projection};
 pub use counters::{nan_samples, reset_nan_samples, simulate_render_counters};
-pub use degraded::render_degraded;
+pub use degraded::{render_degraded, render_with_policy};
 pub use image::Image;
 pub use ray::{Aabb, Ray};
 pub use render::{render, render_tile, shade_ray, RenderOpts};

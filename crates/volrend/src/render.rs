@@ -7,7 +7,7 @@
 //! and early ray termination.
 
 use sfc_core::{image_tiles, TileRect, Volume3};
-use sfc_harness::{run_items, Schedule};
+use sfc_harness::{Executor, Schedule, WorkPlan};
 
 use crate::camera::Camera;
 use crate::image::Image;
@@ -175,7 +175,8 @@ pub fn render<V: Volume3 + Sync>(
     let mut img = Image::new(w, h);
     let slots = PixelSlots(img.pixels_mut().as_mut_ptr());
     let slots = &slots;
-    run_items(opts.nthreads, tiles.len(), opts.schedule, |_tid, t| {
+    let plan = WorkPlan::from_schedule(tiles.len(), opts.schedule);
+    Executor::new(opts.nthreads).run(&plan, |_tid, t| {
         render_tile(vol, cam, tf, opts, tiles[t], |x, y, c| {
             // SAFETY: tiles partition the image, so each (x, y) is written
             // exactly once; index < w*h by TileRect construction.

@@ -12,7 +12,7 @@
 //! | [`core`] | `sfc-core` | layouts (array/Z/tiled/Hilbert), grids, curve codecs |
 //! | [`memsim`] | `sfc-memsim` | deterministic cache simulator (PAPI-counter analog) |
 //! | [`datagen`] | `sfc-datagen` | synthetic MRI phantom / combustion field, I/O |
-//! | [`harness`] | `sfc-harness` | worker pool, timing, `ds` metric, tables |
+//! | [`harness`] | `sfc-harness` | execution engine, timing, `ds` metric, tables |
 //! | [`filters`] | `sfc-filters` | 3D bilateral filter (structured access) |
 //! | [`volrend`] | `sfc-volrend` | raycasting volume renderer (semi-structured) |
 //!
@@ -34,8 +34,8 @@ pub mod prelude {
     };
     pub use sfc_filters::{bilateral3d, try_bilateral3d, BilateralParams, FilterRun};
     pub use sfc_harness::{
-        run_items_supervised, scaled_relative_difference, RunReport, Schedule,
-        SupervisorConfig,
+        run_items_supervised, scaled_relative_difference, ExecPolicy, Executor, RunReport,
+        Schedule, SupervisorConfig, WorkPlan,
     };
     pub use sfc_memsim::{CoreSim, Platform, TracedGrid};
     pub use sfc_volrend::{

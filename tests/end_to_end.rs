@@ -172,6 +172,160 @@ fn volume_io_roundtrip_through_grid() {
     assert_eq!(g.to_row_major(), values);
 }
 
+/// Bitwise equality against a serial oracle: the execution engine may
+/// reorder *work*, never *arithmetic*.
+fn assert_bits_equal(label: &str, got: &[f32], oracle: &[f32]) {
+    assert_eq!(got.len(), oracle.len(), "{label}: length mismatch");
+    for (i, (g, o)) in got.iter().zip(oracle).enumerate() {
+        assert!(
+            g.to_bits() == o.to_bits(),
+            "{label}: voxel {i} diverged from the serial oracle: {g:?} vs {o:?}"
+        );
+    }
+}
+
+#[test]
+fn engine_bilateral_is_bitwise_pinned_across_layouts_threads_and_schedules() {
+    // The engine refactor contract: every (layout, thread count, schedule)
+    // combination reproduces the independent single-threaded reference
+    // bit for bit — partitioning must never change what gets computed.
+    let dims = Dims3::new(14, 12, 10);
+    let noisy = datagen::mri_phantom(dims, 21, datagen::PhantomParams::default());
+    let params = filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Xyz);
+
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &noisy);
+    // The pinned oracle is the production kernel on the engine's serial
+    // fast path (one thread, array order); the independent per-voxel
+    // reference agrees to float tolerance (its summation order differs by
+    // design, so it cannot be the *bitwise* baseline).
+    let serial = filters::FilterRun {
+        params,
+        pencil_axis: Axis::X,
+        nthreads: 1,
+    };
+    let oracle = filters::bilateral3d::<_, ArrayOrder3>(&a, &serial).to_row_major();
+    let reference = filters::bilateral_reference(&noisy, dims, &params);
+    for (g, r) in oracle.iter().zip(&reference) {
+        assert!((g - r).abs() <= 1e-5, "oracle sanity: {g} vs reference {r}");
+    }
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let t: Grid3<f32, Tiled3> = a.convert();
+    let h: Grid3<f32, HilbertOrder3> = a.convert();
+
+    fn both_schedules<V: Volume3 + Sync>(
+        vol: &V,
+        params: &filters::BilateralParams,
+        nthreads: usize,
+        label: &str,
+        oracle: &[f32],
+    ) {
+        let run = filters::FilterRun {
+            params: *params,
+            pencil_axis: Axis::X,
+            nthreads,
+        };
+        let st: Grid3<f32, ArrayOrder3> = filters::bilateral3d(vol, &run);
+        assert_bits_equal(
+            &format!("{label} t{nthreads} static"),
+            &st.to_row_major(),
+            oracle,
+        );
+        let dy: Grid3<f32, ArrayOrder3> =
+            filters::bilateral3d_dynamic(vol, params, Axis::X, nthreads);
+        assert_bits_equal(
+            &format!("{label} t{nthreads} dynamic"),
+            &dy.to_row_major(),
+            oracle,
+        );
+    }
+
+    for &nthreads in &[1usize, 2, 4] {
+        both_schedules(&a, &params, nthreads, "array", &oracle);
+        both_schedules(&z, &params, nthreads, "z-order", &oracle);
+        both_schedules(&t, &params, nthreads, "tiled", &oracle);
+        both_schedules(&h, &params, nthreads, "hilbert", &oracle);
+    }
+}
+
+#[test]
+fn engine_raycast_is_bitwise_pinned_across_layouts_threads_and_schedules() {
+    // Same contract for the renderer: a serial per-ray oracle (no tiles,
+    // no threads, no engine) pins every engine-driven configuration.
+    let dims = Dims3::cube(16);
+    let values = combustion(dims);
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &values);
+    let z: Grid3<f32, ZOrder3> = a.convert();
+    let t: Grid3<f32, Tiled3> = a.convert();
+    let h: Grid3<f32, HilbertOrder3> = a.convert();
+
+    let cams = orbit_viewpoints(
+        8,
+        volrend::vec3(8.0, 8.0, 8.0),
+        40.0,
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        24,
+        24,
+    );
+    let cam = &cams[3]; // an oblique viewpoint: tiles do unequal work
+    let tf = TransferFunction::fire();
+    let base = RenderOpts {
+        tile: 8,
+        ..Default::default()
+    };
+
+    let bbox = volrend::Aabb::of_dims(dims);
+    let mut oracle: Vec<f32> = Vec::with_capacity(cam.width() * cam.height() * 4);
+    for py in 0..cam.height() {
+        for px in 0..cam.width() {
+            let c = volrend::shade_ray(&a, &tf, &base, &cam.ray_for_pixel(px, py), &bbox);
+            oracle.extend_from_slice(&[c.r, c.g, c.b, c.a]);
+        }
+    }
+
+    fn components(img: &volrend::Image) -> Vec<f32> {
+        img.pixels()
+            .iter()
+            .flat_map(|p| [p.r, p.g, p.b, p.a])
+            .collect()
+    }
+    fn both_schedules<V: Volume3 + Sync>(
+        vol: &V,
+        cam: &Camera,
+        tf: &TransferFunction,
+        base: &RenderOpts,
+        nthreads: usize,
+        label: &str,
+        oracle: &[f32],
+    ) {
+        for schedule in [Schedule::StaticRoundRobin, Schedule::Dynamic] {
+            let img = volrend::render(
+                vol,
+                cam,
+                tf,
+                &RenderOpts {
+                    nthreads,
+                    schedule,
+                    ..*base
+                },
+            );
+            assert_bits_equal(
+                &format!("{label} t{nthreads} {schedule:?}"),
+                &components(&img),
+                oracle,
+            );
+        }
+    }
+
+    for &nthreads in &[1usize, 2, 4] {
+        both_schedules(&a, cam, &tf, &base, nthreads, "array", &oracle);
+        both_schedules(&z, cam, &tf, &base, nthreads, "z-order", &oracle);
+        both_schedules(&t, cam, &tf, &base, nthreads, "tiled", &oracle);
+        both_schedules(&h, cam, &tf, &base, nthreads, "hilbert", &oracle);
+    }
+}
+
 #[test]
 fn hostile_stencil_config_counter_gap_grows_with_stencil_size() {
     // Fig. 2's trend: the Z-order advantage grows with stencil size.
