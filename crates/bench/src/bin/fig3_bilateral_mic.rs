@@ -35,7 +35,8 @@ fn main() {
         ),
     );
 
-    let inputs = build_bilateral_inputs(n, 2024);
+    let mut inputs = build_bilateral_inputs(n, 2024);
+    sfc_bench::contaminate_volume_pair(fig_args.raw(), "mri phantom", &mut inputs.a, &mut inputs.z);
     sfc_bench::bilateral_fault_demo(fig_args.raw(), &inputs.z);
     let mut ckpt = checkpoint_from_args(fig_args.raw());
     let fig = ok_or_exit(run_bilateral_figure_resumable(

@@ -26,7 +26,8 @@ fn main() {
         &format!("{n}^3 synthetic combustion field, {image}^2 image, {threads} threads, model {}", plat.name),
     );
 
-    let inputs = build_volrend_inputs(n, 7);
+    let mut inputs = build_volrend_inputs(n, 7);
+    sfc_bench::contaminate_volume_pair(fig_args.raw(), "combustion field", &mut inputs.a, &mut inputs.z);
     // --ortho renders the paper's §III-B contrast case: orthographic rays
     // all share one slope, so each viewpoint is purely good or purely bad
     // for array order.

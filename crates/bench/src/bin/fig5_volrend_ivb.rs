@@ -28,7 +28,8 @@ fn main() {
         &format!("{n}^3 synthetic combustion field, {image}^2 image, model {}", plat.name),
     );
 
-    let inputs = build_volrend_inputs(n, 7);
+    let mut inputs = build_volrend_inputs(n, 7);
+    sfc_bench::contaminate_volume_pair(fig_args.raw(), "combustion field", &mut inputs.a, &mut inputs.z);
     let mut cams = paper_orbit(n, image);
     if fig_args.quick() {
         cams.truncate(4);

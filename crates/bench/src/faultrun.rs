@@ -5,24 +5,39 @@
 //! `--corrupt-rate`, and `--stall-ms` shape it (see
 //! [`FaultRates::from_args`]). When `--fault-seed` is present, the binary
 //! first runs the *real* kernel once through the execution engine under a
-//! selectable [`ExecPolicy`] (`--fault-policy degraded|supervised`,
+//! selectable [`ExecPolicy`] (`--fault-policy degraded|supervised|brownout`,
 //! default `degraded`) with a seeded random [`FaultPlan`], then prints the
-//! [`RunReport`](sfc_harness::RunReport) and
-//! [`DefectMap`](sfc_harness::DefectMap) so the degraded-mode machinery is
-//! exercised (and readable) end to end before the simulated sweep starts.
+//! [`RunReport`](sfc_harness::RunReport), the
+//! [`DefectMap`](sfc_harness::DefectMap), and the
+//! [`QualityMap`](sfc_harness::QualityMap) so the degraded-mode machinery
+//! is exercised (and readable) end to end before the simulated sweep
+//! starts. Under `--fault-policy brownout`, `--deadline-ms N` arms the
+//! wall-clock budget of the deadline controller.
+//!
+//! Independently of the fault demo, `--nan-rate R` contaminates a
+//! deterministic random fraction of the *input* voxels with NaN before
+//! anything runs (seeded by `--nan-seed`, falling back to `--fault-seed`),
+//! exercising the NaN-safe kernels and counters end to end.
 //!
 //! ```text
 //! cargo run -p sfc-bench --release --bin fig2_bilateral_ivb -- \
 //!     --quick --fault-seed 7 --panic-rate 0.05 --timeout-rate 0.02
+//! cargo run -p sfc-bench --release --bin fig5_volrend_ivb -- \
+//!     --quick --fault-seed 11 --timeout-rate 0.3 \
+//!     --fault-policy brownout --deadline-ms 400 --nan-rate 0.001
 //! ```
 
 use std::time::Duration;
 
 use sfc_core::{
     image_tiles, pencil_count, ArrayOrder3, Axis, Grid3, StencilOrder, StencilSize, Volume3,
+    ZOrder3,
 };
 use sfc_filters::{try_bilateral3d_with_policy, BilateralParams, FilterRun};
-use sfc_harness::{Args, DegradedOutcome, ExecPolicy, FaultPlan, FaultRates, SupervisorConfig};
+use sfc_harness::{
+    faults::contaminate_nan, Args, DeadlineBudget, DegradedOutcome, ExecPolicy, FaultPlan,
+    FaultRates, SupervisorConfig,
+};
 use sfc_volrend::{render_with_policy, Camera, RenderOpts, TransferFunction};
 
 use crate::checkpoint::ok_or_exit;
@@ -42,8 +57,9 @@ fn supervisor(nthreads: usize, rates: &FaultRates) -> SupervisorConfig {
 }
 
 /// The engine policy a demo runs under: the full graceful-degradation
-/// stack (`--fault-policy degraded`, the default) or supervision without
-/// repair (`--fault-policy supervised`).
+/// stack (`--fault-policy degraded`, the default), supervision without
+/// repair (`--fault-policy supervised`), or deadline-aware brownout
+/// (`--fault-policy brownout`, budget armed by `--deadline-ms`).
 fn demo_policy(
     args: &Args,
     nthreads: usize,
@@ -54,7 +70,16 @@ fn demo_policy(
     match args.get_str("fault-policy", "degraded") {
         "supervised" => ExecPolicy::Supervised(cfg),
         "degraded" => ExecPolicy::degraded(cfg, output_range),
-        other => panic!("--fault-policy expects 'degraded' or 'supervised', got {other:?}"),
+        "brownout" => {
+            let deadline = match args.get_u64("deadline-ms", 0) {
+                0 => DeadlineBudget::none(),
+                ms => DeadlineBudget::with_budget(Duration::from_millis(ms)),
+            };
+            ExecPolicy::brownout(cfg, deadline, output_range)
+        }
+        other => panic!(
+            "--fault-policy expects 'degraded', 'supervised', or 'brownout', got {other:?}"
+        ),
     }
 }
 
@@ -71,11 +96,19 @@ fn print_outcome(what: &str, unit: &str, nunits: usize, outcome: &DegradedOutcom
         r.wall_time.as_secs_f64() * 1e3,
     );
     eprintln!("fault demo [{what}]: defects: {}", outcome.defects);
+    eprintln!("fault demo [{what}]: quality: {}", outcome.quality);
     if outcome.output_is_whole() {
-        eprintln!(
-            "fault demo [{what}]: output is WHOLE — every defect was repaired; \
-             the result is bitwise-identical to a fault-free run"
-        );
+        if outcome.quality.is_full_quality() {
+            eprintln!(
+                "fault demo [{what}]: output is WHOLE — every defect was repaired; \
+                 the result is bitwise-identical to a fault-free run"
+            );
+        } else {
+            eprintln!(
+                "fault demo [{what}]: output is WHOLE but BROWNED OUT — every \
+                 {unit} is present, the ones listed above at reduced quality"
+            );
+        }
     } else {
         eprintln!(
             "fault demo [{what}]: output is DEGRADED — the unrepaired {unit}s \
@@ -83,6 +116,36 @@ fn print_outcome(what: &str, unit: &str, nunits: usize, outcome: &DegradedOutcom
         );
     }
     eprintln!();
+}
+
+/// When `--nan-rate R` is set, replace a deterministic random fraction of
+/// the input voxels with NaN in **both** layout copies (the two grids keep
+/// identical logical contents, so layout comparisons stay fair) and report
+/// what was done. Seeded by `--nan-seed`, falling back to `--fault-seed`.
+/// Returns the number of voxels contaminated (0 when the flag is absent).
+pub fn contaminate_volume_pair(
+    args: &Args,
+    what: &str,
+    a: &mut Grid3<f32, ArrayOrder3>,
+    z: &mut Grid3<f32, ZOrder3>,
+) -> usize {
+    let rate = args.get_f64("nan-rate", 0.0);
+    if rate <= 0.0 {
+        return 0;
+    }
+    let seed = args.get_u64("nan-seed", args.get_u64("fault-seed", 0x5EED));
+    let dims = a.dims();
+    let mut values = a.to_row_major();
+    let count = contaminate_nan(&mut values, seed, rate as f32);
+    *a = Grid3::from_row_major(dims, &values);
+    *z = a.convert();
+    eprintln!(
+        "nan contamination [{what}]: {count}/{} input voxels set to NaN \
+         (rate {rate}, seed {seed}); NaN-safe kernels will exclude them",
+        values.len(),
+    );
+    eprintln!();
+    count
 }
 
 /// When the fault flags are present, run one bilateral filter over `vol`

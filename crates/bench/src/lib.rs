@@ -37,7 +37,7 @@ pub use bilateral_exp::{
     run_bilateral_figure_resumable, BilateralFigure, BilateralInputs,
 };
 pub use checkpoint::{cell_through, checkpoint_from_args, ok_or_exit, Checkpoint, CheckpointRecovery};
-pub use faultrun::{bilateral_fault_demo, volrend_fault_demo};
+pub use faultrun::{bilateral_fault_demo, contaminate_volume_pair, volrend_fault_demo};
 pub use output::{banner, emit_figure};
 pub use volrend_exp::{
     build_inputs as build_volrend_inputs, ortho_orbit, paper_orbit, run_orbit_series,

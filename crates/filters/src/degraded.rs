@@ -17,7 +17,13 @@
 //!   (an abandoned attempt never leaves a half-written pencil);
 //! * [`ExecPolicy::Degraded`] — supervision plus the engine's three-phase
 //!   pipeline: post-run validation scan (non-finite + optional plausible
-//!   output range) and a single-threaded faults-off repair pass.
+//!   output range) and a single-threaded faults-off repair pass;
+//! * [`ExecPolicy::Brownout`] — the degraded pipeline under a wall-clock
+//!   deadline, with a quality ladder: under pressure a pencil is
+//!   recomputed with a reduced stencil radius (`r → r−1 → … → 1`, see
+//!   [`FilterRun::brownout_params`]), and every such downgrade is
+//!   recorded in the outcome's
+//!   [`QualityMap`](sfc_harness::QualityMap).
 //!
 //! The kernel is deterministic, so a repaired pencil is bitwise identical
 //! to what a fault-free run would have produced: a run whose map ends
@@ -27,8 +33,8 @@
 
 use sfc_core::{pencil, pencil_count, Axis, Dims3, Grid3, Layout3, SfcError, SfcResult, Volume3};
 use sfc_harness::{
-    DegradedOutcome, ExecPolicy, Executor, FaultPlan, RunReport, SupervisorConfig, UnitKernel,
-    WorkPlan,
+    BrownoutKernel, DegradedOutcome, ExecPolicy, Executor, FaultPlan, RunReport,
+    SupervisorConfig, UnitKernel, WorkPlan,
 };
 
 use crate::gaussian::SpatialKernel;
@@ -64,6 +70,31 @@ struct PencilKernel<'a, V, LOut> {
     axis: Axis,
     out_layout: LOut,
     slots: Slots,
+    /// Brownout quality ladder: `ladder[L-1]` holds the reduced-radius
+    /// spatial kernel and gather plan for level `L` (empty outside the
+    /// brownout policy — the rungs are never consulted elsewhere).
+    ladder: Vec<(SpatialKernel, GatherPlan)>,
+}
+
+impl<V: Volume3 + Sync, LOut: Layout3> PencilKernel<'_, V, LOut> {
+    /// Compute one pencil with an explicit kernel/plan pair (the full-
+    /// quality pair or a ladder rung).
+    fn compute_with(
+        &self,
+        kernel: &SpatialKernel,
+        plan: &GatherPlan,
+        unit: usize,
+        buf: &mut Vec<f32>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        let p = pencil(self.dims, self.axis, unit);
+        buf.clear();
+        buf.resize(p.len, 0.0);
+        bilateral_pencil(self.vol, kernel, self.inv, plan, &p, |i, j, k, v| {
+            buf[along(p.axis, i, j, k)] = v;
+            keep_going()
+        })
+    }
 }
 
 impl<V: Volume3 + Sync, LOut: Layout3> UnitKernel for PencilKernel<'_, V, LOut> {
@@ -82,13 +113,7 @@ impl<V: Volume3 + Sync, LOut: Layout3> UnitKernel for PencilKernel<'_, V, LOut> 
         buf: &mut Vec<f32>,
         keep_going: &mut dyn FnMut() -> bool,
     ) -> bool {
-        let p = pencil(self.dims, self.axis, unit);
-        buf.clear();
-        buf.resize(p.len, 0.0);
-        bilateral_pencil(self.vol, &self.kernel, self.inv, &self.plan, &p, |i, j, k, v| {
-            buf[along(p.axis, i, j, k)] = v;
-            keep_going()
-        })
+        self.compute_with(&self.kernel, &self.plan, unit, buf, keep_going)
     }
 
     fn commit(&self, unit: usize, buf: &[f32]) {
@@ -121,6 +146,28 @@ impl<V: Volume3 + Sync, LOut: Layout3> UnitKernel for PencilKernel<'_, V, LOut> 
     fn poison(buf: &mut [f32]) {
         for (t, v) in buf.iter_mut().enumerate() {
             *v = if t % 2 == 0 { f32::NAN } else { 1e30 };
+        }
+    }
+}
+
+impl<V: Volume3 + Sync, LOut: Layout3> BrownoutKernel for PencilKernel<'_, V, LOut> {
+    fn max_level(&self) -> u8 {
+        self.ladder.len() as u8
+    }
+
+    fn compute_at(
+        &self,
+        unit: usize,
+        level: u8,
+        buf: &mut Vec<f32>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        match level {
+            0 => self.compute(unit, buf, keep_going),
+            l => {
+                let (kernel, plan) = &self.ladder[usize::from(l) - 1];
+                self.compute_with(kernel, plan, unit, buf, keep_going)
+            }
         }
     }
 }
@@ -158,19 +205,34 @@ where
     if let ExecPolicy::Plain = policy {
         let start = std::time::Instant::now();
         crate::parallel::try_bilateral3d_into(vol, out, run)?;
-        return Ok(DegradedOutcome {
-            report: RunReport {
+        return Ok(DegradedOutcome::full_quality(
+            RunReport {
                 completed: n_pencils,
                 wall_time: start.elapsed(),
                 ..RunReport::default()
             },
-            defects: sfc_harness::DefectMap::new("pencil", n_pencils),
-        });
+            sfc_harness::DefectMap::new("pencil", n_pencils),
+        ));
     }
     let supervisor = match policy {
         ExecPolicy::Supervised(cfg) => cfg,
         ExecPolicy::Degraded(p) => &p.supervisor,
+        ExecPolicy::Brownout(p) => &p.supervisor,
         ExecPolicy::Plain => unreachable!(),
+    };
+    // The quality ladder (one reduced-radius kernel/plan pair per rung)
+    // exists only under the brownout policy; other stacks never consult
+    // it, so its construction cost is not paid on their path.
+    let ladder = if matches!(policy, ExecPolicy::Brownout(_)) {
+        (1..=run.brownout_depth())
+            .map(|level| {
+                let spatial = run.brownout_params(level).spatial_kernel();
+                let plan = GatherPlan::new(&spatial, dims, axis);
+                (spatial, plan)
+            })
+            .collect()
+    } else {
+        Vec::new()
     };
     let spatial = run.params.spatial_kernel();
     let kernel = PencilKernel {
@@ -182,8 +244,9 @@ where
         axis,
         out_layout: out.layout().clone(),
         slots: Slots(out.storage_mut().as_mut_ptr()),
+        ladder,
     };
-    Ok(Executor::new(supervisor.nthreads).execute(
+    Ok(Executor::new(supervisor.nthreads).execute_brownout(
         &WorkPlan::from_schedule(n_pencils, supervisor.schedule),
         policy,
         &kernel,
@@ -222,7 +285,7 @@ mod tests {
     use crate::bilateral::BilateralParams;
     use crate::parallel::bilateral3d;
     use sfc_core::{ArrayOrder3, Axis, Dims3, StencilOrder, ZOrder3};
-    use sfc_harness::FaultKind;
+    use sfc_harness::{DeadlineBudget, FaultKind};
     use std::time::Duration;
 
     fn test_volume(dims: Dims3) -> Vec<f32> {
@@ -353,6 +416,44 @@ mod tests {
         .unwrap();
         assert!(outcome.defects.is_clean());
         assert_eq!(outcome.report.completed, pencil_count(dims, Axis::X));
+        assert_eq!(out.to_row_major(), reference.to_row_major());
+    }
+
+    #[test]
+    fn brownout_zero_budget_repairs_at_reduced_radius() {
+        let dims = Dims3::new(8, 6, 5);
+        let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &test_volume(dims));
+        let r2 = FilterRun {
+            params: BilateralParams {
+                radius: 2,
+                sigma_spatial: 1.0,
+                sigma_range: 0.15,
+                order: StencilOrder::Xyz,
+            },
+            pencil_axis: Axis::X,
+            nthreads: 2,
+        };
+        assert_eq!(r2.brownout_depth(), 1);
+        // A zero budget sheds every pencil to the repair pass, which runs
+        // the deepest ladder rung — here radius 1, so the output must be
+        // bitwise-identical to a plain radius-1 run.
+        let r1 = FilterRun {
+            params: r2.brownout_params(1),
+            ..r2
+        };
+        let reference: Grid3<f32, ArrayOrder3> = bilateral3d(&grid, &r1);
+        let mut out = Grid3::<f32, ArrayOrder3>::new(dims);
+        let policy = ExecPolicy::brownout(
+            cfg(2),
+            DeadlineBudget::with_budget(Duration::ZERO),
+            Some((0.0, 1.0)),
+        );
+        let outcome =
+            try_bilateral3d_with_policy(&grid, &mut out, &r2, &policy, &FaultPlan::none())
+                .unwrap();
+        assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert_eq!(outcome.quality.len(), pencil_count(dims, Axis::X));
+        assert_eq!(outcome.quality.max_level(), 1);
         assert_eq!(out.to_row_major(), reference.to_row_major());
     }
 

@@ -37,6 +37,25 @@ impl FilterRun {
         }
         Ok(())
     }
+
+    /// Depth of this run's brownout quality ladder: each rung shrinks the
+    /// stencil radius by one voxel, down to radius 1 (`r → r−1 → … → 1`),
+    /// so a radius-5 run has 4 rungs and a radius-1 run has none.
+    pub fn brownout_depth(&self) -> u8 {
+        self.params.radius.saturating_sub(1).min(u8::MAX as usize) as u8
+    }
+
+    /// The filter parameters at brownout ladder `level`: the stencil
+    /// radius shrinks by `level` voxels (floored at 1); the sigmas and
+    /// iteration order are unchanged, so the smaller kernel is the same
+    /// Gaussian re-normalized over its truncated support. Level 0 returns
+    /// the configured parameters unchanged.
+    pub fn brownout_params(&self, level: u8) -> BilateralParams {
+        BilateralParams {
+            radius: self.params.radius.saturating_sub(level as usize).max(1),
+            ..self.params
+        }
+    }
 }
 
 /// Wrapper making disjoint raw writes shareable across worker threads.

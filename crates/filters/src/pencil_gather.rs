@@ -32,6 +32,16 @@
 //! `get_clamped`). Pencils near a face fall back entirely to
 //! [`crate::bilateral::bilateral_voxel_counted`]. NaN events are
 //! accumulated locally and flushed to the shared counter once per pencil.
+//!
+//! ## Brownout ladder
+//!
+//! The gather geometry depends only on `(kernel, dims, axis)`, so the
+//! brownout quality ladder ([`crate::degraded`]) precomputes one
+//! [`GatherPlan`] per reduced-radius rung up front and picks the rung's
+//! plan per attempt — a downgraded pencil gathers `(2(r−L)+1)²` rows
+//! instead of `(2r+1)²`, shrinking both the memory traffic and the tap
+//! loop quadratically with the ladder level. The per-thread scratch is
+//! sized by whichever plan ran last and is reused across rungs.
 
 use std::cell::RefCell;
 

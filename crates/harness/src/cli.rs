@@ -175,6 +175,23 @@ impl FigArgs {
     pub fn tile(&self, image: usize) -> usize {
         self.args.get_usize("tile", (image / 16).max(4))
     }
+
+    /// `--deadline-ms N` — wall-clock budget for the brownout fault demo
+    /// (`--fault-policy brownout`). Absent or `0` means no budget: the
+    /// brownout stack then only downgrades via its circuit breaker.
+    pub fn deadline_ms(&self) -> Option<u64> {
+        match self.args.get_u64("deadline-ms", 0) {
+            0 => None,
+            ms => Some(ms),
+        }
+    }
+
+    /// `--nan-rate R` — fraction of input voxels to overwrite with NaN
+    /// before the experiment (exercising the NaN-safe kernels end to
+    /// end); 0 (the default) leaves the input untouched.
+    pub fn nan_rate(&self) -> f64 {
+        self.args.get_f64("nan-rate", 0.0)
+    }
 }
 
 #[cfg(test)]
@@ -218,6 +235,18 @@ mod tests {
         assert_eq!(f.checkpoint().unwrap(), PathBuf::from("ck.bin"));
         assert!(f.native());
         assert_eq!(f.thread_grid([2, 24], &[2]), vec![2]);
+    }
+
+    #[test]
+    fn fig_args_deadline_and_nan_rate() {
+        let f = fig("");
+        assert_eq!(f.deadline_ms(), None);
+        assert_eq!(f.nan_rate(), 0.0);
+        let f = fig("--deadline-ms 0 --nan-rate 0.25");
+        assert_eq!(f.deadline_ms(), None); // 0 = unset
+        assert!((f.nan_rate() - 0.25).abs() < 1e-12);
+        let f = fig("--deadline-ms 400");
+        assert_eq!(f.deadline_ms(), Some(400));
     }
 
     #[test]

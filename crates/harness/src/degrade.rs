@@ -263,8 +263,10 @@ impl fmt::Display for DefectMap {
 }
 
 /// What a degraded driver produced alongside its partial output: the
-/// supervised execution report plus the (post-repair) defect map. Shared
-/// by the filter and renderer drivers so callers handle both uniformly.
+/// supervised execution report plus the (post-repair) defect map, and —
+/// for brownout runs — the quality map of units committed below full
+/// quality. Shared by the filter and renderer drivers so callers handle
+/// both uniformly.
 #[derive(Debug)]
 pub struct DegradedOutcome {
     /// The supervised pool's execution report (retries, replacements,
@@ -272,11 +274,29 @@ pub struct DegradedOutcome {
     pub report: RunReport,
     /// Typed per-unit defects; repaired entries are historical.
     pub defects: DefectMap,
+    /// Units whose committed output was computed below full quality
+    /// (always full quality outside [`ExecPolicy::Brownout`]).
+    ///
+    /// [`ExecPolicy::Brownout`]: crate::ExecPolicy::Brownout
+    pub quality: crate::deadline::QualityMap,
 }
 
 impl DegradedOutcome {
+    /// An outcome with an all-full-quality map matching `defects`' unit
+    /// universe — the shape every non-brownout policy produces.
+    pub fn full_quality(report: RunReport, defects: DefectMap) -> Self {
+        let quality = crate::deadline::QualityMap::new(defects.unit_kind(), defects.nunits());
+        Self {
+            report,
+            defects,
+            quality,
+        }
+    }
+
     /// True when the output is whole — either nothing failed, or every
-    /// defective unit was successfully repaired.
+    /// defective unit was successfully repaired. (Downgraded-quality
+    /// units are still *whole*: valid, just coarser; see
+    /// [`DegradedOutcome::quality`].)
     pub fn output_is_whole(&self) -> bool {
         self.defects.is_whole()
     }

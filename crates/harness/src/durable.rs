@@ -35,15 +35,20 @@ pub fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
-/// Sync the directory containing `path` so a just-committed rename is
-/// durable. Best-effort on platforms where directories cannot be opened.
-fn sync_parent_dir(path: &Path) {
+/// Sync the directory containing `path` so a just-committed rename (or
+/// file creation) is durable. Directories that cannot be *opened* are
+/// tolerated (some platforms forbid it — there is nothing better to do),
+/// but a directory that opens and then fails to `fsync` is a real I/O
+/// error and is propagated: swallowing it would let `write_atomic`
+/// report success for a rename that a power loss can still undo.
+fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
     let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
     if let Some(dir) = dir {
         if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
+            d.sync_all()?;
         }
     }
+    Ok(())
 }
 
 /// Replace the contents of `path` atomically: write `bytes` to a sibling
@@ -59,7 +64,7 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
         f.sync_all()?;
     }
     std::fs::rename(&tmp, path)?;
-    sync_parent_dir(path);
+    sync_parent_dir(path)?;
     Ok(())
 }
 
@@ -105,12 +110,19 @@ impl Journal {
     /// journal is append-ready again; everything before it is returned.
     pub fn open(path: impl Into<PathBuf>) -> std::io::Result<(Self, JournalRecovery)> {
         let path = path.into();
+        let existed = path.exists();
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(&path)?;
+        if !existed {
+            // A brand-new journal is a directory-entry mutation just like
+            // a rename: without a parent fsync, a crash can forget the
+            // file ever existed even after records were fsync'd into it.
+            sync_parent_dir(&path)?;
+        }
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
 
@@ -271,6 +283,23 @@ mod tests {
         assert_eq!(rec.records, vec![b"good".to_vec()]);
         assert!(rec.was_torn());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn creating_a_journal_in_a_fresh_directory_survives_parent_sync() {
+        // Exercises the parent-directory fsync on first creation: the
+        // parent is a just-made directory we can open and sync.
+        let dir = tmp("journal_newdir");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("log.bin");
+        let (mut j, rec) = Journal::open(&path).unwrap();
+        assert!(rec.records.is_empty());
+        j.append(b"first").unwrap();
+        drop(j);
+        let (_, rec) = Journal::open(&path).unwrap();
+        assert_eq!(rec.records, vec![b"first".to_vec()]);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -16,10 +16,16 @@
 //! * a stack of [`ExecPolicy`] layers — [`ExecPolicy::Plain`] (run to
 //!   completion, panics propagate), [`ExecPolicy::Supervised`] (panic
 //!   isolation, watchdog timeouts with cooperative cancellation, bounded
-//!   retry with exponential backoff), and [`ExecPolicy::Degraded`]
+//!   retry with exponential backoff), [`ExecPolicy::Degraded`]
 //!   (supervised execution with buffered per-unit commit, a typed
 //!   [`DefectMap`] over units, a post-run validation scan, and a
-//!   single-threaded faults-off repair pass).
+//!   single-threaded faults-off repair pass), and [`ExecPolicy::Brownout`]
+//!   (the degraded pipeline under deadline-aware admission control: an
+//!   EWMA/AIMD [`DeadlineController`](crate::deadline) adapts effective
+//!   concurrency, a per-unit circuit breaker stops retrying chronically
+//!   failing units at full quality, and kernels with a [`BrownoutKernel`]
+//!   quality ladder are asked for coarser — but valid — output under
+//!   pressure, every downgrade recorded in a [`QualityMap`]).
 //!
 //! Kernels plug in through the [`UnitKernel`] trait (compute a unit into a
 //! buffer, commit it, read it back for validation) and batch their NaN
@@ -37,6 +43,7 @@ use std::time::{Duration, Instant};
 
 use sfc_core::{SfcError, SfcResult};
 
+use crate::deadline::{Admission, DeadlineBudget, DeadlineController, DowngradeReason, QualityMap};
 use crate::degrade::{scan_unit, DefectMap, DegradedOutcome};
 use crate::faults::FaultPlan;
 use crate::pool::{items_for_thread, Schedule};
@@ -344,6 +351,11 @@ impl Executor {
     ///   optional plausibility range over every committed unit), and a
     ///   single-threaded faults-off repair pass that re-computes each
     ///   defective unit and marks it repaired when its rescan is clean.
+    /// * [`ExecPolicy::Brownout`] — the degraded pipeline under deadline
+    ///   admission control. For a plain [`UnitKernel`] (no quality
+    ///   ladder) the deadline can only shed past-budget units to the
+    ///   repair pass; kernels with a real ladder should be driven through
+    ///   [`Executor::execute_brownout`] instead.
     pub fn execute<K: UnitKernel>(
         &self,
         plan: &WorkPlan,
@@ -360,21 +372,41 @@ impl Executor {
                     kernel.compute(unit, &mut buf, &mut || true);
                     kernel.commit(unit, &buf);
                 });
-                DegradedOutcome {
-                    report: RunReport {
+                DegradedOutcome::full_quality(
+                    RunReport {
                         completed: nunits,
                         wall_time: start.elapsed(),
                         ..RunReport::default()
                     },
-                    defects: DefectMap::new(kernel.unit_kind(), nunits),
-                }
+                    DefectMap::new(kernel.unit_kind(), nunits),
+                )
             }
             ExecPolicy::Supervised(cfg) => {
                 let report = self.supervised_commit_phase(plan, cfg, kernel, faults);
                 let defects = DefectMap::from_run_report(kernel.unit_kind(), nunits, &report);
-                DegradedOutcome { report, defects }
+                DegradedOutcome::full_quality(report, defects)
             }
             ExecPolicy::Degraded(policy) => self.run_degraded(plan, policy, kernel, faults),
+            ExecPolicy::Brownout(policy) => {
+                self.run_brownout(plan, policy, &NoLadder(kernel), faults)
+            }
+        }
+    }
+
+    /// [`Executor::execute`] for kernels with a brownout quality ladder.
+    /// Under [`ExecPolicy::Brownout`] the deadline controller may admit
+    /// units at a coarser ladder level; every other policy behaves exactly
+    /// as in [`Executor::execute`] (the ladder is never consulted).
+    pub fn execute_brownout<K: BrownoutKernel>(
+        &self,
+        plan: &WorkPlan,
+        policy: &ExecPolicy,
+        kernel: &K,
+        faults: &FaultPlan,
+    ) -> DegradedOutcome {
+        match policy {
+            ExecPolicy::Brownout(policy) => self.run_brownout(plan, policy, kernel, faults),
+            other => self.execute(plan, other, kernel, faults),
         }
     }
 
@@ -456,7 +488,142 @@ impl Executor {
             }
         }
 
-        DegradedOutcome { report, defects }
+        DegradedOutcome::full_quality(report, defects)
+    }
+
+    /// The brownout pipeline: the degraded execute/validate/repair cycle
+    /// with a [`DeadlineController`] deciding, per attempt, whether a unit
+    /// runs at full quality, at a coarser ladder level, or is shed past
+    /// the hard deadline straight to the repair pass.
+    ///
+    /// Control flow per attempt: the admission decision is taken *before*
+    /// the AIMD concurrency slot is acquired, so once the budget is
+    /// exhausted the remaining queue drains at memory speed instead of
+    /// serializing through the gate. A cancelled attempt (watchdog fired
+    /// its token) never commits — the token is checked after compute — so
+    /// at most one attempt's bytes land per unit in practice; the
+    /// [`QualityMap`] records levels in commit order (last write wins).
+    ///
+    /// With no budget and no failures every unit is admitted at level 0,
+    /// which the [`BrownoutKernel`] contract makes bitwise-identical to
+    /// [`UnitKernel::compute`] — so a pressure-free brownout run equals a
+    /// plain run byte for byte.
+    fn run_brownout<K: BrownoutKernel>(
+        &self,
+        plan: &WorkPlan,
+        policy: &BrownoutPolicy,
+        kernel: &K,
+        faults: &FaultPlan,
+    ) -> DegradedOutcome {
+        let nunits = plan.nunits;
+        let ctl = DeadlineController::new(&policy.deadline, nunits, self.nthreads, kernel.max_level());
+        let downgrades: Mutex<Vec<(usize, u8, DowngradeReason)>> = Mutex::new(Vec::new());
+
+        let report = self.run_supervised(plan, &policy.supervisor, |_tid, unit, token| {
+            let admission = ctl.admit(unit);
+            let level = match admission {
+                // Past the hard deadline: shed without burning an
+                // admission slot or a fault roll. `Cancelled` is not
+                // retryable, so the unit goes straight to the defect map
+                // and is recomputed (coarsely) by the repair pass.
+                Admission::Shed => return Err(SfcError::Cancelled { item: unit }),
+                Admission::Full => 0,
+                Admission::Degraded { level, .. } => level,
+            };
+            let attempt = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let _slot = ctl.acquire(unit, token)?;
+                faults.fire_cancellable(unit, token)?;
+                let mut buf = Vec::new();
+                let done = kernel.compute_at(unit, level, &mut buf, &mut || !token.is_cancelled());
+                if !done {
+                    return Err(SfcError::Cancelled { item: unit });
+                }
+                token.bail(unit)?;
+                if faults.corrupts(unit) {
+                    K::poison(&mut buf);
+                }
+                kernel.commit(unit, &buf);
+                if let Admission::Degraded { level, reason } = admission {
+                    let mut log = downgrades.lock().unwrap();
+                    log.push((unit, level, reason));
+                }
+                Ok(())
+            }));
+            match outcome {
+                Ok(Ok(())) => {
+                    ctl.on_success(attempt.elapsed());
+                    Ok(())
+                }
+                Ok(Err(err)) => {
+                    ctl.on_failed_attempt(unit, attempt.elapsed());
+                    Err(err)
+                }
+                Err(payload) => {
+                    // Feed the breaker/EWMA, then let the supervised
+                    // worker loop account the panic as usual.
+                    ctl.on_failed_attempt(unit, attempt.elapsed());
+                    std::panic::resume_unwind(payload)
+                }
+            }
+        });
+
+        // Phase 2: defects from execution failures + validation scan of
+        // committed units, exactly as in the degraded pipeline.
+        let mut defects = DefectMap::from_run_report(kernel.unit_kind(), nunits, &report);
+        let failed: Vec<usize> = defects.units();
+        let mut values = Vec::new();
+        let mut comps = Vec::new();
+        for unit in 0..nunits {
+            if failed.binary_search(&unit).is_ok() {
+                continue;
+            }
+            values.clear();
+            kernel.read_back(unit, &mut values);
+            comps.clear();
+            for &v in &values {
+                K::components(v, &mut |c| comps.push(c));
+            }
+            scan_unit(&mut defects, unit, comps.iter().copied(), policy.output_range);
+        }
+
+        let mut quality = QualityMap::new(kernel.unit_kind(), nunits);
+        for (unit, level, reason) in downgrades.into_inner().unwrap() {
+            quality.record(unit, level, reason);
+        }
+
+        // Phase 3: single-threaded faults-off repair. Inside the budget
+        // the repair runs at full quality; once the budget is exhausted it
+        // runs at the deepest ladder rung — recomputing shed units at full
+        // quality would blow the very deadline that shed them.
+        let repair_level = ctl.repair_level();
+        for unit in defects.units() {
+            let mut buf = Vec::new();
+            kernel.compute_at(unit, repair_level, &mut buf, &mut || true);
+            kernel.commit(unit, &buf);
+            comps.clear();
+            for &v in &buf {
+                K::components(v, &mut |c| comps.push(c));
+            }
+            let mut rescan = DefectMap::new(kernel.unit_kind(), nunits);
+            let dirty = scan_unit(&mut rescan, unit, comps.iter().copied(), policy.output_range);
+            if dirty {
+                defects.merge(rescan);
+            } else {
+                defects.mark_repaired(unit);
+            }
+            if repair_level > 0 {
+                quality.record(unit, repair_level, DowngradeReason::Shed);
+            } else {
+                quality.clear(unit); // repaired at full quality
+            }
+        }
+
+        DegradedOutcome {
+            report,
+            defects,
+            quality,
+        }
     }
 }
 
@@ -474,6 +641,12 @@ pub enum ExecPolicy {
     Supervised(SupervisorConfig),
     /// Supervised execution plus the validate/repair pipeline.
     Degraded(DegradedPolicy),
+    /// The degraded pipeline under deadline-aware admission control: a
+    /// wall-clock [`DeadlineBudget`], AIMD concurrency adaptation, a
+    /// per-unit circuit breaker, and the [`BrownoutKernel`] quality
+    /// ladder. With no budget and no failures this is bitwise-identical
+    /// to [`ExecPolicy::Plain`].
+    Brownout(BrownoutPolicy),
 }
 
 impl ExecPolicy {
@@ -486,12 +659,26 @@ impl ExecPolicy {
         })
     }
 
+    /// The deadline-aware brownout stack.
+    pub fn brownout(
+        supervisor: SupervisorConfig,
+        deadline: DeadlineBudget,
+        output_range: Option<(f32, f32)>,
+    ) -> Self {
+        ExecPolicy::Brownout(BrownoutPolicy {
+            supervisor,
+            deadline,
+            output_range,
+        })
+    }
+
     /// Human-readable policy name for logs and demo banners.
     pub fn label(&self) -> &'static str {
         match self {
             ExecPolicy::Plain => "plain",
             ExecPolicy::Supervised(_) => "supervised",
             ExecPolicy::Degraded(_) => "degraded",
+            ExecPolicy::Brownout(_) => "brownout",
         }
     }
 }
@@ -501,6 +688,18 @@ impl ExecPolicy {
 pub struct DegradedPolicy {
     /// Supervision parameters for the execute phase.
     pub supervisor: SupervisorConfig,
+    /// Optional inclusive plausibility interval the validation scan
+    /// enforces on finite output components.
+    pub output_range: Option<(f32, f32)>,
+}
+
+/// Configuration of the [`ExecPolicy::Brownout`] stack.
+#[derive(Debug, Clone)]
+pub struct BrownoutPolicy {
+    /// Supervision parameters for the execute phase.
+    pub supervisor: SupervisorConfig,
+    /// Wall-clock budget and control-loop knobs.
+    pub deadline: DeadlineBudget,
     /// Optional inclusive plausibility interval the validation scan
     /// enforces on finite output components.
     pub output_range: Option<(f32, f32)>,
@@ -546,6 +745,86 @@ pub trait UnitKernel: Sync {
     /// prescribes (alternating non-finite and absurd-but-finite values),
     /// so both arms of the validation scan are exercised.
     fn poison(buf: &mut [Self::Value]);
+}
+
+/// A [`UnitKernel`] with a *quality ladder*: the same unit can be
+/// computed at progressively coarser — but still valid — quality levels
+/// (bilateral pencils with a reduced stencil radius, raycast tiles with a
+/// larger step and a lower early-termination threshold). The brownout
+/// policy climbs down the ladder under deadline pressure instead of
+/// blowing the budget.
+///
+/// Contract: `compute_at(unit, 0, …)` must be **bitwise-identical** to
+/// [`UnitKernel::compute`] — level 0 *is* full quality — and every level
+/// up to [`BrownoutKernel::max_level`] must fill the buffer with the same
+/// shape (same length, same element order) so commit/read-back/validation
+/// are level-agnostic.
+pub trait BrownoutKernel: UnitKernel {
+    /// Deepest available ladder level (0 = no ladder: the kernel can only
+    /// be computed at full quality).
+    fn max_level(&self) -> u8;
+
+    /// Compute `unit` at ladder `level` (clamped to
+    /// [`BrownoutKernel::max_level`] by the engine) into `buf`, polling
+    /// `keep_going` like [`UnitKernel::compute`].
+    fn compute_at(
+        &self,
+        unit: usize,
+        level: u8,
+        buf: &mut Vec<Self::Value>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool;
+}
+
+/// Adapter giving any [`UnitKernel`] an empty quality ladder, so
+/// [`Executor::execute`] can run ladder-less kernels under
+/// [`ExecPolicy::Brownout`] (the deadline can then only shed, not
+/// coarsen).
+struct NoLadder<'a, K: UnitKernel>(&'a K);
+
+impl<K: UnitKernel> UnitKernel for NoLadder<'_, K> {
+    type Value = K::Value;
+
+    fn unit_kind(&self) -> &'static str {
+        self.0.unit_kind()
+    }
+
+    fn compute(&self, unit: usize, buf: &mut Vec<K::Value>, keep_going: &mut dyn FnMut() -> bool)
+        -> bool {
+        self.0.compute(unit, buf, keep_going)
+    }
+
+    fn commit(&self, unit: usize, buf: &[K::Value]) {
+        self.0.commit(unit, buf)
+    }
+
+    fn read_back(&self, unit: usize, buf: &mut Vec<K::Value>) {
+        self.0.read_back(unit, buf)
+    }
+
+    fn components(value: K::Value, sink: &mut dyn FnMut(f32)) {
+        K::components(value, sink)
+    }
+
+    fn poison(buf: &mut [K::Value]) {
+        K::poison(buf)
+    }
+}
+
+impl<K: UnitKernel> BrownoutKernel for NoLadder<'_, K> {
+    fn max_level(&self) -> u8 {
+        0
+    }
+
+    fn compute_at(
+        &self,
+        unit: usize,
+        _level: u8,
+        buf: &mut Vec<K::Value>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        self.0.compute(unit, buf, keep_going)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1053,6 +1332,180 @@ mod tests {
         assert_eq!(outcome.defects.units(), vec![5]);
         assert_eq!(outcome.report.completed, 7);
         assert_eq!(ExecPolicy::Plain.label(), "plain");
+    }
+
+    /// [`ToyKernel`] with a quality ladder: level `L > 0` writes the full-
+    /// quality value offset by `1000·L`, so a downgraded unit is visible
+    /// (and its level recoverable) from the output bytes.
+    struct LadderToy {
+        inner: ToyKernel,
+        depth: u8,
+    }
+
+    impl UnitKernel for LadderToy {
+        type Value = f32;
+
+        fn unit_kind(&self) -> &'static str {
+            self.inner.unit_kind()
+        }
+
+        fn compute(
+            &self,
+            unit: usize,
+            buf: &mut Vec<f32>,
+            keep_going: &mut dyn FnMut() -> bool,
+        ) -> bool {
+            self.inner.compute(unit, buf, keep_going)
+        }
+
+        fn commit(&self, unit: usize, buf: &[f32]) {
+            self.inner.commit(unit, buf)
+        }
+
+        fn read_back(&self, unit: usize, buf: &mut Vec<f32>) {
+            self.inner.read_back(unit, buf)
+        }
+
+        fn components(value: f32, sink: &mut dyn FnMut(f32)) {
+            ToyKernel::components(value, sink)
+        }
+
+        fn poison(buf: &mut [f32]) {
+            ToyKernel::poison(buf)
+        }
+    }
+
+    impl BrownoutKernel for LadderToy {
+        fn max_level(&self) -> u8 {
+            self.depth
+        }
+
+        fn compute_at(
+            &self,
+            unit: usize,
+            level: u8,
+            buf: &mut Vec<f32>,
+            keep_going: &mut dyn FnMut() -> bool,
+        ) -> bool {
+            if level == 0 {
+                return self.inner.compute(unit, buf, keep_going);
+            }
+            buf.clear();
+            for t in 0..self.inner.unit_len {
+                if !keep_going() {
+                    return false;
+                }
+                let full = (unit * self.inner.unit_len + t) as f32 * 0.5;
+                buf.push(full + 1000.0 * f32::from(level));
+            }
+            true
+        }
+    }
+
+    #[test]
+    fn brownout_without_pressure_matches_plain_bitwise() {
+        let kernel = LadderToy {
+            inner: ToyKernel::new(10, 4),
+            depth: 3,
+        };
+        let outcome = Executor::new(3).execute_brownout(
+            &WorkPlan::dynamic(10),
+            &ExecPolicy::brownout(quick_cfg(3), DeadlineBudget::none(), None),
+            &kernel,
+            &FaultPlan::none(),
+        );
+        assert!(outcome.defects.is_clean());
+        assert!(outcome.quality.is_full_quality(), "{}", outcome.quality);
+        assert_eq!(outcome.report.completed, 10);
+        assert_eq!(*kernel.inner.out.lock().unwrap(), expected_output(10, 4));
+    }
+
+    #[test]
+    fn brownout_sheds_past_budget_and_records_quality() {
+        let kernel = LadderToy {
+            inner: ToyKernel::new(6, 3),
+            depth: 2,
+        };
+        // A zero budget is exhausted before the first admission: every
+        // unit is shed, then repaired at the deepest ladder rung.
+        let outcome = Executor::new(2).execute_brownout(
+            &WorkPlan::dynamic(6),
+            &ExecPolicy::brownout(
+                quick_cfg(2),
+                DeadlineBudget::with_budget(Duration::ZERO),
+                None,
+            ),
+            &kernel,
+            &FaultPlan::none(),
+        );
+        assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert_eq!(outcome.quality.units(), (0..6).collect::<Vec<_>>());
+        assert_eq!(outcome.quality.max_level(), 2);
+        assert!(outcome
+            .quality
+            .entries()
+            .iter()
+            .all(|e| e.reason == DowngradeReason::Shed));
+        let want: Vec<f32> = expected_output(6, 3).iter().map(|v| v + 2000.0).collect();
+        assert_eq!(*kernel.inner.out.lock().unwrap(), want);
+    }
+
+    #[test]
+    fn brownout_breaker_admits_chronic_failures_degraded() {
+        let kernel = LadderToy {
+            inner: ToyKernel::new(8, 2),
+            depth: 2,
+        };
+        // Unit 3 fails its first two attempts; the breaker (threshold 2)
+        // then admits attempt 3 straight at a degraded level instead of
+        // retrying the full-quality computation.
+        let faults = FaultPlan::none().with(3, FaultKind::FailFirst(2));
+        let cfg = SupervisorConfig {
+            max_retries: 3,
+            ..quick_cfg(2)
+        };
+        let outcome = Executor::new(2).execute_brownout(
+            &WorkPlan::dynamic(8),
+            &ExecPolicy::brownout(cfg, DeadlineBudget::none(), None),
+            &kernel,
+            &faults,
+        );
+        assert!(outcome.defects.is_clean(), "{}", outcome.defects);
+        assert_eq!(outcome.quality.units(), vec![3]);
+        assert_eq!(outcome.quality.level_of(3), Some(1));
+        assert_eq!(outcome.quality.entries()[0].reason, DowngradeReason::Breaker);
+        // Everything but unit 3 is full quality; unit 3 carries the
+        // level-1 offset.
+        let mut want = expected_output(8, 2);
+        for v in &mut want[6..8] {
+            *v += 1000.0;
+        }
+        assert_eq!(*kernel.inner.out.lock().unwrap(), want);
+    }
+
+    #[test]
+    fn plain_kernel_under_brownout_policy_sheds_only() {
+        // execute() wraps ladder-less kernels in NoLadder: no downgraded
+        // levels exist, so even a blown budget yields full-quality
+        // repairs and an empty quality map.
+        let kernel = ToyKernel::new(5, 2);
+        let outcome = Executor::new(2).execute(
+            &WorkPlan::dynamic(5),
+            &ExecPolicy::brownout(
+                quick_cfg(2),
+                DeadlineBudget::with_budget(Duration::ZERO),
+                None,
+            ),
+            &kernel,
+            &FaultPlan::none(),
+        );
+        assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert!(outcome.quality.is_full_quality());
+        assert_eq!(*kernel.out.lock().unwrap(), expected_output(5, 2));
+        assert_eq!(
+            ExecPolicy::brownout(quick_cfg(2), DeadlineBudget::none(), None).label(),
+            "brownout"
+        );
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //!   items, output/NaN/file corruption) for exercising the supervisor;
 //! * [`degrade`] — the typed [`DefectMap`] of failed/invalid output units
 //!   that graceful-degradation drivers return alongside partial results;
+//! * [`deadline`] — deadline-aware admission control for
+//!   [`ExecPolicy::Brownout`]: wall-clock [`DeadlineBudget`]s, an
+//!   EWMA/AIMD controller with a per-unit circuit breaker, and the
+//!   [`QualityMap`] recording every unit committed below full quality;
 //! * [`durable`] — crash-consistent persistence: atomic whole-file
 //!   replacement and an append-only checksummed journal with torn-tail
 //!   recovery;
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod deadline;
 pub mod degrade;
 pub mod ds;
 pub mod durable;
@@ -38,12 +43,13 @@ pub mod table;
 pub mod timing;
 
 pub use cli::{Args, FigArgs};
+pub use deadline::{DeadlineBudget, DowngradeReason, QualityEntry, QualityMap};
 pub use degrade::{scan_unit, Defect, DefectKind, DefectMap, DegradedOutcome, FailureClass};
 pub use ds::{format_ds, scaled_relative_difference};
 pub use durable::{write_atomic, Journal, JournalRecovery};
 pub use engine::{
-    DegradedPolicy, EventCounter, ExecPolicy, Executor, Partition, UnitCounters, UnitKernel,
-    WorkPlan,
+    BrownoutKernel, BrownoutPolicy, DegradedPolicy, EventCounter, ExecPolicy, Executor,
+    Partition, UnitCounters, UnitKernel, WorkPlan,
 };
 pub use faults::{FaultKind, FaultPlan, FaultRates};
 pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};

@@ -14,7 +14,12 @@
 //!   (an abandoned attempt never leaves a half-written tile);
 //! * [`ExecPolicy::Degraded`] — supervision plus the engine's validation
 //!   scan (non-finite pixel components, optional plausibility range) and
-//!   single-threaded faults-off repair pass.
+//!   single-threaded faults-off repair pass;
+//! * [`ExecPolicy::Brownout`] — the degraded pipeline under a wall-clock
+//!   deadline, with a quality ladder: under pressure a tile is rendered
+//!   with a doubled ray step and a lower early-termination threshold per
+//!   rung ([`RenderOpts::brownout`]), every downgrade recorded in the
+//!   outcome's [`QualityMap`](sfc_harness::QualityMap).
 //!
 //! Raycasting is deterministic, so a run whose map ends
 //! [`is_whole`](sfc_harness::DefectMap::is_whole) is pixel-for-pixel
@@ -22,8 +27,8 @@
 
 use sfc_core::{image_tiles, SfcError, SfcResult, TileRect, Volume3};
 use sfc_harness::{
-    DefectMap, DegradedOutcome, ExecPolicy, Executor, FaultPlan, RunReport, SupervisorConfig,
-    UnitKernel, WorkPlan,
+    BrownoutKernel, DefectMap, DegradedOutcome, ExecPolicy, Executor, FaultPlan, RunReport,
+    SupervisorConfig, UnitKernel, WorkPlan,
 };
 
 use crate::camera::Camera;
@@ -50,19 +55,18 @@ struct TileKernel<'a, V> {
     tiles: &'a [TileRect],
     width: usize,
     slots: PixelSlots,
+    /// Brownout quality ladder: `ladder[L-1]` holds the coarsened render
+    /// options for level `L` (empty outside the brownout policy).
+    ladder: Vec<RenderOpts>,
 }
 
-impl<V: Volume3 + Sync> UnitKernel for TileKernel<'_, V> {
-    type Value = Rgba;
-
-    fn unit_kind(&self) -> &'static str {
-        "tile"
-    }
-
-    /// Shade every pixel of the tile, polling `keep_going` once per pixel.
-    /// NaN-sample counts seen so far are flushed even when aborted.
-    fn compute(
+impl<V: Volume3 + Sync> TileKernel<'_, V> {
+    /// Shade one tile with explicit render options (full quality or a
+    /// ladder rung), polling `keep_going` once per pixel. NaN-sample
+    /// counts seen so far are flushed even when aborted.
+    fn compute_with(
         &self,
+        opts: &RenderOpts,
         unit: usize,
         buf: &mut Vec<Rgba>,
         keep_going: &mut dyn FnMut() -> bool,
@@ -78,12 +82,29 @@ impl<V: Volume3 + Sync> UnitKernel for TileKernel<'_, V> {
                 break;
             }
             let ray = self.cam.ray_for_pixel(x, y);
-            let (c, n) = shade_ray_counted(self.vol, self.tf, self.opts, &ray, &self.bbox);
+            let (c, n) = shade_ray_counted(self.vol, self.tf, opts, &ray, &self.bbox);
             nan_seen += n;
             buf.push(c);
         }
         crate::counters::record_nan_samples(nan_seen);
         completed
+    }
+}
+
+impl<V: Volume3 + Sync> UnitKernel for TileKernel<'_, V> {
+    type Value = Rgba;
+
+    fn unit_kind(&self) -> &'static str {
+        "tile"
+    }
+
+    fn compute(
+        &self,
+        unit: usize,
+        buf: &mut Vec<Rgba>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        self.compute_with(self.opts, unit, buf, keep_going)
     }
 
     fn commit(&self, unit: usize, buf: &[Rgba]) {
@@ -125,6 +146,26 @@ impl<V: Volume3 + Sync> UnitKernel for TileKernel<'_, V> {
     }
 }
 
+impl<V: Volume3 + Sync> BrownoutKernel for TileKernel<'_, V> {
+    fn max_level(&self) -> u8 {
+        self.ladder.len() as u8
+    }
+
+    fn compute_at(
+        &self,
+        unit: usize,
+        level: u8,
+        buf: &mut Vec<Rgba>,
+        keep_going: &mut dyn FnMut() -> bool,
+    ) -> bool {
+        let opts = match level {
+            0 => self.opts,
+            l => &self.ladder[usize::from(l) - 1],
+        };
+        self.compute_with(opts, unit, buf, keep_going)
+    }
+}
+
 /// Render a full image under an engine [`ExecPolicy`], returning the
 /// (possibly partial) framebuffer plus a typed outcome.
 ///
@@ -156,20 +197,37 @@ pub fn render_with_policy<V: Volume3 + Sync>(
         let img = render(vol, cam, tf, opts);
         return Ok((
             img,
-            DegradedOutcome {
-                report: RunReport {
+            DegradedOutcome::full_quality(
+                RunReport {
                     completed: ntiles,
                     wall_time: start.elapsed(),
                     ..RunReport::default()
                 },
-                defects: DefectMap::new("tile", ntiles),
-            },
+                DefectMap::new("tile", ntiles),
+            ),
         ));
     }
     let supervisor = match policy {
         ExecPolicy::Supervised(cfg) => cfg,
         ExecPolicy::Degraded(p) => &p.supervisor,
+        ExecPolicy::Brownout(p) => &p.supervisor,
         ExecPolicy::Plain => unreachable!(),
+    };
+    let bbox = Aabb::of_dims(vol.dims());
+    // The quality ladder exists only under the brownout policy. The
+    // coarsened step is clamped to the volume diagonal so even the
+    // deepest rung marches at least one sample through the box.
+    let ladder: Vec<RenderOpts> = if matches!(policy, ExecPolicy::Brownout(_)) {
+        let max_step = bbox.diagonal();
+        (1..=RenderOpts::BROWNOUT_DEPTH)
+            .map(|level| {
+                let mut rung = opts.brownout(level);
+                rung.step = rung.step.min(max_step);
+                rung
+            })
+            .collect()
+    } else {
+        Vec::new()
     };
     let mut img = Image::new(w, h);
     let outcome = {
@@ -178,12 +236,13 @@ pub fn render_with_policy<V: Volume3 + Sync>(
             cam,
             tf,
             opts,
-            bbox: Aabb::of_dims(vol.dims()),
+            bbox,
             tiles: &tiles,
             width: w,
             slots: PixelSlots(img.pixels_mut().as_mut_ptr()),
+            ladder,
         };
-        Executor::new(supervisor.nthreads).execute(
+        Executor::new(supervisor.nthreads).execute_brownout(
             &WorkPlan::from_schedule(ntiles, supervisor.schedule),
             policy,
             &kernel,
@@ -317,6 +376,46 @@ mod tests {
         .unwrap();
         assert_eq!(outcome.defects.units(), vec![0, 3, 5, 7]);
         assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert_eq!(img.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn brownout_zero_budget_renders_at_the_deepest_rung() {
+        let vol = sphere_volume(16);
+        let cam = camera(16, 48); // 3x3 tiles
+        let tf = TransferFunction::fire();
+        let o = opts(2);
+        // A zero budget sheds every tile; the repair pass renders at the
+        // deepest ladder rung, so the image must be pixel-identical to a
+        // plain render with those coarsened options.
+        let coarse = o.brownout(RenderOpts::BROWNOUT_DEPTH);
+        let reference = render(&vol, &cam, &tf, &coarse);
+        let policy = ExecPolicy::brownout(
+            cfg(2),
+            sfc_harness::DeadlineBudget::with_budget(Duration::ZERO),
+            Some((0.0, 1.0)),
+        );
+        let (img, outcome) =
+            render_with_policy(&vol, &cam, &tf, &o, &policy, &FaultPlan::none()).unwrap();
+        assert!(outcome.output_is_whole(), "{}", outcome.defects);
+        assert_eq!(outcome.quality.len(), 9);
+        assert_eq!(outcome.quality.max_level(), RenderOpts::BROWNOUT_DEPTH);
+        assert_eq!(img.pixels(), reference.pixels());
+    }
+
+    #[test]
+    fn brownout_without_pressure_is_pixel_identical_to_plain() {
+        let vol = sphere_volume(16);
+        let cam = camera(16, 48);
+        let tf = TransferFunction::grayscale();
+        let o = opts(2);
+        let reference = render(&vol, &cam, &tf, &o);
+        let policy =
+            ExecPolicy::brownout(cfg(2), sfc_harness::DeadlineBudget::none(), Some((0.0, 1.0)));
+        let (img, outcome) =
+            render_with_policy(&vol, &cam, &tf, &o, &policy, &FaultPlan::none()).unwrap();
+        assert!(outcome.defects.is_clean());
+        assert!(outcome.quality.is_full_quality(), "{}", outcome.quality);
         assert_eq!(img.pixels(), reference.pixels());
     }
 

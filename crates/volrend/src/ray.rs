@@ -43,6 +43,15 @@ impl Aabb {
         (self.min + self.max) * 0.5
     }
 
+    /// Length of the box's main diagonal — the longest possible in-box
+    /// ray span. The brownout ladder clamps its coarsened ray step to
+    /// this, so even the deepest rung marches at least one sample through
+    /// the volume instead of stepping clean over it.
+    pub fn diagonal(&self) -> f32 {
+        let d = self.max - self.min;
+        (d.x * d.x + d.y * d.y + d.z * d.z).sqrt()
+    }
+
     /// Slab-method intersection: returns the entry/exit parameters
     /// `(t_near, t_far)` clipped to `t >= 0`, or `None` if the ray misses.
     pub fn intersect(&self, ray: &Ray) -> Option<(f32, f32)> {
@@ -155,5 +164,11 @@ mod tests {
         let b = Aabb::of_dims(sfc_core::Dims3::new(4, 8, 2));
         assert_eq!(b.max, vec3(4.0, 8.0, 2.0));
         assert_eq!(b.center(), vec3(2.0, 4.0, 1.0));
+    }
+
+    #[test]
+    fn diagonal_is_the_corner_to_corner_length() {
+        let b = Aabb::of_dims(sfc_core::Dims3::new(3, 4, 12));
+        assert!((b.diagonal() - 13.0).abs() < 1e-6);
     }
 }

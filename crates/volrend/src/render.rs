@@ -42,6 +42,30 @@ impl Default for RenderOpts {
     }
 }
 
+impl RenderOpts {
+    /// Deepest brownout ladder rung the renderer exposes (see
+    /// [`RenderOpts::brownout`]); at level 3 a tile marches 8× fewer
+    /// samples per ray.
+    pub const BROWNOUT_DEPTH: u8 = 3;
+
+    /// The render options at brownout ladder `level`: each rung doubles
+    /// the ray step (halving the samples marched per ray) and lowers the
+    /// early-ray-termination opacity threshold by 0.1 per level (floored
+    /// at 0.5) so nearly-opaque rays quit sooner. Level 0 returns the
+    /// options unchanged — full quality *is* rung 0.
+    pub fn brownout(&self, level: u8) -> RenderOpts {
+        if level == 0 {
+            return *self;
+        }
+        let shift = u32::from(level.min(8));
+        RenderOpts {
+            step: self.step * (1u32 << shift) as f32,
+            early_termination: (self.early_termination - 0.1 * f32::from(level)).max(0.5),
+            ..*self
+        }
+    }
+}
+
 /// March one ray and return the composited color. `bbox` is the volume's
 /// bounding box (`Aabb::of_dims(vol.dims())`), hoisted to the caller so
 /// per-tile/per-frame loops build it once instead of once per ray.

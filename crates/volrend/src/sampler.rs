@@ -12,6 +12,14 @@
 //! * [`CellSampler`] additionally caches the most recent cell's corners,
 //!   so consecutive samples landing in the same cell — common at the
 //!   paper's 0.5-voxel ray step — skip the data access entirely.
+//!
+//! The cell cache's hit rate is a function of the ray step: the brownout
+//! quality ladder ([`crate::degraded`]) doubles the step per rung, so a
+//! downgraded tile takes half the samples *and* almost every remaining
+//! sample lands in a fresh cell (cache hits approach zero past a 1-voxel
+//! step). Both effects are already priced into the per-unit latency the
+//! deadline controller's EWMA observes — no sampler changes are needed
+//! for coarse-step marching to be profitable.
 
 use sfc_core::Volume3;
 

@@ -19,9 +19,11 @@ use sfc_repro::core::{pencil, pencil_count, ArrayOrder3, Dims3, Grid3, ZOrder3};
 use sfc_repro::datagen::{load_volume, mri_phantom, save_volume, PhantomParams};
 use sfc_repro::filters::{bilateral3d, try_bilateral3d_degraded, BilateralParams, FilterRun};
 use sfc_repro::harness::durable::tmp_sibling;
-use sfc_repro::harness::{FaultPlan, FaultRates, SupervisorConfig};
+use sfc_repro::harness::{DeadlineBudget, ExecPolicy, FaultPlan, FaultRates, SupervisorConfig};
 use sfc_repro::prelude::{Axis, StencilOrder};
-use sfc_repro::volrend::{render, render_degraded, Camera, RenderOpts, TransferFunction};
+use sfc_repro::volrend::{
+    render, render_degraded, render_with_policy, Camera, RenderOpts, TransferFunction,
+};
 use sfc_repro::volrend::{vec3, Projection};
 
 fn chaos_seeds() -> Vec<u64> {
@@ -193,6 +195,95 @@ fn degraded_render_ends_whole_or_typed_across_seeds() {
                     .eq([b.r, b.g, b.b, b.a].iter().map(|v| v.to_bits()))
             });
         assert!(same, "seed {seed:#x}: whole render must be bitwise identical");
+    }
+}
+
+#[test]
+fn brownout_render_meets_its_deadline_under_a_timeout_storm_across_seeds() {
+    // The brownout contract under overload: a timeout storm (30% of tiles
+    // stall past the watchdog) must not push the render far past its
+    // wall-clock budget. The deadline controller sheds late work, the
+    // repair pass fills every shed/failed tile at the deepest quality
+    // rung, and the QualityMap names each downgraded tile — output stays
+    // whole, just coarser where the storm hit.
+    for seed in chaos_seeds() {
+        let n = 24;
+        let dims = Dims3::cube(n);
+        let values = mri_phantom(dims, seed, PhantomParams::default());
+        let grid = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
+        let cam = Camera::look_at(
+            vec3(n as f32 * 2.5, n as f32 / 2.0, n as f32 / 2.0),
+            vec3(n as f32 / 2.0, n as f32 / 2.0, n as f32 / 2.0),
+            vec3(0.0, 1.0, 0.0),
+            Projection::Perspective {
+                fov_y: 40f32.to_radians(),
+            },
+            96,
+            96,
+        );
+        let tf = TransferFunction::fire();
+        let opts = RenderOpts {
+            tile: 8, // 12x12 = 144 tiles
+            nthreads: 4,
+            ..Default::default()
+        };
+        let ntiles = 144;
+        let storm = FaultRates {
+            panic: 0.0,
+            flaky: 0.0,
+            stall: 0.3,
+            corrupt: 0.0,
+            stall_ms: 150,
+        };
+        let plan = FaultPlan::random_rates(seed, ntiles, &storm);
+        let budget = Duration::from_millis(400);
+        let policy = ExecPolicy::brownout(
+            cfg(),
+            DeadlineBudget::with_budget(budget),
+            Some((0.0, 1.0)),
+        );
+
+        let start = std::time::Instant::now();
+        let (_img, outcome) =
+            render_with_policy(&grid, &cam, &tf, &opts, &policy, &plan).unwrap();
+        let wall = start.elapsed();
+
+        // The deadline governs the engine phase: past the budget the
+        // queue sheds instead of computing, so the engine may overrun by
+        // at most one in-flight watchdog period. The repair pass that
+        // follows is deadline-*aware* (it recomputes shed tiles at the
+        // deepest, cheapest rung) but is a fixed post-pass, so the whole
+        // call gets a looser 2x bound.
+        assert!(
+            outcome.report.wall_time <= budget.mul_f64(1.25),
+            "seed {seed:#x}: the engine phase must respect its budget: \
+             {:.0} ms against a {:.0} ms deadline",
+            outcome.report.wall_time.as_secs_f64() * 1e3,
+            budget.as_secs_f64() * 1e3,
+        );
+        assert!(
+            wall <= budget.mul_f64(2.0),
+            "seed {seed:#x}: repair must stay cheap: {:.0} ms total \
+             against a {:.0} ms deadline",
+            wall.as_secs_f64() * 1e3,
+            budget.as_secs_f64() * 1e3,
+        );
+        assert_eq!(
+            outcome.report.completed + outcome.report.failed.len(),
+            ntiles,
+            "seed {seed:#x}: every tile accounted"
+        );
+        assert!(
+            !outcome.quality.is_empty(),
+            "seed {seed:#x}: a timeout storm past the budget must downgrade \
+             at least one tile, got {}",
+            outcome.quality
+        );
+        assert!(
+            outcome.output_is_whole(),
+            "seed {seed:#x}: shed tiles must be repaired (coarse, not missing), got {}",
+            outcome.defects
+        );
     }
 }
 

@@ -327,6 +327,140 @@ fn engine_raycast_is_bitwise_pinned_across_layouts_threads_and_schedules() {
 }
 
 #[test]
+fn brownout_without_pressure_is_bitwise_identical_to_plain_across_layouts() {
+    // The brownout invariant: with no deadline and no faults the brownout
+    // stack is pure overhead — admission always grants full quality, so
+    // the output must be bitwise-identical to the Plain policy and the
+    // QualityMap must stay empty, for every layout and both kernels.
+    use sfc_repro::harness::FaultPlan;
+    use std::time::Duration;
+
+    let cfg = SupervisorConfig {
+        nthreads: 4,
+        max_retries: 1,
+        backoff_base: Duration::from_millis(1),
+        timeout: Some(Duration::from_millis(1000)),
+        watchdog_poll: Duration::from_millis(2),
+        ..Default::default()
+    };
+    let brownout = ExecPolicy::brownout(cfg, DeadlineBudget::none(), None);
+    let faults = FaultPlan::none();
+
+    // Bilateral: Plain oracle on array order pins every layout.
+    let dims = Dims3::new(14, 12, 10);
+    let noisy = datagen::mri_phantom(dims, 33, datagen::PhantomParams::default());
+    let a: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(dims, &noisy);
+    let run = filters::FilterRun {
+        params: filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Xyz),
+        pencil_axis: Axis::X,
+        nthreads: 4,
+    };
+    let mut plain = Grid3::<f32, ArrayOrder3>::new(dims);
+    filters::try_bilateral3d_with_policy(&a, &mut plain, &run, &ExecPolicy::Plain, &faults)
+        .unwrap();
+    let oracle = plain.to_row_major();
+
+    fn bilateral_case<V: Volume3 + Sync>(
+        vol: &V,
+        run: &filters::FilterRun,
+        policy: &ExecPolicy,
+        faults: &sfc_repro::harness::FaultPlan,
+        label: &str,
+        oracle: &[f32],
+    ) {
+        let mut out = Grid3::<f32, ArrayOrder3>::new(vol.dims());
+        let outcome =
+            filters::try_bilateral3d_with_policy(vol, &mut out, run, policy, faults).unwrap();
+        assert!(
+            outcome.quality.is_full_quality(),
+            "{label}: no-pressure brownout must not downgrade, got {}",
+            outcome.quality
+        );
+        assert!(outcome.output_is_whole(), "{label}: must end whole");
+        for (i, (g, o)) in out.to_row_major().iter().zip(oracle).enumerate() {
+            assert!(
+                g.to_bits() == o.to_bits(),
+                "{label}: voxel {i} diverged from Plain: {g:?} vs {o:?}"
+            );
+        }
+    }
+    bilateral_case(&a, &run, &brownout, &faults, "bilateral array", &oracle);
+    bilateral_case(
+        &a.convert::<ZOrder3>(), &run, &brownout, &faults, "bilateral z-order", &oracle,
+    );
+    bilateral_case(
+        &a.convert::<Tiled3>(), &run, &brownout, &faults, "bilateral tiled", &oracle,
+    );
+    bilateral_case(
+        &a.convert::<HilbertOrder3>(), &run, &brownout, &faults, "bilateral hilbert", &oracle,
+    );
+
+    // Raycast: same contract, pinned on an oblique orbit viewpoint.
+    let vdims = Dims3::cube(16);
+    let field = combustion(vdims);
+    let va: Grid3<f32, ArrayOrder3> = Grid3::from_row_major(vdims, &field);
+    let cams = orbit_viewpoints(
+        8,
+        volrend::vec3(8.0, 8.0, 8.0),
+        40.0,
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        24,
+        24,
+    );
+    let cam = &cams[3];
+    let tf = TransferFunction::fire();
+    let opts = RenderOpts {
+        tile: 8,
+        nthreads: 4,
+        ..Default::default()
+    };
+    let (plain_img, _) =
+        volrend::render_with_policy(&va, cam, &tf, &opts, &ExecPolicy::Plain, &faults).unwrap();
+    let pixel_oracle: Vec<f32> = plain_img
+        .pixels()
+        .iter()
+        .flat_map(|p| [p.r, p.g, p.b, p.a])
+        .collect();
+
+    fn render_case<V: Volume3 + Sync>(
+        vol: &V,
+        cam: &Camera,
+        tf: &TransferFunction,
+        opts: &RenderOpts,
+        policy: &ExecPolicy,
+        label: &str,
+        oracle: &[f32],
+    ) {
+        let faults = sfc_repro::harness::FaultPlan::none();
+        let (img, outcome) =
+            volrend::render_with_policy(vol, cam, tf, opts, policy, &faults).unwrap();
+        assert!(
+            outcome.quality.is_full_quality(),
+            "{label}: no-pressure brownout must not downgrade, got {}",
+            outcome.quality
+        );
+        assert!(outcome.output_is_whole(), "{label}: must end whole");
+        let got: Vec<f32> = img.pixels().iter().flat_map(|p| [p.r, p.g, p.b, p.a]).collect();
+        assert_bits_equal(label, &got, oracle);
+    }
+    render_case(&va, cam, &tf, &opts, &brownout, "raycast array", &pixel_oracle);
+    render_case(
+        &va.convert::<ZOrder3>(), cam, &tf, &opts, &brownout,
+        "raycast z-order", &pixel_oracle,
+    );
+    render_case(
+        &va.convert::<Tiled3>(), cam, &tf, &opts, &brownout,
+        "raycast tiled", &pixel_oracle,
+    );
+    render_case(
+        &va.convert::<HilbertOrder3>(), cam, &tf, &opts, &brownout,
+        "raycast hilbert", &pixel_oracle,
+    );
+}
+
+#[test]
 fn hostile_stencil_config_counter_gap_grows_with_stencil_size() {
     // Fig. 2's trend: the Z-order advantage grows with stencil size.
     let dims = Dims3::cube(24);
