@@ -1,0 +1,194 @@
+//! `load_gen` — concurrent multi-tenant load driver for `sfc_serve`.
+//!
+//! Spawns `--tenants` client threads, each issuing `--requests` requests
+//! over its own connection, optionally with injected faults and
+//! deadlines, and prints a per-outcome tally. Every reply must be a
+//! *typed* protocol response — `ok`, `err`, `overloaded`, or `shed` all
+//! count as the server holding its contract; only transport failures
+//! (connection reset, unparsable reply) fail the run. This is the CI
+//! `service-smoke` workload:
+//!
+//! ```text
+//! load_gen --addr 127.0.0.1:7070 --tenants 8 --requests 4 \
+//!          --panic-rate 0.2 --timeout-rate 0.2 --shutdown
+//! ```
+
+use std::time::{Duration, Instant};
+
+use sfc_harness::Args;
+use sfc_server::{Client, RespHeader};
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Tally {
+    ok_whole: usize,
+    ok_degraded: usize,
+    errs: usize,
+    overloaded: usize,
+    shed: usize,
+    transport_errors: usize,
+}
+
+impl Tally {
+    fn add(&mut self, other: Tally) {
+        self.ok_whole += other.ok_whole;
+        self.ok_degraded += other.ok_degraded;
+        self.errs += other.errs;
+        self.overloaded += other.overloaded;
+        self.shed += other.shed;
+        self.transport_errors += other.transport_errors;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn tenant_loop(
+    addr: &str,
+    tenant: usize,
+    requests: usize,
+    size: usize,
+    radius: usize,
+    image: usize,
+    mix: &str,
+    seed_base: u64,
+    deadline_ms: u64,
+    faults: &str,
+) -> Tally {
+    let mut tally = Tally::default();
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(_) => {
+            tally.transport_errors += requests;
+            return tally;
+        }
+    };
+    let _ = client.set_timeout(Duration::from_secs(120));
+    for r in 0..requests {
+        let op_render = match mix {
+            "filter" => false,
+            "render" => true,
+            _ => (tenant + r) % 2 == 1,
+        };
+        // Half the fleet shares seeds (exercises coalescing and the
+        // volume cache), half gets private ones.
+        let seed = seed_base + (r as u64) * 2 + u64::from(tenant.is_multiple_of(2));
+        let mut line = if op_render {
+            format!("render tenant=t{tenant} size={size} seed={seed} image={image}")
+        } else {
+            format!("filter tenant=t{tenant} size={size} seed={seed} radius={radius}")
+        };
+        if deadline_ms > 0 {
+            line.push_str(&format!(" deadline_ms={deadline_ms}"));
+        }
+        line.push_str(faults);
+        match client.request_line(&line) {
+            Ok((RespHeader::Ok(h), body)) => {
+                if body.len() != h.bytes {
+                    tally.transport_errors += 1;
+                } else if h.whole && h.downgraded == 0 {
+                    tally.ok_whole += 1;
+                } else {
+                    tally.ok_degraded += 1;
+                }
+            }
+            Ok((RespHeader::Err { .. }, _)) => tally.errs += 1,
+            Ok((RespHeader::Overloaded { .. }, _)) => {
+                tally.overloaded += 1;
+                // Typed backpressure: back off as a well-behaved client
+                // would before the next request.
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Ok((RespHeader::Shed { .. }, _)) => tally.shed += 1,
+            Err(_) => {
+                tally.transport_errors += 1;
+                // The connection may be dead; reconnect for the rest.
+                match Client::connect(addr) {
+                    Ok(c) => {
+                        client = c;
+                        let _ = client.set_timeout(Duration::from_secs(120));
+                    }
+                    Err(_) => {
+                        tally.transport_errors += requests - r - 1;
+                        return tally;
+                    }
+                }
+            }
+        }
+    }
+    tally
+}
+
+fn main() {
+    let args = Args::from_env();
+    let addr = args.get_str("addr", "127.0.0.1:7070").to_string();
+    let tenants = args.get_usize("tenants", 8);
+    let requests = args.get_usize("requests", 4);
+    let size = args.get_usize("size", 12);
+    let radius = args.get_usize("radius", 1);
+    let image = args.get_usize("image", 32);
+    let mix = args.get_str("mix", "both").to_string();
+    let seed_base = args.get_u64("seed", 1);
+    let deadline_ms = args.get_u64("deadline-ms", 0);
+
+    // Fault flags are forwarded onto each request line so the *server*
+    // injects them into its execution of our requests.
+    let panic_rate = args.get_f64("panic-rate", 0.0);
+    let flaky_rate = args.get_f64("flaky-rate", 0.0);
+    let timeout_rate = args.get_f64("timeout-rate", 0.0);
+    let corrupt_rate = args.get_f64("corrupt-rate", 0.0);
+    let stall_ms = args.get_u64("stall-ms", 50);
+    let fault_seed = args.get_u64("fault-seed", 7);
+    let any_fault = panic_rate > 0.0 || flaky_rate > 0.0 || timeout_rate > 0.0 || corrupt_rate > 0.0;
+    let faults = if any_fault {
+        format!(
+            " fault_seed={fault_seed} panic_rate={panic_rate} flaky_rate={flaky_rate} \
+             timeout_rate={timeout_rate} corrupt_rate={corrupt_rate} stall_ms={stall_ms}"
+        )
+    } else {
+        String::new()
+    };
+
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for tenant in 0..tenants {
+        let addr = addr.clone();
+        let mix = mix.clone();
+        let faults = faults.clone();
+        handles.push(std::thread::spawn(move || {
+            tenant_loop(
+                &addr, tenant, requests, size, radius, image, &mix, seed_base, deadline_ms,
+                &faults,
+            )
+        }));
+    }
+    let mut total = Tally::default();
+    for h in handles {
+        match h.join() {
+            Ok(t) => total.add(t),
+            Err(_) => total.transport_errors += requests,
+        }
+    }
+    let elapsed = start.elapsed();
+
+    if args.has("shutdown") {
+        match Client::connect(&addr).and_then(|mut c| c.send_line("shutdown")) {
+            Ok(reply) => println!("shutdown reply: {reply}"),
+            Err(e) => {
+                eprintln!("shutdown failed: {e}");
+                total.transport_errors += 1;
+            }
+        }
+    }
+
+    println!(
+        "load_gen tenants={tenants} requests={} ok_whole={} ok_degraded={} errs={} \
+         overloaded={} shed={} transport_errors={} elapsed_ms={}",
+        tenants * requests,
+        total.ok_whole,
+        total.ok_degraded,
+        total.errs,
+        total.overloaded,
+        total.shed,
+        total.transport_errors,
+        elapsed.as_millis(),
+    );
+    std::process::exit(if total.transport_errors == 0 { 0 } else { 1 });
+}

@@ -276,7 +276,7 @@ where
     V: Volume3 + Sync,
     LOut: Layout3,
 {
-    try_bilateral3d_with_policy(vol, out, run, &ExecPolicy::degraded(*cfg, output_range), faults)
+    try_bilateral3d_with_policy(vol, out, run, &ExecPolicy::degraded(cfg.clone(), output_range), faults)
 }
 
 #[cfg(test)]

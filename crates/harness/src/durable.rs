@@ -129,8 +129,14 @@ impl Journal {
         let mut recovery = JournalRecovery::default();
         let mut pos = 0usize;
         while bytes.len() - pos >= RECORD_HEADER {
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let want = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+            let Ok(len_bytes) = <[u8; 4]>::try_from(&bytes[pos..pos + 4]) else {
+                break; // unreachable: length-guarded above; treat as torn
+            };
+            let Ok(sum_bytes) = <[u8; 8]>::try_from(&bytes[pos + 4..pos + 12]) else {
+                break;
+            };
+            let len = u32::from_le_bytes(len_bytes) as usize;
+            let want = u64::from_le_bytes(sum_bytes);
             let start = pos + RECORD_HEADER;
             let Some(end) = start.checked_add(len).filter(|&e| e <= bytes.len()) else {
                 break; // torn payload (or absurd length from a torn header)
@@ -264,6 +270,58 @@ mod tests {
         let (_, rec) = Journal::open(&path).unwrap();
         assert_eq!(rec.records.len(), 3);
         assert_eq!(rec.records[2], b"four");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_byte_offset_of_the_final_record_recovers() {
+        // Exhaustive torn-tail sweep: a kill -9 can land after any byte
+        // of the final append — mid-length, mid-checksum, or mid-payload.
+        // For every prefix length, recovery must (a) open successfully,
+        // (b) keep every earlier record bit-exact, (c) drop the torn
+        // record entirely (no partial payload ever surfaces), and
+        // (d) leave the journal append-ready.
+        let path = tmp("journal_sweep");
+        std::fs::remove_file(&path).ok();
+        let (mut j, _) = Journal::open(&path).unwrap();
+        j.append(b"first record").unwrap();
+        j.append(b"second record").unwrap();
+        let intact_len = std::fs::metadata(&path).unwrap().len();
+        j.append(b"final record, torn somewhere").unwrap();
+        drop(j);
+        let full = std::fs::read(&path).unwrap();
+        let final_record_len = full.len() as u64 - intact_len;
+        assert!(final_record_len > 12, "record spans header and payload");
+
+        for cut in 0..final_record_len {
+            let torn_len = intact_len + cut;
+            std::fs::write(&path, &full[..torn_len as usize]).unwrap();
+            let (mut j, rec) = Journal::open(&path)
+                .unwrap_or_else(|e| panic!("cut at byte {cut}: open failed: {e}"));
+            assert_eq!(
+                rec.records,
+                vec![b"first record".to_vec(), b"second record".to_vec()],
+                "cut at byte {cut}: intact records must survive exactly"
+            );
+            // A cut of zero bytes is a journal that cleanly ends before
+            // the final record; every other cut is a reported tear.
+            assert_eq!(
+                rec.was_torn(),
+                cut > 0,
+                "cut at byte {cut}: tear reported iff bytes were torn"
+            );
+            assert_eq!(
+                rec.truncated_bytes, cut,
+                "cut at byte {cut}: every torn byte accounted"
+            );
+            // Append-ready after repair: the new record replays cleanly.
+            j.append(b"post-repair").unwrap();
+            drop(j);
+            let (_, rec) = Journal::open(&path).unwrap();
+            assert_eq!(rec.records.len(), 3, "cut at byte {cut}");
+            assert_eq!(rec.records[2], b"post-repair", "cut at byte {cut}");
+            assert!(!rec.was_torn(), "cut at byte {cut}: repaired journal is clean");
+        }
         std::fs::remove_file(&path).ok();
     }
 

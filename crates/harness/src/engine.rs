@@ -168,6 +168,29 @@ where
 type NoMonitor = fn(&dyn Fn(usize));
 
 // ---------------------------------------------------------------------------
+// Poison-tolerant locking
+// ---------------------------------------------------------------------------
+//
+// Every mutex in this module guards plain bookkeeping data (queues, defect
+// logs, heartbeat slots) that is consistent at every point a panic can
+// unwind through — the engine's own panic isolation catches kernel panics
+// *outside* any lock, but a `commit` implementation can still panic while
+// a sibling holds a lock, and a long-running service must not turn one
+// tenant's poisoned unit into a permanently wedged executor. Recovering
+// the guard is therefore always correct here; propagating the poison
+// would only re-panic threads that did nothing wrong.
+
+/// Lock `m`, recovering the guard from a poisoned mutex.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Consume `m`, recovering the value from a poisoned mutex.
+fn unwrap_lock<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------------------
 // Executor
 // ---------------------------------------------------------------------------
 
@@ -255,7 +278,7 @@ impl Executor {
         let first: Mutex<Option<(usize, String)>> = Mutex::new(None);
         self.run(plan, |tid, unit| {
             if let Err(payload) = catch_unwind(AssertUnwindSafe(|| worker(tid, unit))) {
-                let mut slot = first.lock().unwrap();
+                let mut slot = lock(&first);
                 // Keep the lowest unit index so the reported error is
                 // deterministic regardless of thread interleaving.
                 if slot.as_ref().is_none_or(|(u, _)| unit < *u) {
@@ -263,7 +286,7 @@ impl Executor {
                 }
             }
         });
-        match first.into_inner().unwrap() {
+        match unwrap_lock(first) {
             None => Ok(()),
             Some((item, payload)) => Err(SfcError::WorkerPanic { item, payload }),
         }
@@ -301,7 +324,7 @@ impl Executor {
             .collect();
         let shared = Shared {
             worker: &worker,
-            cfg: *cfg,
+            cfg: cfg.clone(),
             nitems,
             queue: Mutex::new(queue),
             cv: Condvar::new(),
@@ -326,7 +349,7 @@ impl Executor {
             );
         }
 
-        let mut failed = shared.failures.into_inner().unwrap();
+        let mut failed = unwrap_lock(shared.failures);
         failed.sort_by_key(|f| f.item);
         RunReport {
             completed: shared.completed.load(Ordering::Relaxed),
@@ -545,7 +568,7 @@ impl Executor {
                 }
                 kernel.commit(unit, &buf);
                 if let Admission::Degraded { level, reason } = admission {
-                    let mut log = downgrades.lock().unwrap();
+                    let mut log = lock(&downgrades);
                     log.push((unit, level, reason));
                 }
                 Ok(())
@@ -588,7 +611,7 @@ impl Executor {
         }
 
         let mut quality = QualityMap::new(kernel.unit_kind(), nunits);
-        for (unit, level, reason) in downgrades.into_inner().unwrap() {
+        for (unit, level, reason) in unwrap_lock(downgrades) {
             quality.record(unit, level, reason);
         }
 
@@ -916,10 +939,16 @@ where
     F: Fn(usize, usize, &CancelToken) -> SfcResult<()> + Sync,
 {
     fn next_entry(&self) -> Option<Entry> {
-        let mut q = self.queue.lock().unwrap();
+        let mut q = lock(&self.queue);
         loop {
             if self.done.load(Ordering::Acquire) {
                 return None;
+            }
+            if self.cfg.cancel.is_cancelled() {
+                // Run-scoped cancellation: ignore backoff holds so the
+                // queue drains at memory speed (each entry is accounted
+                // as `Cancelled` by the worker loop without running).
+                return q.pop_front();
             }
             let now = Instant::now();
             if let Some(pos) = q.iter().position(|e| e.not_before <= now) {
@@ -934,7 +963,11 @@ where
                 .min()
                 .unwrap_or(Duration::from_millis(20))
                 .max(Duration::from_micros(100));
-            q = self.cv.wait_timeout(q, wait).unwrap().0;
+            q = self
+                .cv
+                .wait_timeout(q, wait)
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .0;
         }
     }
 
@@ -957,7 +990,7 @@ where
             self.retried.fetch_add(1, Ordering::Relaxed);
             let factor = 1u32 << entry.attempt.min(16);
             let delay = self.cfg.backoff_base.saturating_mul(factor);
-            let mut q = self.queue.lock().unwrap();
+            let mut q = lock(&self.queue);
             q.push_back(Entry {
                 item: entry.item,
                 attempt: attempts,
@@ -966,7 +999,7 @@ where
             drop(q);
             self.cv.notify_all();
         } else {
-            self.failures.lock().unwrap().push(ItemFailure {
+            lock(&self.failures).push(ItemFailure {
                 item: entry.item,
                 attempts,
                 error,
@@ -977,14 +1010,29 @@ where
 
     fn worker_loop(&self, tid: usize) {
         let hb = Arc::new(Heartbeat::default());
-        self.heartbeats.lock().unwrap().push(hb.clone());
+        lock(&self.heartbeats).push(hb.clone());
         while let Some(entry) = self.next_entry() {
-            let token = CancelToken::new();
-            *hb.current.lock().unwrap() =
-                Some((entry.item, entry.attempt, Instant::now(), token.clone()));
+            if self.cfg.cancel.is_cancelled() {
+                // Claim the attempt (the watchdog may race us) and account
+                // the unit as cancelled without running it.
+                if self.epoch[entry.item]
+                    .compare_exchange(
+                        entry.attempt,
+                        entry.attempt + 1,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    self.failure(entry, SfcError::Cancelled { item: entry.item });
+                }
+                continue;
+            }
+            let token = self.cfg.cancel.child();
+            *lock(&hb.current) = Some((entry.item, entry.attempt, Instant::now(), token.clone()));
             let result =
                 catch_unwind(AssertUnwindSafe(|| (self.worker)(tid, entry.item, &token)));
-            *hb.current.lock().unwrap() = None;
+            *lock(&hb.current) = None;
             // Claim this attempt's outcome; if the watchdog already timed
             // it out, the late result is discarded.
             if self.epoch[entry.item]
@@ -1029,21 +1077,24 @@ where
 {
     loop {
         {
-            let q = sh.queue.lock().unwrap();
+            let q = lock(&sh.queue);
             if sh.done.load(Ordering::Acquire) {
                 return;
             }
             // Waking on the queue condvar lets run completion end the
             // watchdog immediately instead of after one more poll.
-            let _ = sh.cv.wait_timeout(q, sh.cfg.watchdog_poll).unwrap();
+            let _ = sh
+                .cv
+                .wait_timeout(q, sh.cfg.watchdog_poll)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
         if sh.done.load(Ordering::Acquire) {
             return;
         }
         let now = Instant::now();
-        let slots: Vec<_> = sh.heartbeats.lock().unwrap().clone();
+        let slots: Vec<_> = lock(&sh.heartbeats).clone();
         for hb in slots {
-            let current = hb.current.lock().unwrap().clone();
+            let current = lock(&hb.current).clone();
             let Some((item, attempt, started, token)) = current else {
                 continue;
             };

@@ -53,24 +53,52 @@ use crate::pool::Schedule;
 /// The watchdog fires the token when it expires an attempt's deadline;
 /// long-running worker closures should poll it at a convenient granularity
 /// (per voxel row, per pixel, per chunk) and return early. The token is a
-/// single relaxed atomic load per poll — cheap enough for inner loops.
+/// couple of relaxed atomic loads per poll — cheap enough for inner loops.
+///
+/// Tokens form a tree: [`CancelToken::child`] derives a token that also
+/// observes its parent, so firing a *run*-scoped token (client disconnect,
+/// shutdown drain) cancels every per-attempt token derived from it, while
+/// firing one attempt's token leaves its siblings untouched.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    fired: AtomicBool,
+    parent: Option<CancelToken>,
+}
 
 impl CancelToken {
-    /// A fresh, unfired token.
+    /// A fresh, unfired root token.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Fire the token (idempotent).
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+    /// A token that fires when either it or `self` is cancelled. Used by
+    /// the supervised worker loop so a run-scoped cancellation reaches
+    /// every in-flight attempt.
+    pub fn child(&self) -> Self {
+        Self(Arc::new(CancelInner {
+            fired: AtomicBool::new(false),
+            parent: Some(self.clone()),
+        }))
     }
 
-    /// True once [`CancelToken::cancel`] has been called.
+    /// Fire the token (idempotent). Does not fire the parent.
+    pub fn cancel(&self) {
+        self.0.fired.store(true, Ordering::Release);
+    }
+
+    /// True once [`CancelToken::cancel`] has been called on this token or
+    /// any of its ancestors.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        if self.0.fired.load(Ordering::Acquire) {
+            return true;
+        }
+        match &self.0.parent {
+            Some(parent) => parent.is_cancelled(),
+            None => false,
+        }
     }
 
     /// Convenience for worker closures: `token.bail(item)?` returns
@@ -102,7 +130,7 @@ impl CancelToken {
 }
 
 /// Configuration of a supervised run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SupervisorConfig {
     /// Worker threads to start with (replacements for wedged workers come
     /// on top).
@@ -122,6 +150,13 @@ pub struct SupervisorConfig {
     pub backoff_base: Duration,
     /// Watchdog scan interval; only meaningful with a timeout.
     pub watchdog_poll: Duration,
+    /// Run-scoped cancellation: firing this token abandons the *whole*
+    /// run — queued units are accounted as [`SfcError::Cancelled`] without
+    /// running, and every in-flight attempt's per-attempt token (a
+    /// [`CancelToken::child`] of this one) observes the cancellation and
+    /// bails. This is how a service cancels an abandoned request (client
+    /// disconnect, shutdown drain) without tearing down the executor.
+    pub cancel: CancelToken,
 }
 
 impl Default for SupervisorConfig {
@@ -133,6 +168,7 @@ impl Default for SupervisorConfig {
             max_retries: 2,
             backoff_base: Duration::from_millis(10),
             watchdog_poll: Duration::from_millis(2),
+            cancel: CancelToken::new(),
         }
     }
 }

@@ -1,0 +1,251 @@
+//! Layout-aware shared volume cache with residency accounting.
+//!
+//! Requests name their input volume by `(size, layout, seed)` rather than
+//! uploading it, so concurrent requests touching the same volume share
+//! one resident copy per layout — the cross-request data-movement win the
+//! space-filling-curve literature describes (PAPERS.md, Walker &
+//! Skjellum): units from different requests walk the *same* curve-ordered
+//! bytes instead of private duplicates. The cache accounts residency in
+//! bytes, serves under a budget with LRU eviction, and exposes
+//! hit/miss/eviction counters so overload investigations can tell "cold
+//! cache" from "slow kernel".
+//!
+//! Eviction drops the cache's reference; an executing request keeps its
+//! `Arc` alive until it finishes, so eviction never invalidates in-flight
+//! work (resident-byte accounting tracks the cache's references only).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use sfc_core::{ArrayOrder3, Dims3, Grid3, HilbertOrder3, Tiled3, ZOrder3};
+use sfc_datagen::{mri_phantom, PhantomParams};
+
+use crate::protocol::LayoutChoice;
+
+/// Cache key: everything that determines the volume's bytes and layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VolumeKey {
+    /// Cubic volume edge.
+    pub size: usize,
+    /// Memory layout the grid is materialized in.
+    pub layout: LayoutChoice,
+    /// Seed of the deterministic synthetic phantom.
+    pub seed: u64,
+}
+
+/// One resident volume, materialized in its requested layout.
+#[derive(Debug)]
+pub enum CachedVolume {
+    /// Row-major array order.
+    Array(Grid3<f32, ArrayOrder3>),
+    /// Morton (Z-order) curve.
+    Z(Grid3<f32, ZOrder3>),
+    /// Tiled (blocked) order.
+    Tiled(Grid3<f32, Tiled3>),
+    /// Hilbert curve.
+    Hilbert(Grid3<f32, HilbertOrder3>),
+}
+
+impl CachedVolume {
+    /// Materialize the phantom volume for `key` in its layout.
+    pub fn build(key: &VolumeKey) -> Self {
+        let dims = Dims3::cube(key.size);
+        let values = mri_phantom(dims, key.seed, PhantomParams::default());
+        match key.layout {
+            LayoutChoice::Array => CachedVolume::Array(Grid3::from_row_major(dims, &values)),
+            LayoutChoice::Z => CachedVolume::Z(Grid3::from_row_major(dims, &values)),
+            LayoutChoice::Tiled => CachedVolume::Tiled(Grid3::from_row_major(dims, &values)),
+            LayoutChoice::Hilbert => CachedVolume::Hilbert(Grid3::from_row_major(dims, &values)),
+        }
+    }
+
+    /// Logical dimensions of the volume.
+    pub fn dims(&self) -> Dims3 {
+        match self {
+            CachedVolume::Array(g) => g.dims(),
+            CachedVolume::Z(g) => g.dims(),
+            CachedVolume::Tiled(g) => g.dims(),
+            CachedVolume::Hilbert(g) => g.dims(),
+        }
+    }
+
+    /// Nominal payload bytes (logical voxels × 4; curve layouts may pad
+    /// their backing store, which residency accounting treats as free).
+    pub fn bytes(&self) -> usize {
+        self.dims().len() * 4
+    }
+}
+
+/// Residency and traffic counters, all monotonic except `resident_bytes`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered by a resident volume.
+    pub hits: u64,
+    /// Lookups that had to materialize the volume.
+    pub misses: u64,
+    /// Volumes evicted to stay under the byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident (cache references only).
+    pub resident_bytes: usize,
+    /// Volumes currently resident.
+    pub resident: usize,
+}
+
+struct CacheInner {
+    map: HashMap<VolumeKey, (Arc<CachedVolume>, u64)>,
+    resident_bytes: usize,
+    tick: u64,
+}
+
+/// The shared, budgeted volume cache.
+pub struct VolumeCache {
+    inner: Mutex<CacheInner>,
+    budget_bytes: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl VolumeCache {
+    /// A cache bounded to roughly `budget_bytes` of resident volumes. At
+    /// least one volume stays resident regardless of the budget (the one
+    /// just built), so a tiny budget degrades to "no reuse", never to a
+    /// failure.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(CacheInner {
+                map: HashMap::new(),
+                resident_bytes: 0,
+                tick: 0,
+            }),
+            budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Fetch the volume for `key`, materializing (and possibly evicting)
+    /// on miss. Returns the volume and whether it was a hit.
+    pub fn get(&self, key: &VolumeKey) -> (Arc<CachedVolume>, bool) {
+        {
+            let mut g = self.lock();
+            g.tick += 1;
+            let tick = g.tick;
+            if let Some((vol, last_used)) = g.map.get_mut(key) {
+                *last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return (vol.clone(), true);
+            }
+        }
+        // Materialize outside the lock: building a volume is the slow
+        // path and must not serialize unrelated lookups. Two racing
+        // misses may build twice; the loser's copy is dropped.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(CachedVolume::build(key));
+        let bytes = built.bytes();
+        let mut g = self.lock();
+        g.tick += 1;
+        let tick = g.tick;
+        let vol = match g.map.get_mut(key) {
+            Some((vol, last_used)) => {
+                *last_used = tick;
+                vol.clone()
+            }
+            None => {
+                g.resident_bytes += bytes;
+                g.map.insert(*key, (built.clone(), tick));
+                built
+            }
+        };
+        // LRU eviction down to the budget, never evicting the volume we
+        // are about to hand out.
+        while g.resident_bytes > self.budget_bytes && g.map.len() > 1 {
+            let victim = g
+                .map
+                .iter()
+                .filter(|(k, _)| *k != key)
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            if let Some((evicted, _)) = g.map.remove(&victim) {
+                g.resident_bytes -= evicted.bytes();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        (vol, false)
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let g = self.lock();
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident_bytes: g.resident_bytes,
+            resident: g.map.len(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(size: usize, seed: u64) -> VolumeKey {
+        VolumeKey {
+            size,
+            layout: LayoutChoice::Z,
+            seed,
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_same_volume() {
+        let cache = VolumeCache::new(1 << 20);
+        let (a, hit_a) = cache.get(&key(8, 1));
+        let (b, hit_b) = cache.get(&key(8, 1));
+        assert!(!hit_a && hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.resident), (1, 1, 1));
+        assert_eq!(s.resident_bytes, 8 * 8 * 8 * 4);
+    }
+
+    #[test]
+    fn layouts_are_distinct_entries() {
+        let cache = VolumeCache::new(1 << 20);
+        for layout in LayoutChoice::ALL {
+            let (_, hit) = cache.get(&VolumeKey { size: 4, layout, seed: 9 });
+            assert!(!hit);
+        }
+        assert_eq!(cache.stats().resident, 4);
+    }
+
+    #[test]
+    fn budget_evicts_lru_but_keeps_inflight_arcs_valid() {
+        // Budget fits one 8³ volume; the second insert evicts the first.
+        let one = 8 * 8 * 8 * 4;
+        let cache = VolumeCache::new(one);
+        let (a, _) = cache.get(&key(8, 1));
+        let (_b, _) = cache.get(&key(8, 2));
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident, 1);
+        assert!(s.resident_bytes <= one);
+        // The evicted volume is still usable through its Arc.
+        assert_eq!(a.dims(), Dims3::cube(8));
+        // Re-fetching the evicted key is a miss that rebuilds it.
+        let (a2, hit) = cache.get(&key(8, 1));
+        assert!(!hit);
+        assert_eq!(a2.dims(), Dims3::cube(8));
+    }
+}

@@ -1,0 +1,86 @@
+//! A small blocking client for the volume service — used by `load_gen`,
+//! the integration tests, and anyone scripting the server.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use sfc_core::{SfcError, SfcResult};
+
+use crate::protocol::{RespHeader, Request};
+
+/// One connection to the service.
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+fn io_err(what: &str, e: std::io::Error) -> SfcError {
+    SfcError::io(what.to_string(), e)
+}
+
+impl Client {
+    /// Connect to `addr` (e.g. `127.0.0.1:7070`).
+    pub fn connect(addr: &str) -> SfcResult<Client> {
+        let stream = TcpStream::connect(addr).map_err(|e| io_err("connect", e))?;
+        stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone", e))?);
+        Ok(Client { stream, reader })
+    }
+
+    /// Set both socket timeouts.
+    pub fn set_timeout(&self, timeout: Duration) -> SfcResult<()> {
+        self.stream
+            .set_read_timeout(Some(timeout))
+            .and_then(|()| self.stream.set_write_timeout(Some(timeout)))
+            .map_err(|e| io_err("set timeout", e))
+    }
+
+    /// Send a raw line and read one raw line back (control verbs:
+    /// `ping`, `stats`, `shutdown`).
+    pub fn send_line(&mut self, line: &str) -> SfcResult<String> {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| io_err("write", e))?;
+        let mut reply = String::new();
+        self.reader
+            .read_line(&mut reply)
+            .map_err(|e| io_err("read", e))?;
+        Ok(reply.trim_end().to_string())
+    }
+
+    /// Submit a typed request and read the full reply (header + body).
+    pub fn request(&mut self, req: &Request) -> SfcResult<(RespHeader, Vec<u8>)> {
+        self.request_line(&req.format())
+    }
+
+    /// Submit a request line verbatim and read the full reply.
+    pub fn request_line(&mut self, line: &str) -> SfcResult<(RespHeader, Vec<u8>)> {
+        self.stream
+            .write_all(format!("{line}\n").as_bytes())
+            .map_err(|e| io_err("write", e))?;
+        let mut header_line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut header_line)
+            .map_err(|e| io_err("read header", e))?;
+        if n == 0 {
+            return Err(SfcError::io(
+                "read header",
+                std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "server closed"),
+            ));
+        }
+        let header = RespHeader::parse(&header_line)?;
+        let body = match &header {
+            RespHeader::Ok(h) if h.bytes > 0 => {
+                let mut body = vec![0u8; h.bytes];
+                self.reader
+                    .read_exact(&mut body)
+                    .map_err(|e| io_err("read body", e))?;
+                body
+            }
+            _ => Vec::new(),
+        };
+        Ok((header, body))
+    }
+}

@@ -1,0 +1,712 @@
+//! Tenant-fair admission and dispatch: deficit round-robin with bounded
+//! queues, in-flight quotas, and pop-time cross-request coalescing.
+//!
+//! Every request enters through [`FairScheduler::submit`], which either
+//! queues it (bounded per-tenant queue) or refuses it with a typed
+//! [`Overloaded`] — the backpressure signal. Execution lanes call
+//! [`FairScheduler::next`], which picks the next request by deficit
+//! round-robin (Shreedhar & Varghese): each tenant's visit earns a fixed
+//! `quantum` of credit, a request is served only when the tenant's
+//! accumulated deficit covers its [`Request::cost`], so a tenant issuing
+//! big renders drains its credit faster than one issuing small filters —
+//! fairness is in work units, not request counts. A per-tenant in-flight
+//! quota bounds how many lanes one tenant can hold at once, so a flooding
+//! tenant can saturate its own quota but never the whole pool.
+//!
+//! At pop time the scheduler coalesces: every queued request (any tenant)
+//! whose [`Request::work_key`] equals the popped one's rides along as a
+//! passenger and is answered by the same execution. Passengers ride free —
+//! only the primary tenant's deficit is charged — which is deliberate:
+//! coalesced work costs the service one execution, so charging each
+//! passenger would bill tenants for work that never happened.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use sfc_harness::CancelToken;
+
+use crate::protocol::{Request, RespHeader};
+
+/// A finished request's reply: header line plus binary body, shared
+/// (`Arc`) so coalesced waiters don't copy the payload per tenant.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The header line.
+    pub header: RespHeader,
+    /// The binary body (`bytes=` of the header names its length).
+    pub body: Arc<[u8]>,
+}
+
+impl Response {
+    /// A body-less response (errors, sheds).
+    pub fn header_only(header: RespHeader) -> Self {
+        Response {
+            header,
+            body: Arc::from([] as [u8; 0]),
+        }
+    }
+}
+
+/// Typed admission refusal: the client is told which bound it hit and
+/// where it stands, so a well-behaved client can back off intelligently.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// Tenant whose bound refused the request.
+    pub tenant: String,
+    /// `queue-full` (backpressure) or `draining` (shutdown in progress).
+    pub reason: &'static str,
+    /// Requests currently queued for the tenant.
+    pub queued: usize,
+    /// The refused bound.
+    pub limit: usize,
+}
+
+impl Overloaded {
+    /// The wire header for this refusal.
+    pub fn header(&self) -> RespHeader {
+        RespHeader::Overloaded {
+            tenant: self.tenant.clone(),
+            reason: self.reason.to_string(),
+            queued: self.queued,
+            limit: self.limit,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct TicketInner {
+    slot: Mutex<Option<Response>>,
+    cv: Condvar,
+}
+
+/// The submitter's handle to a queued request: a cancel token (fire it
+/// when the client disconnects) and a slot the response arrives in.
+#[derive(Debug)]
+pub struct Ticket {
+    /// Cancels this waiter: a queued request is silently dropped, an
+    /// executing one contributes to the job's cancellation vote (the
+    /// reaper fires the run token once every waiter has cancelled).
+    pub token: CancelToken,
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// Wait up to `timeout` for the response.
+    pub fn wait(&self, timeout: Duration) -> Option<Response> {
+        let deadline = Instant::now() + timeout;
+        let mut slot = lock(&self.inner.slot);
+        loop {
+            if let Some(resp) = slot.take() {
+                return Some(resp);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (g, _) = self
+                .inner
+                .cv
+                .wait_timeout(slot, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            slot = g;
+        }
+    }
+}
+
+/// One waiter attached to a job: where its reply goes and its cancel
+/// token. The primary waiter is index 0; coalesced passengers follow.
+pub struct Waiter {
+    /// Tenant this waiter is accounted to.
+    pub tenant: String,
+    /// The waiter's cancel token (fired by the net layer on disconnect).
+    pub token: CancelToken,
+    inner: Arc<TicketInner>,
+}
+
+impl Waiter {
+    /// Deliver the response to this waiter.
+    pub fn deliver(&self, resp: Response) {
+        let mut slot = lock(&self.inner.slot);
+        *slot = Some(resp);
+        self.inner.cv.notify_all();
+    }
+}
+
+/// A scheduled unit of execution: one request plus every waiter it
+/// answers. Call [`FairScheduler::finish`] when done (success or not) to
+/// release the primary tenant's quota slot.
+pub struct Job {
+    /// The request to execute (the primary's).
+    pub req: Request,
+    /// Run-scoped cancel token, wired into the engine's
+    /// `SupervisorConfig::cancel`; the service's reaper fires it once
+    /// every waiter has cancelled.
+    pub token: CancelToken,
+    /// All waiters, primary first.
+    pub waiters: Vec<Waiter>,
+    tenant: String,
+}
+
+impl Job {
+    /// Deliver `resp` to every waiter.
+    pub fn deliver_all(&self, resp: &Response) {
+        for w in &self.waiters {
+            w.deliver(resp.clone());
+        }
+    }
+
+    /// True once every waiter has cancelled (nobody is listening).
+    pub fn abandoned(&self) -> bool {
+        self.waiters.iter().all(|w| w.token.is_cancelled())
+    }
+}
+
+struct Pending {
+    req: Request,
+    waiter: Waiter,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Running,
+    Draining,
+    Stopped,
+}
+
+struct TenantState {
+    queue: VecDeque<Pending>,
+    deficit: u64,
+    inflight: usize,
+    in_ring: bool,
+}
+
+struct SchedInner {
+    tenants: HashMap<String, TenantState>,
+    ring: VecDeque<String>,
+    state: State,
+}
+
+/// Scheduler tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedConfig {
+    /// Per-tenant queue bound; submits beyond it are refused
+    /// (`overloaded reason=queue-full`).
+    pub queue_cap: usize,
+    /// Per-tenant in-flight bound: at most this many of a tenant's
+    /// requests execute concurrently.
+    pub quota: usize,
+    /// Deficit credit earned per eligible round-robin visit, in work
+    /// units (see [`Request::cost`]).
+    pub quantum: u64,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            queue_cap: 8,
+            quota: 2,
+            quantum: 256,
+        }
+    }
+}
+
+/// Monotonic scheduler counters (reported by the `stats` verb).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Requests admitted to a queue.
+    pub submitted: u64,
+    /// Jobs handed to execution lanes.
+    pub served: u64,
+    /// Passengers answered by another request's execution.
+    pub coalesced: u64,
+    /// Submits refused with `overloaded`.
+    pub overloaded: u64,
+    /// Queued requests answered with a `shed` header at drain time.
+    pub shed: u64,
+    /// Queued requests dropped because their waiter cancelled first.
+    pub abandoned: u64,
+}
+
+enum Pop {
+    Job(Box<Job>),
+    /// Work exists and deficit is still accruing — retry immediately.
+    Retry,
+    /// Nothing serveable until external progress (finish / submit).
+    Wait,
+}
+
+/// The tenant-fair scheduler. One instance is shared by the acceptor
+/// threads (producers) and the execution lanes (consumers).
+pub struct FairScheduler {
+    cfg: SchedConfig,
+    inner: Mutex<SchedInner>,
+    cv: Condvar,
+    submitted: AtomicU64,
+    served: AtomicU64,
+    coalesced: AtomicU64,
+    overloaded: AtomicU64,
+    shed: AtomicU64,
+    abandoned: AtomicU64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl FairScheduler {
+    /// A scheduler with the given bounds.
+    pub fn new(cfg: SchedConfig) -> Self {
+        FairScheduler {
+            cfg,
+            inner: Mutex::new(SchedInner {
+                tenants: HashMap::new(),
+                ring: VecDeque::new(),
+                state: State::Running,
+            }),
+            cv: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+        }
+    }
+
+    /// Admit `req` or refuse it with a typed [`Overloaded`].
+    pub fn submit(&self, req: Request) -> Result<Ticket, Overloaded> {
+        let mut g = lock(&self.inner);
+        let tenant = req.tenant.clone();
+        if g.state != State::Running {
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+            let queued = g.tenants.get(&tenant).map_or(0, |t| t.queue.len());
+            return Err(Overloaded {
+                tenant,
+                reason: "draining",
+                queued,
+                limit: 0,
+            });
+        }
+        let st = g.tenants.entry(tenant.clone()).or_insert_with(|| TenantState {
+            queue: VecDeque::new(),
+            deficit: 0,
+            inflight: 0,
+            in_ring: false,
+        });
+        if st.queue.len() >= self.cfg.queue_cap {
+            self.overloaded.fetch_add(1, Ordering::Relaxed);
+            let queued = st.queue.len();
+            return Err(Overloaded {
+                tenant,
+                reason: "queue-full",
+                queued,
+                limit: self.cfg.queue_cap,
+            });
+        }
+        let inner = Arc::new(TicketInner {
+            slot: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let token = CancelToken::new();
+        st.queue.push_back(Pending {
+            req,
+            waiter: Waiter {
+                tenant: tenant.clone(),
+                token: token.clone(),
+                inner: inner.clone(),
+            },
+        });
+        if !st.in_ring {
+            st.in_ring = true;
+            g.ring.push_back(tenant);
+        }
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.cv.notify_all();
+        Ok(Ticket { token, inner })
+    }
+
+    /// Block until a job is available. Returns `None` once the scheduler
+    /// is stopped, or once it is draining and every queue is empty —
+    /// execution lanes use that as their exit signal.
+    pub fn next(&self) -> Option<Job> {
+        let mut g = lock(&self.inner);
+        loop {
+            if g.state == State::Stopped {
+                return None;
+            }
+            match self.pop_locked(&mut g) {
+                Pop::Job(job) => return Some(*job),
+                Pop::Retry => continue,
+                Pop::Wait => {
+                    let queued: usize = g.tenants.values().map(|t| t.queue.len()).sum();
+                    if g.state == State::Draining && queued == 0 {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .cv
+                        .wait_timeout(g, Duration::from_millis(50))
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    g = guard;
+                }
+            }
+        }
+    }
+
+    /// Non-blocking [`FairScheduler::next`]: a job now, or `None`.
+    pub fn try_next(&self) -> Option<Job> {
+        let mut g = lock(&self.inner);
+        loop {
+            if g.state == State::Stopped {
+                return None;
+            }
+            match self.pop_locked(&mut g) {
+                Pop::Job(job) => return Some(*job),
+                Pop::Retry => continue,
+                Pop::Wait => return None,
+            }
+        }
+    }
+
+    /// One deficit-round-robin pass over the tenant ring.
+    fn pop_locked(&self, g: &mut SchedInner) -> Pop {
+        let mut deficit_starved = false;
+        for _ in 0..g.ring.len() {
+            let Some(tenant) = g.ring.pop_front() else { break };
+            let Some(st) = g.tenants.get_mut(&tenant) else { continue };
+
+            // Drop queued entries whose waiter has already cancelled
+            // (client disconnected while waiting in line).
+            while st
+                .queue
+                .front()
+                .is_some_and(|p| p.waiter.token.is_cancelled())
+            {
+                st.queue.pop_front();
+                self.abandoned.fetch_add(1, Ordering::Relaxed);
+            }
+            if st.queue.is_empty() {
+                // Leave the ring; deficit resets so idle time cannot be
+                // banked into a later burst (classic DRR).
+                st.in_ring = false;
+                st.deficit = 0;
+                continue;
+            }
+            if st.inflight >= self.cfg.quota {
+                // Quota-blocked visits earn no credit: quota time must
+                // not be banked as deficit either.
+                g.ring.push_back(tenant);
+                continue;
+            }
+            st.deficit += self.cfg.quantum;
+            let cost = st.queue[0].req.cost();
+            if st.deficit < cost {
+                deficit_starved = true;
+                g.ring.push_back(tenant);
+                continue;
+            }
+            st.deficit -= cost;
+            st.inflight += 1;
+            let Some(primary) = st.queue.pop_front() else { continue };
+            if st.queue.is_empty() {
+                st.in_ring = false;
+                st.deficit = 0;
+            } else {
+                g.ring.push_back(tenant.clone());
+            }
+
+            // Coalesce: collect every queued request (any tenant, not
+            // yet cancelled) computing the same bytes.
+            let mut waiters = vec![primary.waiter];
+            if let Some(key) = primary.req.work_key() {
+                for st in g.tenants.values_mut() {
+                    let mut i = 0;
+                    while i < st.queue.len() {
+                        let rides = !st.queue[i].waiter.token.is_cancelled()
+                            && st.queue[i].req.work_key().as_deref() == Some(key.as_str());
+                        if rides {
+                            if let Some(p) = st.queue.remove(i) {
+                                waiters.push(p.waiter);
+                                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            }
+                        } else {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            self.served.fetch_add(1, Ordering::Relaxed);
+            return Pop::Job(Box::new(Job {
+                req: primary.req,
+                token: CancelToken::new(),
+                waiters,
+                tenant,
+            }));
+        }
+        if deficit_starved {
+            Pop::Retry
+        } else {
+            Pop::Wait
+        }
+    }
+
+    /// Release the quota slot held by `job` and wake waiting lanes.
+    pub fn finish(&self, job: &Job) {
+        let mut g = lock(&self.inner);
+        if let Some(st) = g.tenants.get_mut(&job.tenant) {
+            st.inflight = st.inflight.saturating_sub(1);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Stop admitting; queued work may still be served.
+    pub fn begin_drain(&self) {
+        let mut g = lock(&self.inner);
+        if g.state == State::Running {
+            g.state = State::Draining;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Answer every still-queued request with a typed `shed` header and
+    /// empty the queues (drain budget exhausted). Returns how many were
+    /// shed.
+    pub fn shed_all(&self, reason: &str) -> usize {
+        let mut g = lock(&self.inner);
+        let mut n = 0;
+        for st in g.tenants.values_mut() {
+            while let Some(p) = st.queue.pop_front() {
+                p.waiter.deliver(Response::header_only(RespHeader::Shed {
+                    reason: reason.to_string(),
+                }));
+                n += 1;
+            }
+            st.in_ring = false;
+            st.deficit = 0;
+        }
+        g.ring.clear();
+        self.shed.fetch_add(n as u64, Ordering::Relaxed);
+        self.cv.notify_all();
+        n
+    }
+
+    /// Stop the scheduler: `next` returns `None` immediately.
+    pub fn stop(&self) {
+        lock(&self.inner).state = State::Stopped;
+        self.cv.notify_all();
+    }
+
+    /// Total requests currently queued across all tenants.
+    pub fn queued_total(&self) -> usize {
+        lock(&self.inner).tenants.values().map(|t| t.queue.len()).sum()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedStats {
+        SchedStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tenant: &str, seed: u64) -> Request {
+        Request::parse(&format!("filter tenant={tenant} size=8 seed={seed} radius=1"))
+            .expect("valid request")
+    }
+
+    fn cfg() -> SchedConfig {
+        SchedConfig {
+            queue_cap: 8,
+            quota: 8,
+            // One 8³ filter costs 64 units; a quantum covering it means
+            // every eligible visit serves, isolating round-robin order.
+            quantum: 64,
+        }
+    }
+
+    #[test]
+    fn round_robin_interleaves_a_flooder_with_a_light_tenant() {
+        let s = FairScheduler::new(cfg());
+        let mut tickets = Vec::new();
+        for seed in 0..6 {
+            tickets.push(s.submit(req("flood", seed)).expect("admit"));
+        }
+        for seed in 100..102 {
+            tickets.push(s.submit(req("calm", seed)).expect("admit"));
+        }
+        let order: Vec<String> = std::iter::from_fn(|| s.try_next())
+            .map(|j| {
+                s.finish(&j);
+                j.req.tenant.clone()
+            })
+            .collect();
+        assert_eq!(order.len(), 8);
+        // Both of calm's requests are served within the first four pops
+        // even though flood queued first and six deep.
+        let calm_served: Vec<usize> = order
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_str() == "calm")
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(calm_served.len(), 2, "order: {order:?}");
+        assert!(calm_served[1] <= 3, "order: {order:?}");
+    }
+
+    #[test]
+    fn deficit_charges_big_requests_more_than_small_ones() {
+        // "big" submits 32³-pencil filters (1024 units), "small" 8³
+        // (64 units). With quantum=64 a big request needs 16 visits of
+        // credit, so small gets many requests through per big one.
+        let s = FairScheduler::new(SchedConfig {
+            queue_cap: 16,
+            quota: 16,
+            quantum: 64,
+        });
+        let mut tickets = Vec::new();
+        for seed in 0..2 {
+            let r = Request::parse(&format!(
+                "filter tenant=big size=32 seed={seed} radius=1"
+            ))
+            .expect("valid request");
+            tickets.push(s.submit(r).expect("admit"));
+        }
+        for seed in 0..8 {
+            tickets.push(s.submit(req("small", seed)).expect("admit"));
+        }
+        let order: Vec<String> = std::iter::from_fn(|| s.try_next())
+            .map(|j| {
+                s.finish(&j);
+                j.req.tenant.clone()
+            })
+            .collect();
+        assert_eq!(order.len(), 10);
+        // All eight small requests clear before the second big one.
+        let last_small = order.iter().rposition(|t| t == "small").expect("small served");
+        let second_big = order
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.as_str() == "big")
+            .map(|(i, _)| i)
+            .nth(1)
+            .expect("both big served");
+        assert!(last_small < second_big, "order: {order:?}");
+    }
+
+    #[test]
+    fn queue_bound_refuses_with_typed_overload() {
+        let s = FairScheduler::new(SchedConfig {
+            queue_cap: 2,
+            ..cfg()
+        });
+        let _t0 = s.submit(req("a", 0)).expect("admit");
+        let _t1 = s.submit(req("a", 1)).expect("admit");
+        let err = s.submit(req("a", 2)).expect_err("refused");
+        assert_eq!(err.reason, "queue-full");
+        assert_eq!((err.queued, err.limit), (2, 2));
+        // Another tenant's queue is unaffected.
+        assert!(s.submit(req("b", 0)).is_ok());
+        assert_eq!(s.stats().overloaded, 1);
+    }
+
+    #[test]
+    fn quota_caps_one_tenants_concurrency() {
+        let s = FairScheduler::new(SchedConfig {
+            quota: 1,
+            ..cfg()
+        });
+        // Distinct seeds per request so nothing coalesces and the test
+        // isolates pure quota behavior.
+        let _ta = [s.submit(req("a", 0)).expect("admit"), s.submit(req("a", 1)).expect("admit")];
+        let _tb = s.submit(req("b", 100)).expect("admit");
+        let j1 = s.try_next().expect("first job");
+        assert_eq!(j1.req.tenant, "a");
+        let j2 = s.try_next().expect("second job");
+        assert_eq!(j2.req.tenant, "b", "a is quota-blocked, b is not");
+        assert!(s.try_next().is_none(), "a's second request stays blocked");
+        s.finish(&j1);
+        let j3 = s.try_next().expect("a's slot freed");
+        assert_eq!(j3.req.tenant, "a");
+    }
+
+    #[test]
+    fn identical_requests_coalesce_across_tenants() {
+        let s = FairScheduler::new(cfg());
+        let ta = s.submit(req("a", 7)).expect("admit");
+        let tb = s.submit(req("b", 7)).expect("admit"); // same work
+        let _tc = s.submit(req("c", 8)).expect("admit"); // different work
+        let job = s.try_next().expect("job");
+        assert_eq!(job.waiters.len(), 2, "b rides along with a");
+        let resp = Response::header_only(RespHeader::Shed {
+            reason: "test".into(),
+        });
+        job.deliver_all(&resp);
+        s.finish(&job);
+        assert!(ta.wait(Duration::from_secs(1)).is_some());
+        assert!(tb.wait(Duration::from_secs(1)).is_some());
+        assert_eq!(s.stats().coalesced, 1);
+        // c still gets its own execution.
+        let j2 = s.try_next().expect("c's job");
+        assert_eq!(j2.req.tenant, "c");
+        assert_eq!(j2.waiters.len(), 1);
+    }
+
+    #[test]
+    fn save_requests_never_coalesce() {
+        let s = FairScheduler::new(cfg());
+        let line = "filter tenant=a size=8 seed=7 radius=1 save=1";
+        let _t0 = s.submit(Request::parse(line).expect("valid")).expect("admit");
+        let _t1 = s
+            .submit(Request::parse(&line.replace("tenant=a", "tenant=b")).expect("valid"))
+            .expect("admit");
+        let job = s.try_next().expect("job");
+        assert_eq!(job.waiters.len(), 1);
+        s.finish(&job);
+        assert!(s.try_next().is_some(), "second save executes separately");
+    }
+
+    #[test]
+    fn cancelled_queued_requests_are_dropped_not_served() {
+        let s = FairScheduler::new(cfg());
+        let ta = s.submit(req("a", 0)).expect("admit");
+        let _tb = s.submit(req("b", 0)).expect("admit");
+        ta.token.cancel();
+        let job = s.try_next().expect("job");
+        assert_eq!(job.req.tenant, "b", "a's abandoned request is skipped");
+        assert_eq!(s.stats().abandoned, 1);
+    }
+
+    #[test]
+    fn drain_refuses_new_work_and_shed_answers_the_queue() {
+        let s = FairScheduler::new(cfg());
+        let t0 = s.submit(req("a", 0)).expect("admit");
+        s.begin_drain();
+        let err = s.submit(req("a", 1)).expect_err("draining refuses");
+        assert_eq!(err.reason, "draining");
+        let n = s.shed_all("drain budget exhausted");
+        assert_eq!(n, 1);
+        let resp = t0.wait(Duration::from_secs(1)).expect("shed reply");
+        assert!(matches!(resp.header, RespHeader::Shed { .. }));
+        assert!(s.next().is_none(), "draining + empty ends the lanes");
+    }
+
+    #[test]
+    fn stop_ends_next_immediately() {
+        let s = Arc::new(FairScheduler::new(cfg()));
+        let s2 = s.clone();
+        let h = std::thread::spawn(move || s2.next());
+        std::thread::sleep(Duration::from_millis(20));
+        s.stop();
+        assert!(h.join().expect("lane thread").is_none());
+    }
+}

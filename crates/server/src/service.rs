@@ -1,0 +1,670 @@
+//! The service core: execution lanes over one shared engine, a reaper
+//! for abandoned requests, a durability journal, and graceful drain.
+//!
+//! Request lifecycle (see DESIGN.md §9): a parsed [`Request`] is admitted
+//! by the [`FairScheduler`], popped by an execution lane, and run through
+//! the engine's full brownout stack — `ExecPolicy::Brownout` with the
+//! request's [`DeadlineBudget`] and fault plan — so one code path serves
+//! both the happy case (no budget, no faults: bitwise-identical to
+//! `ExecPolicy::Plain` by the engine contract) and the degraded one.
+//! Every lane iteration is wrapped in `catch_unwind`: a panic anywhere in
+//! request handling becomes a typed `err worker-panic` reply for that
+//! request, never a dead lane.
+//!
+//! A reaper thread watches in-flight jobs: once every waiter's cancel
+//! token has fired (all clients disconnected), it fires the job's
+//! run-scoped token and the engine abandons the remaining units as
+//! `Cancelled` — compute stops within one reaper poll plus one unit.
+//!
+//! Drain ([`Service::drain`]) stops admission, lets queued and in-flight
+//! work finish inside the budget, then sheds what remains with typed
+//! `shed` replies and cancels in-flight runs. Durability is append-only:
+//! the journal fsyncs per record and saved volumes go through
+//! `write_atomic`, so a `kill -9` at any instant leaves no partial file —
+//! at worst a torn journal tail, which `Journal::open` truncates away.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, SfcResult, StencilOrder};
+use sfc_datagen::save_volume;
+use sfc_filters::{try_bilateral3d_with_policy, BilateralParams, FilterRun};
+use sfc_harness::{
+    CancelToken, DeadlineBudget, DegradedOutcome, DowngradeReason, ExecPolicy, Executor,
+    FaultPlan, Journal, JournalRecovery, Schedule, SupervisorConfig,
+};
+use sfc_volrend::{
+    render_with_policy, vec3, Camera, Image, Projection, RenderOpts, TransferFunction,
+};
+
+use crate::cache::{VolumeCache, VolumeKey};
+use crate::protocol::{error_kind, f32_bytes, OkHeader, OpKind, Request, RespHeader};
+use crate::scheduler::{FairScheduler, Job, Overloaded, Response, SchedConfig, Ticket};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads the engine uses per request execution.
+    pub exec_threads: usize,
+    /// Concurrent request executions (lane threads).
+    pub lanes: usize,
+    /// Scheduler bounds (queues, quotas, quantum).
+    pub sched: SchedConfig,
+    /// Volume-cache residency budget in bytes.
+    pub cache_bytes: usize,
+    /// Where `save=1` results are written; `None` rejects saves.
+    pub data_dir: Option<PathBuf>,
+    /// Durability journal path; `None` disables journaling.
+    pub journal: Option<PathBuf>,
+    /// Per-unit watchdog budget, armed only when a request carries
+    /// faults or a deadline (the fault-free path must stay
+    /// bitwise-identical to `ExecPolicy::Plain`, and the watchdog is
+    /// pure overhead there).
+    pub unit_timeout: Duration,
+    /// Reaper scan interval — the bound on how long an abandoned
+    /// request keeps computing after its last client disconnects.
+    pub reaper_poll: Duration,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            exec_threads: 2,
+            lanes: 2,
+            sched: SchedConfig::default(),
+            cache_bytes: 64 << 20,
+            data_dir: None,
+            journal: None,
+            unit_timeout: Duration::from_millis(250),
+            reaper_poll: Duration::from_millis(5),
+        }
+    }
+}
+
+/// What [`Service::drain`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Whether every queued and in-flight request finished inside the
+    /// budget (nothing was shed or cancelled).
+    pub clean: bool,
+    /// Queued requests answered with `shed` at budget expiry.
+    pub shed: usize,
+    /// In-flight runs cancelled at budget expiry.
+    pub cancelled: usize,
+}
+
+struct ActiveJob {
+    run: CancelToken,
+    waiters: Vec<CancelToken>,
+}
+
+/// The multi-tenant volume service: scheduler + lanes + cache + journal.
+pub struct Service {
+    cfg: ServiceConfig,
+    exec: Executor,
+    sched: FairScheduler,
+    cache: VolumeCache,
+    journal: Option<Mutex<Journal>>,
+    recovery: Option<JournalRecovery>,
+    active: Mutex<Vec<(u64, ActiveJob)>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    running: AtomicBool,
+    next_id: AtomicU64,
+    save_seq: AtomicU64,
+    panics: AtomicU64,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Service {
+    /// Start the service: open the journal (recovering any torn tail),
+    /// spawn the execution lanes and the reaper.
+    pub fn start(cfg: ServiceConfig) -> SfcResult<Arc<Service>> {
+        if let Some(dir) = &cfg.data_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| sfc_core::SfcError::io(dir.display().to_string(), e))?;
+        }
+        let (journal, recovery) = match &cfg.journal {
+            Some(path) => {
+                if let Some(parent) = path.parent() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| sfc_core::SfcError::io(parent.display().to_string(), e))?;
+                }
+                let (j, rec) = Journal::open(path)
+                    .map_err(|e| sfc_core::SfcError::io(path.display().to_string(), e))?;
+                (Some(Mutex::new(j)), Some(rec))
+            }
+            None => (None, None),
+        };
+        let svc = Arc::new(Service {
+            exec: Executor::new(cfg.exec_threads),
+            sched: FairScheduler::new(cfg.sched),
+            cache: VolumeCache::new(cfg.cache_bytes),
+            journal,
+            recovery,
+            active: Mutex::new(Vec::new()),
+            threads: Mutex::new(Vec::new()),
+            running: AtomicBool::new(true),
+            next_id: AtomicU64::new(0),
+            save_seq: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            cfg,
+        });
+        let mut threads = Vec::new();
+        for lane in 0..svc.cfg.lanes {
+            let s = svc.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("sfc-lane-{lane}"))
+                    .spawn(move || s.lane_loop())
+                    .map_err(|e| sfc_core::SfcError::io("spawn lane", e))?,
+            );
+        }
+        {
+            let s = svc.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name("sfc-reaper".into())
+                    .spawn(move || s.reaper_loop())
+                    .map_err(|e| sfc_core::SfcError::io("spawn reaper", e))?,
+            );
+        }
+        *lock(&svc.threads) = threads;
+        Ok(svc)
+    }
+
+    /// Admit a request (the net layer's entry point).
+    pub fn submit(&self, req: Request) -> Result<Ticket, Overloaded> {
+        self.sched.submit(req)
+    }
+
+    /// What journal recovery found at startup, if journaling is on.
+    pub fn recovery(&self) -> Option<&JournalRecovery> {
+        self.recovery.as_ref()
+    }
+
+    /// Requests currently executing on a lane (tests and the `stats`
+    /// verb watch this to observe cancellation and drain).
+    pub fn active_requests(&self) -> usize {
+        self.active_count()
+    }
+
+    /// One `key=value` stats line for the `stats` verb.
+    pub fn stats_line(&self) -> String {
+        let s = self.sched.stats();
+        let c = self.cache.stats();
+        format!(
+            "stats submitted={} served={} coalesced={} overloaded={} shed={} abandoned={} \
+             cache_hits={} cache_misses={} cache_evictions={} resident_bytes={} \
+             active={} panics={}",
+            s.submitted,
+            s.served,
+            s.coalesced,
+            s.overloaded,
+            s.shed,
+            s.abandoned,
+            c.hits,
+            c.misses,
+            c.evictions,
+            c.resident_bytes,
+            lock(&self.active).len(),
+            self.panics.load(Ordering::Relaxed),
+        )
+    }
+
+    fn lane_loop(self: &Arc<Self>) {
+        while let Some(job) = self.sched.next() {
+            let id = self.register(&job);
+            let resp = match catch_unwind(AssertUnwindSafe(|| self.execute(&job))) {
+                Ok(Ok(resp)) => resp,
+                Ok(Err(err)) => Response::header_only(RespHeader::Err {
+                    kind: error_kind(&err).to_string(),
+                    message: err.to_string(),
+                }),
+                Err(panic) => {
+                    self.panics.fetch_add(1, Ordering::Relaxed);
+                    let msg = panic
+                        .downcast_ref::<&str>()
+                        .map(|s| s.to_string())
+                        .or_else(|| panic.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".into());
+                    Response::header_only(RespHeader::Err {
+                        kind: "worker-panic".to_string(),
+                        message: msg,
+                    })
+                }
+            };
+            job.deliver_all(&resp);
+            self.deregister(id);
+            self.sched.finish(&job);
+        }
+    }
+
+    fn reaper_loop(&self) {
+        while self.running.load(Ordering::Relaxed) {
+            {
+                let active = lock(&self.active);
+                for (_, job) in active.iter() {
+                    if !job.run.is_cancelled()
+                        && !job.waiters.is_empty()
+                        && job.waiters.iter().all(|t| t.is_cancelled())
+                    {
+                        job.run.cancel();
+                    }
+                }
+            }
+            std::thread::sleep(self.cfg.reaper_poll);
+        }
+    }
+
+    fn register(&self, job: &Job) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        lock(&self.active).push((
+            id,
+            ActiveJob {
+                run: job.token.clone(),
+                waiters: job.waiters.iter().map(|w| w.token.clone()).collect(),
+            },
+        ));
+        id
+    }
+
+    fn deregister(&self, id: u64) {
+        lock(&self.active).retain(|(i, _)| *i != id);
+    }
+
+    fn active_count(&self) -> usize {
+        lock(&self.active).len()
+    }
+
+    /// Run one job through the engine and build its reply.
+    fn execute(&self, job: &Job) -> SfcResult<Response> {
+        let req = &job.req;
+        let key = VolumeKey {
+            size: req.size,
+            layout: req.layout,
+            seed: req.seed,
+        };
+        let (vol, cache_hit) = self.cache.get(&key);
+        let nunits = req.cost() as usize;
+        let plan = match req.faults {
+            Some((seed, rates)) => FaultPlan::random_rates(seed, nunits, &rates),
+            None => FaultPlan::none(),
+        };
+        let budget = req
+            .deadline()
+            .map(DeadlineBudget::with_budget)
+            .unwrap_or_else(DeadlineBudget::none);
+        let supervisor = SupervisorConfig {
+            nthreads: self.exec.nthreads(),
+            schedule: Schedule::Dynamic,
+            // Arm the watchdog only when this request can actually stall
+            // (injected faults) or has a clock to keep (deadline).
+            timeout: (req.faults.is_some() || req.deadline_ms.is_some())
+                .then_some(self.cfg.unit_timeout),
+            max_retries: 1,
+            backoff_base: Duration::from_millis(1),
+            watchdog_poll: Duration::from_millis(2),
+            cancel: job.token.clone(),
+        };
+
+        let (body, dims, outcome) = match req.op {
+            OpKind::Filter { radius } => {
+                let run = filter_run(radius, self.exec.nthreads());
+                let dims = vol.dims();
+                let mut out =
+                    Grid3::<f32, ArrayOrder3>::from_row_major(dims, &vec![0.0; dims.len()]);
+                let range = req.faults.is_some().then_some((f32::NEG_INFINITY, f32::INFINITY));
+                let policy = ExecPolicy::brownout(supervisor, budget, range);
+                let outcome = dispatch_filter(&vol, &mut out, &run, &policy, &plan)?;
+                (f32_bytes(&out.to_row_major()), dims, outcome)
+            }
+            OpKind::Render { image, tile } => {
+                let (cam, tf, opts) = render_setup(req.size, image, tile, self.exec.nthreads());
+                let range = req.faults.is_some().then_some((0.0, 1.0));
+                let policy = ExecPolicy::brownout(supervisor, budget, range);
+                let (img, outcome) = dispatch_render(&vol, &cam, &tf, &opts, &policy, &plan)?;
+                (image_bytes(&img), Dims3::new(image, image, 4), outcome)
+            }
+        };
+
+        if req.save {
+            self.save_result(req, dims, &body)?;
+        }
+        self.journal_record(req, &outcome, job.waiters.len() - 1);
+
+        let shed_units = outcome
+            .quality
+            .entries()
+            .iter()
+            .filter(|e| e.reason == DowngradeReason::Shed)
+            .count();
+        let header = OkHeader {
+            bytes: body.len(),
+            completed: outcome.report.completed,
+            failed: outcome.report.failed.len(),
+            retried: outcome.report.retried,
+            downgraded: outcome.quality.len(),
+            max_level: outcome.quality.max_level(),
+            shed_units,
+            whole: outcome.output_is_whole(),
+            cache_hit,
+            coalesced: job.waiters.len() - 1,
+        };
+        Ok(Response {
+            header: RespHeader::Ok(header),
+            body: Arc::from(body),
+        })
+    }
+
+    fn save_result(&self, req: &Request, dims: Dims3, body: &[u8]) -> SfcResult<()> {
+        let Some(dir) = &self.cfg.data_dir else {
+            return Err(sfc_core::SfcError::InvalidParameter {
+                name: "save",
+                reason: "server started without a data directory".into(),
+            });
+        };
+        let seq = self.save_seq.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("{}-{:06}.vol", req.tenant, seq));
+        let values = crate::protocol::bytes_f32(body)?;
+        save_volume(&path, dims, &values)
+    }
+
+    fn journal_record(&self, req: &Request, outcome: &DegradedOutcome, coalesced: usize) {
+        let Some(journal) = &self.journal else { return };
+        let line = format!(
+            "serve tenant={} op={} size={} seed={} completed={} failed={} downgraded={} whole={} coalesced={}",
+            req.tenant,
+            req.op.name(),
+            req.size,
+            req.seed,
+            outcome.report.completed,
+            outcome.report.failed.len(),
+            outcome.quality.len(),
+            u8::from(outcome.output_is_whole()),
+            coalesced,
+        );
+        // Journal loss is not worth failing the request over: the reply
+        // (and any saved volume) is the contract, the journal is the
+        // audit trail.
+        let _ = lock(journal).append(line.as_bytes());
+    }
+
+    /// Graceful drain: stop admitting, give queued and in-flight work
+    /// `budget` to finish, then shed the queue and cancel the rest.
+    /// Returns once every lane has exited; the service is unusable
+    /// afterwards.
+    pub fn drain(&self, budget: Duration) -> DrainReport {
+        self.sched.begin_drain();
+        let deadline = Instant::now() + budget;
+        while Instant::now() < deadline {
+            if self.sched.queued_total() == 0 && self.active_count() == 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let shed = self.sched.shed_all("drain budget exhausted");
+        let mut cancelled = 0;
+        {
+            let active = lock(&self.active);
+            for (_, job) in active.iter() {
+                if !job.run.is_cancelled() {
+                    job.run.cancel();
+                    cancelled += 1;
+                }
+            }
+        }
+        // Cancelled runs finish fast (queued units are accounted as
+        // Cancelled without running); wait for the lanes to deliver.
+        while self.active_count() > 0 {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        self.sched.stop();
+        self.running.store(false, Ordering::Relaxed);
+        let threads = std::mem::take(&mut *lock(&self.threads));
+        for t in threads {
+            let _ = t.join();
+        }
+        DrainReport {
+            clean: shed == 0 && cancelled == 0,
+            shed,
+            cancelled,
+        }
+    }
+}
+
+/// The canonical filter configuration for a request: the mapping every
+/// caller (service and conformance tests) must share for the
+/// bitwise-identical-to-`Plain` invariant to be checkable.
+pub fn filter_run(radius: usize, nthreads: usize) -> FilterRun {
+    FilterRun {
+        params: BilateralParams {
+            radius,
+            sigma_spatial: (radius as f32 / 2.0).max(0.5),
+            sigma_range: 0.1,
+            order: StencilOrder::Xyz,
+        },
+        pencil_axis: Axis::X,
+        nthreads,
+    }
+}
+
+/// The canonical render configuration for a request: the standard orbit
+/// camera looking down +x at the volume center, the `fire` transfer
+/// function, and default integration parameters.
+pub fn render_setup(
+    size: usize,
+    image: usize,
+    tile: usize,
+    nthreads: usize,
+) -> (Camera, TransferFunction, RenderOpts) {
+    let n = size as f32;
+    let cam = Camera::look_at(
+        vec3(n * 2.5, n / 2.0, n / 2.0),
+        vec3(n / 2.0, n / 2.0, n / 2.0),
+        vec3(0.0, 1.0, 0.0),
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        image,
+        image,
+    );
+    let tf = TransferFunction::fire();
+    let opts = RenderOpts {
+        tile,
+        nthreads,
+        ..Default::default()
+    };
+    (cam, tf, opts)
+}
+
+/// Flatten an RGBA image to interleaved little-endian `f32` bytes.
+pub fn image_bytes(img: &Image) -> Vec<u8> {
+    let mut values = Vec::with_capacity(img.pixels().len() * 4);
+    for p in img.pixels() {
+        values.extend_from_slice(&[p.r, p.g, p.b, p.a]);
+    }
+    f32_bytes(&values)
+}
+
+fn dispatch_filter(
+    vol: &crate::cache::CachedVolume,
+    out: &mut Grid3<f32, ArrayOrder3>,
+    run: &FilterRun,
+    policy: &ExecPolicy,
+    plan: &FaultPlan,
+) -> SfcResult<DegradedOutcome> {
+    use crate::cache::CachedVolume as V;
+    match vol {
+        V::Array(g) => try_bilateral3d_with_policy(g, out, run, policy, plan),
+        V::Z(g) => try_bilateral3d_with_policy(g, out, run, policy, plan),
+        V::Tiled(g) => try_bilateral3d_with_policy(g, out, run, policy, plan),
+        V::Hilbert(g) => try_bilateral3d_with_policy(g, out, run, policy, plan),
+    }
+}
+
+fn dispatch_render(
+    vol: &crate::cache::CachedVolume,
+    cam: &Camera,
+    tf: &TransferFunction,
+    opts: &RenderOpts,
+    policy: &ExecPolicy,
+    plan: &FaultPlan,
+) -> SfcResult<(Image, DegradedOutcome)> {
+    use crate::cache::CachedVolume as V;
+    match vol {
+        V::Array(g) => render_with_policy(g, cam, tf, opts, policy, plan),
+        V::Z(g) => render_with_policy(g, cam, tf, opts, policy, plan),
+        V::Tiled(g) => render_with_policy(g, cam, tf, opts, policy, plan),
+        V::Hilbert(g) => render_with_policy(g, cam, tf, opts, policy, plan),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{bytes_f32, Request};
+    use crate::scheduler::Response;
+
+    fn svc(cfg: ServiceConfig) -> Arc<Service> {
+        Service::start(cfg).expect("service starts")
+    }
+
+    fn wait_ok(t: &Ticket) -> (OkHeader, Vec<u8>) {
+        let Response { header, body } = t.wait(Duration::from_secs(30)).expect("reply in time");
+        match header {
+            RespHeader::Ok(h) => (h, body.to_vec()),
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_a_filter_request_end_to_end() {
+        let s = svc(ServiceConfig::default());
+        let req = Request::parse("filter tenant=t size=8 seed=3 radius=1 layout=hilbert")
+            .expect("valid");
+        let t = s.submit(req).expect("admitted");
+        let (h, body) = wait_ok(&t);
+        assert_eq!(h.bytes, 8 * 8 * 8 * 4);
+        assert_eq!(body.len(), h.bytes);
+        assert!(h.whole);
+        assert_eq!(h.failed, 0);
+        assert!(bytes_f32(&body).expect("f32 body").iter().all(|v| v.is_finite()));
+        s.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn serves_a_render_request_end_to_end() {
+        let s = svc(ServiceConfig::default());
+        let req = Request::parse("render tenant=t size=8 seed=3 image=16 tile=8").expect("valid");
+        let t = s.submit(req).expect("admitted");
+        let (h, body) = wait_ok(&t);
+        assert_eq!(h.bytes, 16 * 16 * 4 * 4);
+        assert_eq!(body.len(), h.bytes);
+        assert!(h.whole);
+        s.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn identical_requests_share_one_execution_and_the_cache() {
+        let s = svc(ServiceConfig {
+            lanes: 1, // force both requests to queue behind one lane
+            ..ServiceConfig::default()
+        });
+        // Occupy the lane so the two coalescable requests sit queued.
+        let blocker = s
+            .submit(Request::parse("filter tenant=z size=10 seed=9 radius=2").expect("valid"))
+            .expect("admitted");
+        let ta = s
+            .submit(Request::parse("filter tenant=a size=8 seed=5 radius=1").expect("valid"))
+            .expect("admitted");
+        let tb = s
+            .submit(Request::parse("filter tenant=b size=8 seed=5 radius=1").expect("valid"))
+            .expect("admitted");
+        let _ = wait_ok(&blocker);
+        let (ha, body_a) = wait_ok(&ta);
+        let (hb, body_b) = wait_ok(&tb);
+        assert_eq!(body_a, body_b, "coalesced waiters get the same bytes");
+        // Both waiters see the same header: one other request shared
+        // this execution.
+        assert_eq!((ha.coalesced, hb.coalesced), (1, 1));
+        s.drain(Duration::from_secs(5));
+        assert_eq!(s.sched.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn disconnected_waiters_reap_the_run() {
+        let s = svc(ServiceConfig {
+            lanes: 1,
+            ..ServiceConfig::default()
+        });
+        // A large-ish request with stalls so there is time to cancel it.
+        let req = Request::parse(
+            "filter tenant=t size=16 seed=1 radius=2 fault_seed=3 timeout_rate=0.5 stall_ms=50",
+        )
+        .expect("valid");
+        let t = s.submit(req).expect("admitted");
+        std::thread::sleep(Duration::from_millis(20));
+        t.token.cancel();
+        // The reaper fires the run token; the lane still delivers a
+        // reply (to nobody) and frees itself well before the uncancelled
+        // run would have finished.
+        let start = Instant::now();
+        while s.active_count() > 0 && start.elapsed() < Duration::from_secs(10) {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(s.active_count(), 0, "cancelled run drained");
+        s.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn drain_with_empty_queues_is_clean() {
+        let s = svc(ServiceConfig::default());
+        let t = s
+            .submit(Request::parse("filter tenant=t size=8 seed=1 radius=1").expect("valid"))
+            .expect("admitted");
+        let _ = wait_ok(&t);
+        let report = s.drain(Duration::from_secs(5));
+        assert!(report.clean, "{report:?}");
+        assert_eq!((report.shed, report.cancelled), (0, 0));
+    }
+
+    #[test]
+    fn save_writes_a_loadable_volume_and_journals_the_request() {
+        let dir = std::env::temp_dir().join(format!("sfc-svc-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = svc(ServiceConfig {
+            data_dir: Some(dir.clone()),
+            journal: Some(dir.join("journal.bin")),
+            ..ServiceConfig::default()
+        });
+        let t = s
+            .submit(Request::parse("filter tenant=t size=8 seed=1 radius=1 save=1").expect("valid"))
+            .expect("admitted");
+        let (h, body) = wait_ok(&t);
+        assert!(h.whole);
+        s.drain(Duration::from_secs(5));
+        let saved: Vec<_> = std::fs::read_dir(&dir)
+            .expect("data dir")
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "vol"))
+            .collect();
+        assert_eq!(saved.len(), 1);
+        let (dims, values) = sfc_datagen::load_volume(&saved[0]).expect("clean volume");
+        assert_eq!(dims, Dims3::cube(8));
+        assert_eq!(f32_bytes(&values), body, "saved bytes match the reply");
+        // The journal replays cleanly and holds the serve record.
+        let (_, rec) = Journal::open(dir.join("journal.bin")).expect("journal opens");
+        assert_eq!(rec.records.len(), 1);
+        assert!(!rec.was_torn());
+        assert!(String::from_utf8_lossy(&rec.records[0]).starts_with("serve tenant=t"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,163 @@
+//! Crash-consistency: `kill -9` mid-request must leave no partial
+//! durable artifact.
+//!
+//! The test starts the real `sfc_serve` binary with a data directory and
+//! a journal, drives a concurrent `save=1` write storm over TCP, then
+//! SIGKILLs the process while writes are in flight. The contract
+//! (DESIGN.md §9, "Durability"): every completed `.vol` file in the data
+//! directory loads cleanly (checksummed, never torn — `write_atomic`
+//! publishes via rename), and the journal replays — a torn final record
+//! is truncated by recovery, never an error. Leftover `.NAME.tmp`
+//! siblings are the *expected* crash residue and are ignored; the CI
+//! smoke job separately asserts a clean shutdown leaves none.
+
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use sfc_datagen::load_volume;
+use sfc_harness::Journal;
+
+fn spawn_server(data_dir: &Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_sfc_serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--threads",
+            "2",
+            "--lanes",
+            "4",
+            "--data-dir",
+            data_dir.to_str().expect("utf8 path"),
+            "--journal",
+            data_dir.join("journal.bin").to_str().expect("utf8 path"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn sfc_serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines
+        .next()
+        .expect("server prints a banner")
+        .expect("readable banner");
+    let addr = banner
+        .strip_prefix("listening addr=")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn kill_nine_during_a_save_storm_leaves_no_partial_volume() {
+    let dir = std::env::temp_dir().join(format!("sfc-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("mkdir");
+
+    let (mut child, addr) = spawn_server(&dir);
+
+    // Storm: four writers submit small save requests back to back. Each
+    // connection fires requests without reading replies so the server
+    // stays saturated with in-flight writes.
+    let mut writers = Vec::new();
+    for w in 0..4u64 {
+        let addr = addr.clone();
+        writers.push(std::thread::spawn(move || {
+            let Ok(mut stream) = TcpStream::connect(&addr) else { return };
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+            for r in 0..50u64 {
+                let line = format!(
+                    "filter tenant=w{w} size=8 seed={} radius=1 save=1\n",
+                    w * 1000 + r
+                );
+                if stream.write_all(line.as_bytes()).is_err() {
+                    return;
+                }
+            }
+            // Keep the connection open so nothing gets cancelled: drain
+            // replies until the SIGKILL severs the socket.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+            let mut buf = [0u8; 4096];
+            loop {
+                use std::io::Read;
+                match stream.read(&mut buf) {
+                    Ok(0) => return, // server gone
+                    Ok(_) => {}      // replies streaming back
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => return, // reset by the kill
+                }
+            }
+        }));
+    }
+
+    // Wait until at least a few volumes have been published, so the kill
+    // interrupts a storm in progress rather than an idle server.
+    let start = Instant::now();
+    loop {
+        let vols = count_vols(&dir);
+        if vols >= 5 {
+            break;
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(60),
+            "server produced only {vols} volumes in 60s"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    for w in writers {
+        let _ = w.join();
+    }
+
+    // Every published volume must load cleanly: correct magic, dims,
+    // checksum. A single torn byte would be a contract violation.
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&dir).expect("read data dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.ends_with(".vol") {
+            let (dims, values) = load_volume(&path)
+                .unwrap_or_else(|e| panic!("{name}: published volume is torn: {e}"));
+            assert_eq!(dims.len(), values.len(), "{name}: dims/payload agree");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 5, "expected at least 5 published volumes, found {checked}");
+
+    // The journal replays: recovery may truncate a torn tail, but open
+    // must succeed and every recovered record must be a complete line.
+    let (_, rec) = Journal::open(dir.join("journal.bin")).expect("journal replays after kill -9");
+    for record in &rec.records {
+        let line = String::from_utf8_lossy(record);
+        assert!(
+            line.starts_with("serve tenant=w"),
+            "recovered record is garbled: {line:?}"
+        );
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn count_vols(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|rd| {
+            rd.filter_map(|e| e.ok())
+                .filter(|e| {
+                    e.path()
+                        .file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.ends_with(".vol"))
+                })
+                .count()
+        })
+        .unwrap_or(0)
+}

@@ -271,7 +271,7 @@ pub fn render_degraded<V: Volume3 + Sync>(
     faults: &FaultPlan,
     pixel_range: Option<(f32, f32)>,
 ) -> SfcResult<(Image, DegradedOutcome)> {
-    render_with_policy(vol, cam, tf, opts, &ExecPolicy::degraded(*cfg, pixel_range), faults)
+    render_with_policy(vol, cam, tf, opts, &ExecPolicy::degraded(cfg.clone(), pixel_range), faults)
 }
 
 #[cfg(test)]

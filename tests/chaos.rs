@@ -379,3 +379,111 @@ fn nan_input_degrades_with_unrepaired_typed_defects_not_a_crash() {
         "NaN must never propagate into committed output"
     );
 }
+
+/// Abusive-tenant isolation (DESIGN.md §9): one flooder blasting the
+/// service with stalling requests under a timeout storm must be confined
+/// by its own queue bound and in-flight quota — refused with typed
+/// `overloaded` replies, never crashing the service — while seven
+/// well-behaved tenants complete every request whole, across all chaos
+/// seeds.
+#[test]
+fn abusive_tenant_is_quota_limited_while_others_complete_whole() {
+    use sfc_server::{RespHeader, SchedConfig, Service, ServiceConfig};
+
+    for seed in chaos_seeds() {
+        let svc = Service::start(ServiceConfig {
+            exec_threads: 2,
+            lanes: 2,
+            sched: SchedConfig {
+                queue_cap: 2,
+                quota: 1,
+                quantum: 256,
+            },
+            // A watchdog well under the flooder's scripted stall, so its
+            // stalled units expire fast instead of serializing the test.
+            unit_timeout: Duration::from_millis(60),
+            ..ServiceConfig::default()
+        })
+        .unwrap_or_else(|e| panic!("seed {seed:#x}: service start: {e}"));
+
+        // The flooder: 24 stalling requests submitted as fast as the
+        // scheduler will take them. quota=1 means at most one holds a
+        // lane; queue_cap=2 means at most two wait; the rest must be
+        // refused with a typed overload.
+        let flooder = {
+            let svc = svc.clone();
+            std::thread::spawn(move || {
+                let mut admitted = Vec::new();
+                let mut overloaded = 0usize;
+                for r in 0..24u64 {
+                    let line = format!(
+                        "filter tenant=flood size=6 seed={r} radius=1 \
+                         fault_seed={seed} timeout_rate=0.2 stall_ms=50"
+                    );
+                    let req = sfc_server::Request::parse(&line).expect("valid request");
+                    match svc.submit(req) {
+                        Ok(t) => admitted.push(t),
+                        Err(over) => {
+                            assert_eq!(over.reason, "queue-full");
+                            assert_eq!(over.tenant, "flood");
+                            overloaded += 1;
+                        }
+                    }
+                }
+                // Every admitted request resolves with a typed reply —
+                // degraded is fine, hanging is not.
+                for t in &admitted {
+                    let resp = t
+                        .wait(Duration::from_secs(60))
+                        .expect("admitted flood request resolves");
+                    assert!(
+                        matches!(resp.header, RespHeader::Ok(_) | RespHeader::Err { .. }),
+                        "flood reply must be typed, got {:?}",
+                        resp.header
+                    );
+                }
+                overloaded
+            })
+        };
+
+        // Seven well-behaved tenants, two fault-free requests each,
+        // submitted while the flood is in progress.
+        let mut calm = Vec::new();
+        for tenant in 0..7u64 {
+            let svc = svc.clone();
+            calm.push(std::thread::spawn(move || {
+                for r in 0..2u64 {
+                    let line = format!(
+                        "filter tenant=calm{tenant} size=8 seed={} radius=1",
+                        seed ^ (tenant * 100 + r)
+                    );
+                    let req = sfc_server::Request::parse(&line).expect("valid request");
+                    let t = svc.submit(req).unwrap_or_else(|o| {
+                        panic!("well-behaved tenant calm{tenant} refused: {o:?}")
+                    });
+                    let resp = t
+                        .wait(Duration::from_secs(60))
+                        .expect("well-behaved request resolves");
+                    match resp.header {
+                        RespHeader::Ok(h) => {
+                            assert!(h.whole, "calm{tenant} request {r} must be whole");
+                            assert_eq!(h.failed, 0, "calm{tenant} request {r}: no failures");
+                        }
+                        other => panic!("calm{tenant} request {r}: expected ok, got {other:?}"),
+                    }
+                }
+            }));
+        }
+
+        for h in calm {
+            h.join().expect("well-behaved tenant thread");
+        }
+        let overloaded = flooder.join().expect("flooder thread");
+        assert!(
+            overloaded > 0,
+            "seed {seed:#x}: the flood must trip queue-full at least once"
+        );
+        let report = svc.drain(Duration::from_secs(30));
+        assert!(report.clean, "seed {seed:#x}: post-storm drain is clean: {report:?}");
+    }
+}

@@ -29,6 +29,7 @@ fn cfg(timeout_ms: Option<u64>) -> SupervisorConfig {
         max_retries: 2,
         backoff_base: Duration::from_millis(1),
         watchdog_poll: Duration::from_millis(2),
+        ..SupervisorConfig::default()
     }
 }
 
