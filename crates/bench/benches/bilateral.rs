@@ -22,6 +22,7 @@ fn bench_bilateral(c: &mut Criterion) {
         let run = FilterRun {
             params: BilateralParams::for_size(size, StencilOrder::Xyz),
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads: 1,
         };
         g.bench_with_input(BenchmarkId::new("a-order", size.label()), &a, |b, grid| {
@@ -40,6 +41,7 @@ fn bench_bilateral(c: &mut Criterion) {
         let run = FilterRun {
             params: BilateralParams::for_size(StencilSize::R3, order),
             pencil_axis: Axis::Z,
+            weight: Default::default(),
             nthreads: 1,
         };
         g.bench_with_input(BenchmarkId::new("order", order.name()), &a, |b, grid| {
@@ -55,6 +57,7 @@ fn bench_bilateral(c: &mut Criterion) {
     let run = FilterRun {
         params,
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 4,
     };
     g.bench_function("pool_static", |b| {

@@ -25,6 +25,7 @@ fn bench_curves(c: &mut Criterion) {
             order: StencilOrder::Zyx,
         },
         pencil_axis: Axis::Z,
+        weight: Default::default(),
         nthreads: 1,
     };
 

@@ -140,6 +140,7 @@ fn bench_bilateral_interior(c: &mut Criterion) {
         let run = FilterRun {
             params,
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads: 1,
         };
         g.bench_with_input(

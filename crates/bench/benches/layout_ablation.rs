@@ -26,6 +26,7 @@ fn bench_layout_ablation(c: &mut Criterion) {
             order: StencilOrder::Zyx,
         },
         pencil_axis: Axis::Z,
+        weight: Default::default(),
         nthreads: 1,
     };
     let mut g = c.benchmark_group("bilateral_r1_hostile");

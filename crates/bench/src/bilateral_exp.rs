@@ -182,6 +182,7 @@ pub fn native_row_times(
         let run = sfc_filters::FilterRun {
             params: BilateralParams::for_size(size, order),
             pencil_axis: axis,
+            weight: Default::default(),
             nthreads,
         };
         let ta = sfc_harness::measure(0, reps, || {

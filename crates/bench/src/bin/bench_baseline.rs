@@ -47,6 +47,7 @@ fn bilateral_pair<V: Volume3 + Sync>(
     let run = FilterRun {
         params,
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 1,
     };
     let voxels = dims.len() as f64;

@@ -158,6 +158,7 @@ pub fn bilateral_fault_demo<V: Volume3 + Sync>(args: &Args, vol: &V) -> bool {
     let run = FilterRun {
         params: BilateralParams::for_size(StencilSize::R3, StencilOrder::Xyz),
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: args.get_usize("fault-threads", 4),
     };
     let n_pencils = pencil_count(vol.dims(), run.pencil_axis);

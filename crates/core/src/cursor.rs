@@ -19,10 +19,12 @@
 //!   Neighbor-Finding on Space-Filling Curves*);
 //! * tiled — intra-brick strided add with a brick-boundary slow path
 //!   (constant per-axis crossing delta, still O(1));
-//! * Hilbert — no per-axis decomposition exists, so the fallback cursor
-//!   re-runs the full O(bits) encode per step (documented cost; this is
-//!   exactly why the paper's background rejects Hilbert for in-memory
-//!   layouts).
+//! * Hilbert — no per-axis decomposition exists, but the recursive-descent
+//!   automaton ([`crate::hilbert::HilbertTables3`]) makes unit steps
+//!   amortized-O(1): only the bit planes below the highest carry bit are
+//!   re-descended (Holzmüller, *Efficient Neighbor-Finding on
+//!   Space-Filling Curves*). The old O(bits)-per-step
+//!   [`RecomputeCursor`] is kept for ablation.
 //!
 //! Cursors are plain values (no allocation, no borrows), so kernels can
 //! keep one per scan row and step it millions of times. Stepping outside
@@ -440,11 +442,185 @@ impl Cursor3 for TiledCursor3 {
     }
 }
 
-/// Fallback cursor for layouts with no per-axis index decomposition
-/// (Hilbert): stores the logical coordinate and re-runs the layout's full
+/// Incremental cursor for [`crate::HilbertOrder3`]: amortized-O(1) unit
+/// steps via the recursive-descent automaton of
+/// [`crate::hilbert::HilbertTables3`].
+///
+/// The Hilbert index has no per-axis decomposition, but a unit step only
+/// changes the coordinate bits at planes `t..=0` where `t` is the highest
+/// bit flipped by the `±1` carry — and the curve digits above plane `t`
+/// depend only on coordinate bits above `t`, so they are untouched. The
+/// cursor therefore keeps, per bit plane, the automaton state in effect
+/// *before* that plane was consumed (`states[b]`), and on a step
+/// re-descends only planes `t..=0`, rebuilding the low `3(t+1)` index
+/// bits from the saved state at plane `t`. A `+1`/`-1` carry reaches
+/// plane `t` with probability `2^-t`, so the expected work per step is
+/// `Σ (t+1)·2^-t = O(1)` — the Holzmüller neighbor-finding bound
+/// (arXiv:1710.06384), here in mutable-cursor form.
+///
+/// Walk invariant (pinned by the crate property tests): after any
+/// in-bounds unit-step sequence, `index()` equals
+/// `hilbert3_encode(x, y, z, bits)` for the stepped-to coordinate.
+/// Out-of-domain steps panic in debug builds (like every cursor here);
+/// in release the coordinate wraps and the index is unspecified but the
+/// step never panics or reads out of the tables.
+#[derive(Debug, Clone, Copy)]
+pub struct HilbertCursor3 {
+    tables: &'static crate::hilbert::HilbertTables3,
+    /// Curve order; `3 * bits` index bits total.
+    bits: u32,
+    x: u32,
+    y: u32,
+    z: u32,
+    idx: u64,
+    /// `states[b]` — automaton state before consuming bit plane `b`
+    /// (plane `bits - 1` is the root state 0). Entries above `bits` are
+    /// unused.
+    states: [u8; crate::hilbert::MAX_BITS3 as usize],
+    #[cfg(debug_assertions)]
+    dbg: DebugDomain,
+}
+
+impl HilbertCursor3 {
+    pub(crate) fn new(
+        bits: u32,
+        (i, j, k): (usize, usize, usize),
+        dims: crate::dims::Dims3,
+    ) -> Self {
+        assert!(
+            bits <= crate::hilbert::MAX_BITS3,
+            "Hilbert cursor supports at most {} bits per axis, got {bits}",
+            crate::hilbert::MAX_BITS3
+        );
+        #[cfg(not(debug_assertions))]
+        let _ = dims;
+        let (x, y, z) = (i as u32, j as u32, k as u32);
+        let tables = crate::hilbert::HilbertTables3::get();
+        let mut states = [0u8; crate::hilbert::MAX_BITS3 as usize];
+        let mut s = 0u8;
+        let mut idx = 0u64;
+        for b in (0..bits).rev() {
+            states[b as usize] = s;
+            let c = crate::hilbert::octant3(x, y, z, b);
+            idx = (idx << 3) | u64::from(tables.digit(s, c));
+            s = tables.child(s, c);
+        }
+        Self {
+            tables,
+            bits,
+            x,
+            y,
+            z,
+            idx,
+            states,
+            #[cfg(debug_assertions)]
+            dbg: DebugDomain::new((i, j, k), dims),
+        }
+    }
+
+    /// Apply a `±1` step to one coordinate and re-descend the automaton
+    /// from the highest changed bit plane down.
+    #[inline]
+    fn restep(&mut self, axis: Axis, forward: bool) {
+        let coord = match axis {
+            Axis::X => &mut self.x,
+            Axis::Y => &mut self.y,
+            Axis::Z => &mut self.z,
+        };
+        let old = *coord;
+        // Wrapping: release-mode out-of-domain steps stay panic-free (the
+        // resulting index is unspecified; debug builds already rejected
+        // the step above in the Cursor3 impl).
+        let new = if forward {
+            old.wrapping_add(1)
+        } else {
+            old.wrapping_sub(1)
+        };
+        *coord = new;
+        if self.bits == 0 {
+            return;
+        }
+        // `old != new`, so `old ^ new` is non-zero; its top set bit is the
+        // highest plane whose octant changed. Clamp to the top plane so a
+        // wrapped out-of-domain coordinate can't index past the stack.
+        let t = (31 - (old ^ new).leading_zeros()).min(self.bits - 1);
+        if t == 0 {
+            // Half of all unit steps stay inside the lowest-plane octet:
+            // the state stack is untouched and only the bottom index
+            // digit changes — one packed-table read.
+            let c = crate::hilbert::octant3(self.x, self.y, self.z, 0);
+            let d = self.tables.digit(self.states[0], c);
+            self.idx = (self.idx & !7) | u64::from(d);
+            return;
+        }
+        let mut s = self.states[t as usize];
+        let mut low = 0u64;
+        for b in (1..=t).rev() {
+            self.states[b as usize] = s;
+            let c = crate::hilbert::octant3(self.x, self.y, self.z, b);
+            let (d, child) = self.tables.step(s, c);
+            low = (low << 3) | u64::from(d);
+            s = child;
+        }
+        // Lowest plane: emit the digit only (no descent below plane 0).
+        self.states[0] = s;
+        let c = crate::hilbert::octant3(self.x, self.y, self.z, 0);
+        low = (low << 3) | u64::from(self.tables.digit(s, c));
+        // 3 * (t + 1) <= 3 * MAX_BITS3 = 63, so the shift is in range.
+        let mask = (1u64 << (3 * (t + 1))) - 1;
+        self.idx = (self.idx & !mask) | low;
+    }
+}
+
+impl Cursor3 for HilbertCursor3 {
+    #[inline]
+    fn index(&self) -> usize {
+        self.idx as usize
+    }
+    #[inline]
+    fn inc_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, true);
+        self.restep(Axis::X, true);
+    }
+    #[inline]
+    fn dec_x(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::X, false);
+        self.restep(Axis::X, false);
+    }
+    #[inline]
+    fn inc_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, true);
+        self.restep(Axis::Y, true);
+    }
+    #[inline]
+    fn dec_y(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Y, false);
+        self.restep(Axis::Y, false);
+    }
+    #[inline]
+    fn inc_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, true);
+        self.restep(Axis::Z, true);
+    }
+    #[inline]
+    fn dec_z(&mut self) {
+        #[cfg(debug_assertions)]
+        self.dbg.step(Axis::Z, false);
+        self.restep(Axis::Z, false);
+    }
+}
+
+/// Fallback cursor for layouts with no per-axis index decomposition:
+/// stores the logical coordinate and re-runs the layout's full
 /// `index()` on every step. Correct everywhere, O(index) per step — the
-/// cost the cursor API exists to avoid, kept so `Layout3::cursor` is
-/// total over all layouts and ablations can measure the gap.
+/// cost the cursor API exists to avoid, kept so ablations (and
+/// `bench_speed_pass`'s "before" rows) can measure the gap against the
+/// incremental cursors.
 #[derive(Debug, Clone)]
 pub struct RecomputeCursor<L: crate::layout::Layout3> {
     layout: L,
@@ -672,5 +848,52 @@ mod tests {
         c.step(crate::dims::Axis::Z, true);
         c.step(crate::dims::Axis::Y, false);
         assert_eq!(c.index(), l.index(1, 0, 2));
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+    use crate::{Dims3, Grid3, HilbertOrder3, Layout3, Volume3, ZOrder3};
+
+    #[test]
+    #[ignore]
+    fn time_cursor_steps() {
+        let dims = Dims3::cube(64);
+        let vals: Vec<f32> = (0..dims.len()).map(|v| (v % 97) as f32).collect();
+        let hz = Grid3::<f32, ZOrder3>::from_row_major(dims, &vals);
+        let hh = Grid3::<f32, HilbertOrder3>::from_row_major(dims, &vals);
+        let rounds = 20_000u32;
+        // Pure stepping, no memory: walk +x across the row and back.
+        let t0 = std::time::Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..rounds {
+            let mut c = hh.layout().cursor(0, 31, 17);
+            for _ in 0..63 { c.inc_x(); acc ^= c.index(); }
+            for _ in 0..63 { c.dec_x(); acc ^= c.index(); }
+        }
+        let per = t0.elapsed().as_secs_f64() * 1e9 / (rounds as f64 * 126.0);
+        eprintln!("hilbert step only: {per:.2} ns/step (acc {acc})");
+        let t0 = std::time::Instant::now();
+        let mut acc = 0usize;
+        for _ in 0..rounds {
+            let mut c = hz.layout().cursor(0, 31, 17);
+            for _ in 0..63 { c.inc_x(); acc ^= c.index(); }
+            for _ in 0..63 { c.dec_x(); acc ^= c.index(); }
+        }
+        let per = t0.elapsed().as_secs_f64() * 1e9 / (rounds as f64 * 126.0);
+        eprintln!("zorder step only: {per:.2} ns/step (acc {acc})");
+        // Step + read: gather_axis_run into a row buffer.
+        let mut buf = vec![0.0f32; 64];
+        for (label, g) in [("hilbert", &hh as &dyn Volume3), ("zorder", &hz as &dyn Volume3)] {
+            let t0 = std::time::Instant::now();
+            let mut acc = 0.0f32;
+            for r in 0..rounds {
+                g.gather_axis_run(0, (r % 64) as usize, ((r * 7) % 64) as usize, Axis::X, &mut buf);
+                acc += buf[0];
+            }
+            let per = t0.elapsed().as_secs_f64() * 1e9 / (rounds as f64 * 64.0);
+            eprintln!("{label} gather row: {per:.2} ns/elem (acc {acc})");
+        }
     }
 }

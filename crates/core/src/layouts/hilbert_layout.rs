@@ -3,16 +3,19 @@
 //! Unlike Z-order, the Hilbert index of a coordinate cannot be decomposed
 //! into independent per-axis contributions (the curve's orientation at each
 //! recursion level depends on *all* coordinates), so there is no O(1)
-//! table-lookup scheme: every access pays an O(bits) transform. The paper's
-//! background (Reissmann et al. 2014) found exactly this cost to outweigh
-//! Hilbert's slightly better locality; `sfc-bench`'s `curve_ablation`
-//! measures the same trade-off with this implementation.
+//! table-lookup scheme: every *random* access pays an O(bits) transform.
+//! The paper's background (Reissmann et al. 2014) found exactly this cost
+//! to outweigh Hilbert's slightly better locality; `sfc-bench`'s
+//! `curve_ablation` measures the same trade-off with this implementation.
+//! *Sequential* access no longer pays it: [`HilbertCursor3`] steps to an
+//! axis neighbor in amortized-O(1) via the recursive-descent automaton in
+//! [`crate::hilbert::HilbertTables3`].
 //!
 //! Hilbert order requires a power-of-two *cube*, so rectangular domains pad
 //! every axis to the largest axis's power of two — a much bigger overhead
 //! than Z-order's per-axis padding (documented limitation).
 
-use crate::cursor::RecomputeCursor;
+use crate::cursor::HilbertCursor3;
 use crate::dims::{bits_for, Dims2, Dims3};
 use crate::hilbert::{hilbert2_decode, hilbert2_encode, hilbert3_decode, hilbert3_encode};
 use crate::layout::{Layout2, Layout3, LayoutKind};
@@ -34,7 +37,7 @@ impl HilbertOrder3 {
 impl Layout3 for HilbertOrder3 {
     const KIND: LayoutKind = LayoutKind::Hilbert;
 
-    type Cursor = RecomputeCursor<Self>;
+    type Cursor = HilbertCursor3;
 
     fn new(dims: Dims3) -> Self {
         let bits = bits_for(dims.max_extent());
@@ -64,8 +67,8 @@ impl Layout3 for HilbertOrder3 {
     }
 
     #[inline]
-    fn cursor(&self, i: usize, j: usize, k: usize) -> RecomputeCursor<Self> {
-        RecomputeCursor::new(self, i, j, k)
+    fn cursor(&self, i: usize, j: usize, k: usize) -> HilbertCursor3 {
+        HilbertCursor3::new(self.bits, (i, j, k), self.dims)
     }
 }
 

@@ -65,7 +65,8 @@ pub mod stats;
 pub mod stencil;
 pub mod volume;
 
-pub use cursor::{ArrayCursor3, Cursor3, RecomputeCursor, TiledCursor3, ZCursor3};
+pub use cursor::{ArrayCursor3, Cursor3, HilbertCursor3, RecomputeCursor, TiledCursor3, ZCursor3};
+pub use hilbert::HilbertTables3;
 pub use dims::{bits_for, next_pow2, Axis, Dims2, Dims3};
 pub use dyn_grid::DynGrid3;
 pub use error::{SfcError, SfcResult};

@@ -108,6 +108,24 @@ pub(crate) fn bilateral_voxel_counted<V: Volume3>(
     j: usize,
     k: usize,
 ) -> (f32, u64) {
+    bilateral_voxel_counted_mode(vol, kernel, inv_2sr2, i, j, k, crate::fastmath::WeightMode::Exact)
+}
+
+/// [`bilateral_voxel_counted`] with a selectable photometric
+/// [`WeightMode`](crate::fastmath::WeightMode). `Exact` performs the
+/// identical f32 operation sequence as always (bitwise-pinned); the
+/// tolerance modes substitute only the weight evaluation, never the tap
+/// order or the NaN bookkeeping. This is the boundary-pencil slow path,
+/// so it stays scalar in every mode.
+pub(crate) fn bilateral_voxel_counted_mode<V: Volume3>(
+    vol: &V,
+    kernel: &SpatialKernel,
+    inv_2sr2: f32,
+    i: usize,
+    j: usize,
+    k: usize,
+    mode: crate::fastmath::WeightMode,
+) -> (f32, u64) {
     let d = vol.dims();
     let center = vol.get(i, j, k);
     let center_nan = center.is_nan();
@@ -131,8 +149,7 @@ pub(crate) fn bilateral_voxel_counted<V: Volume3>(
         let w = if center_nan {
             wg
         } else {
-            let diff = v - center;
-            wg * (-(diff * diff) * inv_2sr2).exp()
+            wg * crate::fastmath::photometric_weight(v - center, inv_2sr2, mode)
         };
         acc += w * v;
         wsum += w;

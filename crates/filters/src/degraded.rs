@@ -37,6 +37,7 @@ use sfc_harness::{
     SupervisorConfig, UnitKernel, WorkPlan,
 };
 
+use crate::fastmath::TapConfig;
 use crate::gaussian::SpatialKernel;
 use crate::parallel::FilterRun;
 use crate::pencil_gather::{bilateral_pencil, GatherPlan};
@@ -70,6 +71,9 @@ struct PencilKernel<'a, V, LOut> {
     axis: Axis,
     out_layout: LOut,
     slots: Slots,
+    /// Photometric weight configuration (tier pre-clamped), applied at
+    /// every ladder rung.
+    weight: TapConfig,
     /// Brownout quality ladder: `ladder[L-1]` holds the reduced-radius
     /// spatial kernel and gather plan for level `L` (empty outside the
     /// brownout policy — the rungs are never consulted elsewhere).
@@ -90,7 +94,7 @@ impl<V: Volume3 + Sync, LOut: Layout3> PencilKernel<'_, V, LOut> {
         let p = pencil(self.dims, self.axis, unit);
         buf.clear();
         buf.resize(p.len, 0.0);
-        bilateral_pencil(self.vol, kernel, self.inv, plan, &p, |i, j, k, v| {
+        bilateral_pencil(self.vol, kernel, self.inv, plan, &p, self.weight, |i, j, k, v| {
             buf[along(p.axis, i, j, k)] = v;
             keep_going()
         })
@@ -244,6 +248,7 @@ where
         axis,
         out_layout: out.layout().clone(),
         slots: Slots(out.storage_mut().as_mut_ptr()),
+        weight: run.weight.clamped(),
         ladder,
     };
     Ok(Executor::new(supervisor.nthreads).execute_brownout(
@@ -303,6 +308,7 @@ mod tests {
                 order: StencilOrder::Xyz,
             },
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads,
         }
     }
@@ -431,6 +437,7 @@ mod tests {
                 order: StencilOrder::Xyz,
             },
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads: 2,
         };
         assert_eq!(r2.brownout_depth(), 1);

@@ -1,0 +1,725 @@
+//! Fast photometric-weight evaluation: LUT / polynomial exp, SIMD tap loops.
+//!
+//! BENCH_baseline.json shows the r5 bilateral is *transcendental-bound*:
+//! pencil-gather removed the index arithmetic, but every tap still pays a
+//! libm `exp()` for the photometric weight, so the table layouts only
+//! gained 1.06–1.15x at r5 (vs 1.26–1.32x at r1 where gathering
+//! dominates). This module attacks the weight itself, behind an explicit
+//! [`WeightMode`] knob so the exact path stays available as the oracle:
+//!
+//! * [`WeightMode::Exact`] — libm `exp()`, scalar, **bitwise-pinned**: the
+//!   reference the layout-invariance and service tests assert against.
+//!   Never vectorized (SIMD re-associates the accumulation).
+//! * [`WeightMode::Lut`] — the photometric Gaussian `exp(-u)` sampled on
+//!   `u = diff² / 2σ_r²` over `[0, 16]` in 4096 bins with linear
+//!   interpolation. Indexing the *exponent* rather than the intensity
+//!   difference makes one global table serve every `σ_r`. Interpolation
+//!   error is `≤ h²/8 ≈ 2e-6` (`h = 16/4096`, `|d²/du² e^{-u}| ≤ 1`) and
+//!   the clamped tail contributes `≤ e^{-16} ≈ 1.1e-7`, so per-weight
+//!   error is bounded by ~2.1e-6 — asserted by this module's tests and
+//!   swept end-to-end by `tests/fastmath_oracle.rs`.
+//! * [`WeightMode::FastExp`] — degree-5 polynomial `exp` (the classic
+//!   Cephes/sse_mathfun reduction: split off the power of two, evaluate a
+//!   minimax polynomial on the ~[-0.35, 0.35] remainder), relative error
+//!   ~1e-7. No table traffic, so it vectorizes without gathers — the
+//!   fallback when the LUT's cache footprint hurts (tiny volumes) or on
+//!   tiers without gather instructions.
+//!
+//! [`SimdTier`] selects the tap-loop body: `Scalar` everywhere,
+//! `Sse2`/`Avx2` on x86_64 behind `is_x86_feature_detected!` (no compile-
+//! time features, no new dependencies — `core::arch` is std). The SIMD
+//! loops re-associate the weighted sum (8 partial accumulators), which is
+//! why they are only reachable in the tolerance-bound modes: `Exact`
+//! always runs the scalar loop. NaN taps are counted identically in every
+//! mode/tier (the SIMD loops popcount the unordered-compare mask), and a
+//! NaN *center* routes to the scalar geometric fallback in every mode, so
+//! `nan_events` tallies are invariant across the whole matrix — pinned by
+//! the oracle suite.
+
+use std::sync::OnceLock;
+
+/// How the photometric (range) weight `exp(-diff²/2σ_r²)` is evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeightMode {
+    /// libm `exp()`, scalar — the bitwise-pinned reference.
+    Exact,
+    /// Interpolated lookup table over the quantized exponent.
+    Lut,
+    /// Degree-5 polynomial `exp` (no table traffic).
+    FastExp,
+}
+
+/// Instruction tier for the interior tap loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable scalar loop (the only tier off x86_64).
+    Scalar,
+    /// 4-lane SSE2 (baseline on every x86_64; scalar element loads, no
+    /// gather, so `Lut` on this tier runs the scalar loop).
+    Sse2,
+    /// 8-lane AVX2 with gathered taps and gathered LUT windows.
+    Avx2,
+}
+
+impl SimdTier {
+    /// Parse a tier name (`scalar`/`sse2`/`avx2`), as accepted by the
+    /// bench `--simd` flag and the `SFC_SIMD` override.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "scalar" => Some(Self::Scalar),
+            "sse2" => Some(Self::Sse2),
+            "avx2" => Some(Self::Avx2),
+            _ => None,
+        }
+    }
+
+    /// Short label for bench JSON notes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Sse2 => "sse2",
+            Self::Avx2 => "avx2",
+        }
+    }
+}
+
+impl WeightMode {
+    /// Parse a mode name (`exact`/`lut`/`fastexp`), as accepted by the
+    /// bench `--weight` flag and the `SFC_WEIGHT_MODE` override.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "exact" => Some(Self::Exact),
+            "lut" => Some(Self::Lut),
+            "fastexp" => Some(Self::FastExp),
+            _ => None,
+        }
+    }
+
+    /// Short label for bench JSON notes.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Exact => "exact",
+            Self::Lut => "lut",
+            Self::FastExp => "fastexp",
+        }
+    }
+}
+
+/// The widest tier the running CPU supports.
+pub fn detect_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            return SimdTier::Avx2;
+        }
+        // SSE2 is architectural on x86_64, but keep the runtime check so
+        // the dispatch story is uniform.
+        if std::arch::is_x86_feature_detected!("sse2") {
+            return SimdTier::Sse2;
+        }
+    }
+    SimdTier::Scalar
+}
+
+/// Weight-evaluation configuration carried by
+/// [`FilterRun`](crate::FilterRun): a mode plus the tap-loop tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapConfig {
+    /// Photometric weight evaluation.
+    pub mode: WeightMode,
+    /// Tap-loop instruction tier (ignored — forced scalar — for `Exact`).
+    pub tier: SimdTier,
+}
+
+impl TapConfig {
+    /// The bitwise-pinned reference configuration: exact weights, scalar
+    /// loop. This is the default everywhere outputs are contractually
+    /// reproducible (the service, the layout-invariance tests).
+    pub fn exact() -> Self {
+        Self {
+            mode: WeightMode::Exact,
+            tier: SimdTier::Scalar,
+        }
+    }
+
+    /// The fastest tolerance-bound configuration for this machine: LUT
+    /// weights on the widest detected tier.
+    pub fn fast() -> Self {
+        Self {
+            mode: WeightMode::Lut,
+            tier: detect_tier(),
+        }
+    }
+
+    /// `mode` on the widest detected tier.
+    pub fn with_mode(mode: WeightMode) -> Self {
+        Self {
+            mode,
+            tier: detect_tier(),
+        }
+    }
+
+    /// Clamp the requested tier to what the CPU supports (a forced
+    /// `--simd avx2` on a non-AVX2 machine silently degrades rather than
+    /// faulting).
+    pub fn clamped(mut self) -> Self {
+        self.tier = self.tier.min(detect_tier());
+        self
+    }
+}
+
+impl Default for TapConfig {
+    fn default() -> Self {
+        Self::exact()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Photometric LUT
+// ---------------------------------------------------------------------------
+
+/// LUT bins over the exponent domain `[0, LUT_UMAX]`.
+pub(crate) const LUT_LEN: usize = 4096;
+/// Exponent clamp: `exp(-16) ≈ 1.1e-7` is below the interpolation error,
+/// so larger exponents saturate to the last entry.
+pub(crate) const LUT_UMAX: f32 = 16.0;
+/// `u → bin` scale.
+pub(crate) const LUT_SCALE: f32 = LUT_LEN as f32 / LUT_UMAX;
+
+/// The global photometric table: `lut[i] = exp(-i / LUT_SCALE)`, one
+/// extra entry so interpolation may read `i + 1` at the clamp.
+pub(crate) fn lut() -> &'static [f32] {
+    static LUT: OnceLock<Vec<f32>> = OnceLock::new();
+    LUT.get_or_init(|| {
+        (0..=LUT_LEN)
+            .map(|i| (-(i as f32) / LUT_SCALE).exp())
+            .collect()
+    })
+}
+
+/// `exp(-u)` for `u ≥ 0` via the interpolated table. `u` may be `+inf`
+/// (huge intensity difference): it clamps to the tail. Must not be NaN.
+#[inline]
+pub fn exp_neg_lut(u: f32) -> f32 {
+    let t = lut();
+    let s = (u * LUT_SCALE).min((LUT_LEN - 1) as f32);
+    let i = s as usize; // truncation; s ∈ [0, LUT_LEN-1]
+    let frac = s - i as f32;
+    let a = t[i];
+    let b = t[i + 1];
+    a + (b - a) * frac
+}
+
+/// `exp(-u)` for `u ≥ 0` via the Cephes/sse_mathfun degree-5 polynomial.
+/// Relative error ≤ ~2e-7 over the whole domain; underflows to 0 past the
+/// f32 exponent range.
+#[inline]
+pub fn exp_neg_poly(u: f32) -> f32 {
+    // Work on x = -u, clamped to the f32-representable range.
+    let x = (-u).max(-87.336_54);
+    // Split x = n·ln2 + r with n = round(x/ln2), r ∈ [-ln2/2, ln2/2],
+    // using the Cody–Waite two-constant ln2 so r stays accurate.
+    let fx = (x * std::f32::consts::LOG2_E + 0.5).floor();
+    let r = x - fx * 0.693_359_4 - fx * -2.121_944_4e-4;
+    let z = r * r;
+    let mut y = 1.987_569_1e-4f32;
+    y = y * r + 1.398_199_9e-3;
+    y = y * r + 8.333_452e-3;
+    y = y * r + 4.166_579_6e-2;
+    y = y * r + 1.666_666_5e-1;
+    y = y * r + 5.000_000_3e-1;
+    let y = y * z + r + 1.0;
+    // Scale by 2^n through the exponent bits.
+    let n = fx as i32;
+    let two_n = f32::from_bits(((n + 127) << 23) as u32);
+    y * two_n
+}
+
+/// The photometric weight for intensity difference `diff` under `mode`.
+/// `diff` must be finite (NaN taps are excluded before weighting).
+#[inline]
+pub(crate) fn photometric_weight(diff: f32, inv_2sr2: f32, mode: WeightMode) -> f32 {
+    let u = (diff * diff) * inv_2sr2;
+    match mode {
+        WeightMode::Exact => (-u).exp(),
+        WeightMode::Lut => exp_neg_lut(u),
+        WeightMode::FastExp => exp_neg_poly(u),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Interior tap loops
+// ---------------------------------------------------------------------------
+
+/// Run the interior bilateral tap loop over gathered scratch.
+///
+/// `bases[t] + shift` indexes tap `t`'s sample for the current voxel
+/// (`shift = a - radius`, always in range for an interior voxel);
+/// `weights[t]` is the geometric weight. Returns the filtered value and
+/// the NaN-tap count (center pre-counted by the caller’s convention:
+/// this function counts *taps* only, plus the center via `center_nan`
+/// exactly like the exact-path loops).
+///
+/// Every mode/tier excludes NaN taps from the average with identical
+/// tallies; a NaN center takes the scalar geometric branch (no `exp` at
+/// all), so its output is bitwise-identical across the whole matrix.
+pub(crate) fn tap_run(
+    scratch: &[f32],
+    bases: &[i32],
+    weights: &[f32],
+    shift: i32,
+    center: f32,
+    inv_2sr2: f32,
+    cfg: TapConfig,
+) -> (f32, u64) {
+    if center.is_nan() {
+        return tap_run_geometric(scratch, bases, weights, shift);
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        match (cfg.mode, cfg.tier) {
+            (WeightMode::Lut, SimdTier::Avx2) => {
+                // SAFETY: tier came from `detect_tier()`/`clamped()`, so
+                // AVX2 is present.
+                return unsafe {
+                    x86::tap_run_avx2(scratch, bases, weights, shift, center, inv_2sr2, true)
+                };
+            }
+            (WeightMode::FastExp, SimdTier::Avx2) => {
+                // SAFETY: as above.
+                return unsafe {
+                    x86::tap_run_avx2(scratch, bases, weights, shift, center, inv_2sr2, false)
+                };
+            }
+            (WeightMode::FastExp, SimdTier::Sse2) => {
+                // SAFETY: SSE2 is architectural on x86_64.
+                return unsafe {
+                    x86::tap_run_sse2_poly(scratch, bases, weights, shift, center, inv_2sr2)
+                };
+            }
+            // `Lut` has no SSE2 gather: run the scalar LUT loop.
+            _ => {}
+        }
+    }
+    tap_run_scalar(scratch, bases, weights, shift, center, inv_2sr2, cfg.mode)
+}
+
+/// Scalar tap loop, weight mode selectable. With `WeightMode::Exact` this
+/// is operation-for-operation the pencil-gather interior loop.
+fn tap_run_scalar(
+    scratch: &[f32],
+    bases: &[i32],
+    weights: &[f32],
+    shift: i32,
+    center: f32,
+    inv_2sr2: f32,
+    mode: WeightMode,
+) -> (f32, u64) {
+    let mut acc = 0.0f32;
+    let mut wsum = 0.0f32;
+    let mut nan_seen = 0u64;
+    for (&base, &wg) in bases.iter().zip(weights) {
+        let v = scratch[(base + shift) as usize];
+        if v.is_nan() {
+            nan_seen += 1;
+            continue;
+        }
+        let w = wg * photometric_weight(v - center, inv_2sr2, mode);
+        acc += w * v;
+        wsum += w;
+    }
+    let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+    (value, nan_seen)
+}
+
+/// Geometric-only fallback for a NaN center (the photometric difference
+/// is undefined): identical to the exact path's center-NaN branch in
+/// every mode/tier, which keeps those voxels bitwise-stable and the NaN
+/// tallies invariant.
+fn tap_run_geometric(scratch: &[f32], bases: &[i32], weights: &[f32], shift: i32) -> (f32, u64) {
+    let mut acc = 0.0f32;
+    let mut wsum = 0.0f32;
+    let mut nan_seen = 0u64;
+    for (&base, &wg) in bases.iter().zip(weights) {
+        let v = scratch[(base + shift) as usize];
+        if v.is_nan() {
+            nan_seen += 1;
+            continue;
+        }
+        acc += wg * v;
+        wsum += wg;
+    }
+    let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+    (value, nan_seen)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! x86_64 tap-loop bodies. All functions are `#[target_feature]` and
+    //! must only be reached through `tap_run`'s runtime dispatch.
+    //!
+    //! Lane discipline shared by both kernels:
+    //! * taps are processed 8 (AVX2) or 4 (SSE2) at a time in kernel
+    //!   order, remainder handled by the scalar loop — so the *set* of
+    //!   taps is identical to scalar, only the accumulation order differs
+    //!   (which is why `Exact` never lands here);
+    //! * NaN lanes are found with an ordered self-compare, counted by
+    //!   popcounting the movemask (same tally a scalar `is_nan` loop
+    //!   produces), then zeroed in both the value and the weight so they
+    //!   contribute nothing to either accumulator.
+
+    use super::{exp_neg_lut, exp_neg_poly, lut, LUT_LEN, LUT_SCALE};
+    use std::arch::x86_64::*;
+
+    /// AVX2 interior loop; `use_lut` selects gathered-LUT weights vs the
+    /// 8-lane polynomial.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn tap_run_avx2(
+        scratch: &[f32],
+        bases: &[i32],
+        weights: &[f32],
+        shift: i32,
+        center: f32,
+        inv_2sr2: f32,
+        use_lut: bool,
+    ) -> (f32, u64) {
+        let n = bases.len();
+        let centerv = _mm256_set1_ps(center);
+        let invv = _mm256_set1_ps(inv_2sr2);
+        let shiftv = _mm256_set1_epi32(shift);
+        let mut accv = _mm256_setzero_ps();
+        let mut wsumv = _mm256_setzero_ps();
+        let mut nan_seen = 0u64;
+        let sp = scratch.as_ptr();
+        let lp = lut().as_ptr();
+        let scalev = _mm256_set1_ps(LUT_SCALE);
+        let clampv = _mm256_set1_ps((LUT_LEN - 1) as f32);
+        let mut t = 0usize;
+        while t + 8 <= n {
+            let idx = _mm256_add_epi32(
+                _mm256_loadu_si256(bases.as_ptr().add(t).cast()),
+                shiftv,
+            );
+            let v = _mm256_i32gather_ps::<4>(sp, idx);
+            // Ordered self-compare: lane is all-ones iff not NaN.
+            let ok = _mm256_cmp_ps::<_CMP_ORD_Q>(v, v);
+            nan_seen += u64::from((!_mm256_movemask_ps(ok) & 0xff).count_ones());
+            let v = _mm256_and_ps(v, ok);
+            let wg = _mm256_loadu_ps(weights.as_ptr().add(t));
+            let diff = _mm256_sub_ps(v, centerv);
+            let u = _mm256_mul_ps(_mm256_mul_ps(diff, diff), invv);
+            let ew = if use_lut {
+                let s = _mm256_min_ps(_mm256_mul_ps(u, scalev), clampv);
+                let i0 = _mm256_cvttps_epi32(s);
+                let frac = _mm256_sub_ps(s, _mm256_cvtepi32_ps(i0));
+                let a = _mm256_i32gather_ps::<4>(lp, i0);
+                let b = _mm256_i32gather_ps::<4>(lp, _mm256_add_epi32(i0, _mm256_set1_epi32(1)));
+                _mm256_add_ps(a, _mm256_mul_ps(_mm256_sub_ps(b, a), frac))
+            } else {
+                exp256_neg(u)
+            };
+            let w = _mm256_and_ps(_mm256_mul_ps(wg, ew), ok);
+            accv = _mm256_add_ps(accv, _mm256_mul_ps(w, v));
+            wsumv = _mm256_add_ps(wsumv, w);
+            t += 8;
+        }
+        let mut acc = hsum256(accv);
+        let mut wsum = hsum256(wsumv);
+        // Remainder taps: scalar, same weight function as the lanes.
+        while t < n {
+            let v = scratch[(bases[t] + shift) as usize];
+            if v.is_nan() {
+                nan_seen += 1;
+                t += 1;
+                continue;
+            }
+            let diff = v - center;
+            let u = diff * diff * inv_2sr2;
+            let ew = if use_lut { exp_neg_lut(u) } else { exp_neg_poly(u) };
+            let w = weights[t] * ew;
+            acc += w * v;
+            wsum += w;
+            t += 1;
+        }
+        let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+        (value, nan_seen)
+    }
+
+    /// SSE2 interior loop, polynomial weights (no gather on this tier:
+    /// taps are loaded lane-by-lane, the arithmetic is 4-wide).
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn tap_run_sse2_poly(
+        scratch: &[f32],
+        bases: &[i32],
+        weights: &[f32],
+        shift: i32,
+        center: f32,
+        inv_2sr2: f32,
+    ) -> (f32, u64) {
+        let n = bases.len();
+        let centerv = _mm_set1_ps(center);
+        let invv = _mm_set1_ps(inv_2sr2);
+        let mut accv = _mm_setzero_ps();
+        let mut wsumv = _mm_setzero_ps();
+        let mut nan_seen = 0u64;
+        let mut t = 0usize;
+        while t + 4 <= n {
+            let v = _mm_set_ps(
+                scratch[(bases[t + 3] + shift) as usize],
+                scratch[(bases[t + 2] + shift) as usize],
+                scratch[(bases[t + 1] + shift) as usize],
+                scratch[(bases[t] + shift) as usize],
+            );
+            let ok = _mm_cmpord_ps(v, v);
+            nan_seen += u64::from((!_mm_movemask_ps(ok) & 0xf).count_ones());
+            let v = _mm_and_ps(v, ok);
+            let wg = _mm_loadu_ps(weights.as_ptr().add(t));
+            let diff = _mm_sub_ps(v, centerv);
+            let u = _mm_mul_ps(_mm_mul_ps(diff, diff), invv);
+            let w = _mm_and_ps(_mm_mul_ps(wg, exp128_neg(u)), ok);
+            accv = _mm_add_ps(accv, _mm_mul_ps(w, v));
+            wsumv = _mm_add_ps(wsumv, w);
+            t += 4;
+        }
+        let mut acc = hsum128(accv);
+        let mut wsum = hsum128(wsumv);
+        while t < n {
+            let v = scratch[(bases[t] + shift) as usize];
+            if v.is_nan() {
+                nan_seen += 1;
+                t += 1;
+                continue;
+            }
+            let diff = v - center;
+            let w = weights[t] * exp_neg_poly(diff * diff * inv_2sr2);
+            acc += w * v;
+            wsum += w;
+            t += 1;
+        }
+        let value = if wsum > 0.0 { acc / wsum } else { 0.0 };
+        (value, nan_seen)
+    }
+
+    /// 8-lane `exp(-u)` for `u ≥ 0`: the same Cephes reduction as
+    /// [`exp_neg_poly`], vectorized.
+    #[target_feature(enable = "avx2")]
+    unsafe fn exp256_neg(u: __m256) -> __m256 {
+        let x = _mm256_max_ps(
+            _mm256_sub_ps(_mm256_setzero_ps(), u),
+            _mm256_set1_ps(-87.336_54),
+        );
+        let fx = _mm256_floor_ps(_mm256_add_ps(
+            _mm256_mul_ps(x, _mm256_set1_ps(std::f32::consts::LOG2_E)),
+            _mm256_set1_ps(0.5),
+        ));
+        let r = _mm256_sub_ps(x, _mm256_mul_ps(fx, _mm256_set1_ps(0.693_359_4)));
+        let r = _mm256_sub_ps(r, _mm256_mul_ps(fx, _mm256_set1_ps(-2.121_944_4e-4)));
+        let z = _mm256_mul_ps(r, r);
+        let mut y = _mm256_set1_ps(1.987_569_1e-4);
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(1.398_199_9e-3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(8.333_452e-3));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(4.166_579_6e-2));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(1.666_666_5e-1));
+        y = _mm256_add_ps(_mm256_mul_ps(y, r), _mm256_set1_ps(5.000_000_3e-1));
+        let y = _mm256_add_ps(_mm256_add_ps(_mm256_mul_ps(y, z), r), _mm256_set1_ps(1.0));
+        let n = _mm256_cvttps_epi32(fx);
+        let two_n = _mm256_castsi256_ps(_mm256_slli_epi32::<23>(_mm256_add_epi32(
+            n,
+            _mm256_set1_epi32(127),
+        )));
+        _mm256_mul_ps(y, two_n)
+    }
+
+    /// 4-lane `exp(-u)` for `u ≥ 0` (SSE2 only: `floor` built from the
+    /// truncating convert, valid because `x/ln2 + 0.5 ≥ -126.9` here and
+    /// the truncation adjustment handles the negative direction).
+    #[target_feature(enable = "sse2")]
+    unsafe fn exp128_neg(u: __m128) -> __m128 {
+        let x = _mm_max_ps(_mm_sub_ps(_mm_setzero_ps(), u), _mm_set1_ps(-87.336_54));
+        let s = _mm_add_ps(
+            _mm_mul_ps(x, _mm_set1_ps(std::f32::consts::LOG2_E)),
+            _mm_set1_ps(0.5),
+        );
+        // floor(s) for possibly-negative s without SSE4.1: truncate, then
+        // subtract 1 where truncation rounded up.
+        let tr = _mm_cvtepi32_ps(_mm_cvttps_epi32(s));
+        let fx = _mm_sub_ps(tr, _mm_and_ps(_mm_cmpgt_ps(tr, s), _mm_set1_ps(1.0)));
+        let r = _mm_sub_ps(x, _mm_mul_ps(fx, _mm_set1_ps(0.693_359_4)));
+        let r = _mm_sub_ps(r, _mm_mul_ps(fx, _mm_set1_ps(-2.121_944_4e-4)));
+        let z = _mm_mul_ps(r, r);
+        let mut y = _mm_set1_ps(1.987_569_1e-4);
+        y = _mm_add_ps(_mm_mul_ps(y, r), _mm_set1_ps(1.398_199_9e-3));
+        y = _mm_add_ps(_mm_mul_ps(y, r), _mm_set1_ps(8.333_452e-3));
+        y = _mm_add_ps(_mm_mul_ps(y, r), _mm_set1_ps(4.166_579_6e-2));
+        y = _mm_add_ps(_mm_mul_ps(y, r), _mm_set1_ps(1.666_666_5e-1));
+        y = _mm_add_ps(_mm_mul_ps(y, r), _mm_set1_ps(5.000_000_3e-1));
+        let y = _mm_add_ps(_mm_add_ps(_mm_mul_ps(y, z), r), _mm_set1_ps(1.0));
+        let n = _mm_cvttps_epi32(fx);
+        let two_n = _mm_castsi128_ps(_mm_slli_epi32::<23>(_mm_add_epi32(n, _mm_set1_epi32(127))));
+        _mm_mul_ps(y, two_n)
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum256(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        hsum128(_mm_add_ps(lo, hi))
+    }
+
+    #[target_feature(enable = "sse2")]
+    unsafe fn hsum128(v: __m128) -> f32 {
+        let shuf = _mm_shuffle_ps::<0b00_00_11_10>(v, v);
+        let sums = _mm_add_ps(v, shuf);
+        let shuf2 = _mm_shuffle_ps::<0b00_00_00_01>(sums, sums);
+        _mm_cvtss_f32(_mm_add_ss(sums, shuf2))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lut_matches_exp_within_bound() {
+        // Dense sweep across the table domain plus the clamped tail.
+        let mut max_err = 0.0f32;
+        for i in 0..200_000 {
+            let u = i as f32 * (LUT_UMAX * 1.5 / 200_000.0);
+            let err = (exp_neg_lut(u) - (-u).exp()).abs();
+            max_err = max_err.max(err);
+        }
+        assert!(max_err <= 2.5e-6, "LUT max abs error {max_err}");
+        assert_eq!(exp_neg_lut(f32::INFINITY), lut()[LUT_LEN - 1]);
+    }
+
+    #[test]
+    fn poly_matches_exp_within_bound() {
+        let mut max_rel = 0.0f32;
+        for i in 0..200_000 {
+            let u = i as f32 * (40.0 / 200_000.0);
+            let want = (-u).exp();
+            let got = exp_neg_poly(u);
+            let rel = (got - want).abs() / want.max(f32::MIN_POSITIVE);
+            max_rel = max_rel.max(rel);
+        }
+        assert!(max_rel <= 5e-7, "poly max rel error {max_rel}");
+        // Saturated inputs underflow cleanly instead of wrapping.
+        assert!(exp_neg_poly(1e10) >= 0.0);
+        assert!(exp_neg_poly(1e10) < 1e-30);
+        assert!(exp_neg_poly(f32::INFINITY) < 1e-30);
+    }
+
+    #[test]
+    fn exact_mode_uses_libm_exp() {
+        for diff in [0.0f32, 0.01, -0.3, 2.5] {
+            let inv = 1.0 / (2.0 * 0.1 * 0.1);
+            let want = (-(diff * diff) * inv).exp();
+            assert_eq!(
+                photometric_weight(diff, inv, WeightMode::Exact).to_bits(),
+                want.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn parse_roundtrips() {
+        for m in [WeightMode::Exact, WeightMode::Lut, WeightMode::FastExp] {
+            assert_eq!(WeightMode::parse(m.name()), Some(m));
+        }
+        for t in [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+            assert_eq!(SimdTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(WeightMode::parse("nope"), None);
+        assert_eq!(SimdTier::parse(""), None);
+    }
+
+    #[test]
+    fn clamped_never_exceeds_detected() {
+        let cfg = TapConfig {
+            mode: WeightMode::Lut,
+            tier: SimdTier::Avx2,
+        }
+        .clamped();
+        assert!(cfg.tier <= detect_tier());
+    }
+
+    /// Every (mode, tier) pair must agree with the scalar exact loop
+    /// within the documented tolerance and count NaN taps identically.
+    #[test]
+    fn tap_run_agrees_across_tiers() {
+        let n = 127usize; // odd: exercises every remainder path
+        let scratch: Vec<f32> = (0..n + 64)
+            .map(|i| {
+                if i % 37 == 5 {
+                    f32::NAN
+                } else {
+                    ((i * 2654435761) % 997) as f32 / 997.0
+                }
+            })
+            .collect();
+        let bases: Vec<i32> = (0..n as i32).collect();
+        let weights: Vec<f32> = (0..n).map(|i| 1.0 / (1.0 + i as f32 * 0.01)).collect();
+        let inv = 1.0 / (2.0 * 0.12 * 0.12);
+        for center in [0.41f32, f32::NAN] {
+            let (want, want_nan) = tap_run(
+                &scratch,
+                &bases,
+                &weights,
+                7,
+                center,
+                inv,
+                TapConfig::exact(),
+            );
+            for mode in [WeightMode::Lut, WeightMode::FastExp] {
+                for tier in [SimdTier::Scalar, SimdTier::Sse2, SimdTier::Avx2] {
+                    let cfg = TapConfig { mode, tier }.clamped();
+                    let (got, got_nan) =
+                        tap_run(&scratch, &bases, &weights, 7, center, inv, cfg);
+                    assert_eq!(got_nan, want_nan, "{mode:?}/{tier:?} NaN tally");
+                    if center.is_nan() {
+                        assert_eq!(got.to_bits(), want.to_bits(), "{mode:?}/{tier:?} NaN center");
+                    } else {
+                        assert!(
+                            (got - want).abs() <= 1e-4,
+                            "{mode:?}/{tier:?}: {got} vs {want}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod perf_probe {
+    use super::*;
+
+    #[test]
+    #[ignore]
+    fn time_tap_run_tiers() {
+        let n = 1331usize;
+        let na = 64usize;
+        let scratch: Vec<f32> = (0..n * 4).map(|i| (i % 97) as f32 / 97.0).collect();
+        let bases: Vec<i32> = (0..n).map(|i| (i * 3 % (scratch.len() - na)) as i32).collect();
+        let weights: Vec<f32> = (0..n).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let rounds = 20_000u32;
+        for (label, cfg) in [
+            ("exact/scalar", TapConfig::exact()),
+            ("lut/scalar", TapConfig { mode: WeightMode::Lut, tier: SimdTier::Scalar }),
+            ("fastexp/scalar", TapConfig { mode: WeightMode::FastExp, tier: SimdTier::Scalar }),
+            ("fastexp/sse2", TapConfig { mode: WeightMode::FastExp, tier: SimdTier::Sse2 }),
+            ("lut/avx2", TapConfig { mode: WeightMode::Lut, tier: SimdTier::Avx2 }),
+            ("fastexp/avx2", TapConfig { mode: WeightMode::FastExp, tier: SimdTier::Avx2 }),
+        ] {
+            let t = std::time::Instant::now();
+            let mut acc = 0.0f32;
+            for r in 0..rounds {
+                let (v, _) = tap_run(&scratch, &bases, &weights, (r % na as u32) as i32, 0.41, 50.0, cfg);
+                acc += v;
+            }
+            let dt = t.elapsed().as_secs_f64();
+            let ns_per_tap = dt * 1e9 / (rounds as f64 * n as f64);
+            eprintln!("{label}: {ns_per_tap:.2} ns/tap (acc {acc})");
+        }
+    }
+}

@@ -64,6 +64,7 @@ mod tests {
                 order: StencilOrder::Xyz,
             },
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads,
         }
     }

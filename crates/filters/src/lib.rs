@@ -15,6 +15,9 @@
 //!   ablation);
 //! * [`degraded`] — the graceful-degradation driver: supervised execution
 //!   with partial-result recovery, typed defect maps, and a repair pass;
+//! * [`fastmath`] — fast photometric-weight paths: exponent LUT,
+//!   polynomial exp, runtime-dispatched SIMD tap loops behind the
+//!   [`TapConfig`] knob (the exact scalar path stays the bitwise oracle);
 //! * [`counters`] — simulated cache counters replaying the exact parallel
 //!   work split.
 
@@ -24,6 +27,7 @@ pub mod bilateral;
 pub mod bilateral2d;
 pub mod counters;
 pub mod degraded;
+pub mod fastmath;
 pub mod gaussian;
 pub mod gradient;
 pub mod parallel;
@@ -34,6 +38,7 @@ pub use bilateral::{bilateral_reference, bilateral_voxel, BilateralParams};
 pub use bilateral2d::{bilateral2d, bilateral2d_pixel, Bilateral2dParams};
 pub use counters::simulate_bilateral_counters;
 pub use degraded::{try_bilateral3d_degraded, try_bilateral3d_with_policy};
+pub use fastmath::{detect_tier, SimdTier, TapConfig, WeightMode};
 pub use sfc_harness::DegradedOutcome;
 pub use gaussian::{convolve_voxel, gaussian_weight, SpatialKernel};
 pub use gradient::{gradient3d, gradient_voxel};

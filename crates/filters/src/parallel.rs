@@ -10,6 +10,7 @@ use sfc_core::{pencil, pencil_count, Axis, Grid3, Layout3, SfcError, SfcResult, 
 use sfc_harness::{Executor, Schedule, WorkPlan};
 
 use crate::bilateral::BilateralParams;
+use crate::fastmath::TapConfig;
 use crate::gaussian::convolve_voxel;
 use crate::pencil_gather::{bilateral_pencil, GatherPlan};
 
@@ -22,6 +23,10 @@ pub struct FilterRun {
     pub pencil_axis: Axis,
     /// Worker threads.
     pub nthreads: usize,
+    /// Photometric weight evaluation + tap-loop tier
+    /// ([`TapConfig::exact()`] is the bitwise-pinned default; see
+    /// [`crate::fastmath`]).
+    pub weight: TapConfig,
 }
 
 impl FilterRun {
@@ -99,6 +104,7 @@ fn drive_bilateral<V, LOut>(
     pencil_axis: Axis,
     nthreads: usize,
     schedule: Schedule,
+    weight: TapConfig,
 ) where
     V: Volume3 + Sync,
     LOut: Layout3,
@@ -108,13 +114,14 @@ fn drive_bilateral<V, LOut>(
     let kernel = params.spatial_kernel();
     let inv = params.inv_two_sigma_range_sq();
     let plan = GatherPlan::new(&kernel, dims, pencil_axis);
+    let weight = weight.clamped();
     let out_layout = out.layout().clone();
     let slots = Slots(out.storage_mut().as_mut_ptr());
     let slots = &slots;
     let work = WorkPlan::from_schedule(pencil_count(dims, pencil_axis), schedule);
     Executor::new(nthreads).run(&work, |_tid, pid| {
         let p = pencil(dims, pencil_axis, pid);
-        bilateral_pencil(vol, &kernel, inv, &plan, &p, |i, j, k, value| {
+        bilateral_pencil(vol, &kernel, inv, &plan, &p, weight, |i, j, k, value| {
             let idx = out_layout.index(i, j, k);
             // SAFETY: the layout is injective over the logical domain
             // and pencils partition it, so each slot is written by
@@ -152,6 +159,7 @@ where
         run.pencil_axis,
         run.nthreads,
         Schedule::StaticRoundRobin,
+        run.weight,
     );
     Ok(())
 }
@@ -229,7 +237,15 @@ where
     LOut: Layout3,
 {
     let mut out = Grid3::<f32, LOut>::new(vol.dims());
-    drive_bilateral(vol, &mut out, params, pencil_axis, nthreads, Schedule::Dynamic);
+    drive_bilateral(
+        vol,
+        &mut out,
+        params,
+        pencil_axis,
+        nthreads,
+        Schedule::Dynamic,
+        TapConfig::exact(),
+    );
     out
 }
 
@@ -260,6 +276,7 @@ mod tests {
             },
             pencil_axis: axis,
             nthreads,
+            weight: TapConfig::exact(),
         }
     }
 

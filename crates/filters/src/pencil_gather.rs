@@ -24,12 +24,14 @@
 //!
 //! ## Routing
 //!
-//! A pencil qualifies for gathering when its two *cross* coordinates are
-//! at least `r` from every face: then every stencil row is fully in
-//! bounds and only the *along-axis* tap coordinate can clamp. Since each
-//! gathered row spans the whole axis, even the first/last `r` voxels of
-//! such a pencil read the scratch (with a per-tap clamp mirroring
-//! `get_clamped`). Pencils near a face fall back entirely to
+//! Every pencil long enough to contain an interior voxel (`n_a > 2r`)
+//! goes through the gather: stencil rows whose *cross* coordinates fall
+//! outside the volume are gathered from the clamped edge row (exactly the
+//! values `get_clamped` serves), so only the *along-axis* tap coordinate
+//! is left to clamp. Since each gathered row spans the whole axis, even
+//! the first/last `r` voxels of a pencil read the scratch (with a per-tap
+//! clamp mirroring `get_clamped`). Only pencils too short for any
+//! interior voxel fall back to
 //! [`crate::bilateral::bilateral_voxel_counted`]. NaN events are
 //! accumulated locally and flushed to the shared counter once per pencil.
 //!
@@ -47,7 +49,8 @@ use std::cell::RefCell;
 
 use sfc_core::{Axis, Dims3, Pencil, Volume3};
 
-use crate::bilateral::bilateral_voxel_counted;
+use crate::bilateral::bilateral_voxel_counted_mode;
+use crate::fastmath::{photometric_weight, TapConfig, WeightMode};
 use crate::gaussian::SpatialKernel;
 
 thread_local! {
@@ -71,6 +74,9 @@ pub(crate) struct GatherPlan {
     /// `row_id * n_a + (d_axis + r)` — add `voxel_a - r` to index the tap
     /// sample for the voxel at pencil position `voxel_a`.
     tap_base: Vec<usize>,
+    /// `tap_base` as `i32`, the form the SIMD tap loops gather with
+    /// (scratch extents always fit: `(2r+1)² · n_a` is far below `i32`).
+    tap_base_i32: Vec<i32>,
     /// Per-tap `(row_id * n_a, d_axis)` pairs, in kernel tap order, for
     /// the boundary caps whose along-axis taps must clamp.
     tap_cap: Vec<(usize, isize)>,
@@ -119,32 +125,39 @@ impl GatherPlan {
             tap_base.push(row_id * n_a + (da + ri) as usize);
             tap_cap.push((row_id * n_a, da));
         }
+        let tap_base_i32 = tap_base.iter().map(|&b| b as i32).collect();
         Self {
             radius: r,
             n_a,
             n_b,
             n_c,
             tap_base,
+            tap_base_i32,
             tap_cap,
             center_row: (r + w * r) * n_a,
         }
     }
 
-    /// Whether `p` qualifies for the gather fast path: every stencil row
-    /// must be fully in bounds, and the pencil must contain at least one
-    /// interior voxel.
+    /// Whether `p` qualifies for the gather fast path: the pencil must
+    /// contain at least one voxel whose along-axis taps are all in
+    /// bounds. Cross coordinates never disqualify a pencil — rows whose
+    /// cross coordinate falls outside the volume are gathered from the
+    /// clamped edge row, which holds exactly the values `get_clamped`
+    /// serves for those taps.
     #[inline]
-    fn pencil_is_interior(&self, p: &Pencil) -> bool {
-        let r = self.radius;
-        p.a >= r && p.a + r < self.n_b && p.b >= r && p.b + r < self.n_c && self.n_a > 2 * r
+    fn pencil_can_gather(&self) -> bool {
+        self.n_a > 2 * self.radius
     }
 }
 
 /// Filter one pencil, writing each voxel's result via `write(i, j, k, v)`.
 ///
 /// Interior spans use the gathered-scratch fast path; everything else
-/// falls back to the per-voxel clamped kernel. Outputs are bitwise
-/// identical to calling [`crate::bilateral::bilateral_voxel`] per voxel.
+/// falls back to the per-voxel clamped kernel. With
+/// [`TapConfig::exact()`] outputs are bitwise identical to calling
+/// [`crate::bilateral::bilateral_voxel`] per voxel; the `Lut`/`FastExp`
+/// modes stay within the tolerance documented in [`crate::fastmath`] and
+/// count NaN events identically.
 ///
 /// `write` returns a continue flag: `false` aborts the rest of the pencil
 /// (cooperative cancellation — the degraded driver polls its cancel token
@@ -156,6 +169,7 @@ pub(crate) fn bilateral_pencil<V, F>(
     inv_2sr2: f32,
     plan: &GatherPlan,
     p: &Pencil,
+    cfg: TapConfig,
     mut write: F,
 ) -> bool
 where
@@ -164,17 +178,20 @@ where
 {
     let mut nan_seen = 0u64;
     let mut completed = true;
-    if plan.pencil_is_interior(p) {
+    if plan.pencil_can_gather() {
         SCRATCH.with(|cell| {
             let mut scratch = cell.borrow_mut();
             gather_rows(vol, plan, p, &mut scratch);
             let r = plan.radius;
-            // Boundary caps: only the along-axis taps clamp (the cross
-            // coordinates are interior by the routing predicate), and the
-            // gathered rows span the whole axis — so caps read the scratch
-            // too, with a per-tap clamp.
+            // Boundary caps: only the along-axis taps are left to clamp
+            // (cross clamping happened at gather time), and the gathered
+            // rows span the whole axis — so caps read the scratch too,
+            // with a per-tap clamp. Caps are O(r) voxels per pencil, so
+            // they use the scalar loop in every mode (mode-aware weights,
+            // no SIMD).
             for t in (0..r).chain(p.len - r..p.len) {
-                let (v, n) = bilateral_cap_from_scratch(&scratch, plan, kernel, inv_2sr2, t);
+                let (v, n) =
+                    bilateral_cap_from_scratch(&scratch, plan, kernel, inv_2sr2, t, cfg.mode);
                 nan_seen += n;
                 let (i, j, k) = p.coords(t);
                 if !write(i, j, k, v) {
@@ -182,20 +199,43 @@ where
                     return;
                 }
             }
-            // Interior span: pure scratch arithmetic.
-            for a in r..p.len - r {
-                let (v, n) = bilateral_from_scratch(&scratch, plan, kernel, inv_2sr2, a);
-                nan_seen += n;
-                let (i, j, k) = p.coords(a);
-                if !write(i, j, k, v) {
-                    completed = false;
-                    return;
+            // Interior span: pure scratch arithmetic. Exact mode keeps the
+            // original scalar loop (bitwise oracle); the tolerance modes
+            // dispatch through the fastmath tap loops.
+            if cfg.mode == WeightMode::Exact {
+                for a in r..p.len - r {
+                    let (v, n) = bilateral_from_scratch(&scratch, plan, kernel, inv_2sr2, a);
+                    nan_seen += n;
+                    let (i, j, k) = p.coords(a);
+                    if !write(i, j, k, v) {
+                        completed = false;
+                        return;
+                    }
+                }
+            } else {
+                for a in r..p.len - r {
+                    let center = scratch[plan.center_row + a];
+                    let (v, n) = crate::fastmath::tap_run(
+                        &scratch,
+                        &plan.tap_base_i32,
+                        kernel.weights(),
+                        (a - r) as i32,
+                        center,
+                        inv_2sr2,
+                        cfg,
+                    );
+                    nan_seen += n + u64::from(center.is_nan());
+                    let (i, j, k) = p.coords(a);
+                    if !write(i, j, k, v) {
+                        completed = false;
+                        return;
+                    }
                 }
             }
         });
     } else {
         for (i, j, k) in p.iter() {
-            let (v, n) = bilateral_voxel_counted(vol, kernel, inv_2sr2, i, j, k);
+            let (v, n) = bilateral_voxel_counted_mode(vol, kernel, inv_2sr2, i, j, k, cfg.mode);
             nan_seen += n;
             if !write(i, j, k, v) {
                 completed = false;
@@ -209,15 +249,22 @@ where
 
 /// Gather the pencil's `(2r+1)²` neighbor rows into `scratch`
 /// (row-major: row `(db+r) + (2r+1)(dc+r)`, each of length `n_a`).
+///
+/// Cross coordinates that fall outside the volume clamp to the nearest
+/// face — the gathered row then holds exactly the values the per-voxel
+/// path's `get_clamped` would return for those taps, so boundary pencils
+/// produce bitwise-identical output through the scratch loops. (Rows past
+/// a face duplicate the edge row; the redundant reads are the price of
+/// keeping every tap loop branch-free.)
 fn gather_rows<V: Volume3>(vol: &V, plan: &GatherPlan, p: &Pencil, scratch: &mut Vec<f32>) {
-    let r = plan.radius;
-    let w = 2 * r + 1;
+    let r = plan.radius as isize;
+    let w = 2 * plan.radius + 1;
     let n_a = plan.n_a;
     scratch.resize(w * w * n_a, 0.0);
     for dc in 0..w {
         for db in 0..w {
-            let b = p.a + db - r;
-            let c = p.b + dc - r;
+            let b = (p.a as isize + db as isize - r).clamp(0, plan.n_b as isize - 1) as usize;
+            let c = (p.b as isize + dc as isize - r).clamp(0, plan.n_c as isize - 1) as usize;
             let (i0, j0, k0) = join_coords(p.axis, 0, b, c);
             let row = (db + w * dc) * n_a;
             vol.gather_axis_run(i0, j0, k0, p.axis, &mut scratch[row..row + n_a]);
@@ -265,7 +312,9 @@ fn bilateral_from_scratch(
 /// within `r` of a pencil end, so each tap's along-axis coordinate clamps
 /// to `[0, n_a)` — exactly what `get_clamped` does in the per-voxel slow
 /// path (the cross coordinates never clamp for a gathered pencil). Same
-/// tap order, same f32 operations: output stays bitwise-equal.
+/// tap order, same f32 operations: with `WeightMode::Exact` the output
+/// stays bitwise-equal ([`photometric_weight`] is the identical `exp`
+/// expression — float negation commutes with multiplication bit-for-bit).
 #[inline]
 fn bilateral_cap_from_scratch(
     scratch: &[f32],
@@ -273,6 +322,7 @@ fn bilateral_cap_from_scratch(
     kernel: &SpatialKernel,
     inv_2sr2: f32,
     a: usize,
+    mode: WeightMode,
 ) -> (f32, u64) {
     let center = scratch[plan.center_row + a];
     let center_nan = center.is_nan();
@@ -290,8 +340,7 @@ fn bilateral_cap_from_scratch(
         let w = if center_nan {
             wg
         } else {
-            let diff = v - center;
-            wg * (-(diff * diff) * inv_2sr2).exp()
+            wg * photometric_weight(v - center, inv_2sr2, mode)
         };
         acc += w * v;
         wsum += w;
@@ -333,7 +382,7 @@ mod tests {
             for axis in Axis::ALL {
                 let plan = GatherPlan::new(&kernel, dims, axis);
                 for pen in pencils(dims, axis) {
-                    bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |i, j, k, v| {
+                    bilateral_pencil(&grid, &kernel, inv, &plan, &pen, TapConfig::exact(), |i, j, k, v| {
                         let want = bilateral_voxel(&grid, &kernel, inv, i, j, k);
                         assert_eq!(
                             v.to_bits(),
@@ -359,7 +408,7 @@ mod tests {
         let plan = GatherPlan::new(&kernel, dims, Axis::X);
         let before = crate::counters::nan_events();
         for pen in pencils(dims, Axis::X) {
-            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |_, _, _, _| true);
+            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, TapConfig::exact(), |_, _, _, _| true);
         }
         // The NaN voxel is seen once per covering stencil: 27 neighbors'
         // stencils include it, plus its own center pre-count.
@@ -376,9 +425,9 @@ mod tests {
         let inv = p.inv_two_sigma_range_sq();
         let plan = GatherPlan::new(&kernel, dims, Axis::X);
         for pen in pencils(dims, Axis::X) {
-            assert!(!plan.pencil_is_interior(&pen));
+            assert!(!plan.pencil_can_gather());
             let mut count = 0;
-            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, |i, j, k, v| {
+            bilateral_pencil(&grid, &kernel, inv, &plan, &pen, TapConfig::exact(), |i, j, k, v| {
                 assert_eq!(
                     v.to_bits(),
                     bilateral_voxel(&grid, &kernel, inv, i, j, k).to_bits()

@@ -39,6 +39,7 @@ fn output_within_input_range() {
         let run = FilterRun {
             params: params(1, StencilOrder::Xyz),
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads: 2,
         };
         let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
@@ -61,6 +62,7 @@ fn matches_reference() {
         let run = FilterRun {
             params: p,
             pencil_axis: Axis::Y,
+            weight: Default::default(),
             nthreads: 3,
         };
         let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);
@@ -82,6 +84,7 @@ fn layout_invariance() {
         let run = FilterRun {
             params: params(2, StencilOrder::Zyx),
             pencil_axis: Axis::Z,
+            weight: Default::default(),
             nthreads: 2,
         };
         let oa: Grid3<f32, ArrayOrder3> = bilateral3d(&a, &run);
@@ -99,8 +102,8 @@ fn permutation_of_threads_is_invisible() {
         let (n1, n2) = (rng.usize_in(1, 6), rng.usize_in(1, 6));
         let g = Grid3::<f32, ZOrder3>::from_row_major(dims, &values);
         let p = params(1, StencilOrder::Yzx);
-        let r1 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n1 };
-        let r2 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n2 };
+        let r1 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n1, weight: Default::default() };
+        let r2 = FilterRun { params: p, pencil_axis: Axis::X, nthreads: n2, weight: Default::default() };
         let o1: Grid3<f32, ZOrder3> = bilateral3d(&g, &r1);
         let o2: Grid3<f32, ZOrder3> = bilateral3d(&g, &r2);
         assert_eq!(o1.to_row_major(), o2.to_row_major());
@@ -117,6 +120,7 @@ fn idempotent_on_constants() {
         let run = FilterRun {
             params: params(1, StencilOrder::Xyz),
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads: 1,
         };
         let out: Grid3<f32, ArrayOrder3> = bilateral3d(&g, &run);

@@ -451,6 +451,7 @@ pub fn filter_run(radius: usize, nthreads: usize) -> FilterRun {
             order: StencilOrder::Xyz,
         },
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads,
     }
 }

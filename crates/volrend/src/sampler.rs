@@ -118,21 +118,68 @@ impl<'v, V: Volume3> CellSampler<'v, V> {
         // cell count exactly like the per-access path's taps did.
         self.nan_seen += self.cell_nans;
 
-        let [c000, c100, c010, c110, c001, c101, c011, c111] = self.corners;
-        let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
-        let c00 = lerp(c000, c100, tx);
-        let c10 = lerp(c010, c110, tx);
-        let c01 = lerp(c001, c101, tx);
-        let c11 = lerp(c011, c111, tx);
-        let c0 = lerp(c00, c10, ty);
-        let c1 = lerp(c01, c11, ty);
-        lerp(c0, c1, tz)
+        blend8(&self.corners, tx, ty, tz)
     }
 
     /// Drain the accumulated NaN-substitution count (resets it to zero).
     pub fn take_nan_count(&mut self) -> u64 {
         std::mem::take(&mut self.nan_seen)
     }
+}
+
+/// Eight-corner trilinear blend, `corners` in
+/// `[c000, c100, c010, c110, c001, c101, c011, c111]` order.
+///
+/// On x86_64 the four x-lerps (and then the two y-lerps) run as packed
+/// SSE2 lanes; SSE2 is part of the x86_64 baseline, so there is no
+/// runtime dispatch. Every lane evaluates the identical
+/// `a + (b - a) * t` expression — separate subtract, multiply, add, no
+/// FMA contraction and no reassociation — so the result is bit-identical
+/// to the scalar tree (pinned by `simd_blend_matches_scalar_bitwise`).
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn blend8(corners: &[f32; 8], tx: f32, ty: f32, tz: f32) -> f32 {
+    use std::arch::x86_64::*;
+    // SAFETY: SSE2 is unconditionally available on x86_64, and the loads
+    // read 4 in-bounds f32s each from the 8-element array.
+    unsafe {
+        let lo = _mm_loadu_ps(corners.as_ptr()); // c000 c100 c010 c110
+        let hi = _mm_loadu_ps(corners.as_ptr().add(4)); // c001 c101 c011 c111
+        let a = _mm_shuffle_ps::<0x88>(lo, hi); // c000 c010 c001 c011
+        let b = _mm_shuffle_ps::<0xDD>(lo, hi); // c100 c110 c101 c111
+        let t = _mm_set1_ps(tx);
+        // Lanes: c00 c10 c01 c11.
+        let r1 = _mm_add_ps(a, _mm_mul_ps(_mm_sub_ps(b, a), t));
+        let a2 = _mm_shuffle_ps::<0x08>(r1, r1); // c00 c01 _ _
+        let b2 = _mm_shuffle_ps::<0x0D>(r1, r1); // c10 c11 _ _
+        let t2 = _mm_set1_ps(ty);
+        // Lanes: c0 c1 _ _ (the upper two lanes are ignored).
+        let r2 = _mm_add_ps(a2, _mm_mul_ps(_mm_sub_ps(b2, a2), t2));
+        let c0 = _mm_cvtss_f32(r2);
+        let c1 = _mm_cvtss_f32(_mm_shuffle_ps::<1>(r2, r2));
+        c0 + (c1 - c0) * tz
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+#[inline]
+fn blend8(corners: &[f32; 8], tx: f32, ty: f32, tz: f32) -> f32 {
+    blend8_scalar(corners, tx, ty, tz)
+}
+
+/// Portable scalar blend: the fallback on non-x86 targets and the bitwise
+/// oracle the SIMD path is tested against.
+#[cfg(any(test, not(target_arch = "x86_64")))]
+fn blend8_scalar(corners: &[f32; 8], tx: f32, ty: f32, tz: f32) -> f32 {
+    let [c000, c100, c010, c110, c001, c101, c011, c111] = *corners;
+    let lerp = |a: f32, b: f32, t: f32| a + (b - a) * t;
+    let c00 = lerp(c000, c100, tx);
+    let c10 = lerp(c010, c110, tx);
+    let c01 = lerp(c001, c101, tx);
+    let c11 = lerp(c011, c111, tx);
+    let c0 = lerp(c00, c10, ty);
+    let c1 = lerp(c01, c11, ty);
+    lerp(c0, c1, tz)
 }
 
 /// Trilinearly interpolate the field at a continuous position in voxel
@@ -289,6 +336,37 @@ mod tests {
                 0.6 + t as f32 * 0.04,
             );
             assert_eq!(cached.sample(p).to_bits(), uncached.sample(p).to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_blend_matches_scalar_bitwise() {
+        // The packed blend must reproduce the scalar lerp tree exactly,
+        // including denormals, huge magnitudes, and negative-zero signs.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for case in 0..5_000 {
+            let mut corners = [0.0f32; 8];
+            for c in corners.iter_mut() {
+                let r = next();
+                *c = match r % 7 {
+                    0 => -0.0,
+                    1 => f32::from_bits((r >> 32) as u32 & 0x007f_ffff), // denormal
+                    2 => ((r >> 32) as u32) as f32 * 1.0e30,
+                    _ => ((r >> 32) as u32) as f32 / 4.0e9 - 0.5,
+                };
+            }
+            let tx = (next() % 1000) as f32 / 999.0;
+            let ty = (next() % 1000) as f32 / 999.0;
+            let tz = (next() % 1000) as f32 / 999.0;
+            let fast = blend8(&corners, tx, ty, tz);
+            let slow = blend8_scalar(&corners, tx, ty, tz);
+            assert_eq!(fast.to_bits(), slow.to_bits(), "case {case}");
         }
     }
 

@@ -73,6 +73,7 @@ fn main() {
         let run = filters::FilterRun {
             params: filters::BilateralParams::for_size(size, order),
             pencil_axis: axis,
+            weight: Default::default(),
             nthreads: threads,
         };
         let (out_a, ta) = harness::time_once(|| -> Grid3<f32, ArrayOrder3> {

@@ -31,6 +31,7 @@ fn main() {
     let run = filters::FilterRun {
         params: filters::BilateralParams::for_size(StencilSize::R3, StencilOrder::Zyx),
         pencil_axis: Axis::Z,
+        weight: Default::default(),
         nthreads: 4,
     };
     let (out_a, t_a) = harness::time_once(|| -> Grid3<f32, ArrayOrder3> {

@@ -104,6 +104,7 @@ fn degraded_bilateral_ends_whole_or_typed_across_seeds() {
                 order: StencilOrder::Xyz,
             },
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads: 4,
         };
         let reference: Grid3<f32, ArrayOrder3> = bilateral3d(&grid, &run);
@@ -352,6 +353,7 @@ fn nan_input_degrades_with_unrepaired_typed_defects_not_a_crash() {
             order: StencilOrder::Xyz,
         },
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 2,
     };
     let mut out = Grid3::<f32, ArrayOrder3>::new(dims);

@@ -20,6 +20,7 @@ fn full_bilateral_pipeline_all_layouts_agree() {
     let run = filters::FilterRun {
         params: filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Zyx),
         pencil_axis: Axis::Z,
+        weight: Default::default(),
         nthreads: 3,
     };
     let oa: Grid3<f32, ArrayOrder3> = filters::bilateral3d(&a, &run);
@@ -59,6 +60,7 @@ fn bilateral_denoises_the_phantom() {
             order: StencilOrder::Xyz,
         },
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 2,
     };
     let out: Grid3<f32, ZOrder3> = filters::bilateral3d(&g, &run);
@@ -201,6 +203,7 @@ fn engine_bilateral_is_bitwise_pinned_across_layouts_threads_and_schedules() {
     let serial = filters::FilterRun {
         params,
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 1,
     };
     let oracle = filters::bilateral3d::<_, ArrayOrder3>(&a, &serial).to_row_major();
@@ -222,6 +225,7 @@ fn engine_bilateral_is_bitwise_pinned_across_layouts_threads_and_schedules() {
         let run = filters::FilterRun {
             params: *params,
             pencil_axis: Axis::X,
+            weight: Default::default(),
             nthreads,
         };
         let st: Grid3<f32, ArrayOrder3> = filters::bilateral3d(vol, &run);
@@ -353,6 +357,7 @@ fn brownout_without_pressure_is_bitwise_identical_to_plain_across_layouts() {
     let run = filters::FilterRun {
         params: filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Xyz),
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 4,
     };
     let mut plain = Grid3::<f32, ArrayOrder3>::new(dims);

@@ -152,6 +152,7 @@ fn separable_blur_then_gradient_pipeline() {
     let run = filters::FilterRun {
         params: filters::BilateralParams::for_size(StencilSize::R1, StencilOrder::Xyz),
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 2,
     };
     let grad: Grid3<f32, Tiled3> = filters::gradient3d(&blurred, &run);

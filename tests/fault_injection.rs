@@ -125,6 +125,7 @@ fn nan_contaminated_volume_filters_to_finite_output_and_is_counted() {
             order: StencilOrder::Xyz,
         },
         pencil_axis: Axis::X,
+        weight: Default::default(),
         nthreads: 4,
     };
     let before = sfc_repro::filters::nan_events();
