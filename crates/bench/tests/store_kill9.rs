@@ -1,0 +1,173 @@
+//! Crash-consistency: `kill -9` mid-import must never yield a store
+//! that serves torn bricks.
+//!
+//! The test runs the real `store_stress` binary in `--mode import` with
+//! `--slow-ms` throttling every file operation, SIGKILLs it at staggered
+//! points in the import window, and then adjudicates the survivor
+//! in-process. The contract (DESIGN.md §10): after a crash, exactly one
+//! of two things is true — [`BrickStore::recover`] finishes the import
+//! from the journal and every voxel reads back bitwise identical to the
+//! regenerated reference, or recovery refuses with a *typed* error
+//! ("import incomplete") and a plain [`BrickStore::open`] also fails
+//! typed because no manifest was ever published. A store that opens but
+//! disagrees with the reference is the one forbidden outcome.
+
+#![cfg(unix)]
+
+use sfc_core::{Axis, Dims3, Grid3, Volume3, ZOrder3};
+use sfc_store::{BrickStore, StoreOptions, MANIFEST_FILE};
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const SIZE: usize = 24;
+const SEED: u64 = 7;
+
+fn reference_grid() -> Grid3<f32, ZOrder3> {
+    let dims = Dims3::cube(SIZE);
+    let values =
+        sfc_datagen::combustion_field(dims, SEED, sfc_datagen::CombustionParams::default());
+    Grid3::from_row_major(dims, &values)
+}
+
+fn assert_bitwise(store: &BrickStore, reference: &impl Volume3, what: &str) {
+    let dims = reference.dims();
+    let mut got = vec![0.0f32; dims.nx];
+    let mut want = vec![0.0f32; dims.nx];
+    for k in 0..dims.nz {
+        for j in 0..dims.ny {
+            store.gather_axis_run(0, j, k, Axis::X, &mut got);
+            reference.gather_axis_run(0, j, k, Axis::X, &mut want);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{what}: voxel ({i},{j},{k}) reads {a} want {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Spawn the import child, SIGKILL it `delay` after it reports the
+/// import has started, and return whether it was killed before finishing
+/// on its own.
+fn import_killed_after(dir: &Path, delay: Duration) -> bool {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_store_stress"))
+        .args([
+            "--mode",
+            "import",
+            "--dir",
+            dir.to_str().expect("utf8 path"),
+            "--size",
+            &SIZE.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--slow-ms",
+            "3",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn store_stress");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let banner = lines.next().expect("child prints a banner").expect("readable banner");
+    assert!(banner.starts_with("importing "), "unexpected banner {banner:?}");
+    std::thread::sleep(delay);
+    let killed = child.try_wait().expect("try_wait").is_none();
+    child.kill().expect("SIGKILL");
+    let _ = child.wait();
+    killed
+}
+
+#[test]
+fn kill_nine_mid_import_never_yields_a_torn_store() {
+    let reference = reference_grid();
+    let base = std::env::temp_dir().join(format!("sfc-store-kill9-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+
+    // The throttled import takes roughly 60 ops x 3 ms; these delays land
+    // kills early (journal barely started), mid-stream, and near or past
+    // the manifest publish.
+    let delays_ms = [5u64, 40, 90, 160, 400];
+    let mut recovered = 0;
+    let mut refused = 0;
+    for (case, &ms) in delays_ms.iter().enumerate() {
+        let dir = base.join(format!("case{case}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let killed = import_killed_after(&dir, Duration::from_millis(ms));
+
+        match BrickStore::recover(&dir, StoreOptions::default()) {
+            Ok(store) => {
+                assert_bitwise(&store, &reference, &format!("case {case} (kill at {ms}ms)"));
+                let report = store.scrub();
+                assert!(
+                    report.is_healthy(),
+                    "case {case}: recovered store scrubs dirty: {report:?}"
+                );
+                recovered += 1;
+            }
+            Err(e) => {
+                assert!(
+                    killed,
+                    "case {case}: import ran to completion yet recovery failed: {e}"
+                );
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("import incomplete") || msg.contains("no meta record"),
+                    "case {case}: unexpected recovery refusal: {e}"
+                );
+                // A refused recovery means no manifest was ever
+                // published; plain open must agree, not serve torn data.
+                assert!(
+                    !dir.join(MANIFEST_FILE).exists(),
+                    "case {case}: recovery refused but a manifest exists"
+                );
+                let open_err = BrickStore::open(&dir, StoreOptions::default())
+                    .err()
+                    .unwrap_or_else(|| panic!("case {case}: open accepted an unfinished import"));
+                assert!(
+                    open_err.to_string().contains("manifest"),
+                    "case {case}: open failed for the wrong reason: {open_err}"
+                );
+                refused += 1;
+            }
+        }
+    }
+    // The sweep must actually exercise both arms of the contract; if the
+    // timing drifts so far that it doesn't, the delays need re-tuning,
+    // not the assertions.
+    assert!(
+        recovered >= 1,
+        "no kill point left a recoverable store (refused={refused}) — delays too early"
+    );
+    assert!(
+        refused >= 1,
+        "no kill point interrupted the import (recovered={recovered}) — delays too late"
+    );
+
+    // Control: an unkilled import must verify end to end.
+    let dir = base.join("control");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let status = Command::new(env!("CARGO_BIN_EXE_store_stress"))
+        .args([
+            "--mode",
+            "import",
+            "--dir",
+            dir.to_str().expect("utf8 path"),
+            "--size",
+            &SIZE.to_string(),
+            "--seed",
+            &SEED.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .status()
+        .expect("run import to completion");
+    assert!(status.success(), "clean import failed");
+    let store = BrickStore::open(&dir, StoreOptions::default()).expect("clean store opens");
+    assert_bitwise(&store, &reference, "control");
+
+    let _ = std::fs::remove_dir_all(&base);
+}

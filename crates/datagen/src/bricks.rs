@@ -1,0 +1,328 @@
+//! Brick decomposition for out-of-core volumes.
+//!
+//! The brick store persists a volume as fixed-size cubic bricks so that a
+//! bounding-box read touches a handful of contiguous on-disk chunks
+//! instead of a comb of scattered scanlines (the Zarr spatial-chunking
+//! pattern). This module owns the *geometry* of that decomposition —
+//! mapping voxels to bricks, brick ids to volume origins, and bricks to
+//! their on-disk order along a space-filling curve — plus the copy
+//! routines that move one brick between a [`Volume3`] and a flat buffer.
+//! The crash-safety machinery (checksums, manifest, journal) lives in
+//! `sfc-store`; keeping the geometry here lets datagen import volumes
+//! into brick form without depending on the store.
+//!
+//! Within a brick, samples are row-major over the brick's local
+//! coordinates (`x` fastest). Bricks on the high faces of a volume whose
+//! dimensions are not multiples of the edge are zero-padded to the full
+//! `edge³` slot, so every slot has one fixed byte size.
+
+use sfc_core::{
+    ArrayOrder3, Dims3, HilbertOrder3, Layout3, LayoutKind, SfcError, SfcResult, Tiled3,
+    Volume3, ZOrder3,
+};
+
+/// Geometry of a volume's decomposition into cubic bricks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BrickGeom {
+    dims: Dims3,
+    edge: usize,
+    bricks: Dims3,
+}
+
+impl BrickGeom {
+    /// Describe the decomposition of a `dims` volume into `edge`-cubed
+    /// bricks. Bricks per axis is the ceiling division, so the high faces
+    /// may be partial (they are padded when extracted).
+    pub fn try_new(dims: Dims3, edge: usize) -> SfcResult<Self> {
+        if edge == 0 {
+            return Err(SfcError::ShapeMismatch {
+                what: "BrickGeom",
+                expected: "brick edge >= 1".into(),
+                actual: "edge 0".into(),
+            });
+        }
+        let bricks = Dims3::new(
+            dims.nx.div_ceil(edge),
+            dims.ny.div_ceil(edge),
+            dims.nz.div_ceil(edge),
+        );
+        // Reject decompositions whose per-brick byte size would overflow
+        // downstream offset arithmetic.
+        let slot = edge
+            .checked_mul(edge)
+            .and_then(|e2| e2.checked_mul(edge))
+            .and_then(|e3| e3.checked_mul(4));
+        if slot.is_none() {
+            return Err(SfcError::ShapeMismatch {
+                what: "BrickGeom",
+                expected: "brick byte size within usize".into(),
+                actual: format!("edge {edge}"),
+            });
+        }
+        Ok(Self { dims, edge, bricks })
+    }
+
+    /// Panicking variant of [`BrickGeom::try_new`] for trusted inputs.
+    pub fn new(dims: Dims3, edge: usize) -> Self {
+        match Self::try_new(dims, edge) {
+            Ok(g) => g,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Logical dimensions of the decomposed volume.
+    pub fn dims(&self) -> Dims3 {
+        self.dims
+    }
+
+    /// Brick edge length in voxels.
+    pub fn edge(&self) -> usize {
+        self.edge
+    }
+
+    /// Bricks per axis.
+    pub fn brick_dims(&self) -> Dims3 {
+        self.bricks
+    }
+
+    /// Total number of bricks.
+    pub fn brick_count(&self) -> usize {
+        self.bricks.len()
+    }
+
+    /// Samples per brick slot (`edge³`, padding included).
+    pub fn brick_len(&self) -> usize {
+        self.edge * self.edge * self.edge
+    }
+
+    /// Row-major brick id for a brick coordinate.
+    pub fn brick_id(&self, bi: usize, bj: usize, bk: usize) -> usize {
+        debug_assert!(self.bricks.contains(bi, bj, bk));
+        bi + self.bricks.nx * (bj + self.bricks.ny * bk)
+    }
+
+    /// Brick coordinate for a row-major brick id.
+    pub fn brick_coord(&self, id: usize) -> (usize, usize, usize) {
+        debug_assert!(id < self.brick_count());
+        let bi = id % self.bricks.nx;
+        let rest = id / self.bricks.nx;
+        (bi, rest % self.bricks.ny, rest / self.bricks.ny)
+    }
+
+    /// Volume-space coordinate of a brick's low corner.
+    pub fn brick_origin(&self, id: usize) -> (usize, usize, usize) {
+        let (bi, bj, bk) = self.brick_coord(id);
+        (bi * self.edge, bj * self.edge, bk * self.edge)
+    }
+
+    /// In-bounds extent of a brick (full `edge` except on partial high
+    /// faces).
+    pub fn brick_extent(&self, id: usize) -> (usize, usize, usize) {
+        let (ox, oy, oz) = self.brick_origin(id);
+        (
+            self.edge.min(self.dims.nx - ox),
+            self.edge.min(self.dims.ny - oy),
+            self.edge.min(self.dims.nz - oz),
+        )
+    }
+
+    /// Id of the brick containing a voxel.
+    pub fn brick_of_voxel(&self, i: usize, j: usize, k: usize) -> usize {
+        debug_assert!(self.dims.contains(i, j, k));
+        self.brick_id(i / self.edge, j / self.edge, k / self.edge)
+    }
+
+    /// Offset of a voxel inside its brick's row-major slot buffer.
+    pub fn offset_in_brick(&self, i: usize, j: usize, k: usize) -> usize {
+        let e = self.edge;
+        (i % e) + e * ((j % e) + e * (k % e))
+    }
+
+    /// Brick ids in on-disk order: the brick *grid* is traversed along
+    /// the space-filling curve `kind` prescribes, so spatially adjacent
+    /// bricks land in adjacent slots of the store file. The returned
+    /// vector maps slot number → brick id and is a permutation of
+    /// `0..brick_count()`.
+    pub fn sfc_order(&self, kind: LayoutKind) -> Vec<usize> {
+        let b = self.bricks;
+        let rank: Box<dyn Fn(usize, usize, usize) -> usize> = match kind {
+            LayoutKind::ArrayOrder => {
+                let l = ArrayOrder3::new(b);
+                Box::new(move |i, j, k| l.index(i, j, k))
+            }
+            LayoutKind::ZOrder => {
+                let l = ZOrder3::new(b);
+                Box::new(move |i, j, k| l.index(i, j, k))
+            }
+            LayoutKind::Tiled => {
+                let l = Tiled3::new(b);
+                Box::new(move |i, j, k| l.index(i, j, k))
+            }
+            LayoutKind::Hilbert => {
+                let l = HilbertOrder3::new(b);
+                Box::new(move |i, j, k| l.index(i, j, k))
+            }
+        };
+        let mut ids: Vec<usize> = (0..self.brick_count()).collect();
+        ids.sort_by_key(|&id| {
+            let (bi, bj, bk) = self.brick_coord(id);
+            rank(bi, bj, bk)
+        });
+        ids
+    }
+}
+
+/// Copy brick `id` out of a volume into `dst` (length [`BrickGeom::brick_len`],
+/// row-major within the brick). Slots past the volume boundary are
+/// zero-filled so partial bricks serialize at the same size as full ones.
+///
+/// # Panics
+/// Panics if `dst.len() != geom.brick_len()` or `id` is out of range.
+pub fn extract_brick(vol: &impl Volume3, geom: &BrickGeom, id: usize, dst: &mut [f32]) {
+    assert_eq!(dst.len(), geom.brick_len(), "brick buffer size");
+    assert!(id < geom.brick_count(), "brick id {id} out of range");
+    assert_eq!(vol.dims(), geom.dims(), "volume/geometry dims");
+    let e = geom.edge();
+    let (ox, oy, oz) = geom.brick_origin(id);
+    let (ex, ey, ez) = geom.brick_extent(id);
+    if (ex, ey, ez) != (e, e, e) {
+        dst.fill(0.0);
+    }
+    for z in 0..ez {
+        for y in 0..ey {
+            let row = &mut dst[e * (y + e * z)..][..ex];
+            vol.gather_axis_run(ox, oy + y, oz + z, sfc_core::Axis::X, row);
+        }
+    }
+}
+
+/// Copy a brick buffer (as produced by [`extract_brick`]) back into a
+/// row-major volume slice of `geom.dims().len()` elements. Padding slots
+/// are ignored.
+///
+/// # Panics
+/// Panics on any size mismatch or out-of-range `id`.
+pub fn insert_brick(geom: &BrickGeom, id: usize, src: &[f32], volume: &mut [f32]) {
+    assert_eq!(src.len(), geom.brick_len(), "brick buffer size");
+    assert_eq!(volume.len(), geom.dims().len(), "row-major volume size");
+    assert!(id < geom.brick_count(), "brick id {id} out of range");
+    let d = geom.dims();
+    let e = geom.edge();
+    let (ox, oy, oz) = geom.brick_origin(id);
+    let (ex, ey, ez) = geom.brick_extent(id);
+    for z in 0..ez {
+        for y in 0..ey {
+            let src_row = &src[e * (y + e * z)..][..ex];
+            let dst_base = ox + d.nx * ((oy + y) + d.ny * (oz + z));
+            volume[dst_base..dst_base + ex].copy_from_slice(src_row);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns;
+    use sfc_core::Grid3;
+
+    #[test]
+    fn geometry_covers_every_voxel_exactly_once() {
+        let dims = Dims3::new(13, 8, 5); // deliberately non-multiples
+        let geom = BrickGeom::new(dims, 4);
+        assert_eq!(geom.brick_dims(), Dims3::new(4, 2, 2));
+        assert_eq!(geom.brick_count(), 16);
+        let mut seen = vec![0u32; dims.len()];
+        for id in 0..geom.brick_count() {
+            let (ox, oy, oz) = geom.brick_origin(id);
+            let (ex, ey, ez) = geom.brick_extent(id);
+            for (dz, dy, dx) in
+                (0..ez).flat_map(|z| (0..ey).flat_map(move |y| (0..ex).map(move |x| (z, y, x))))
+            {
+                let (i, j, k) = (ox + dx, oy + dy, oz + dz);
+                assert_eq!(geom.brick_of_voxel(i, j, k), id);
+                seen[i + dims.nx * (j + dims.ny * k)] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1), "partition, not a cover");
+    }
+
+    #[test]
+    fn brick_roundtrip_reconstructs_the_volume() {
+        let dims = Dims3::new(11, 6, 9);
+        let values = patterns::ramp(dims);
+        let grid: Grid3<f32, sfc_core::ZOrder3> = Grid3::from_row_major(dims, &values);
+        let geom = BrickGeom::new(dims, 4);
+        let mut rebuilt = vec![f32::NAN; dims.len()];
+        let mut brick = vec![0.0f32; geom.brick_len()];
+        for id in 0..geom.brick_count() {
+            extract_brick(&grid, &geom, id, &mut brick);
+            insert_brick(&geom, id, &brick, &mut rebuilt);
+        }
+        assert_eq!(rebuilt, values, "extract+insert is the identity");
+    }
+
+    #[test]
+    fn partial_bricks_are_zero_padded() {
+        let dims = Dims3::cube(5);
+        let geom = BrickGeom::new(dims, 4);
+        let grid: Grid3<f32, sfc_core::ArrayOrder3> =
+            Grid3::from_fn(dims, |_, _, _| 1.0);
+        let mut brick = vec![f32::NAN; geom.brick_len()];
+        // Brick (1,1,1) holds a single in-bounds voxel; the rest must be 0.
+        let id = geom.brick_id(1, 1, 1);
+        extract_brick(&grid, &geom, id, &mut brick);
+        assert_eq!(brick[0], 1.0);
+        assert!(brick[1..].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn offset_in_brick_matches_extraction_order() {
+        let dims = Dims3::new(7, 7, 7);
+        let geom = BrickGeom::new(dims, 4);
+        let values = patterns::ramp(dims);
+        let grid: Grid3<f32, sfc_core::ArrayOrder3> = Grid3::from_row_major(dims, &values);
+        let mut brick = vec![0.0f32; geom.brick_len()];
+        for id in 0..geom.brick_count() {
+            extract_brick(&grid, &geom, id, &mut brick);
+            let (ox, oy, oz) = geom.brick_origin(id);
+            let (ex, ey, ez) = geom.brick_extent(id);
+            for (z, y, x) in (0..ez)
+                .flat_map(|z| (0..ey).flat_map(move |y| (0..ex).map(move |x| (z, y, x))))
+            {
+                let (i, j, k) = (ox + x, oy + y, oz + z);
+                assert_eq!(
+                    brick[geom.offset_in_brick(i, j, k)],
+                    grid.get(i, j, k),
+                    "voxel ({i},{j},{k}) in brick {id}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sfc_order_is_a_permutation_for_all_kinds() {
+        let geom = BrickGeom::new(Dims3::new(20, 12, 8), 4);
+        for kind in LayoutKind::ALL {
+            let order = geom.sfc_order(kind);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(
+                sorted,
+                (0..geom.brick_count()).collect::<Vec<_>>(),
+                "{kind:?} must visit every brick once"
+            );
+        }
+        // Z-order on a 2x2x2 brick grid interleaves axes: the second slot
+        // is the +x neighbor, the third the +y neighbor.
+        let g2 = BrickGeom::new(Dims3::cube(8), 4);
+        let z = g2.sfc_order(LayoutKind::ZOrder);
+        assert_eq!(z[0], g2.brick_id(0, 0, 0));
+        assert_eq!(z[1], g2.brick_id(1, 0, 0));
+        assert_eq!(z[2], g2.brick_id(0, 1, 0));
+    }
+
+    #[test]
+    fn edge_zero_is_a_typed_error() {
+        assert!(BrickGeom::try_new(Dims3::cube(8), 0).is_err());
+    }
+}

@@ -13,16 +13,20 @@
 //! * [`patterns`] — analytic test fields (ramp, sphere, checkerboard);
 //! * [`noise`] — the underlying value-noise/fBm machinery;
 //! * [`io`] — raw `f32` volumes, checksummed `SFCV` containers, PGM/PPM
-//!   images.
+//!   images;
+//! * [`bricks`] — cubic-brick decomposition geometry and extract/insert
+//!   copies, feeding the out-of-core `sfc-store` crate.
 
 #![warn(missing_docs)]
 
+pub mod bricks;
 pub mod combustion;
 pub mod io;
 pub mod noise;
 pub mod patterns;
 pub mod phantom;
 
+pub use bricks::{extract_brick, insert_brick, BrickGeom};
 pub use combustion::{combustion_field, CombustionParams};
 pub use io::{
     fnv1a64, load_raw_f32, load_volume, normalize_to_u8, save_raw_f32, save_volume, slice_z,

@@ -23,6 +23,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::faults::{FaultyFile, IoFaultPlan};
 use sfc_core::fnv1a64;
 
 /// Sibling path used for the temp file of [`write_atomic`]. Deterministic
@@ -54,18 +55,50 @@ fn sync_parent_dir(path: &Path) -> std::io::Result<()> {
 /// Replace the contents of `path` atomically: write `bytes` to a sibling
 /// temp file, `fsync` it, rename over `path`, and `fsync` the directory.
 /// A crash at any point leaves either the previous file or the new one —
-/// never a truncated hybrid (the temp file may linger; it is ignored and
-/// overwritten by the next write).
+/// never a truncated hybrid. When any step *fails* (rather than the
+/// process dying), the temp file is removed before the error is
+/// returned, so an error path never strands a `.tmp` sibling. Only an
+/// outright crash can leave one, and [`tmp_sibling`]'s deterministic
+/// name means the next writer overwrites it.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    write_atomic_with(path, bytes, &IoFaultPlan::none())
+}
+
+/// [`write_atomic`] with every filesystem operation routed through an
+/// [`IoFaultPlan`]: create/write/fsync go through a [`FaultyFile`], and
+/// the rename + parent-directory fsync are guarded by control-point
+/// draws. Production callers use [`write_atomic`] (a no-fault plan);
+/// chaos tests script each step to fail and assert the contract below.
+///
+/// Contract on error: `path` holds either its previous contents or the
+/// complete new bytes (a post-rename fsync failure cannot undo the
+/// rename) — never a torn mixture — and the temp sibling has been
+/// removed.
+pub fn write_atomic_with(
+    path: &Path,
+    bytes: &[u8],
+    faults: &IoFaultPlan,
+) -> std::io::Result<()> {
     let tmp = tmp_sibling(path);
-    {
-        let mut f = File::create(&tmp)?;
+    let attempt = (|| {
+        let mut f = FaultyFile::create(&tmp, faults.clone())?;
         f.write_all(bytes)?;
         f.sync_all()?;
+        drop(f);
+        faults.fire_control("rename")?;
+        std::fs::rename(&tmp, path)?;
+        faults.fire_control("parent dir sync")?;
+        sync_parent_dir(path)?;
+        Ok(())
+    })();
+    if attempt.is_err() {
+        // The rename (if reached) either succeeded — making this a no-op —
+        // or failed with the temp still in place; either way the temp must
+        // not outlive the error. Removal failure is unreportable on top of
+        // the original error and the stale-temp path is already harmless.
+        std::fs::remove_file(&tmp).ok();
     }
-    std::fs::rename(&tmp, path)?;
-    sync_parent_dir(path)?;
-    Ok(())
+    attempt
 }
 
 /// Fixed per-record header: payload length (`u32` LE) + FNV-1a 64 of the
@@ -216,6 +249,65 @@ mod tests {
         write_atomic(&path, b"second, longer contents").unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"second, longer contents");
         assert!(!tmp_sibling(&path).exists(), "temp must be renamed away");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_cleans_its_temp_on_every_injected_error_path() {
+        use crate::faults::FaultKind;
+        // Operation schedule of write_atomic_with: 0 = create the temp,
+        // 1 = write the payload, 2 = fsync the temp, 3 = rename control
+        // point, 4 = parent-dir-sync control point. Fail each in turn and
+        // assert the contract: an error comes back, no `.tmp` sibling is
+        // left behind, and the destination is never torn.
+        let path = tmp("atomic_errpaths");
+        std::fs::remove_file(&path).ok();
+        let faulted_steps: &[(u64, FaultKind)] = &[
+            (0, FaultKind::IoError),   // create fails
+            (1, FaultKind::IoError),   // write fails outright
+            (1, FaultKind::ShortWrite),// write tears mid-payload
+            (2, FaultKind::IoError),   // temp fsync fails
+            (3, FaultKind::IoError),   // rename fails
+            (4, FaultKind::IoError),   // parent-dir fsync fails
+        ];
+        // Pass 1: destination does not exist yet.
+        for &(op, kind) in faulted_steps {
+            let plan = IoFaultPlan::none().with_op(op, kind);
+            let err = write_atomic_with(&path, b"fresh payload", &plan).unwrap_err();
+            assert!(err.to_string().contains("injected"), "op {op}: {err}");
+            assert!(
+                !tmp_sibling(&path).exists(),
+                "op {op} ({kind:?}): orphaned temp left behind"
+            );
+            match std::fs::read(&path) {
+                // Only a post-rename failure may publish the new bytes.
+                Ok(bytes) => {
+                    assert_eq!(bytes, b"fresh payload", "op {op}: torn destination");
+                    assert!(op >= 4, "op {op}: destination appeared before the rename");
+                }
+                Err(_) => assert!(op < 4, "op {op}: rename succeeded yet no file"),
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        // Pass 2: destination holds prior contents that must survive
+        // every pre-rename failure untouched.
+        for &(op, kind) in faulted_steps {
+            write_atomic(&path, b"previous contents").unwrap();
+            let plan = IoFaultPlan::none().with_op(op, kind);
+            write_atomic_with(&path, b"replacement!!", &plan).unwrap_err();
+            assert!(!tmp_sibling(&path).exists(), "op {op}: orphaned temp");
+            let on_disk = std::fs::read(&path).unwrap();
+            if op < 4 {
+                assert_eq!(on_disk, b"previous contents", "op {op}: old bytes lost");
+            } else {
+                assert_eq!(on_disk, b"replacement!!", "op {op}: torn destination");
+            }
+            std::fs::remove_file(&path).ok();
+        }
+        // A no-fault plan still succeeds through the same code path.
+        write_atomic_with(&path, b"clean run", &IoFaultPlan::none()).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"clean run");
+        assert!(!tmp_sibling(&path).exists());
         std::fs::remove_file(&path).ok();
     }
 

@@ -3,17 +3,23 @@
 //!
 //! A [`FaultPlan`] decorates a worker closure with scripted failures —
 //! panics, stalls, transient errors — keyed by item index, so tests can
-//! assert exactly which items fail, retry, and recover. Free functions
-//! corrupt data in the two other ways the robustness layer must survive:
-//! NaN-contaminated voxel buffers and truncated/bit-flipped volume files.
+//! assert exactly which items fail, retry, and recover. An [`IoFaultPlan`]
+//! does the same for *file operations*: threaded through a [`FaultyFile`]
+//! wrapper it injects I/O errors, torn writes, silent bit flips, and
+//! device stalls underneath the out-of-core brick store's production code
+//! paths. Free functions corrupt data in the two other ways the
+//! robustness layer must survive: NaN-contaminated voxel buffers and
+//! truncated/bit-flipped volume files.
 //!
 //! Everything is seeded and deterministic: a failing CI run reproduces
 //! locally from the same seed.
 
 use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 use sfc_core::{SfcError, SfcResult, SplitMix64};
@@ -40,6 +46,23 @@ pub enum FaultKind {
     /// post-run validation scan + repair path; [`FaultPlan::fire`] is a
     /// no-op for this kind — drivers consult [`FaultPlan::corrupts`]).
     CorruptOutput,
+    /// An I/O operation fails outright with an injected [`std::io::Error`]
+    /// (tests bounded retry-with-backoff on reads and temp-file cleanup on
+    /// writes). Interpreted by the [`IoFaultPlan`]/[`FaultyFile`] layer;
+    /// a no-op in worker-item plans.
+    IoError,
+    /// A write persists only a prefix of its buffer and then errors — the
+    /// torn write a power loss or a full disk produces (tests that torn
+    /// bricks are never accepted). I/O-layer only.
+    ShortWrite,
+    /// One bit of the transferred buffer is flipped in flight — silent
+    /// storage bit rot (tests checksum verification, scrubbing, and
+    /// read-repair). I/O-layer only.
+    BitFlip,
+    /// The operation stalls for the given duration before succeeding
+    /// (tests that slow devices delay, but do not fail, a read). I/O-layer
+    /// only.
+    SlowIo(Duration),
 }
 
 /// Per-item fault probabilities for a randomized [`FaultPlan`], typically
@@ -238,7 +261,13 @@ impl FaultPlan {
                 name: "injected",
                 reason: format!("non-retryable fault on item {item}"),
             }),
-            FaultKind::CorruptOutput => Ok(()),
+            // I/O kinds are interpreted by the IoFaultPlan/FaultyFile
+            // layer; in a worker-item plan they inject nothing.
+            FaultKind::CorruptOutput
+            | FaultKind::IoError
+            | FaultKind::ShortWrite
+            | FaultKind::BitFlip
+            | FaultKind::SlowIo(_) => Ok(()),
         }
     }
 
@@ -266,6 +295,335 @@ impl FaultPlan {
             self.fire_cancellable(item, token)?;
             inner(tid, item, token)
         }
+    }
+}
+
+/// Per-operation probabilities for a randomized [`IoFaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IoFaultRates {
+    /// Probability an operation fails with an injected I/O error.
+    pub io_error: f32,
+    /// Probability a write persists only a prefix, then errors.
+    pub short_write: f32,
+    /// Probability one bit of the transferred buffer is flipped.
+    pub bit_flip: f32,
+    /// Probability the operation stalls before succeeding.
+    pub slow_io: f32,
+    /// How long a stalled operation sleeps.
+    pub slow_ms: u64,
+}
+
+impl Default for IoFaultRates {
+    fn default() -> Self {
+        Self {
+            io_error: 0.0,
+            short_write: 0.0,
+            bit_flip: 0.0,
+            slow_io: 0.0,
+            slow_ms: 5,
+        }
+    }
+}
+
+struct IoPlanInner {
+    scripted: HashMap<u64, FaultKind>,
+    rates: IoFaultRates,
+    seed: u64,
+    op: AtomicU64,
+    injected: AtomicU64,
+}
+
+/// A deterministic schedule of I/O faults, keyed by *operation sequence
+/// number*: every file operation routed through a [`FaultyFile`] (or
+/// through [`crate::durable::write_atomic_with`]) draws the next number
+/// and consults the plan. Cloning is cheap (shared state), so one plan
+/// can be threaded through a store handle, its journal, and its manifest
+/// writer and still produce one global, reproducible fault sequence.
+///
+/// Scripted entries ([`IoFaultPlan::with_op`]) pin a fault to an exact
+/// operation; the seeded rates fire everywhere else. A `(seed, rates)`
+/// pair replays identically — a failing CI run reproduces locally.
+#[derive(Clone)]
+pub struct IoFaultPlan {
+    inner: Arc<IoPlanInner>,
+}
+
+impl std::fmt::Debug for IoFaultPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("IoFaultPlan")
+            .field("seed", &self.inner.seed)
+            .field("rates", &self.inner.rates)
+            .field("scripted", &self.inner.scripted.len())
+            .field("ops", &self.ops())
+            .field("injected", &self.injected())
+            .finish()
+    }
+}
+
+impl Default for IoFaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+impl IoFaultPlan {
+    /// A plan that injects nothing (the production configuration).
+    pub fn none() -> Self {
+        Self::random(0, IoFaultRates::default())
+    }
+
+    /// Seeded random plan over the I/O fault menu. Each operation draws a
+    /// fixed number of chances (io_error beats short_write beats bit_flip
+    /// beats slow_io) so the fault at operation `n` depends only on
+    /// `(seed, n)` — never on how many faults fired before it.
+    pub fn random(seed: u64, rates: IoFaultRates) -> Self {
+        Self {
+            inner: Arc::new(IoPlanInner {
+                scripted: HashMap::new(),
+                rates,
+                seed,
+                op: AtomicU64::new(0),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Script a fault for one exact operation number (builder-style; only
+    /// valid before the plan is cloned into a file handle).
+    ///
+    /// # Panics
+    /// Panics if the plan has already been shared (scripting must happen
+    /// at construction time to stay deterministic).
+    pub fn with_op(mut self, op: u64, kind: FaultKind) -> Self {
+        Arc::get_mut(&mut self.inner)
+            .expect("script IoFaultPlan ops before sharing the plan")
+            .scripted
+            .insert(op, kind);
+        self
+    }
+
+    /// Operations observed so far.
+    pub fn ops(&self) -> u64 {
+        self.inner.op.load(Ordering::Relaxed)
+    }
+
+    /// Faults injected so far (all kinds).
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Relaxed)
+    }
+
+    /// Draw the fault (if any) for the next operation.
+    fn draw(&self) -> Option<(u64, FaultKind)> {
+        let op = self.inner.op.fetch_add(1, Ordering::Relaxed);
+        let kind = if let Some(k) = self.inner.scripted.get(&op) {
+            Some(*k)
+        } else {
+            let r = &self.inner.rates;
+            // Per-op RNG stream: the draw for op n is independent of all
+            // other ops, so retries of the same logical read re-draw.
+            let mut rng = SplitMix64::new(self.inner.seed ^ op.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let draws = [
+                rng.chance(r.io_error),
+                rng.chance(r.short_write),
+                rng.chance(r.bit_flip),
+                rng.chance(r.slow_io),
+            ];
+            if draws[0] {
+                Some(FaultKind::IoError)
+            } else if draws[1] {
+                Some(FaultKind::ShortWrite)
+            } else if draws[2] {
+                Some(FaultKind::BitFlip)
+            } else if draws[3] {
+                Some(FaultKind::SlowIo(Duration::from_millis(r.slow_ms)))
+            } else {
+                None
+            }
+        };
+        if kind.is_some() {
+            self.inner.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        kind.map(|k| (op, k))
+    }
+
+    fn injected_err(op: u64, what: &str) -> std::io::Error {
+        std::io::Error::other(format!("injected I/O fault: {what} failed (op {op})"))
+    }
+
+    /// Fire the next operation's fault for a *control* operation (open,
+    /// fsync, rename, directory sync): an [`FaultKind::IoError`] or
+    /// [`FaultKind::ShortWrite`] draw fails the operation, a
+    /// [`FaultKind::SlowIo`] stalls it, a [`FaultKind::BitFlip`] is
+    /// meaningless without a buffer and passes.
+    pub fn fire_control(&self, what: &str) -> std::io::Result<()> {
+        match self.draw() {
+            Some((op, FaultKind::IoError)) | Some((op, FaultKind::ShortWrite)) => {
+                Err(Self::injected_err(op, what))
+            }
+            Some((_, FaultKind::SlowIo(d))) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Apply the next operation's fault to a buffer just read:
+    /// `IoError` fails the read, `BitFlip` flips one deterministic bit of
+    /// the buffer (seeded by the op number), `SlowIo` stalls,
+    /// `ShortWrite` does not apply to reads.
+    fn fire_read(&self, buf: &mut [u8]) -> std::io::Result<()> {
+        match self.draw() {
+            Some((op, FaultKind::IoError)) => Err(Self::injected_err(op, "read")),
+            Some((op, FaultKind::BitFlip)) => {
+                if !buf.is_empty() {
+                    let bit = SplitMix64::new(self.inner.seed ^ op).next_u64() as usize
+                        % (buf.len() * 8);
+                    buf[bit / 8] ^= 1 << (bit % 8);
+                }
+                Ok(())
+            }
+            Some((_, FaultKind::SlowIo(d))) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Decide the next operation's fault for a buffer about to be
+    /// written. Returns how many prefix bytes to actually write and an
+    /// optional bit to flip; an `IoError` fails before any byte lands.
+    fn fire_write(&self, len: usize) -> std::io::Result<(usize, Option<usize>)> {
+        match self.draw() {
+            Some((op, FaultKind::IoError)) => Err(Self::injected_err(op, "write")),
+            Some((_, FaultKind::ShortWrite)) => Ok((len / 2, None)),
+            Some((op, FaultKind::BitFlip)) if len > 0 => {
+                let bit = SplitMix64::new(self.inner.seed ^ op).next_u64() as usize % (len * 8);
+                Ok((len, Some(bit)))
+            }
+            Some((_, FaultKind::SlowIo(d))) => {
+                std::thread::sleep(d);
+                Ok((len, None))
+            }
+            _ => Ok((len, None)),
+        }
+    }
+}
+
+/// A [`File`] wrapper that routes every read, write, seek, open, and sync
+/// through an [`IoFaultPlan`] — the single choke point the out-of-core
+/// brick store does *all* its I/O through, so chaos tests exercise the
+/// exact production code paths with faults injected underneath them.
+///
+/// Semantics per fault kind:
+/// * [`FaultKind::IoError`] — the operation fails with
+///   `ErrorKind::Other`; no bytes are transferred.
+/// * [`FaultKind::ShortWrite`] — half the buffer is written for real,
+///   then the write errors (a torn write: bytes are on disk, the caller
+///   knows the operation failed).
+/// * [`FaultKind::BitFlip`] — reads see one flipped bit in the returned
+///   buffer; writes persist one flipped bit (silent corruption — the
+///   operation *succeeds*).
+/// * [`FaultKind::SlowIo`] — the operation sleeps, then succeeds.
+#[derive(Debug)]
+pub struct FaultyFile {
+    inner: File,
+    plan: IoFaultPlan,
+}
+
+impl FaultyFile {
+    /// Create (truncating) a file, drawing an open-operation fault.
+    pub fn create(path: &Path, plan: IoFaultPlan) -> std::io::Result<Self> {
+        plan.fire_control("create")?;
+        Ok(Self {
+            inner: File::create(path)?,
+            plan,
+        })
+    }
+
+    /// Open with explicit options, drawing an open-operation fault.
+    pub fn options(opts: &OpenOptions, path: &Path, plan: IoFaultPlan) -> std::io::Result<Self> {
+        plan.fire_control("open")?;
+        Ok(Self {
+            inner: opts.open(path)?,
+            plan,
+        })
+    }
+
+    /// Open read-only, drawing an open-operation fault.
+    pub fn open(path: &Path, plan: IoFaultPlan) -> std::io::Result<Self> {
+        Self::options(OpenOptions::new().read(true), path, plan)
+    }
+
+    /// Flush file data and metadata to stable storage (faultable).
+    pub fn sync_all(&self) -> std::io::Result<()> {
+        self.plan.fire_control("fsync")?;
+        self.inner.sync_all()
+    }
+
+    /// Flush file data to stable storage (faultable).
+    pub fn sync_data(&self) -> std::io::Result<()> {
+        self.plan.fire_control("fdatasync")?;
+        self.inner.sync_data()
+    }
+
+    /// File metadata (not faulted: metadata is read from the kernel's
+    /// in-memory inode, not the device).
+    pub fn metadata(&self) -> std::io::Result<std::fs::Metadata> {
+        self.inner.metadata()
+    }
+
+    /// The fault plan this handle draws from.
+    pub fn plan(&self) -> &IoFaultPlan {
+        &self.plan
+    }
+}
+
+impl Read for FaultyFile {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        // Remember where the read started so an injected failure does not
+        // silently consume the data (a retry must see the same bytes).
+        let pos = self.inner.stream_position()?;
+        let n = self.inner.read(buf)?;
+        if let Err(e) = self.plan.fire_read(&mut buf[..n]) {
+            self.inner.seek(SeekFrom::Start(pos))?;
+            return Err(e);
+        }
+        Ok(n)
+    }
+}
+
+impl Write for FaultyFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let (n, flip) = self.plan.fire_write(buf.len())?;
+        if n < buf.len() {
+            // Torn write: persist the prefix, then report failure.
+            self.inner.write_all(&buf[..n])?;
+            return Err(std::io::Error::other(format!(
+                "injected I/O fault: short write ({n} of {} bytes persisted)",
+                buf.len()
+            )));
+        }
+        match flip {
+            Some(bit) => {
+                let mut corrupted = buf.to_vec();
+                corrupted[bit / 8] ^= 1 << (bit % 8);
+                self.inner.write_all(&corrupted)?;
+                Ok(buf.len())
+            }
+            None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+impl Seek for FaultyFile {
+    fn seek(&mut self, pos: SeekFrom) -> std::io::Result<u64> {
+        self.inner.seek(pos)
     }
 }
 
@@ -420,6 +778,120 @@ mod tests {
         // Zero rate contaminates nothing.
         let mut u = vec![1.0f32; 4];
         assert_eq!(contaminate_nan(&mut u, 7, 0.0), 0);
+    }
+
+    fn io_tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("sfc_iofault_{}_{tag}", std::process::id()))
+    }
+
+    #[test]
+    fn faulty_file_without_faults_is_transparent() {
+        let path = io_tmp("clean");
+        let plan = IoFaultPlan::none();
+        let mut f = FaultyFile::create(&path, plan.clone()).unwrap();
+        f.write_all(b"hello brick store").unwrap();
+        f.sync_all().unwrap();
+        drop(f);
+        let mut f = FaultyFile::open(&path, plan.clone()).unwrap();
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf).unwrap();
+        assert_eq!(buf, b"hello brick store");
+        assert_eq!(plan.injected(), 0);
+        assert!(plan.ops() > 0, "every operation is drawn");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scripted_io_error_fails_the_exact_operation() {
+        let path = io_tmp("ioerr");
+        std::fs::write(&path, [7u8; 32]).unwrap();
+        // op 0 = open (ok here), op 1 = first read fails, op 2 succeeds.
+        let plan = IoFaultPlan::none().with_op(1, FaultKind::IoError);
+        let mut f = FaultyFile::open(&path, plan.clone()).unwrap();
+        let mut buf = [0u8; 32];
+        let err = f.read_exact(&mut buf).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        // The failed read consumed no data: the retry sees all 32 bytes.
+        f.read_exact(&mut buf).unwrap();
+        assert_eq!(buf, [7u8; 32]);
+        assert_eq!(plan.injected(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_flip_on_read_corrupts_exactly_one_bit() {
+        let path = io_tmp("flipread");
+        std::fs::write(&path, [0u8; 64]).unwrap();
+        let plan = IoFaultPlan::none().with_op(1, FaultKind::BitFlip);
+        let mut f = FaultyFile::open(&path, plan).unwrap();
+        let mut buf = [0u8; 64];
+        f.read_exact(&mut buf).unwrap();
+        let flipped: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1, "exactly one bit flipped in transit");
+        // The file itself is untouched.
+        assert_eq!(std::fs::read(&path).unwrap(), [0u8; 64]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn short_write_persists_a_prefix_then_errors() {
+        let path = io_tmp("short");
+        let plan = IoFaultPlan::none().with_op(1, FaultKind::ShortWrite);
+        let mut f = FaultyFile::create(&path, plan).unwrap();
+        let err = f.write_all(&[9u8; 100]).unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        drop(f);
+        let on_disk = std::fs::read(&path).unwrap();
+        assert_eq!(on_disk.len(), 50, "half the buffer was torn onto disk");
+        assert!(on_disk.iter().all(|&b| b == 9));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn slow_io_delays_but_succeeds() {
+        let path = io_tmp("slow");
+        std::fs::write(&path, [1u8; 8]).unwrap();
+        let plan =
+            IoFaultPlan::none().with_op(1, FaultKind::SlowIo(Duration::from_millis(30)));
+        let mut f = FaultyFile::open(&path, plan.clone()).unwrap();
+        let mut buf = [0u8; 8];
+        let start = std::time::Instant::now();
+        f.read_exact(&mut buf).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+        assert_eq!(buf, [1u8; 8]);
+        assert_eq!(plan.injected(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn random_io_plans_replay_identically() {
+        let rates = IoFaultRates {
+            io_error: 0.2,
+            bit_flip: 0.2,
+            ..IoFaultRates::default()
+        };
+        let trace = |seed| -> Vec<bool> {
+            let plan = IoFaultPlan::random(seed, rates);
+            (0..200).map(|_| plan.draw().is_some()).collect()
+        };
+        assert_eq!(trace(42), trace(42), "same seed, same schedule");
+        assert_ne!(trace(42), trace(43), "different seed, different schedule");
+        assert!(trace(42).iter().any(|&f| f), "rates actually fire");
+    }
+
+    #[test]
+    fn io_kinds_are_noops_in_worker_item_plans() {
+        let plan = FaultPlan::none()
+            .with(0, FaultKind::IoError)
+            .with(1, FaultKind::ShortWrite)
+            .with(2, FaultKind::BitFlip)
+            .with(3, FaultKind::SlowIo(Duration::from_secs(60)));
+        let start = std::time::Instant::now();
+        for item in 0..4 {
+            assert!(plan.fire(item).is_ok());
+        }
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert!(plan.doomed_items().is_empty());
     }
 
     #[test]

@@ -46,12 +46,12 @@ pub use cli::{Args, FigArgs};
 pub use deadline::{DeadlineBudget, DowngradeReason, QualityEntry, QualityMap};
 pub use degrade::{scan_unit, Defect, DefectKind, DefectMap, DegradedOutcome, FailureClass};
 pub use ds::{format_ds, scaled_relative_difference};
-pub use durable::{write_atomic, Journal, JournalRecovery};
+pub use durable::{write_atomic, write_atomic_with, Journal, JournalRecovery};
 pub use engine::{
     BrownoutKernel, BrownoutPolicy, DegradedPolicy, EventCounter, ExecPolicy, Executor,
     Partition, UnitCounters, UnitKernel, WorkPlan,
 };
-pub use faults::{FaultKind, FaultPlan, FaultRates};
+pub use faults::{FaultKind, FaultPlan, FaultRates, FaultyFile, IoFaultPlan, IoFaultRates};
 pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};
 pub use supervise::{
     run_items_supervised, run_items_supervised_cancellable, CancelToken, ItemFailure,

@@ -80,6 +80,7 @@ fn main() {
             quantum: args.get_u64("quantum", 256),
         },
         cache_bytes: (args.get_usize("cache-mb", 64)) << 20,
+        spill_dir: args.get("spill-dir").map(Into::into),
         data_dir: args.get("data-dir").map(Into::into),
         journal: args.get("journal").map(Into::into),
         unit_timeout: Duration::from_millis(args.get_u64("unit-timeout-ms", 250)),

@@ -13,15 +13,29 @@
 //! Eviction drops the cache's reference; an executing request keeps its
 //! `Arc` alive until it finishes, so eviction never invalidates in-flight
 //! work (resident-byte accounting tracks the cache's references only).
+//!
+//! With a spill directory configured ([`VolumeCache::with_spill`]) the
+//! cache gains a disk tier: evicted volumes are written to a crash-safe
+//! [`BrickStore`] and faulted back from it on the next miss, skipping
+//! re-materialization. The spill tier is strictly best-effort — a spill
+//! store that is missing, corrupt, or degraded (poisoned bricks) is
+//! discarded and the volume is rebuilt deterministically from its seed,
+//! counted in `spill_corrupt`.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use sfc_core::{ArrayOrder3, Dims3, Grid3, HilbertOrder3, Tiled3, ZOrder3};
+use sfc_core::{ArrayOrder3, Dims3, Grid3, HilbertOrder3, LayoutKind, Tiled3, ZOrder3};
+use sfc_datagen::bricks::insert_brick;
 use sfc_datagen::{mri_phantom, PhantomParams};
+use sfc_store::{BrickStore, StoreOptions, MANIFEST_FILE};
 
 use crate::protocol::LayoutChoice;
+
+/// Brick edge used for spilled volumes.
+const SPILL_BRICK_EDGE: usize = 8;
 
 /// Cache key: everything that determines the volume's bytes and layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -75,6 +89,33 @@ impl CachedVolume {
     pub fn bytes(&self) -> usize {
         self.dims().len() * 4
     }
+
+    /// Rebuild from row-major values (the spill-tier read path).
+    fn from_row_major(key: &VolumeKey, values: &[f32]) -> Self {
+        let dims = Dims3::cube(key.size);
+        match key.layout {
+            LayoutChoice::Array => CachedVolume::Array(Grid3::from_row_major(dims, values)),
+            LayoutChoice::Z => CachedVolume::Z(Grid3::from_row_major(dims, values)),
+            LayoutChoice::Tiled => CachedVolume::Tiled(Grid3::from_row_major(dims, values)),
+            LayoutChoice::Hilbert => {
+                CachedVolume::Hilbert(Grid3::from_row_major(dims, values))
+            }
+        }
+    }
+}
+
+fn brick_order(layout: LayoutChoice) -> LayoutKind {
+    match layout {
+        LayoutChoice::Array => LayoutKind::ArrayOrder,
+        LayoutChoice::Z => LayoutKind::ZOrder,
+        LayoutChoice::Tiled => LayoutKind::Tiled,
+        LayoutChoice::Hilbert => LayoutKind::Hilbert,
+    }
+}
+
+/// Stable per-volume spill subdirectory name.
+fn spill_name(key: &VolumeKey) -> String {
+    format!("{}-{}-{}", key.size, key.layout.name(), key.seed)
 }
 
 /// Residency and traffic counters, all monotonic except `resident_bytes`.
@@ -86,6 +127,13 @@ pub struct CacheStats {
     pub misses: u64,
     /// Volumes evicted to stay under the byte budget.
     pub evictions: u64,
+    /// Evicted volumes written to the spill store.
+    pub spills: u64,
+    /// Misses served from the spill store instead of re-materializing.
+    pub spill_hits: u64,
+    /// Spill stores found corrupt/degraded and discarded (the volume was
+    /// rebuilt deterministically from its seed).
+    pub spill_corrupt: u64,
     /// Bytes currently resident (cache references only).
     pub resident_bytes: usize,
     /// Volumes currently resident.
@@ -102,9 +150,13 @@ struct CacheInner {
 pub struct VolumeCache {
     inner: Mutex<CacheInner>,
     budget_bytes: usize,
+    spill_dir: Option<PathBuf>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    spills: AtomicU64,
+    spill_hits: AtomicU64,
+    spill_corrupt: AtomicU64,
 }
 
 impl VolumeCache {
@@ -120,9 +172,23 @@ impl VolumeCache {
                 tick: 0,
             }),
             budget_bytes,
+            spill_dir: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            spills: AtomicU64::new(0),
+            spill_hits: AtomicU64::new(0),
+            spill_corrupt: AtomicU64::new(0),
+        }
+    }
+
+    /// Like [`VolumeCache::new`], plus a spill directory: evicted
+    /// volumes are persisted as crash-safe brick stores under `dir` and
+    /// faulted back on demand instead of being re-materialized.
+    pub fn with_spill(budget_bytes: usize, dir: PathBuf) -> Self {
+        Self {
+            spill_dir: Some(dir),
+            ..Self::new(budget_bytes)
         }
     }
 
@@ -141,9 +207,11 @@ impl VolumeCache {
         }
         // Materialize outside the lock: building a volume is the slow
         // path and must not serialize unrelated lookups. Two racing
-        // misses may build twice; the loser's copy is dropped.
+        // misses may build twice; the loser's copy is dropped — and the
+        // incumbent's residency bytes are kept, never re-added, so a
+        // coalesced insert cannot double-count (see the regression test).
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(CachedVolume::build(key));
+        let built = Arc::new(self.materialize(key));
         let bytes = built.bytes();
         let mut g = self.lock();
         g.tick += 1;
@@ -160,7 +228,10 @@ impl VolumeCache {
             }
         };
         // LRU eviction down to the budget, never evicting the volume we
-        // are about to hand out.
+        // are about to hand out. Victims are collected under the lock but
+        // spilled to disk after it drops — spill IO must not serialize
+        // unrelated lookups.
+        let mut victims: Vec<(VolumeKey, Arc<CachedVolume>)> = Vec::new();
         while g.resident_bytes > self.budget_bytes && g.map.len() > 1 {
             let victim = g
                 .map
@@ -172,9 +243,86 @@ impl VolumeCache {
             if let Some((evicted, _)) = g.map.remove(&victim) {
                 g.resident_bytes -= evicted.bytes();
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                victims.push((victim, evicted));
             }
         }
+        drop(g);
+        for (vkey, vvol) in victims {
+            self.spill_write(&vkey, &vvol);
+        }
         (vol, false)
+    }
+
+    /// Build the volume for `key`: from the spill store when an intact
+    /// copy exists there, deterministically from the seed otherwise.
+    fn materialize(&self, key: &VolumeKey) -> CachedVolume {
+        if let Some(values) = self.spill_read(key) {
+            self.spill_hits.fetch_add(1, Ordering::Relaxed);
+            return CachedVolume::from_row_major(key, &values);
+        }
+        CachedVolume::build(key)
+    }
+
+    /// Try to load an intact row-major copy from the spill store.
+    /// Anything less than fully intact — no store, corrupt manifest,
+    /// poisoned bricks — discards the spill (counted) and returns `None`.
+    fn spill_read(&self, key: &VolumeKey) -> Option<Vec<f32>> {
+        let dir = self.spill_dir.as_ref()?.join(spill_name(key));
+        if !dir.join(MANIFEST_FILE).exists() {
+            return None;
+        }
+        let discard = |cache: &Self| {
+            cache.spill_corrupt.fetch_add(1, Ordering::Relaxed);
+            std::fs::remove_dir_all(&dir).ok();
+            None
+        };
+        let Ok(store) = BrickStore::open(&dir, StoreOptions::default()) else {
+            return discard(self);
+        };
+        let dims = Dims3::cube(key.size);
+        if store.geom().dims() != dims {
+            return discard(self);
+        }
+        let geom = *store.geom();
+        let mut values = vec![0.0f32; dims.len()];
+        for id in 0..geom.brick_count() {
+            let brick = store.brick(id);
+            insert_brick(&geom, id, &brick, &mut values);
+        }
+        // A brick that survived neither retry nor read-repair arrived as
+        // NaN poison; the phantom is deterministic, so rebuilding beats
+        // serving damaged data.
+        if !store.defective_bricks().is_empty() {
+            return discard(self);
+        }
+        Some(values)
+    }
+
+    /// Persist an evicted volume to the spill store (best-effort: spill
+    /// failures only mean the next miss re-materializes). A volume
+    /// already spilled from an earlier eviction is not rewritten — the
+    /// contents are deterministic per key.
+    fn spill_write(&self, key: &VolumeKey, vol: &CachedVolume) {
+        let Some(base) = self.spill_dir.as_ref() else {
+            return;
+        };
+        let dir = base.join(spill_name(key));
+        if dir.join(MANIFEST_FILE).exists() {
+            return;
+        }
+        let order = brick_order(key.layout);
+        let opts = StoreOptions::default();
+        let res = match vol {
+            CachedVolume::Array(g) => BrickStore::import(&dir, g, SPILL_BRICK_EDGE, order, opts),
+            CachedVolume::Z(g) => BrickStore::import(&dir, g, SPILL_BRICK_EDGE, order, opts),
+            CachedVolume::Tiled(g) => BrickStore::import(&dir, g, SPILL_BRICK_EDGE, order, opts),
+            CachedVolume::Hilbert(g) => {
+                BrickStore::import(&dir, g, SPILL_BRICK_EDGE, order, opts)
+            }
+        };
+        if res.is_ok() {
+            self.spills.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Current counters.
@@ -184,6 +332,9 @@ impl VolumeCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            spills: self.spills.load(Ordering::Relaxed),
+            spill_hits: self.spill_hits.load(Ordering::Relaxed),
+            spill_corrupt: self.spill_corrupt.load(Ordering::Relaxed),
             resident_bytes: g.resident_bytes,
             resident: g.map.len(),
         }
@@ -228,6 +379,101 @@ mod tests {
             assert!(!hit);
         }
         assert_eq!(cache.stats().resident, 4);
+    }
+
+    #[test]
+    fn coalesced_inserts_never_double_count_residency() {
+        // Regression: many threads miss on the same key simultaneously;
+        // every loser must adopt the incumbent entry without re-adding
+        // its bytes, and residency must equal exactly one copy.
+        let one = 8 * 8 * 8 * 4;
+        let cache = VolumeCache::new(64 << 20);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for round in 0..4u64 {
+                        let (vol, _) = cache.get(&key(8, round % 2));
+                        assert_eq!(vol.dims(), Dims3::cube(8));
+                    }
+                });
+            }
+        });
+        let st = cache.stats();
+        assert_eq!(st.resident, 2, "{st:?}");
+        assert_eq!(st.resident_bytes, 2 * one, "double-counted residency: {st:?}");
+        assert_eq!(st.evictions, 0);
+        // Drain-to-budget sanity: inserting a third key under a
+        // two-volume budget evicts exactly one and the books still
+        // balance.
+        let cache2 = VolumeCache::new(2 * one);
+        for seed in 0..3 {
+            cache2.get(&key(8, seed));
+        }
+        let st2 = cache2.stats();
+        assert_eq!(st2.resident, 2);
+        assert_eq!(st2.resident_bytes, 2 * one, "{st2:?}");
+        assert_eq!(st2.evictions, 1);
+    }
+
+    #[test]
+    fn eviction_spills_and_the_next_miss_faults_back_from_disk() {
+        let dir = std::env::temp_dir()
+            .join(format!("sfc_cache_spill_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let one = 8 * 8 * 8 * 4;
+        let cache = VolumeCache::with_spill(one, dir.clone());
+        let (a, _) = cache.get(&key(8, 1));
+        cache.get(&key(8, 2)); // evicts seed 1 → spilled
+        let st = cache.stats();
+        assert_eq!(st.evictions, 1);
+        assert_eq!(st.spills, 1, "{st:?}");
+        // Refetch seed 1: a miss, but served from the spill store.
+        let (a2, hit) = cache.get(&key(8, 1));
+        assert!(!hit);
+        assert_eq!(cache.stats().spill_hits, 1);
+        // Spilled-and-restored volume is bitwise identical.
+        for (i, j, k) in Dims3::cube(8).iter() {
+            let (va, vb) = match (&*a, &*a2) {
+                (CachedVolume::Z(ga), CachedVolume::Z(gb)) => {
+                    (ga.get(i, j, k), gb.get(i, j, k))
+                }
+                _ => panic!("layout changed"),
+            };
+            assert_eq!(va.to_bits(), vb.to_bits(), "({i},{j},{k})");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_spill_store_is_discarded_and_rebuilt() {
+        let dir = std::env::temp_dir()
+            .join(format!("sfc_cache_spillbad_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let one = 8 * 8 * 8 * 4;
+        let cache = VolumeCache::with_spill(one, dir.clone());
+        let (orig, _) = cache.get(&key(8, 1));
+        cache.get(&key(8, 2)); // spill seed 1
+        // Destroy the spilled manifest's integrity.
+        let sub = dir.join(spill_name(&key(8, 1)));
+        let manifest = sub.join(MANIFEST_FILE);
+        sfc_harness::faults::flip_bit(&manifest, 16, 4).unwrap();
+        let (rebuilt, hit) = cache.get(&key(8, 1));
+        assert!(!hit);
+        let st = cache.stats();
+        assert_eq!(st.spill_corrupt, 1, "{st:?}");
+        assert_eq!(st.spill_hits, 0, "corrupt spill must not count as a spill hit");
+        assert!(!sub.join(MANIFEST_FILE).exists(), "corrupt spill store removed");
+        // The rebuild is deterministic: bitwise equal to the original.
+        match (&*orig, &*rebuilt) {
+            (CachedVolume::Z(ga), CachedVolume::Z(gb)) => {
+                for (i, j, k) in Dims3::cube(8).iter() {
+                    assert_eq!(ga.get(i, j, k).to_bits(), gb.get(i, j, k).to_bits());
+                }
+            }
+            _ => panic!("layout changed"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

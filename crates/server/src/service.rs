@@ -56,6 +56,10 @@ pub struct ServiceConfig {
     pub sched: SchedConfig,
     /// Volume-cache residency budget in bytes.
     pub cache_bytes: usize,
+    /// Spill directory for the cache's disk tier: evicted volumes are
+    /// persisted as crash-safe brick stores there and faulted back on
+    /// demand. `None` disables spilling (evictions just drop).
+    pub spill_dir: Option<PathBuf>,
     /// Where `save=1` results are written; `None` rejects saves.
     pub data_dir: Option<PathBuf>,
     /// Durability journal path; `None` disables journaling.
@@ -77,6 +81,7 @@ impl Default for ServiceConfig {
             lanes: 2,
             sched: SchedConfig::default(),
             cache_bytes: 64 << 20,
+            spill_dir: None,
             data_dir: None,
             journal: None,
             unit_timeout: Duration::from_millis(250),
@@ -145,7 +150,10 @@ impl Service {
         let svc = Arc::new(Service {
             exec: Executor::new(cfg.exec_threads),
             sched: FairScheduler::new(cfg.sched),
-            cache: VolumeCache::new(cfg.cache_bytes),
+            cache: match cfg.spill_dir.clone() {
+                Some(dir) => VolumeCache::with_spill(cfg.cache_bytes, dir),
+                None => VolumeCache::new(cfg.cache_bytes),
+            },
             journal,
             recovery,
             active: Mutex::new(Vec::new()),
@@ -202,7 +210,7 @@ impl Service {
         format!(
             "stats submitted={} served={} coalesced={} overloaded={} shed={} abandoned={} \
              cache_hits={} cache_misses={} cache_evictions={} resident_bytes={} \
-             active={} panics={}",
+             active={} panics={} spills={} spill_hits={} spill_corrupt={}",
             s.submitted,
             s.served,
             s.coalesced,
@@ -215,6 +223,9 @@ impl Service {
             c.resident_bytes,
             lock(&self.active).len(),
             self.panics.load(Ordering::Relaxed),
+            c.spills,
+            c.spill_hits,
+            c.spill_corrupt,
         )
     }
 
@@ -570,6 +581,40 @@ mod tests {
         assert_eq!(body.len(), h.bytes);
         assert!(h.whole);
         s.drain(Duration::from_secs(5));
+    }
+
+    #[test]
+    fn spill_mode_round_trips_cold_volumes_through_the_disk_tier() {
+        let spill = std::env::temp_dir()
+            .join(format!("sfc_service_spill_{}", std::process::id()));
+        std::fs::remove_dir_all(&spill).ok();
+        // Budget fits one 8³ volume: alternating seeds force evictions.
+        let s = svc(ServiceConfig {
+            cache_bytes: 8 * 8 * 8 * 4,
+            spill_dir: Some(spill.clone()),
+            ..ServiceConfig::default()
+        });
+        let ask = |seed: u64| {
+            let t = s
+                .submit(
+                    Request::parse(&format!(
+                        "filter tenant=t size=8 seed={seed} radius=1 layout=z"
+                    ))
+                    .expect("valid"),
+                )
+                .expect("admitted");
+            wait_ok(&t).1
+        };
+        let first = ask(1);
+        ask(2); // evicts seed 1 to the spill store
+        let again = ask(1); // faulted back from disk
+        assert_eq!(first, again, "spilled volume must produce identical bytes");
+        let stats = s.cache.stats();
+        assert!(stats.spills >= 1, "{stats:?}");
+        assert!(stats.spill_hits >= 1, "{stats:?}");
+        assert_eq!(stats.spill_corrupt, 0, "{stats:?}");
+        s.drain(Duration::from_secs(5));
+        std::fs::remove_dir_all(&spill).ok();
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`harness`] | `sfc-harness` | execution engine, timing, `ds` metric, tables |
 //! | [`filters`] | `sfc-filters` | 3D bilateral filter (structured access) |
 //! | [`volrend`] | `sfc-volrend` | raycasting volume renderer (semi-structured) |
+//! | [`store`] | `sfc-store` | crash-safe out-of-core brick store (scrub, read-repair) |
 //!
 //! See `examples/quickstart.rs` for a three-minute tour, and the `sfc-bench`
 //! crate for binaries regenerating every figure of the paper's evaluation.
@@ -24,6 +25,7 @@ pub use sfc_datagen as datagen;
 pub use sfc_filters as filters;
 pub use sfc_harness as harness;
 pub use sfc_memsim as memsim;
+pub use sfc_store as store;
 pub use sfc_volrend as volrend;
 
 /// The most commonly used items in one import.

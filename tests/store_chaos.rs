@@ -1,0 +1,327 @@
+//! Out-of-core brick-store chaos suite (DESIGN.md §10). Pins the PR's
+//! invariants end to end, over the real kernels:
+//!
+//! 1. With faults off, a `BrickStore` is *transparent*: bilateral
+//!    filtering and raycasting over the store produce bitwise-identical
+//!    output to the same kernels over the in-memory grid, for all four
+//!    SFC layouts.
+//! 2. Under seeded IO fault injection (transient errors and in-transit
+//!    bit flips), bounded retry still delivers bitwise-correct data —
+//!    across at least four seeds (override with `CHAOS_SEEDS`).
+//! 3. `scrub()` detects injected on-disk bit rot and read-repair heals
+//!    it from the journal, restoring bitwise-exact content.
+//! 4. A streaming raycast under a residency budget below a quarter of
+//!    the volume completes whole (no defects, no poison), stays inside
+//!    the budget, and matches the in-memory render bitwise.
+
+use std::path::PathBuf;
+
+use sfc_repro::core::{ArrayOrder3, Dims3, Grid3, LayoutKind, Volume3, ZOrder3};
+use sfc_repro::datagen::{combustion_field, CombustionParams};
+use sfc_repro::filters::{try_bilateral3d_with_policy, BilateralParams, FilterRun};
+use sfc_repro::harness::faults::{flip_bit, IoFaultPlan, IoFaultRates};
+use sfc_repro::harness::{ExecPolicy, FaultPlan};
+use sfc_repro::prelude::{Axis, StencilOrder};
+use sfc_repro::store::{BrickStore, StoreOptions, DATA_FILE};
+use sfc_repro::volrend::{
+    render, render_with_policy, vec3, Camera, Projection, RenderOpts, TransferFunction,
+};
+
+fn chaos_seeds() -> Vec<u64> {
+    match std::env::var("CHAOS_SEEDS") {
+        Ok(s) => s
+            .split(',')
+            .map(|t| {
+                t.trim().parse().unwrap_or_else(|_| {
+                    panic!("CHAOS_SEEDS must be comma-separated integers, got {t:?}")
+                })
+            })
+            .collect(),
+        Err(_) => vec![0xC0FFEE, 0xBAD5EED, 0x0DDB17, 0xFACADE],
+    }
+}
+
+fn store_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("sfc_store_chaos_{}_{tag}", std::process::id()))
+}
+
+fn test_grid(n: usize, seed: u64) -> Grid3<f32, ZOrder3> {
+    let dims = Dims3::cube(n);
+    let values = combustion_field(dims, seed, CombustionParams::default());
+    Grid3::from_row_major(dims, &values)
+}
+
+fn filter_run() -> FilterRun {
+    FilterRun {
+        params: BilateralParams {
+            radius: 1,
+            sigma_spatial: 1.0,
+            sigma_range: 0.2,
+            order: StencilOrder::Xyz,
+        },
+        pencil_axis: Axis::X,
+        weight: Default::default(),
+        nthreads: 2,
+    }
+}
+
+fn camera(n: usize, image: usize) -> Camera {
+    let c = n as f32 / 2.0;
+    Camera::look_at(
+        vec3(n as f32 * 2.5, c * 0.8, c * 1.3),
+        vec3(c, c, c),
+        vec3(0.0, 1.0, 0.0),
+        Projection::Perspective {
+            fov_y: 40f32.to_radians(),
+        },
+        image,
+        image,
+    )
+}
+
+fn assert_images_bitwise(
+    a: &sfc_repro::volrend::Image,
+    b: &sfc_repro::volrend::Image,
+    what: &str,
+) {
+    assert_eq!(a.pixels().len(), b.pixels().len(), "{what}: image shape");
+    let same = a.pixels().iter().zip(b.pixels()).all(|(p, q)| {
+        [p.r, p.g, p.b, p.a]
+            .iter()
+            .map(|v| v.to_bits())
+            .eq([q.r, q.g, q.b, q.a].iter().map(|v| v.to_bits()))
+    });
+    assert!(same, "{what}: renders must be bitwise identical");
+}
+
+fn assert_store_bitwise(store: &BrickStore, reference: &impl Volume3, what: &str) {
+    let dims = reference.dims();
+    let mut got = vec![0.0f32; dims.nx];
+    let mut want = vec![0.0f32; dims.nx];
+    for k in 0..dims.nz {
+        for j in 0..dims.ny {
+            store.gather_axis_run(0, j, k, Axis::X, &mut got);
+            reference.gather_axis_run(0, j, k, Axis::X, &mut want);
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{what}: voxel ({i},{j},{k}) reads {a} want {b}"
+                );
+            }
+        }
+    }
+}
+
+/// Invariant 1 — the pinned transparency contract: with faults off, the
+/// brick store is indistinguishable from the in-memory volume to both
+/// kernels, for every on-disk SFC ordering.
+#[test]
+fn faultless_store_is_bitwise_transparent_to_both_kernels_across_layouts() {
+    let n = 16;
+    let grid = test_grid(n, 11);
+    let run = filter_run();
+    let cam = camera(n, 24);
+    let tf = TransferFunction::fire();
+    let ropts = RenderOpts {
+        nthreads: 2,
+        ..Default::default()
+    };
+
+    // References computed once from the in-memory grid.
+    let mut want_filter = Grid3::<f32, ArrayOrder3>::new(grid.dims());
+    try_bilateral3d_with_policy(&grid, &mut want_filter, &run, &ExecPolicy::Plain, &FaultPlan::none())
+        .expect("reference bilateral");
+    let (want_img, _) = render_with_policy(
+        &grid,
+        &cam,
+        &tf,
+        &ropts,
+        &ExecPolicy::Plain,
+        &FaultPlan::none(),
+    )
+    .expect("reference render");
+
+    for kind in LayoutKind::ALL {
+        let dir = store_dir(&format!("transparent_{}", kind.name()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = BrickStore::import(&dir, &grid, 8, kind, StoreOptions::default())
+            .expect("import");
+
+        let mut got_filter = Grid3::<f32, ArrayOrder3>::new(grid.dims());
+        let outcome = try_bilateral3d_with_policy(
+            &store,
+            &mut got_filter,
+            &run,
+            &ExecPolicy::Plain,
+            &FaultPlan::none(),
+        )
+        .expect("bilateral over the store");
+        assert!(outcome.output_is_whole(), "{}: filter must end whole", kind.name());
+        for k in 0..grid.dims().nz {
+            for j in 0..grid.dims().ny {
+                for i in 0..grid.dims().nx {
+                    assert_eq!(
+                        got_filter.get(i, j, k).to_bits(),
+                        want_filter.get(i, j, k).to_bits(),
+                        "{}: bilateral voxel ({i},{j},{k}) diverged",
+                        kind.name()
+                    );
+                }
+            }
+        }
+
+        let (got_img, outcome) = render_with_policy(
+            &store,
+            &cam,
+            &tf,
+            &ropts,
+            &ExecPolicy::Plain,
+            &FaultPlan::none(),
+        )
+        .expect("render over the store");
+        assert!(outcome.output_is_whole(), "{}: render must end whole", kind.name());
+        assert_images_bitwise(&got_img, &want_img, kind.name());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Invariant 2 — transient IO faults on the read path (errors and
+/// in-transit bit flips) are absorbed by bounded retry, bitwise intact,
+/// across every chaos seed.
+#[test]
+fn seeded_io_faults_on_reads_never_corrupt_delivered_data() {
+    let n = 16;
+    let grid = test_grid(n, 23);
+    let dir = store_dir("io_chaos");
+    let _ = std::fs::remove_dir_all(&dir);
+    BrickStore::import(&dir, &grid, 8, LayoutKind::Hilbert, StoreOptions::default())
+        .expect("import");
+
+    let seeds = chaos_seeds();
+    assert!(seeds.len() >= 4, "chaos sweep needs at least 4 seeds");
+    for seed in seeds {
+        let rates = IoFaultRates {
+            io_error: 0.08,
+            bit_flip: 0.08,
+            ..IoFaultRates::default()
+        };
+        let plan = IoFaultPlan::random(seed, rates);
+        // A two-brick budget forces continual re-reads from disk, so the
+        // fault plan gets enough operations to fire on every seed.
+        let opts = StoreOptions::default()
+            .with_budget(2 * 8 * 8 * 8 * 4)
+            .with_faults(plan.clone());
+        let store = BrickStore::open(&dir, opts).expect("open retries past injected faults");
+        assert_store_bitwise(&store, &grid, &format!("seed {seed:#x}"));
+        assert_store_bitwise(&store, &grid, &format!("seed {seed:#x}, second pass"));
+        let stats = store.stats();
+        assert_eq!(stats.poisoned, 0, "seed {seed:#x}: nothing may degrade to poison");
+        assert!(
+            plan.injected() > 0,
+            "seed {seed:#x}: the sweep must actually inject faults to mean anything"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Invariant 3 — scrub detects injected on-disk rot and read-repair
+/// heals it from the journal, end to end.
+#[test]
+fn scrub_detects_and_read_repair_heals_on_disk_bit_rot() {
+    let n = 16;
+    let grid = test_grid(n, 37);
+    let dir = store_dir("bitrot");
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = BrickStore::import(&dir, &grid, 8, LayoutKind::ZOrder, StoreOptions::default())
+        .expect("import");
+    let nbricks = store.geom().brick_count();
+    drop(store);
+
+    // Rot three distinct bricks: one byte each in slots 0, middle, last.
+    let slot = 8 * 8 * 8 * 4usize;
+    let data = dir.join(DATA_FILE);
+    for (i, off) in [7usize, (nbricks / 2) * slot + 100, (nbricks - 1) * slot + slot - 1]
+        .into_iter()
+        .enumerate()
+    {
+        flip_bit(&data, off as u64, (i % 8) as u8).expect("inject rot");
+    }
+
+    let store = BrickStore::open(&dir, StoreOptions::default()).expect("open");
+    let report = store.scrub();
+    assert_eq!(report.scanned, nbricks, "scrub visits every brick");
+    assert_eq!(report.repaired, 3, "all three rotted bricks repaired: {report:?}");
+    assert!(report.unrecoverable.is_empty(), "journal copies make rot recoverable");
+
+    // The repair is durable: a second scrub is clean and the content is
+    // bitwise back.
+    let report = store.scrub();
+    assert_eq!(report.clean, nbricks, "second scrub finds no residual rot: {report:?}");
+    assert_store_bitwise(&store, &grid, "after repair");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Invariant 4 — a raycast under a residency budget below a quarter of
+/// the volume, with transient read faults injected, completes whole with
+/// bounded retries and matches the in-memory render bitwise.
+#[test]
+fn streaming_raycast_under_quarter_budget_completes_whole() {
+    let n = 24;
+    let grid = test_grid(n, 41);
+    let dir = store_dir("streaming");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let volume_bytes = grid.dims().len() * 4;
+    let budget = volume_bytes / 5; // comfortably under the quarter bound
+    BrickStore::import(&dir, &grid, 8, LayoutKind::ZOrder, StoreOptions::default())
+        .expect("import");
+    let rates = IoFaultRates {
+        io_error: 0.05,
+        bit_flip: 0.05,
+        ..IoFaultRates::default()
+    };
+    let store = BrickStore::open(
+        &dir,
+        StoreOptions::default()
+            .with_budget(budget)
+            .with_faults(IoFaultPlan::random(0x5eed, rates)),
+    )
+    .expect("open under budget");
+
+    let cam = camera(n, 32);
+    let tf = TransferFunction::fire();
+    let ropts = RenderOpts {
+        nthreads: 2,
+        ..Default::default()
+    };
+    let (got, outcome) = render_with_policy(
+        &store,
+        &cam,
+        &tf,
+        &ropts,
+        &ExecPolicy::Plain,
+        &FaultPlan::none(),
+    )
+    .expect("streaming render");
+    assert!(outcome.output_is_whole(), "streaming render must end whole");
+
+    let want = render(&grid, &cam, &tf, &ropts);
+    assert_images_bitwise(&got, &want, "streaming vs in-memory");
+
+    let stats = store.stats();
+    assert!(
+        store.resident_bytes() <= budget,
+        "residency {} exceeds the {} byte budget",
+        store.resident_bytes(),
+        budget
+    );
+    assert!(stats.evictions > 0, "a sub-quarter budget must actually evict");
+    assert_eq!(stats.poisoned, 0, "transient faults must never poison");
+    assert!(
+        store.defective_bricks().is_empty(),
+        "no defects under transient-only faults"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
