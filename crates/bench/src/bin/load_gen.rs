@@ -2,11 +2,15 @@
 //!
 //! Spawns `--tenants` client threads, each issuing `--requests` requests
 //! over its own connection, optionally with injected faults and
-//! deadlines, and prints a per-outcome tally. Every reply must be a
-//! *typed* protocol response — `ok`, `err`, `overloaded`, or `shed` all
-//! count as the server holding its contract; only transport failures
-//! (connection reset, unparsable reply) fail the run. This is the CI
-//! `service-smoke` workload:
+//! deadlines, and prints a per-outcome tally plus per-tenant request
+//! latency percentiles (p50/p95/p99/max from a log2 histogram). Every
+//! reply must be a *typed* protocol response — `ok`, `err`,
+//! `overloaded`, or `shed` all count as the server holding its contract;
+//! only transport failures (connection reset, unparsable reply) fail the
+//! run. With `--scrape-metrics` the run ends by scraping the server's
+//! `metrics` verb, validating the Prometheus exposition, and checking
+//! the core metric families are present. This is the CI `service-smoke`
+//! and `metrics-smoke` workload:
 //!
 //! ```text
 //! load_gen --addr 127.0.0.1:7070 --tenants 8 --requests 4 \
@@ -15,7 +19,7 @@
 
 use std::time::{Duration, Instant};
 
-use sfc_harness::Args;
+use sfc_harness::{validate_prometheus_text, Args, HistogramSnapshot, Log2Histogram};
 use sfc_server::{Client, RespHeader};
 
 #[derive(Debug, Default, Clone, Copy)]
@@ -51,13 +55,14 @@ fn tenant_loop(
     seed_base: u64,
     deadline_ms: u64,
     faults: &str,
-) -> Tally {
+) -> (Tally, HistogramSnapshot) {
     let mut tally = Tally::default();
+    let lat = Log2Histogram::new();
     let mut client = match Client::connect(addr) {
         Ok(c) => c,
         Err(_) => {
             tally.transport_errors += requests;
-            return tally;
+            return (tally, lat.snapshot());
         }
     };
     let _ = client.set_timeout(Duration::from_secs(120));
@@ -79,7 +84,14 @@ fn tenant_loop(
             line.push_str(&format!(" deadline_ms={deadline_ms}"));
         }
         line.push_str(faults);
-        match client.request_line(&line) {
+        let t0 = Instant::now();
+        let reply = client.request_line(&line);
+        // Latency counts any typed reply — ok, err, overloaded, shed are
+        // all the server answering; only transport failures are excluded.
+        if reply.is_ok() {
+            lat.record_duration_us(t0.elapsed());
+        }
+        match reply {
             Ok((RespHeader::Ok(h), body)) => {
                 if body.len() != h.bytes {
                     tally.transport_errors += 1;
@@ -107,13 +119,48 @@ fn tenant_loop(
                     }
                     Err(_) => {
                         tally.transport_errors += requests - r - 1;
-                        return tally;
+                        return (tally, lat.snapshot());
                     }
                 }
             }
         }
     }
-    tally
+    (tally, lat.snapshot())
+}
+
+fn latency_line(who: &str, h: &HistogramSnapshot) -> String {
+    format!(
+        "latency {who} count={} p50_us={} p95_us={} p99_us={} max_us={}",
+        h.count,
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        h.max,
+    )
+}
+
+/// Scrape the `metrics` verb, validate the exposition syntax, and check
+/// the core families the service contract promises. Returns the number
+/// of samples on success.
+fn scrape_and_validate(addr: &str) -> Result<usize, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    let _ = client.set_timeout(Duration::from_secs(30));
+    let text = client.scrape_metrics().map_err(|e| format!("scrape: {e}"))?;
+    let samples = validate_prometheus_text(&text)?;
+    for family in [
+        "sfc_engine_units_completed_total",
+        "sfc_filters_nan_events_total",
+        "sfc_volrend_nan_samples_total",
+        "sfc_server_cache_hits",
+        "sfc_server_cache_misses",
+        "sfc_deadline_shed_total",
+        "sfc_store_repairs_total",
+    ] {
+        if !text.lines().any(|l| l.starts_with(family)) {
+            return Err(format!("missing core family {family}"));
+        }
+    }
+    Ok(samples)
 }
 
 fn main() {
@@ -160,13 +207,34 @@ fn main() {
         }));
     }
     let mut total = Tally::default();
-    for h in handles {
+    let mut all_lat = HistogramSnapshot::default();
+    let mut per_tenant: Vec<(usize, HistogramSnapshot)> = Vec::new();
+    for (tenant, h) in handles.into_iter().enumerate() {
         match h.join() {
-            Ok(t) => total.add(t),
+            Ok((t, lat)) => {
+                total.add(t);
+                all_lat.merge(&lat);
+                per_tenant.push((tenant, lat));
+            }
             Err(_) => total.transport_errors += requests,
         }
     }
     let elapsed = start.elapsed();
+
+    for (tenant, lat) in &per_tenant {
+        println!("{}", latency_line(&format!("tenant=t{tenant}"), lat));
+    }
+    println!("{}", latency_line("all", &all_lat));
+
+    if args.has("scrape-metrics") {
+        match scrape_and_validate(&addr) {
+            Ok(samples) => println!("metrics scrape ok: {samples} samples, core families present"),
+            Err(e) => {
+                eprintln!("metrics scrape failed: {e}");
+                total.transport_errors += 1;
+            }
+        }
+    }
 
     if args.has("shutdown") {
         match Client::connect(&addr).and_then(|mut c| c.send_line("shutdown")) {

@@ -18,8 +18,9 @@ use crate::bilateral::{bilateral_voxel, BilateralParams};
 /// Process-wide count of NaN voxels the bilateral kernel has encountered
 /// and excluded (photometric weight forced to 0). Monotonic; reset
 /// explicitly between measurements. Shared [`UnitCounters`] sink batched
-/// once per pencil.
-static NAN_EVENTS: EventCounter = EventCounter::new();
+/// once per pencil; registered in the metrics plane as
+/// `filters.nan_events`.
+static NAN_EVENTS: EventCounter = EventCounter::new("filters.nan_events");
 
 /// NaN voxels excluded by the bilateral kernel since the last
 /// [`reset_nan_events`].

@@ -32,7 +32,19 @@ use std::time::{Duration, Instant};
 
 use sfc_core::{SfcError, SfcResult};
 
+use crate::metrics::{LazyCounter, LazyGauge};
 use crate::supervise::CancelToken;
+
+// Process-wide mirrors of the per-run controller state, on the metrics
+// plane: every controller folds its events into these as they happen
+// (one relaxed atomic each), so brownout decisions are observable
+// across runs, not only in per-run QualityMaps.
+static SHED_TOTAL: LazyCounter = LazyCounter::new("deadline.shed");
+static DOWNGRADES_TOTAL: LazyCounter = LazyCounter::new("deadline.downgrades");
+static BREAKER_TOTAL: LazyCounter = LazyCounter::new("deadline.breaker_trips");
+static OVERRUNS_TOTAL: LazyCounter = LazyCounter::new("deadline.overruns");
+static EWMA_GAUGE: LazyGauge = LazyGauge::new("deadline.ewma_us");
+static WINDOW_GAUGE: LazyGauge = LazyGauge::new("deadline.window");
 
 /// Wall-clock budget and control-loop knobs for a brownout run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -345,7 +357,10 @@ impl DeadlineController {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return,
+                Ok(_) => {
+                    EWMA_GAUGE.set(next as i64);
+                    return;
+                }
                 Err(seen) => cur = seen,
             }
         }
@@ -392,6 +407,7 @@ impl DeadlineController {
         if let Some(budget) = self.cfg.budget {
             if self.start.elapsed() >= budget {
                 self.shed.fetch_add(1, Ordering::Relaxed);
+                SHED_TOTAL.add(1);
                 return Admission::Shed;
             }
         }
@@ -403,6 +419,10 @@ impl DeadlineController {
         if level == 0 {
             Admission::Full
         } else {
+            DOWNGRADES_TOTAL.add(1);
+            if tripped {
+                BREAKER_TOTAL.add(1);
+            }
             Admission::Degraded {
                 level,
                 reason: if tripped {
@@ -430,6 +450,7 @@ impl DeadlineController {
             if let Some(budget) = self.cfg.budget {
                 if self.start.elapsed() >= budget {
                     self.shed.fetch_add(1, Ordering::Relaxed);
+                    SHED_TOTAL.add(1);
                     return Err(SfcError::Cancelled { item: unit });
                 }
             }
@@ -462,6 +483,7 @@ impl DeadlineController {
                     .fetch_update(Ordering::AcqRel, Ordering::Acquire, |l| {
                         (l < cap).then_some(l + 1)
                     });
+                WINDOW_GAUGE.set(self.limit.load(Ordering::Relaxed) as i64);
             }
         }
     }
@@ -478,6 +500,7 @@ impl DeadlineController {
     /// Multiplicative decrease of the AIMD limit.
     fn throttle(&self) {
         self.overruns.fetch_add(1, Ordering::Relaxed);
+        OVERRUNS_TOTAL.add(1);
         let floor = self.cfg.min_concurrency.max(1);
         let _ = self
             .limit
@@ -485,6 +508,7 @@ impl DeadlineController {
                 let next = (l / 2).max(floor);
                 (next != l).then_some(next)
             });
+        WINDOW_GAUGE.set(self.limit.load(Ordering::Relaxed) as i64);
     }
 
     /// Ladder level for the faults-off repair pass: full quality while the

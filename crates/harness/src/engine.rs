@@ -37,7 +37,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -46,6 +46,7 @@ use sfc_core::{SfcError, SfcResult};
 use crate::deadline::{Admission, DeadlineBudget, DeadlineController, DowngradeReason, QualityMap};
 use crate::degrade::{scan_unit, DefectMap, DegradedOutcome};
 use crate::faults::FaultPlan;
+use crate::metrics::{self, LazyCounter, Log2Histogram};
 use crate::pool::{items_for_thread, Schedule};
 use crate::supervise::{CancelToken, ItemFailure, RunReport, SupervisorConfig};
 
@@ -390,24 +391,31 @@ impl Executor {
         match policy {
             ExecPolicy::Plain => {
                 let start = Instant::now();
+                let latency = unit_latency(kernel.unit_kind());
                 self.run(plan, |_tid, unit| {
+                    let t0 = Instant::now();
                     let mut buf = Vec::new();
                     kernel.compute(unit, &mut buf, &mut || true);
                     kernel.commit(unit, &buf);
+                    latency.record_duration_us(t0.elapsed());
                 });
-                DegradedOutcome::full_quality(
+                let outcome = DegradedOutcome::full_quality(
                     RunReport {
                         completed: nunits,
                         wall_time: start.elapsed(),
                         ..RunReport::default()
                     },
                     DefectMap::new(kernel.unit_kind(), nunits),
-                )
+                );
+                record_outcome_metrics(&outcome);
+                outcome
             }
             ExecPolicy::Supervised(cfg) => {
                 let report = self.supervised_commit_phase(plan, cfg, kernel, faults);
                 let defects = DefectMap::from_run_report(kernel.unit_kind(), nunits, &report);
-                DegradedOutcome::full_quality(report, defects)
+                let outcome = DegradedOutcome::full_quality(report, defects);
+                record_outcome_metrics(&outcome);
+                outcome
             }
             ExecPolicy::Degraded(policy) => self.run_degraded(plan, policy, kernel, faults),
             ExecPolicy::Brownout(policy) => {
@@ -443,8 +451,10 @@ impl Executor {
         kernel: &K,
         faults: &FaultPlan,
     ) -> RunReport {
+        let latency = unit_latency(kernel.unit_kind());
         self.run_supervised(plan, cfg, |_tid, unit, token| {
             faults.fire_cancellable(unit, token)?;
+            let t0 = Instant::now();
             let mut buf = Vec::new();
             let done = kernel.compute(unit, &mut buf, &mut || !token.is_cancelled());
             if !done {
@@ -455,6 +465,7 @@ impl Executor {
                 K::poison(&mut buf);
             }
             kernel.commit(unit, &buf);
+            latency.record_duration_us(t0.elapsed());
             Ok(())
         })
     }
@@ -511,7 +522,9 @@ impl Executor {
             }
         }
 
-        DegradedOutcome::full_quality(report, defects)
+        let outcome = DegradedOutcome::full_quality(report, defects);
+        record_outcome_metrics(&outcome);
+        outcome
     }
 
     /// The brownout pipeline: the degraded execute/validate/repair cycle
@@ -540,6 +553,7 @@ impl Executor {
     ) -> DegradedOutcome {
         let nunits = plan.nunits;
         let ctl = DeadlineController::new(&policy.deadline, nunits, self.nthreads, kernel.max_level());
+        let latency = unit_latency(kernel.unit_kind());
         let downgrades: Mutex<Vec<(usize, u8, DowngradeReason)>> = Mutex::new(Vec::new());
 
         let report = self.run_supervised(plan, &policy.supervisor, |_tid, unit, token| {
@@ -575,7 +589,9 @@ impl Executor {
             }));
             match outcome {
                 Ok(Ok(())) => {
-                    ctl.on_success(attempt.elapsed());
+                    let elapsed = attempt.elapsed();
+                    latency.record_duration_us(elapsed);
+                    ctl.on_success(elapsed);
                     Ok(())
                 }
                 Ok(Err(err)) => {
@@ -642,11 +658,13 @@ impl Executor {
             }
         }
 
-        DegradedOutcome {
+        let outcome = DegradedOutcome {
             report,
             defects,
             quality,
-        }
+        };
+        record_outcome_metrics(&outcome);
+        outcome
     }
 }
 
@@ -866,33 +884,65 @@ pub trait UnitCounters: Sync {
     fn reset(&self);
 }
 
-/// The standard process-wide [`UnitCounters`] sink: a single relaxed
-/// atomic, const-constructible so crates can keep their counters in
-/// `static`s.
-#[derive(Debug, Default)]
-pub struct EventCounter(AtomicU64);
+/// The standard process-wide [`UnitCounters`] sink: a named counter in
+/// the [`metrics`] registry (registered lazily on first touch), so every
+/// kernel event tally is visible on the one metrics plane. Recording
+/// stays a single relaxed atomic add; const-constructible so crates keep
+/// their counters in `static`s.
+#[derive(Debug)]
+pub struct EventCounter(LazyCounter);
 
 impl EventCounter {
-    /// A zeroed counter (usable in `static` initializers).
-    pub const fn new() -> Self {
-        Self(AtomicU64::new(0))
+    /// A counter registered in the global metrics registry as `name`
+    /// (stable dotted path, e.g. `filters.nan_events`).
+    pub const fn new(name: &'static str) -> Self {
+        Self(LazyCounter::new(name))
     }
 }
 
 impl UnitCounters for EventCounter {
     fn record_unit(&self, events: u64) {
-        if events > 0 {
-            self.0.fetch_add(events, Ordering::Relaxed);
-        }
+        self.0.add(events);
     }
 
     fn total(&self) -> u64 {
-        self.0.load(Ordering::Relaxed)
+        self.0.value()
     }
 
     fn reset(&self) {
-        self.0.store(0, Ordering::Relaxed);
+        self.0.reset();
     }
+}
+
+// ---------------------------------------------------------------------------
+// Engine metrics
+// ---------------------------------------------------------------------------
+
+static UNITS_COMPLETED: LazyCounter = LazyCounter::new("engine.units_completed");
+static UNITS_FAILED: LazyCounter = LazyCounter::new("engine.units_failed");
+static UNITS_RETRIED: LazyCounter = LazyCounter::new("engine.units_retried");
+static DEFECTS: LazyCounter = LazyCounter::new("engine.defects");
+static UNITS_REPAIRED: LazyCounter = LazyCounter::new("engine.units_repaired");
+static UNITS_DOWNGRADED: LazyCounter = LazyCounter::new("engine.units_downgraded");
+
+/// The per-unit commit-latency histogram for a kernel's unit kind
+/// (`engine.unit_latency_us.pencil`, `engine.unit_latency_us.tile`, …).
+/// Looked up once per run — one registry lock per `execute`, zero
+/// allocation afterwards.
+fn unit_latency(unit_kind: &str) -> &'static Log2Histogram {
+    metrics::histogram(&format!("engine.unit_latency_us.{unit_kind}"))
+}
+
+/// Fold a finished run's report, defect map, and quality map into the
+/// engine's registry counters. Called once per policy pipeline.
+fn record_outcome_metrics(outcome: &DegradedOutcome) {
+    UNITS_COMPLETED.add(outcome.report.completed as u64);
+    UNITS_FAILED.add(outcome.report.failed.len() as u64);
+    UNITS_RETRIED.add(outcome.report.retried as u64);
+    DEFECTS.add(outcome.defects.len() as u64);
+    let unrepaired = outcome.defects.unrepaired_units().len();
+    UNITS_REPAIRED.add(outcome.defects.units().len().saturating_sub(unrepaired) as u64);
+    UNITS_DOWNGRADED.add(outcome.quality.len() as u64);
 }
 
 // ---------------------------------------------------------------------------
@@ -1561,7 +1611,7 @@ mod tests {
 
     #[test]
     fn event_counter_batches_and_resets() {
-        static COUNTER: EventCounter = EventCounter::new();
+        static COUNTER: EventCounter = EventCounter::new("engine.test_events");
         COUNTER.reset();
         Executor::new(4).run(&WorkPlan::dynamic(100), |_tid, unit| {
             COUNTER.record_unit(u64::from(unit % 3 == 0)); // 34 units

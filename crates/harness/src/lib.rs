@@ -22,6 +22,9 @@
 //! * [`durable`] — crash-consistent persistence: atomic whole-file
 //!   replacement and an append-only checksummed journal with torn-tail
 //!   recovery;
+//! * [`metrics`] — the process-wide observability plane: a registry of
+//!   typed counters/gauges/log2 histograms (lock-free hot path), snapshot
+//!   merge/delta, an interval sampler, and Prometheus text exposition;
 //! * [`timing`] — warmup/repeat wall-clock measurement;
 //! * [`ds`] — the paper's "scaled, relative difference" metric;
 //! * [`table`] — paper-figure-shaped result tables (text/Markdown/CSV);
@@ -37,6 +40,7 @@ pub mod ds;
 pub mod durable;
 pub mod engine;
 pub mod faults;
+pub mod metrics;
 pub mod pool;
 pub mod supervise;
 pub mod table;
@@ -52,6 +56,10 @@ pub use engine::{
     Partition, UnitCounters, UnitKernel, WorkPlan,
 };
 pub use faults::{FaultKind, FaultPlan, FaultRates, FaultyFile, IoFaultPlan, IoFaultRates};
+pub use metrics::{
+    encode_prometheus, validate_prometheus_text, Counter, Gauge, HistogramSnapshot, LazyCounter,
+    LazyGauge, LazyHistogram, Log2Histogram, MetricValue, Registry, Sampler, Snapshot,
+};
 pub use pool::{items_for_thread, run_items, run_items_with_output, Schedule};
 pub use supervise::{
     run_items_supervised, run_items_supervised_cancellable, CancelToken, ItemFailure,

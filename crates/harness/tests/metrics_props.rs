@@ -1,0 +1,159 @@
+//! Property tests for the log2 histogram: bucket round-trips, quantile
+//! monotonicity, and merge/record equivalence, driven by a seeded
+//! [`SplitMix64`] stream (the repo's stand-in for a proptest crate).
+
+use sfc_core::SplitMix64;
+use sfc_harness::metrics::{log2_bucket, log2_bucket_range, LOG2_BUCKETS};
+use sfc_harness::{HistogramSnapshot, Log2Histogram};
+
+/// Values that sit exactly on bucket edges, where an off-by-one in the
+/// leading-zeros arithmetic would land them one bucket over.
+fn boundary_values() -> Vec<u64> {
+    let mut vals = vec![0u64, 1, 2, 3];
+    for k in 1..64u32 {
+        let p = 1u64 << k;
+        vals.extend([p - 1, p, p + 1]);
+    }
+    vals.push(u64::MAX - 1);
+    vals.push(u64::MAX);
+    vals
+}
+
+/// A mixed stream of random magnitudes: small values are as common as
+/// huge ones, so every bucket region gets exercised.
+fn random_values(seed: u64, n: usize) -> Vec<u64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| {
+            let raw = rng.next_u64();
+            let shift = (rng.next_u64() % 64) as u32;
+            raw >> shift
+        })
+        .collect()
+}
+
+#[test]
+fn bucket_round_trip_holds_for_boundaries_and_random_values() {
+    let mut vals = boundary_values();
+    vals.extend(random_values(0xB0B, 20_000));
+    for v in vals {
+        let b = log2_bucket(v);
+        assert!(b < LOG2_BUCKETS, "bucket {b} out of range for {v}");
+        let (lo, hi) = log2_bucket_range(b);
+        assert!(
+            lo <= v && v <= hi,
+            "value {v} -> bucket {b} but range is [{lo}, {hi}]"
+        );
+    }
+}
+
+#[test]
+fn bucket_ranges_partition_u64_exactly() {
+    // Consecutive ranges must tile [0, u64::MAX] with no gap or overlap.
+    let (lo0, _) = log2_bucket_range(0);
+    assert_eq!(lo0, 0);
+    for b in 1..LOG2_BUCKETS {
+        let (_, prev_hi) = log2_bucket_range(b - 1);
+        let (lo, hi) = log2_bucket_range(b);
+        assert_eq!(lo, prev_hi + 1, "gap/overlap between buckets {} and {b}", b - 1);
+        assert!(lo <= hi);
+    }
+    let (_, last_hi) = log2_bucket_range(LOG2_BUCKETS - 1);
+    assert_eq!(last_hi, u64::MAX);
+}
+
+#[test]
+fn quantiles_are_monotone_and_bounded_by_max() {
+    for seed in [1u64, 7, 42] {
+        let h = Log2Histogram::new();
+        let vals = random_values(seed, 5_000);
+        let true_max = vals.iter().copied().max().unwrap_or(0);
+        for v in &vals {
+            h.record(*v);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, vals.len() as u64);
+        assert_eq!(snap.max, true_max);
+        let qs: Vec<u64> = (0..=20).map(|i| snap.quantile(i as f64 / 20.0)).collect();
+        for w in qs.windows(2) {
+            assert!(w[0] <= w[1], "quantiles must be monotone: {qs:?}");
+        }
+        // Every quantile is a bucket upper bound clamped by the true max.
+        assert_eq!(snap.quantile(1.0), true_max);
+        for (i, q) in qs.iter().enumerate() {
+            assert!(
+                *q <= true_max,
+                "q{} = {q} exceeds max {true_max}",
+                i * 5
+            );
+        }
+    }
+}
+
+#[test]
+fn quantile_is_an_upper_bound_on_the_true_percentile() {
+    // The log2 quantile returns its bucket's upper bound, so it can
+    // overshoot the exact order statistic but never undershoot it.
+    let h = Log2Histogram::new();
+    let mut vals = random_values(0xFEED, 4_001);
+    for v in &vals {
+        h.record(*v);
+    }
+    let snap = h.snapshot();
+    vals.sort_unstable();
+    for q in [0.5, 0.9, 0.95, 0.99] {
+        let rank = ((q * vals.len() as f64).ceil() as usize).clamp(1, vals.len());
+        let exact = vals[rank - 1];
+        let est = snap.quantile(q);
+        assert!(
+            est >= exact,
+            "q={q}: histogram estimate {est} below exact order statistic {exact}"
+        );
+        // And the estimate stays within the exact value's bucket (the
+        // log2 error contract: at most one power of two).
+        assert!(
+            est <= log2_bucket_range(log2_bucket(exact)).1,
+            "q={q}: estimate {est} left the exact value's bucket"
+        );
+    }
+}
+
+#[test]
+fn merging_snapshots_equals_recording_into_one_histogram() {
+    let one = Log2Histogram::new();
+    let parts: Vec<Log2Histogram> = (0..4).map(|_| Log2Histogram::new()).collect();
+    let mut rng = SplitMix64::new(0xCAFE);
+    for i in 0..10_000usize {
+        let v = rng.next_u64() >> (rng.next_u64() % 64);
+        one.record(v);
+        parts[i % parts.len()].record(v);
+    }
+    let mut merged = HistogramSnapshot::default();
+    for p in &parts {
+        merged.merge(&p.snapshot());
+    }
+    assert_eq!(merged, one.snapshot(), "merge must equal single-histogram recording");
+}
+
+#[test]
+fn delta_undoes_merge() {
+    let h = Log2Histogram::new();
+    let mut rng = SplitMix64::new(3);
+    for _ in 0..500 {
+        h.record(rng.next_u64() >> 40);
+    }
+    let before = h.snapshot();
+    for _ in 0..500 {
+        h.record(rng.next_u64() >> 40);
+    }
+    let after = h.snapshot();
+    let d = after.delta(&before);
+    assert_eq!(d.count, 500);
+    let mut rebuilt = before;
+    rebuilt.merge(&d);
+    // max is tracked as a high-water mark, so delta keeps the later max;
+    // everything else must round-trip exactly.
+    assert_eq!(rebuilt.buckets, after.buckets);
+    assert_eq!(rebuilt.count, after.count);
+    assert_eq!(rebuilt.sum, after.sum);
+}

@@ -8,10 +8,42 @@
 //! depend on it; see [`crate::hierarchy`] docs).
 
 use sfc_core::SfcResult;
-use sfc_harness::{Executor, WorkPlan};
+use sfc_harness::{Executor, LazyCounter, WorkPlan};
 
 use crate::cache::Cache;
 use crate::hierarchy::{CoreCounters, CoreSim, HierarchyConfig, SimReport};
+
+// Process-wide mirrors of the per-run simulation totals: every completed
+// multicore run folds its report into these, so the metrics plane sees
+// cumulative simulated traffic across all sweeps in the process.
+static SIM_RUNS: LazyCounter = LazyCounter::new("memsim.runs");
+static SIM_READS: LazyCounter = LazyCounter::new("memsim.reads");
+static SIM_WRITES: LazyCounter = LazyCounter::new("memsim.writes");
+static L1_HITS: LazyCounter = LazyCounter::new("memsim.l1.hits");
+static L1_MISSES: LazyCounter = LazyCounter::new("memsim.l1.misses");
+static L2_HITS: LazyCounter = LazyCounter::new("memsim.l2.hits");
+static L2_MISSES: LazyCounter = LazyCounter::new("memsim.l2.misses");
+static TLB_HITS: LazyCounter = LazyCounter::new("memsim.tlb.hits");
+static TLB_MISSES: LazyCounter = LazyCounter::new("memsim.tlb.misses");
+static LLC_HITS: LazyCounter = LazyCounter::new("memsim.llc.hits");
+static LLC_MISSES: LazyCounter = LazyCounter::new("memsim.llc.misses");
+
+fn record_report_metrics(report: &SimReport) {
+    let t = report.total();
+    SIM_RUNS.add(1);
+    SIM_READS.add(t.reads);
+    SIM_WRITES.add(t.writes);
+    L1_HITS.add(t.l1.hits);
+    L1_MISSES.add(t.l1.misses);
+    L2_HITS.add(t.l2.hits);
+    L2_MISSES.add(t.l2.misses);
+    TLB_HITS.add(t.tlb.hits);
+    TLB_MISSES.add(t.tlb.misses);
+    if let Some(llc) = &report.llc {
+        LLC_HITS.add(llc.hits);
+        LLC_MISSES.add(llc.misses);
+    }
+}
 
 /// Lines replayed from one core before moving to the next.
 pub const DEFAULT_LLC_CHUNK: usize = 64;
@@ -72,7 +104,9 @@ where
         replay_shared_llc(llc_cfg, &traces, DEFAULT_LLC_CHUNK)
     });
 
-    Ok(SimReport { per_core, llc })
+    let report = SimReport { per_core, llc };
+    record_report_metrics(&report);
+    Ok(report)
 }
 
 /// Run `work(core_id, sim)` for each of `ncores` simulated cores and

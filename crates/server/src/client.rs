@@ -49,6 +49,30 @@ impl Client {
         Ok(reply.trim_end().to_string())
     }
 
+    /// Scrape the server's Prometheus exposition: send the `metrics`
+    /// verb and read the framed body (`metrics bytes=N` header line,
+    /// then N bytes of text).
+    pub fn scrape_metrics(&mut self) -> SfcResult<String> {
+        self.stream
+            .write_all(b"metrics\n")
+            .map_err(|e| io_err("write", e))?;
+        let mut header = String::new();
+        self.reader
+            .read_line(&mut header)
+            .map_err(|e| io_err("read metrics header", e))?;
+        let bytes = header
+            .trim_end()
+            .strip_prefix("metrics bytes=")
+            .and_then(|n| n.parse::<usize>().ok())
+            .ok_or_else(|| SfcError::corrupt("metrics header", header.trim_end().to_string()))?;
+        let mut body = vec![0u8; bytes];
+        self.reader
+            .read_exact(&mut body)
+            .map_err(|e| io_err("read metrics body", e))?;
+        String::from_utf8(body)
+            .map_err(|e| SfcError::corrupt("metrics body", e.to_string()))
+    }
+
     /// Submit a typed request and read the full reply (header + body).
     pub fn request(&mut self, req: &Request) -> SfcResult<(RespHeader, Vec<u8>)> {
         self.request_line(&req.format())

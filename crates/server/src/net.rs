@@ -152,6 +152,16 @@ pub fn handle_conn(
                 stream.write_all(b"\n")?;
                 continue;
             }
+            "metrics" => {
+                // Prometheus text is multi-line, so it is framed like a
+                // binary body: a `metrics bytes=N` header line, then N
+                // bytes of exposition text.
+                let body = svc.prometheus_text();
+                stream.write_all(format!("metrics bytes={}\n", body.len()).as_bytes())?;
+                stream.write_all(body.as_bytes())?;
+                stream.flush()?;
+                continue;
+            }
             "shutdown" => {
                 stream.write_all(b"ok draining\n")?;
                 shutdown.store(true, Ordering::Relaxed);

@@ -33,9 +33,10 @@ use std::time::{Duration, Instant};
 use sfc_core::{ArrayOrder3, Axis, Dims3, Grid3, SfcResult, StencilOrder};
 use sfc_datagen::save_volume;
 use sfc_filters::{try_bilateral3d_with_policy, BilateralParams, FilterRun};
+use sfc_harness::metrics::{self, Registry, Sampler, Snapshot};
 use sfc_harness::{
     CancelToken, DeadlineBudget, DegradedOutcome, DowngradeReason, ExecPolicy, Executor,
-    FaultPlan, Journal, JournalRecovery, Schedule, SupervisorConfig,
+    FaultPlan, Journal, JournalRecovery, LazyCounter, Schedule, SupervisorConfig,
 };
 use sfc_volrend::{
     render_with_policy, vec3, Camera, Image, Projection, RenderOpts, TransferFunction,
@@ -107,6 +108,15 @@ struct ActiveJob {
     waiters: Vec<CancelToken>,
 }
 
+/// Process-wide mirror of lane panics (per-instance accounting stays in
+/// `Service::panics`; the registry counter is cumulative across all
+/// services in the process).
+static PANICS_TOTAL: LazyCounter = LazyCounter::new("server.lane_panics");
+
+/// How often the service's [`Sampler`] folds polled state (active
+/// requests, cache residency, scheduler totals) into the global registry.
+const SAMPLE_INTERVAL: Duration = Duration::from_millis(100);
+
 /// The multi-tenant volume service: scheduler + lanes + cache + journal.
 pub struct Service {
     cfg: ServiceConfig,
@@ -121,6 +131,7 @@ pub struct Service {
     next_id: AtomicU64,
     save_seq: AtomicU64,
     panics: AtomicU64,
+    sampler: Mutex<Option<Sampler>>,
 }
 
 fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
@@ -162,6 +173,7 @@ impl Service {
             next_id: AtomicU64::new(0),
             save_seq: AtomicU64::new(0),
             panics: AtomicU64::new(0),
+            sampler: Mutex::new(None),
             cfg,
         });
         let mut threads = Vec::new();
@@ -184,7 +196,102 @@ impl Service {
             );
         }
         *lock(&svc.threads) = threads;
+        // Pre-register the core metric families: lazily-registered
+        // counters only appear in the registry once first incremented, but
+        // a scrape must expose the whole contract (at zero) from boot.
+        for name in [
+            "engine.units_completed",
+            "engine.units_failed",
+            "engine.units_retried",
+            "engine.defects",
+            "engine.units_repaired",
+            "engine.units_downgraded",
+            "filters.nan_events",
+            "volrend.nan_samples",
+            "deadline.shed",
+            "deadline.downgrades",
+            "deadline.breaker_trips",
+            "deadline.overruns",
+            "store.hits",
+            "store.misses",
+            "store.evictions",
+            "store.retries",
+            "store.repairs",
+            "store.repair_writebacks_failed",
+            "store.poisoned",
+            "server.lane_panics",
+        ] {
+            let _ = metrics::counter(name);
+        }
+        {
+            // Interval sampler: folds this instance's polled state into
+            // the process-wide registry so an out-of-band scrape of the
+            // global registry stays fresh between requests. Holds a Weak
+            // reference — the sampler never keeps a drained service alive.
+            let weak = Arc::downgrade(&svc);
+            let source: metrics::SampleFn = Box::new(move |reg: &Registry| {
+                if let Some(s) = weak.upgrade() {
+                    s.fold_into(reg);
+                }
+            });
+            *lock(&svc.sampler) = Some(Sampler::spawn(SAMPLE_INTERVAL, vec![source]));
+        }
         Ok(svc)
+    }
+
+    /// This instance's polled state as `server.*` name → value pairs
+    /// (the single source both the sampler and the snapshot overlay use).
+    fn server_gauges(&self) -> [(&'static str, i64); 16] {
+        let s = self.sched.stats();
+        let c = self.cache.stats();
+        [
+            ("server.sched.submitted", s.submitted as i64),
+            ("server.sched.served", s.served as i64),
+            ("server.sched.coalesced", s.coalesced as i64),
+            ("server.sched.overloaded", s.overloaded as i64),
+            ("server.sched.shed", s.shed as i64),
+            ("server.sched.abandoned", s.abandoned as i64),
+            ("server.cache.hits", c.hits as i64),
+            ("server.cache.misses", c.misses as i64),
+            ("server.cache.evictions", c.evictions as i64),
+            ("server.cache.spills", c.spills as i64),
+            ("server.cache.spill_hits", c.spill_hits as i64),
+            ("server.cache.spill_corrupt", c.spill_corrupt as i64),
+            ("server.cache.resident_bytes", c.resident_bytes as i64),
+            ("server.cache.resident", c.resident as i64),
+            ("server.active", self.active_count() as i64),
+            ("server.panics", self.panics.load(Ordering::Relaxed) as i64),
+        ]
+    }
+
+    /// Write this instance's polled state into `reg` under `server.*`
+    /// names (the sampler's source). Best-effort, last-writer-wins when
+    /// several services share the process; exact per-instance values come
+    /// from [`Service::metrics_snapshot`], which overlays the snapshot
+    /// directly and never races another instance.
+    fn fold_into(&self, reg: &Registry) {
+        for (name, v) in self.server_gauges() {
+            reg.gauge(name).set(v);
+        }
+    }
+
+    /// One coherent snapshot of the whole metrics plane: the global
+    /// registry (engine, deadline, store, memsim, filter/render counters)
+    /// with this instance's `server.*` state overlaid. Both
+    /// [`Service::stats_line`] and the Prometheus `metrics` verb render
+    /// from this single snapshot, so they agree by construction.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = metrics::global().snapshot();
+        for (name, v) in self.server_gauges() {
+            snap.set_gauge(name, v);
+        }
+        snap
+    }
+
+    /// The full metrics plane in Prometheus text exposition format (the
+    /// `metrics` verb's body).
+    pub fn prometheus_text(&self) -> String {
+        sfc_harness::encode_prometheus(&self.metrics_snapshot())
     }
 
     /// Admit a request (the net layer's entry point).
@@ -203,29 +310,31 @@ impl Service {
         self.active_count()
     }
 
-    /// One `key=value` stats line for the `stats` verb.
+    /// One `key=value` stats line for the `stats` verb: a thin formatter
+    /// over [`Service::metrics_snapshot`] (key set and semantics are
+    /// pinned by regression test — see `tests/service.rs`).
     pub fn stats_line(&self) -> String {
-        let s = self.sched.stats();
-        let c = self.cache.stats();
+        let m = self.metrics_snapshot();
+        let g = |k: &str| m.gauge(k);
         format!(
             "stats submitted={} served={} coalesced={} overloaded={} shed={} abandoned={} \
              cache_hits={} cache_misses={} cache_evictions={} resident_bytes={} \
              active={} panics={} spills={} spill_hits={} spill_corrupt={}",
-            s.submitted,
-            s.served,
-            s.coalesced,
-            s.overloaded,
-            s.shed,
-            s.abandoned,
-            c.hits,
-            c.misses,
-            c.evictions,
-            c.resident_bytes,
-            lock(&self.active).len(),
-            self.panics.load(Ordering::Relaxed),
-            c.spills,
-            c.spill_hits,
-            c.spill_corrupt,
+            g("server.sched.submitted"),
+            g("server.sched.served"),
+            g("server.sched.coalesced"),
+            g("server.sched.overloaded"),
+            g("server.sched.shed"),
+            g("server.sched.abandoned"),
+            g("server.cache.hits"),
+            g("server.cache.misses"),
+            g("server.cache.evictions"),
+            g("server.cache.resident_bytes"),
+            g("server.active"),
+            g("server.panics"),
+            g("server.cache.spills"),
+            g("server.cache.spill_hits"),
+            g("server.cache.spill_corrupt"),
         )
     }
 
@@ -240,6 +349,7 @@ impl Service {
                 }),
                 Err(panic) => {
                     self.panics.fetch_add(1, Ordering::Relaxed);
+                    PANICS_TOTAL.add(1);
                     let msg = panic
                         .downcast_ref::<&str>()
                         .map(|s| s.to_string())
@@ -438,6 +548,10 @@ impl Service {
         }
         self.sched.stop();
         self.running.store(false, Ordering::Relaxed);
+        // Stop the sampler (its final tick folds the post-drain state).
+        if let Some(sampler) = lock(&self.sampler).take() {
+            sampler.stop();
+        }
         let threads = std::mem::take(&mut *lock(&self.threads));
         for t in threads {
             let _ = t.join();

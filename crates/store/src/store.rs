@@ -35,6 +35,7 @@ use sfc_core::{fnv1a64, Axis, Dims3, LayoutKind, SfcError, SfcResult, Volume3};
 use sfc_datagen::bricks::{extract_brick, BrickGeom};
 use sfc_harness::durable::{write_atomic_with, Journal};
 use sfc_harness::faults::{FaultyFile, IoFaultPlan};
+use sfc_harness::LazyCounter;
 
 use crate::manifest::{Manifest, SlotEntry};
 
@@ -125,6 +126,24 @@ struct AtomicStats {
     repair_writebacks_failed: AtomicU64,
     poisoned: AtomicU64,
 }
+
+// Process-wide mirrors of the per-store counters. Every increment below
+// lands both in the owning store's `AtomicStats` (exact per-handle
+// accounting, used by tests and `StoreStats`) and in these registry
+// counters (cumulative across all stores in the process, scraped by the
+// metrics plane).
+static HITS_TOTAL: LazyCounter = LazyCounter::new("store.hits");
+static MISSES_TOTAL: LazyCounter = LazyCounter::new("store.misses");
+static EVICTIONS_TOTAL: LazyCounter = LazyCounter::new("store.evictions");
+static RETRIES_TOTAL: LazyCounter = LazyCounter::new("store.retries");
+static REPAIRS_TOTAL: LazyCounter = LazyCounter::new("store.repairs");
+static REPAIR_WRITEBACKS_FAILED_TOTAL: LazyCounter =
+    LazyCounter::new("store.repair_writebacks_failed");
+static POISONED_TOTAL: LazyCounter = LazyCounter::new("store.poisoned");
+static SCRUB_RUNS: LazyCounter = LazyCounter::new("store.scrub.runs");
+static SCRUB_CLEAN: LazyCounter = LazyCounter::new("store.scrub.clean");
+static SCRUB_REPAIRED: LazyCounter = LazyCounter::new("store.scrub.repaired");
+static SCRUB_UNRECOVERABLE: LazyCounter = LazyCounter::new("store.scrub.unrecoverable");
 
 /// Outcome of a [`BrickStore::scrub`] walk.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -584,6 +603,7 @@ impl BrickStore {
         for attempt in 0..self.opts.attempts.max(1) {
             if attempt > 0 {
                 self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                RETRIES_TOTAL.add(1);
                 std::thread::sleep(self.opts.backoff * attempt);
             }
             match self.read_slot_once(slot) {
@@ -641,11 +661,13 @@ impl BrickStore {
         match write_back {
             Ok(()) => {
                 self.stats.repairs.fetch_add(1, Ordering::Relaxed);
+                REPAIRS_TOTAL.add(1);
             }
             Err(_) => {
                 self.stats
                     .repair_writebacks_failed
                     .fetch_add(1, Ordering::Relaxed);
+                REPAIR_WRITEBACKS_FAILED_TOTAL.add(1);
             }
         }
         Ok(payload)
@@ -660,6 +682,7 @@ impl BrickStore {
                 Ok(payload) => Arc::new(f32s_from_le(&payload)),
                 Err(_) => {
                     self.stats.poisoned.fetch_add(1, Ordering::Relaxed);
+                    POISONED_TOTAL.add(1);
                     self.defects
                         .lock()
                         .expect("defects lock")
@@ -677,9 +700,11 @@ impl BrickStore {
         let id = brick_id as u64;
         if let Some(hit) = self.lru.lock().expect("lru lock").get(id) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            HITS_TOTAL.add(1);
             return hit;
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        MISSES_TOTAL.add(1);
         // Load outside the LRU lock: concurrent loaders of the same brick
         // race harmlessly (insert() keeps the incumbent, the loser's read
         // is dropped) and loaders of different bricks overlap their IO.
@@ -687,6 +712,7 @@ impl BrickStore {
         let (buf, evicted) = self.lru.lock().expect("lru lock").insert(id, buf);
         if evicted > 0 {
             self.stats.evictions.fetch_add(evicted, Ordering::Relaxed);
+            EVICTIONS_TOTAL.add(evicted);
         }
         buf
     }
@@ -708,6 +734,10 @@ impl BrickStore {
                 },
             }
         }
+        SCRUB_RUNS.add(1);
+        SCRUB_CLEAN.add(report.clean as u64);
+        SCRUB_REPAIRED.add(report.repaired as u64);
+        SCRUB_UNRECOVERABLE.add(report.unrecoverable.len() as u64);
         report
     }
 }

@@ -28,8 +28,9 @@ use crate::transfer::TransferFunction;
 
 /// Process-wide count of NaN voxel taps the trilinear sampler has
 /// substituted with `0.0`. Monotonic; reset explicitly between
-/// measurements. Shared [`UnitCounters`] sink batched once per tile/ray.
-static NAN_SAMPLES: EventCounter = EventCounter::new();
+/// measurements. Shared [`UnitCounters`] sink batched once per tile/ray;
+/// registered in the metrics plane as `volrend.nan_samples`.
+static NAN_SAMPLES: EventCounter = EventCounter::new("volrend.nan_samples");
 
 /// NaN voxel taps substituted by the sampler since the last
 /// [`reset_nan_samples`].

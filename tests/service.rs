@@ -302,3 +302,162 @@ fn shutdown_drains_gracefully_and_inflight_requests_finish() {
         "listener closed after shutdown"
     );
 }
+
+/// Parse a `stats key=value ...` line into ordered (key, value) pairs.
+fn parse_stats_line(line: &str) -> Vec<(String, i64)> {
+    let rest = line.strip_prefix("stats ").expect("stats prefix");
+    rest.split_whitespace()
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').expect("key=value");
+            (k.to_string(), v.parse::<i64>().expect("integer value"))
+        })
+        .collect()
+}
+
+#[test]
+fn stats_line_pins_every_preexisting_key_with_identical_semantics() {
+    // Regression pin for the registry-backed stats_line: the exact key
+    // set, order, and per-key semantics of the original hand-formatted
+    // line must survive the refactor.
+    let svc = Service::start(ServiceConfig::default()).expect("service starts");
+    let ask = || {
+        let req = sfc_server::Request::parse("filter tenant=t size=8 seed=11 radius=1")
+            .expect("valid");
+        let t = svc.submit(req).expect("admitted");
+        t.wait(Duration::from_secs(30)).expect("reply in time")
+    };
+    ask(); // cache miss
+    ask(); // identical request: cache hit
+    // Quiesce: both requests delivered, nothing active.
+    let t0 = Instant::now();
+    while svc.active_requests() > 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let pairs = parse_stats_line(&svc.stats_line());
+    let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    assert_eq!(
+        keys,
+        [
+            "submitted",
+            "served",
+            "coalesced",
+            "overloaded",
+            "shed",
+            "abandoned",
+            "cache_hits",
+            "cache_misses",
+            "cache_evictions",
+            "resident_bytes",
+            "active",
+            "panics",
+            "spills",
+            "spill_hits",
+            "spill_corrupt",
+        ],
+        "stats_line key set/order changed"
+    );
+    let get = |k: &str| pairs.iter().find(|(key, _)| key == k).expect("key present").1;
+    assert_eq!(get("submitted"), 2, "two requests were admitted");
+    assert_eq!(get("served"), 2, "both executed");
+    assert_eq!(get("coalesced"), 0);
+    assert_eq!(get("overloaded"), 0);
+    assert_eq!(get("shed"), 0);
+    assert_eq!(get("abandoned"), 0);
+    assert_eq!(get("cache_hits"), 1, "second identical request hits");
+    assert_eq!(get("cache_misses"), 1, "first request misses");
+    assert_eq!(get("cache_evictions"), 0);
+    assert_eq!(get("resident_bytes"), 8 * 8 * 8 * 4, "one resident 8^3 volume");
+    assert_eq!(get("active"), 0, "quiesced");
+    assert_eq!(get("panics"), 0);
+    assert_eq!(get("spills"), 0);
+    assert_eq!(get("spill_hits"), 0);
+    assert_eq!(get("spill_corrupt"), 0);
+
+    // The line is a formatter over the same snapshot the metrics verb
+    // exposes: every key agrees with its server.* gauge.
+    let snap = svc.metrics_snapshot();
+    assert_eq!(snap.gauge("server.sched.submitted"), get("submitted"));
+    assert_eq!(snap.gauge("server.cache.hits"), get("cache_hits"));
+    assert_eq!(snap.gauge("server.cache.misses"), get("cache_misses"));
+    assert_eq!(snap.gauge("server.cache.resident_bytes"), get("resident_bytes"));
+    assert_eq!(snap.gauge("server.active"), get("active"));
+    assert_eq!(snap.gauge("server.panics"), get("panics"));
+
+    svc.drain(Duration::from_secs(5));
+}
+
+#[test]
+fn metrics_verb_returns_valid_prometheus_that_agrees_with_stats() {
+    use sfc_repro::harness::validate_prometheus_text;
+
+    let (svc, addr, flag, handle) = start_server(ServiceConfig {
+        exec_threads: EXEC_THREADS,
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    client.set_timeout(Duration::from_secs(30)).expect("timeout");
+    let (header, _) = client
+        .request_line("filter tenant=t size=8 seed=5 radius=1")
+        .expect("reply");
+    assert!(matches!(header, RespHeader::Ok(_)));
+
+    // Quiesce so stats and the scrape observe the same settled state.
+    let t0 = Instant::now();
+    while svc.active_requests() > 0 && t0.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let stats = client.send_line("stats").expect("stats");
+    let text = client.scrape_metrics().expect("metrics verb");
+    let samples = validate_prometheus_text(&text).expect("valid Prometheus exposition");
+    assert!(samples > 20, "expected a real scrape, got {samples} samples");
+
+    // Core families are present from boot, even at zero.
+    for family in [
+        "sfc_engine_units_completed_total",
+        "sfc_filters_nan_events_total",
+        "sfc_volrend_nan_samples_total",
+        "sfc_deadline_shed_total",
+        "sfc_store_repairs_total",
+        "sfc_server_lane_panics_total",
+    ] {
+        assert!(
+            text.lines().any(|l| l.starts_with(family)),
+            "missing family {family} in scrape"
+        );
+    }
+
+    // Shared quantities agree between the stats line and the scrape.
+    let pairs = parse_stats_line(&stats);
+    let stat = |k: &str| pairs.iter().find(|(key, _)| key == k).expect("stat key").1;
+    let sample = |name: &str| -> i64 {
+        text.lines()
+            .find(|l| {
+                l.split_whitespace().next() == Some(name)
+            })
+            .unwrap_or_else(|| panic!("sample {name} missing"))
+            .split_whitespace()
+            .nth(1)
+            .expect("sample value")
+            .parse()
+            .expect("integer sample")
+    };
+    for (stat_key, metric) in [
+        ("submitted", "sfc_server_sched_submitted"),
+        ("served", "sfc_server_sched_served"),
+        ("cache_hits", "sfc_server_cache_hits"),
+        ("cache_misses", "sfc_server_cache_misses"),
+        ("resident_bytes", "sfc_server_cache_resident_bytes"),
+        ("active", "sfc_server_active"),
+        ("panics", "sfc_server_panics"),
+    ] {
+        assert_eq!(
+            stat(stat_key),
+            sample(metric),
+            "stats key {stat_key} disagrees with scrape sample {metric}"
+        );
+    }
+
+    stop_server(&svc, &flag, handle);
+}
