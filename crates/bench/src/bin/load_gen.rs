@@ -1,50 +1,164 @@
-//! `load_gen` — concurrent multi-tenant load driver for `sfc_serve`.
+//! `load_gen` — concurrent multi-tenant load driver for a replicated
+//! `sfc_serve` group.
 //!
-//! Spawns `--tenants` client threads, each issuing `--requests` requests
-//! over its own connection, optionally with injected faults and
-//! deadlines, and prints a per-outcome tally plus per-tenant request
-//! latency percentiles (p50/p95/p99/max from a log2 histogram). Every
-//! reply must be a *typed* protocol response — `ok`, `err`,
-//! `overloaded`, or `shed` all count as the server holding its contract;
-//! only transport failures (connection reset, unparsable reply) fail the
-//! run. With `--scrape-metrics` the run ends by scraping the server's
-//! `metrics` verb, validating the Prometheus exposition, and checking
-//! the core metric families are present. This is the CI `service-smoke`
-//! and `metrics-smoke` workload:
+//! Spawns `--tenants` client threads, each issuing `--requests` requests,
+//! optionally with injected faults, deadlines, and periodic `save=1`
+//! durability writes, and prints a per-outcome tally plus per-tenant
+//! latency percentiles (p50/p95/p99/max from a log2 histogram).
+//!
+//! By default each tenant drives a resilient client ([`ResilientClient`])
+//! over `--replicas host:port,...` (or the single `--addr`): bounded
+//! idempotent retries with decorrelated-jitter backoff and a retry
+//! budget, per-endpoint circuit breakers with failover, hedged reads,
+//! and deadline propagation. `--no-retry` reverts to the plain
+//! single-connection [`Client`] loop (the CI `service-smoke` baseline).
+//!
+//! Every *typed* protocol reply — `ok`, `err`, `overloaded`, `shed`,
+//! `expired`, dedup replays — counts as the server holding its contract;
+//! only transport failures make the run exit non-zero (contract pinned
+//! in `sfc_bench::loadgen`).
+//!
+//! Chaos mode: `--kill-pid P --kill-after-ms M` SIGKILLs one replica
+//! mid-storm from a background thread, so CI can assert that the
+//! surviving replicas absorb the failover with zero lost acknowledged
+//! saves:
 //!
 //! ```text
-//! load_gen --addr 127.0.0.1:7070 --tenants 8 --requests 4 \
-//!          --panic-rate 0.2 --timeout-rate 0.2 --shutdown
+//! load_gen --replicas 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 \
+//!          --tenants 8 --requests 8 --save-every 4 \
+//!          --kill-pid $REPLICA2 --kill-after-ms 500
 //! ```
 
 use std::time::{Duration, Instant};
 
+use sfc_bench::Tally;
 use sfc_harness::{validate_prometheus_text, Args, HistogramSnapshot, Log2Histogram};
-use sfc_server::{Client, RespHeader};
+use sfc_server::{Client, Request, ResilientClient, RespHeader, RetryPolicy};
 
-#[derive(Debug, Default, Clone, Copy)]
-struct Tally {
-    ok_whole: usize,
-    ok_degraded: usize,
-    errs: usize,
-    overloaded: usize,
-    shed: usize,
-    transport_errors: usize,
+/// Build one request line for tenant request `r` (shared by both loops,
+/// so plain and resilient runs issue byte-identical workloads).
+#[allow(clippy::too_many_arguments)]
+fn request_line(
+    tenant: usize,
+    r: usize,
+    size: usize,
+    radius: usize,
+    image: usize,
+    mix: &str,
+    seed_base: u64,
+    deadline_ms: u64,
+    faults: &str,
+    save: bool,
+) -> String {
+    let op_render = match mix {
+        "filter" => false,
+        "render" => true,
+        _ => (tenant + r) % 2 == 1,
+    };
+    // Half the fleet shares seeds (exercises coalescing and the volume
+    // cache), half gets private ones.
+    let seed = seed_base + (r as u64) * 2 + u64::from(tenant.is_multiple_of(2));
+    let mut line = if op_render {
+        format!("render tenant=t{tenant} size={size} seed={seed} image={image}")
+    } else {
+        format!("filter tenant=t{tenant} size={size} seed={seed} radius={radius}")
+    };
+    if deadline_ms > 0 {
+        line.push_str(&format!(" deadline_ms={deadline_ms}"));
+    }
+    if save {
+        line.push_str(" save=1");
+    }
+    line.push_str(faults);
+    line
 }
 
-impl Tally {
-    fn add(&mut self, other: Tally) {
-        self.ok_whole += other.ok_whole;
-        self.ok_degraded += other.ok_degraded;
-        self.errs += other.errs;
-        self.overloaded += other.overloaded;
-        self.shed += other.shed;
-        self.transport_errors += other.transport_errors;
+fn tally_header(tally: &mut Tally, header: &RespHeader, body_len: usize, save: bool) {
+    match header {
+        RespHeader::Ok(h) => {
+            if body_len != h.bytes {
+                tally.transport_errors += 1;
+                return;
+            }
+            if h.dedup {
+                tally.dedup += 1;
+            }
+            if save {
+                tally.saves_acked += 1;
+            }
+            if h.whole && h.downgraded == 0 {
+                tally.ok_whole += 1;
+            } else {
+                tally.ok_degraded += 1;
+            }
+        }
+        RespHeader::Err { .. } => tally.errs += 1,
+        RespHeader::Overloaded { .. } => {
+            tally.overloaded += 1;
+            // Typed backpressure: back off as a well-behaved client
+            // would before the next request.
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        RespHeader::Shed { .. } => tally.shed += 1,
+        RespHeader::Expired { .. } => tally.expired += 1,
     }
 }
 
+/// The default mode: one [`ResilientClient`] per tenant over the whole
+/// replica group.
 #[allow(clippy::too_many_arguments)]
-fn tenant_loop(
+fn tenant_loop_resilient(
+    replicas: &[String],
+    tenant: usize,
+    requests: usize,
+    size: usize,
+    radius: usize,
+    image: usize,
+    mix: &str,
+    seed_base: u64,
+    deadline_ms: u64,
+    faults: &str,
+    save_every: usize,
+) -> (Tally, HistogramSnapshot) {
+    let mut tally = Tally::default();
+    let lat = Log2Histogram::new();
+    let client = ResilientClient::new(
+        replicas.iter().cloned(),
+        RetryPolicy::default(),
+        seed_base ^ ((tenant as u64) << 32),
+    );
+    for r in 0..requests {
+        let save = save_every > 0 && (r + 1).is_multiple_of(save_every);
+        let line = request_line(
+            tenant, r, size, radius, image, mix, seed_base, deadline_ms, faults, save,
+        );
+        let req = match Request::parse(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                // A line we generated must always parse; treat a bug
+                // here as a failed run, loudly.
+                eprintln!("generated an invalid request line ({e}): {line}");
+                tally.transport_errors += 1;
+                continue;
+            }
+        };
+        let t0 = Instant::now();
+        match client.request_detailed(&req) {
+            Ok((header, body, outcome)) => {
+                lat.record_duration_us(t0.elapsed());
+                tally.retries += (outcome.attempts - 1) as usize;
+                tally_header(&mut tally, &header, body.len(), save);
+            }
+            Err(_) => tally.transport_errors += 1,
+        }
+    }
+    (tally, lat.snapshot())
+}
+
+/// `--no-retry`: the plain single-connection loop (reconnects after a
+/// transport error but never re-sends the failed request).
+#[allow(clippy::too_many_arguments)]
+fn tenant_loop_plain(
     addr: &str,
     tenant: usize,
     requests: usize,
@@ -55,6 +169,7 @@ fn tenant_loop(
     seed_base: u64,
     deadline_ms: u64,
     faults: &str,
+    save_every: usize,
 ) -> (Tally, HistogramSnapshot) {
     let mut tally = Tally::default();
     let lat = Log2Histogram::new();
@@ -67,48 +182,20 @@ fn tenant_loop(
     };
     let _ = client.set_timeout(Duration::from_secs(120));
     for r in 0..requests {
-        let op_render = match mix {
-            "filter" => false,
-            "render" => true,
-            _ => (tenant + r) % 2 == 1,
-        };
-        // Half the fleet shares seeds (exercises coalescing and the
-        // volume cache), half gets private ones.
-        let seed = seed_base + (r as u64) * 2 + u64::from(tenant.is_multiple_of(2));
-        let mut line = if op_render {
-            format!("render tenant=t{tenant} size={size} seed={seed} image={image}")
-        } else {
-            format!("filter tenant=t{tenant} size={size} seed={seed} radius={radius}")
-        };
-        if deadline_ms > 0 {
-            line.push_str(&format!(" deadline_ms={deadline_ms}"));
-        }
-        line.push_str(faults);
+        let save = save_every > 0 && (r + 1).is_multiple_of(save_every);
+        let line = request_line(
+            tenant, r, size, radius, image, mix, seed_base, deadline_ms, faults, save,
+        );
         let t0 = Instant::now();
         let reply = client.request_line(&line);
-        // Latency counts any typed reply — ok, err, overloaded, shed are
-        // all the server answering; only transport failures are excluded.
+        // Latency counts any typed reply — ok, err, overloaded, shed,
+        // expired are all the server answering; only transport failures
+        // are excluded.
         if reply.is_ok() {
             lat.record_duration_us(t0.elapsed());
         }
         match reply {
-            Ok((RespHeader::Ok(h), body)) => {
-                if body.len() != h.bytes {
-                    tally.transport_errors += 1;
-                } else if h.whole && h.downgraded == 0 {
-                    tally.ok_whole += 1;
-                } else {
-                    tally.ok_degraded += 1;
-                }
-            }
-            Ok((RespHeader::Err { .. }, _)) => tally.errs += 1,
-            Ok((RespHeader::Overloaded { .. }, _)) => {
-                tally.overloaded += 1;
-                // Typed backpressure: back off as a well-behaved client
-                // would before the next request.
-                std::thread::sleep(Duration::from_millis(20));
-            }
-            Ok((RespHeader::Shed { .. }, _)) => tally.shed += 1,
+            Ok((header, body)) => tally_header(&mut tally, &header, body.len(), save),
             Err(_) => {
                 tally.transport_errors += 1;
                 // The connection may be dead; reconnect for the rest.
@@ -155,6 +242,8 @@ fn scrape_and_validate(addr: &str) -> Result<usize, String> {
         "sfc_server_cache_misses",
         "sfc_deadline_shed_total",
         "sfc_store_repairs_total",
+        "sfc_server_dedup_hits_total",
+        "sfc_server_expired_total",
     ] {
         if !text.lines().any(|l| l.starts_with(family)) {
             return Err(format!("missing core family {family}"));
@@ -166,6 +255,11 @@ fn scrape_and_validate(addr: &str) -> Result<usize, String> {
 fn main() {
     let args = Args::from_env();
     let addr = args.get_str("addr", "127.0.0.1:7070").to_string();
+    let replicas: Vec<String> = match args.get("replicas") {
+        Some(list) => list.split(',').map(|s| s.trim().to_string()).collect(),
+        None => vec![addr.clone()],
+    };
+    let no_retry = args.has("no-retry");
     let tenants = args.get_usize("tenants", 8);
     let requests = args.get_usize("requests", 4);
     let size = args.get_usize("size", 12);
@@ -174,6 +268,7 @@ fn main() {
     let mix = args.get_str("mix", "both").to_string();
     let seed_base = args.get_u64("seed", 1);
     let deadline_ms = args.get_u64("deadline-ms", 0);
+    let save_every = args.get_usize("save-every", 0);
 
     // Fault flags are forwarded onto each request line so the *server*
     // injects them into its execution of our requests.
@@ -193,17 +288,42 @@ fn main() {
         String::new()
     };
 
+    // Chaos mode: SIGKILL one replica mid-storm from a detached thread.
+    let kill_pid = args.get_u64("kill-pid", 0);
+    let kill_after_ms = args.get_u64("kill-after-ms", 500);
+    if kill_pid > 0 {
+        std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(kill_after_ms));
+            let status = std::process::Command::new("kill")
+                .args(["-9", &kill_pid.to_string()])
+                .status();
+            match status {
+                Ok(s) if s.success() => {
+                    eprintln!("chaos: SIGKILLed pid {kill_pid} after {kill_after_ms}ms");
+                }
+                _ => eprintln!("chaos: kill -9 {kill_pid} failed"),
+            }
+        });
+    }
+
     let start = Instant::now();
     let mut handles = Vec::new();
     for tenant in 0..tenants {
-        let addr = addr.clone();
+        let replicas = replicas.clone();
         let mix = mix.clone();
         let faults = faults.clone();
         handles.push(std::thread::spawn(move || {
-            tenant_loop(
-                &addr, tenant, requests, size, radius, image, &mix, seed_base, deadline_ms,
-                &faults,
-            )
+            if no_retry {
+                tenant_loop_plain(
+                    &replicas[0], tenant, requests, size, radius, image, &mix, seed_base,
+                    deadline_ms, &faults, save_every,
+                )
+            } else {
+                tenant_loop_resilient(
+                    &replicas, tenant, requests, size, radius, image, &mix, seed_base,
+                    deadline_ms, &faults, save_every,
+                )
+            }
         }));
     }
     let mut total = Tally::default();
@@ -227,36 +347,46 @@ fn main() {
     println!("{}", latency_line("all", &all_lat));
 
     if args.has("scrape-metrics") {
-        match scrape_and_validate(&addr) {
-            Ok(samples) => println!("metrics scrape ok: {samples} samples, core families present"),
-            Err(e) => {
-                eprintln!("metrics scrape failed: {e}");
-                total.transport_errors += 1;
+        // With a replica group, any surviving endpoint must produce a
+        // valid scrape (a killed replica is not a failure — that's the
+        // chaos scenario working as intended).
+        let mut scraped = false;
+        let mut last_err = String::new();
+        for ep in &replicas {
+            match scrape_and_validate(ep) {
+                Ok(samples) => {
+                    println!("metrics scrape ok: {samples} samples, core families present ({ep})");
+                    scraped = true;
+                    break;
+                }
+                Err(e) => last_err = format!("{ep}: {e}"),
             }
+        }
+        if !scraped {
+            eprintln!("metrics scrape failed on every replica: {last_err}");
+            total.transport_errors += 1;
         }
     }
 
     if args.has("shutdown") {
-        match Client::connect(&addr).and_then(|mut c| c.send_line("shutdown")) {
-            Ok(reply) => println!("shutdown reply: {reply}"),
-            Err(e) => {
-                eprintln!("shutdown failed: {e}");
-                total.transport_errors += 1;
+        // Shut every reachable replica down; failing to reach a replica
+        // that was deliberately killed is not a failed run, but failing
+        // to shut down *any* of them is.
+        let mut reached = 0;
+        for ep in &replicas {
+            match Client::connect(ep).and_then(|mut c| c.send_line("shutdown")) {
+                Ok(reply) => {
+                    println!("shutdown reply ({ep}): {reply}");
+                    reached += 1;
+                }
+                Err(e) => eprintln!("shutdown failed ({ep}): {e}"),
             }
+        }
+        if reached == 0 {
+            total.transport_errors += 1;
         }
     }
 
-    println!(
-        "load_gen tenants={tenants} requests={} ok_whole={} ok_degraded={} errs={} \
-         overloaded={} shed={} transport_errors={} elapsed_ms={}",
-        tenants * requests,
-        total.ok_whole,
-        total.ok_degraded,
-        total.errs,
-        total.overloaded,
-        total.shed,
-        total.transport_errors,
-        elapsed.as_millis(),
-    );
-    std::process::exit(if total.transport_errors == 0 { 0 } else { 1 });
+    println!("{}", total.summary(tenants, requests, elapsed.as_millis()));
+    std::process::exit(total.exit_code());
 }

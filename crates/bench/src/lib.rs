@@ -29,6 +29,7 @@
 pub mod bilateral_exp;
 pub mod checkpoint;
 pub mod faultrun;
+pub mod loadgen;
 pub mod output;
 pub mod volrend_exp;
 
@@ -38,6 +39,7 @@ pub use bilateral_exp::{
 };
 pub use checkpoint::{cell_through, checkpoint_from_args, ok_or_exit, Checkpoint, CheckpointRecovery};
 pub use faultrun::{bilateral_fault_demo, contaminate_volume_pair, volrend_fault_demo};
+pub use loadgen::Tally;
 pub use output::{banner, emit_figure};
 pub use volrend_exp::{
     build_inputs as build_volrend_inputs, ortho_orbit, paper_orbit, run_orbit_series,

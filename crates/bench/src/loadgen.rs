@@ -1,0 +1,173 @@
+//! Shared accounting for the `load_gen` driver: the per-outcome
+//! [`Tally`] and the exit-code contract.
+//!
+//! The contract (pinned by test here and relied on by the CI smoke
+//! jobs): **every typed protocol reply counts as the server holding its
+//! contract** — `ok` (whole or degraded), typed `err`, `overloaded`,
+//! `shed`, `expired`, and dedup replays are all successful outcomes of
+//! the protocol, and none of them fail the run. Only *transport*
+//! failures (refused connections, resets, unparsable replies, bodies
+//! that died mid-read) make `load_gen` exit non-zero.
+
+/// Per-outcome reply counts for one load run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct Tally {
+    /// `ok` replies with a whole, full-quality body.
+    pub ok_whole: usize,
+    /// `ok` replies carrying degraded/downgraded units.
+    pub ok_degraded: usize,
+    /// Typed `err` replies.
+    pub errs: usize,
+    /// `overloaded` admission refusals.
+    pub overloaded: usize,
+    /// `shed` replies (drain or deadline shedding).
+    pub shed: usize,
+    /// `expired` replies (deadline exhausted before execution).
+    pub expired: usize,
+    /// `ok` replies served from the idempotency dedup cache
+    /// (`dedup=1`).
+    pub dedup: usize,
+    /// Acknowledged `save=1` requests (an `ok` reply for a save is the
+    /// server's durability promise — chaos runs audit these against the
+    /// files replicas actually persisted).
+    pub saves_acked: usize,
+    /// Extra delivery attempts the resilient client spent beyond each
+    /// request's first.
+    pub retries: usize,
+    /// Transport-level failures — the only outcome that fails the run.
+    pub transport_errors: usize,
+}
+
+impl Tally {
+    /// Accumulate another tally into this one.
+    pub fn add(&mut self, other: Tally) {
+        self.ok_whole += other.ok_whole;
+        self.ok_degraded += other.ok_degraded;
+        self.errs += other.errs;
+        self.overloaded += other.overloaded;
+        self.shed += other.shed;
+        self.expired += other.expired;
+        self.dedup += other.dedup;
+        self.saves_acked += other.saves_acked;
+        self.retries += other.retries;
+        self.transport_errors += other.transport_errors;
+    }
+
+    /// The process exit code for this run: `0` unless a transport
+    /// failure occurred.
+    pub fn exit_code(&self) -> i32 {
+        if self.transport_errors == 0 {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// The final `load_gen ...` summary line.
+    pub fn summary(&self, tenants: usize, requests: usize, elapsed_ms: u128) -> String {
+        format!(
+            "load_gen tenants={tenants} requests={} ok_whole={} ok_degraded={} errs={} \
+             overloaded={} shed={} expired={} dedup={} saves_acked={} retries={} \
+             transport_errors={} elapsed_ms={elapsed_ms}",
+            tenants * requests,
+            self.ok_whole,
+            self.ok_degraded,
+            self.errs,
+            self.overloaded,
+            self.shed,
+            self.expired,
+            self.dedup,
+            self.saves_acked,
+            self.retries,
+            self.transport_errors,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_replies_never_fail_the_run() {
+        let t = Tally {
+            ok_whole: 3,
+            ok_degraded: 2,
+            errs: 5,
+            overloaded: 4,
+            shed: 2,
+            expired: 7,
+            dedup: 1,
+            saves_acked: 2,
+            retries: 9,
+            transport_errors: 0,
+        };
+        assert_eq!(t.exit_code(), 0, "typed outcomes are the server holding its contract");
+    }
+
+    #[test]
+    fn any_transport_error_fails_the_run() {
+        let t = Tally {
+            ok_whole: 100,
+            transport_errors: 1,
+            ..Tally::default()
+        };
+        assert_eq!(t.exit_code(), 1);
+        assert_eq!(Tally::default().exit_code(), 0, "an empty run is clean");
+    }
+
+    #[test]
+    fn add_accumulates_every_field() {
+        let one = Tally {
+            ok_whole: 1,
+            ok_degraded: 2,
+            errs: 3,
+            overloaded: 4,
+            shed: 5,
+            expired: 6,
+            dedup: 7,
+            saves_acked: 8,
+            retries: 9,
+            transport_errors: 10,
+        };
+        let mut sum = one;
+        sum.add(one);
+        assert_eq!(
+            sum,
+            Tally {
+                ok_whole: 2,
+                ok_degraded: 4,
+                errs: 6,
+                overloaded: 8,
+                shed: 10,
+                expired: 12,
+                dedup: 14,
+                saves_acked: 16,
+                retries: 18,
+                transport_errors: 20,
+            }
+        );
+    }
+
+    #[test]
+    fn summary_reports_every_outcome_key() {
+        let line = Tally::default().summary(8, 4, 123);
+        for key in [
+            "tenants=8",
+            "requests=32",
+            "ok_whole=",
+            "ok_degraded=",
+            "errs=",
+            "overloaded=",
+            "shed=",
+            "expired=",
+            "dedup=",
+            "saves_acked=",
+            "retries=",
+            "transport_errors=",
+            "elapsed_ms=123",
+        ] {
+            assert!(line.contains(key), "summary missing {key}: {line}");
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Client-side retry pacing: decorrelated-jitter backoff and a
+//! token-bucket retry budget.
+//!
+//! Both primitives exist so a fleet of clients retrying against a dying
+//! server *spreads out* instead of synchronizing into a retry storm:
+//!
+//! * [`DecorrelatedJitter`] implements the "decorrelated jitter" schedule
+//!   (Brooker, AWS Architecture Blog 2015): each delay is drawn uniformly
+//!   from `[base, prev * 3]` and clamped to `cap`, so consecutive retries
+//!   from one client drift apart and retries from *different* clients
+//!   (different seeds) never align. The sequence is deterministic per
+//!   seed — chaos tests can pin it.
+//! * [`RetryBudget`] is the gRPC-style retry throttle: a bucket that
+//!   spends one token per retry and refills a *fraction* of a token per
+//!   success. When the server is healthy, successes keep the bucket full
+//!   and every transient is retried; when the server is dying, successes
+//!   stop, the bucket drains, and the client fleet collectively backs
+//!   down to first-attempts-only instead of multiplying the load.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::time::Duration;
+
+use sfc_core::SplitMix64;
+
+/// Decorrelated-jitter backoff schedule (deterministic per seed).
+#[derive(Debug, Clone)]
+pub struct DecorrelatedJitter {
+    rng: SplitMix64,
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+}
+
+impl DecorrelatedJitter {
+    /// A schedule starting at `base`, clamped to `cap`.
+    pub fn new(seed: u64, base: Duration, cap: Duration) -> Self {
+        DecorrelatedJitter {
+            rng: SplitMix64::new(seed),
+            base,
+            cap: cap.max(base),
+            prev: base,
+        }
+    }
+
+    /// The next delay: uniform in `[base, prev * 3]`, clamped to `cap`.
+    pub fn next_delay(&mut self) -> Duration {
+        let base_us = self.base.as_micros() as u64;
+        let hi_us = (self.prev.as_micros() as u64)
+            .saturating_mul(3)
+            .clamp(base_us.saturating_add(1), self.cap.as_micros() as u64 + 1);
+        let span = hi_us - base_us;
+        let us = base_us + self.rng.u64_below(span.max(1));
+        self.prev = Duration::from_micros(us).min(self.cap);
+        self.prev
+    }
+
+    /// Restart the schedule at `base` (call after a success).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+/// Token-bucket retry budget shared by every request on a client
+/// (thread-safe; tokens are stored in millitoken granularity).
+#[derive(Debug)]
+pub struct RetryBudget {
+    /// Millitokens currently available.
+    tokens: AtomicI64,
+    /// Bucket capacity in millitokens.
+    cap: i64,
+    /// Millitokens refunded per observed success.
+    refill: i64,
+}
+
+impl RetryBudget {
+    /// A budget holding `cap` retry tokens, refilled `per_success`
+    /// tokens (fractional; e.g. `0.1`) on every success. The bucket
+    /// starts full.
+    pub fn new(cap: f64, per_success: f64) -> Self {
+        let cap_mt = (cap.max(0.0) * 1000.0) as i64;
+        RetryBudget {
+            tokens: AtomicI64::new(cap_mt),
+            cap: cap_mt,
+            refill: (per_success.max(0.0) * 1000.0) as i64,
+        }
+    }
+
+    /// Record a success: refund a fraction of a token, up to the cap.
+    pub fn on_success(&self) {
+        let prev = self.tokens.fetch_add(self.refill, Ordering::Relaxed);
+        if prev + self.refill > self.cap {
+            self.tokens.store(self.cap, Ordering::Relaxed);
+        }
+    }
+
+    /// Try to spend one retry token. Returns `false` (and spends
+    /// nothing) when the bucket is empty — the caller must not retry.
+    pub fn try_spend(&self) -> bool {
+        let mut cur = self.tokens.load(Ordering::Relaxed);
+        loop {
+            if cur < 1000 {
+                return false;
+            }
+            match self.tokens.compare_exchange_weak(
+                cur,
+                cur - 1000,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Whole retry tokens currently available.
+    pub fn available(&self) -> u64 {
+        (self.tokens.load(Ordering::Relaxed).max(0) / 1000) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_stays_within_base_and_cap() {
+        let base = Duration::from_millis(5);
+        let cap = Duration::from_millis(200);
+        let mut j = DecorrelatedJitter::new(42, base, cap);
+        for _ in 0..200 {
+            let d = j.next_delay();
+            assert!(d >= base, "{d:?} below base");
+            assert!(d <= cap, "{d:?} above cap");
+        }
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_decorrelated_across_seeds() {
+        let base = Duration::from_millis(2);
+        let cap = Duration::from_millis(500);
+        let seq = |seed: u64| -> Vec<Duration> {
+            let mut j = DecorrelatedJitter::new(seed, base, cap);
+            (0..16).map(|_| j.next_delay()).collect()
+        };
+        assert_eq!(seq(7), seq(7), "same seed, same schedule");
+        assert_ne!(seq(7), seq(8), "different seeds must not align");
+    }
+
+    #[test]
+    fn jitter_reset_restarts_from_base() {
+        let base = Duration::from_millis(10);
+        let mut j = DecorrelatedJitter::new(1, base, Duration::from_secs(1));
+        for _ in 0..8 {
+            j.next_delay();
+        }
+        j.reset();
+        // First post-reset delay is drawn from [base, 3*base].
+        let d = j.next_delay();
+        assert!(d <= base * 3, "{d:?} exceeds 3x base after reset");
+    }
+
+    #[test]
+    fn budget_spends_down_to_zero_then_refuses() {
+        let b = RetryBudget::new(3.0, 0.1);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend(), "empty bucket refuses");
+        assert_eq!(b.available(), 0);
+    }
+
+    #[test]
+    fn budget_refills_fractionally_on_success() {
+        let b = RetryBudget::new(2.0, 0.5);
+        assert!(b.try_spend());
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+        b.on_success();
+        assert!(!b.try_spend(), "half a token is not a whole token");
+        b.on_success();
+        assert!(b.try_spend(), "two successes refund one retry");
+    }
+
+    #[test]
+    fn budget_never_exceeds_cap() {
+        let b = RetryBudget::new(1.0, 1.0);
+        for _ in 0..50 {
+            b.on_success();
+        }
+        assert_eq!(b.available(), 1);
+        assert!(b.try_spend());
+        assert!(!b.try_spend());
+    }
+}

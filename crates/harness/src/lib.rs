@@ -25,6 +25,9 @@
 //! * [`metrics`] — the process-wide observability plane: a registry of
 //!   typed counters/gauges/log2 histograms (lock-free hot path), snapshot
 //!   merge/delta, an interval sampler, and Prometheus text exposition;
+//! * [`backoff`] — client-side retry pacing: decorrelated-jitter backoff
+//!   schedules and a token-bucket [`RetryBudget`] that prevents retry
+//!   storms against a dying server;
 //! * [`timing`] — warmup/repeat wall-clock measurement;
 //! * [`ds`] — the paper's "scaled, relative difference" metric;
 //! * [`table`] — paper-figure-shaped result tables (text/Markdown/CSV);
@@ -33,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod backoff;
 pub mod cli;
 pub mod deadline;
 pub mod degrade;
@@ -46,6 +50,7 @@ pub mod supervise;
 pub mod table;
 pub mod timing;
 
+pub use backoff::{DecorrelatedJitter, RetryBudget};
 pub use cli::{Args, FigArgs};
 pub use deadline::{DeadlineBudget, DowngradeReason, QualityEntry, QualityMap};
 pub use degrade::{scan_unit, Defect, DefectKind, DefectMap, DegradedOutcome, FailureClass};

@@ -1,18 +1,41 @@
 //! A small blocking client for the volume service — used by `load_gen`,
 //! the integration tests, and anyone scripting the server.
+//!
+//! Every failure mode is a typed [`SfcError`] whose
+//! [`error_kind`](crate::protocol::error_kind) lands in the kebab-case
+//! taxonomy the resilient layer retries on: transport failures map to
+//! `io`, a reply that violates the protocol (an oversized `bytes=`
+//! header, a body cut short by a dying server) maps to `corrupt` with
+//! the observed/expected counts in the message. Nothing here panics on
+//! hostile bytes.
 
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::time::Duration;
 
 use sfc_core::{SfcError, SfcResult};
 
-use crate::protocol::{RespHeader, Request};
+use crate::protocol::{RespHeader, Request, MAX_BODY};
 
 /// One connection to the service.
 pub struct Client {
     stream: TcpStream,
     reader: BufReader<TcpStream>,
+}
+
+/// A detached handle that can tear down a [`Client`]'s connection from
+/// another thread — the hedging layer uses this to cancel the losing
+/// attempt (the server's disconnect detection then reaps the request).
+pub struct CancelHandle {
+    stream: TcpStream,
+}
+
+impl CancelHandle {
+    /// Shut the connection down (both directions). Any blocked read on
+    /// the client errors out immediately; idempotent.
+    pub fn cancel(&self) {
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
 }
 
 fn io_err(what: &str, e: std::io::Error) -> SfcError {
@@ -26,6 +49,13 @@ impl Client {
         stream.set_nodelay(true).map_err(|e| io_err("nodelay", e))?;
         let reader = BufReader::new(stream.try_clone().map_err(|e| io_err("clone", e))?);
         Ok(Client { stream, reader })
+    }
+
+    /// A handle that can cancel this connection from another thread.
+    pub fn cancel_handle(&self) -> SfcResult<CancelHandle> {
+        Ok(CancelHandle {
+            stream: self.stream.try_clone().map_err(|e| io_err("clone", e))?,
+        })
     }
 
     /// Set both socket timeouts.
@@ -97,14 +127,42 @@ impl Client {
         let header = RespHeader::parse(&header_line)?;
         let body = match &header {
             RespHeader::Ok(h) if h.bytes > 0 => {
+                // A hostile or corrupted header must not drive the
+                // allocation: bound it before trusting `bytes=`.
+                if h.bytes > MAX_BODY {
+                    return Err(SfcError::corrupt(
+                        "body length",
+                        format!("header claims {} bytes, protocol max is {MAX_BODY}", h.bytes),
+                    ));
+                }
                 let mut body = vec![0u8; h.bytes];
-                self.reader
-                    .read_exact(&mut body)
-                    .map_err(|e| io_err("read body", e))?;
+                read_body(&mut self.reader, &mut body)?;
                 body
             }
             _ => Vec::new(),
         };
         Ok((header, body))
     }
+}
+
+/// Read exactly `buf.len()` body bytes, mapping a mid-body EOF (the
+/// server died with the body half-sent) to a typed `corrupt` error that
+/// records how far the read got.
+fn read_body(reader: &mut BufReader<TcpStream>, buf: &mut [u8]) -> SfcResult<()> {
+    let want = buf.len();
+    let mut got = 0;
+    while got < want {
+        match reader.read(&mut buf[got..]) {
+            Ok(0) => {
+                return Err(SfcError::corrupt(
+                    "body",
+                    format!("short read: connection closed after {got} of {want} bytes"),
+                ));
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(io_err("read body", e)),
+        }
+    }
+    Ok(())
 }

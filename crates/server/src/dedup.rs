@@ -1,0 +1,234 @@
+//! Idempotency dedup cache: completed results keyed by `(tenant, req_id)`.
+//!
+//! A client that retries a request after a transport error cannot know
+//! whether the lost attempt was executed — the reply may have died on the
+//! wire *after* the side effect (a `save=1` file) was published. The
+//! dedup cache closes that window: every completed `ok` result for a
+//! request carrying a `req_id` is remembered for a TTL, and a second
+//! arrival of the same `(tenant, req_id)` is answered from the cache with
+//! `dedup=1` instead of re-executed — the save is applied exactly once.
+//!
+//! The cache is bounded two ways: entries expire after `ttl`, and the
+//! total entry count is capped (`cap`) with oldest-first eviction, so a
+//! hostile client minting fresh `req_id`s cannot balloon server memory.
+//! Keys are scoped by tenant — one tenant can never replay another's
+//! result, even with a colliding `req_id`.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use sfc_harness::LazyCounter;
+
+use crate::protocol::{OkHeader, RespHeader};
+use crate::scheduler::Response;
+
+static DEDUP_HITS: LazyCounter = LazyCounter::new("server.dedup.hits");
+static DEDUP_INSERTS: LazyCounter = LazyCounter::new("server.dedup.inserts");
+static DEDUP_EVICTIONS: LazyCounter = LazyCounter::new("server.dedup.evictions");
+
+struct Entry {
+    header: OkHeader,
+    body: std::sync::Arc<[u8]>,
+    inserted: Instant,
+}
+
+struct Inner {
+    map: HashMap<(String, String), Entry>,
+    /// Insertion order for TTL pruning and cap eviction (oldest first).
+    order: VecDeque<(String, String)>,
+}
+
+/// TTL- and capacity-bounded cache of completed results.
+pub struct DedupCache {
+    ttl: Duration,
+    cap: usize,
+    inner: Mutex<Inner>,
+}
+
+/// Counters reported by [`DedupCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DedupStats {
+    /// Retried arrivals answered from the cache.
+    pub hits: u64,
+    /// Completed results remembered.
+    pub inserts: u64,
+    /// Entries evicted by TTL or capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub resident: usize,
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl DedupCache {
+    /// A cache remembering completed results for `ttl`, holding at most
+    /// `cap` entries.
+    pub fn new(ttl: Duration, cap: usize) -> Self {
+        DedupCache {
+            ttl,
+            cap: cap.max(1),
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Look up a completed result. On a hit the cached header is
+    /// returned with `dedup=1` set — the caller delivers it without
+    /// executing anything.
+    pub fn get(&self, tenant: &str, req_id: &str) -> Option<Response> {
+        let mut g = lock(&self.inner);
+        Self::prune(&mut g, self.ttl);
+        let entry = g.map.get(&(tenant.to_string(), req_id.to_string()))?;
+        let mut header = entry.header;
+        header.dedup = true;
+        DEDUP_HITS.add(1);
+        Some(Response {
+            header: RespHeader::Ok(header),
+            body: entry.body.clone(),
+        })
+    }
+
+    /// Remember a completed `ok` result for `(tenant, req_id)`.
+    pub fn insert(&self, tenant: &str, req_id: &str, header: OkHeader, body: std::sync::Arc<[u8]>) {
+        let key = (tenant.to_string(), req_id.to_string());
+        let mut g = lock(&self.inner);
+        Self::prune(&mut g, self.ttl);
+        while g.map.len() >= self.cap {
+            let Some(oldest) = g.order.pop_front() else { break };
+            if g.map.remove(&oldest).is_some() {
+                DEDUP_EVICTIONS.add(1);
+            }
+        }
+        let fresh = g
+            .map
+            .insert(
+                key.clone(),
+                Entry {
+                    header,
+                    body,
+                    inserted: Instant::now(),
+                },
+            )
+            .is_none();
+        if fresh {
+            g.order.push_back(key);
+        }
+        DEDUP_INSERTS.add(1);
+    }
+
+    fn prune(g: &mut Inner, ttl: Duration) {
+        while let Some(key) = g.order.front() {
+            let expired = g
+                .map
+                .get(key)
+                .is_none_or(|e| e.inserted.elapsed() >= ttl);
+            if !expired {
+                break;
+            }
+            let key = key.clone();
+            g.order.pop_front();
+            if g.map.remove(&key).is_some() {
+                DEDUP_EVICTIONS.add(1);
+            }
+        }
+    }
+
+    /// Current counters (process-wide, shared with the metrics registry
+    /// under `server.dedup.*`) plus this instance's residency.
+    pub fn stats(&self) -> DedupStats {
+        DedupStats {
+            hits: DEDUP_HITS.value(),
+            inserts: DEDUP_INSERTS.value(),
+            evictions: DEDUP_EVICTIONS.value(),
+            resident: lock(&self.inner).map.len(),
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn resident(&self) -> usize {
+        lock(&self.inner).map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn body(bytes: &[u8]) -> Arc<[u8]> {
+        Arc::from(bytes)
+    }
+
+    fn header(bytes: usize) -> OkHeader {
+        OkHeader {
+            bytes,
+            whole: true,
+            ..OkHeader::default()
+        }
+    }
+
+    #[test]
+    fn hit_returns_the_cached_body_with_dedup_set() {
+        let c = DedupCache::new(Duration::from_secs(60), 8);
+        assert!(c.get("t", "r1").is_none());
+        c.insert("t", "r1", header(3), body(&[1, 2, 3]));
+        let resp = c.get("t", "r1").expect("hit");
+        match resp.header {
+            RespHeader::Ok(h) => {
+                assert!(h.dedup, "replayed header must carry dedup=1");
+                assert_eq!(h.bytes, 3);
+            }
+            other => panic!("expected ok, got {other:?}"),
+        }
+        assert_eq!(&resp.body[..], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn keys_are_tenant_scoped() {
+        let c = DedupCache::new(Duration::from_secs(60), 8);
+        c.insert("alice", "r1", header(1), body(&[9]));
+        assert!(c.get("bob", "r1").is_none(), "bob cannot replay alice's result");
+        assert!(c.get("alice", "r1").is_some());
+    }
+
+    #[test]
+    fn entries_expire_after_the_ttl() {
+        let c = DedupCache::new(Duration::from_millis(30), 8);
+        c.insert("t", "r1", header(1), body(&[1]));
+        assert!(c.get("t", "r1").is_some());
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(c.get("t", "r1").is_none(), "TTL-expired entry must not replay");
+        assert_eq!(c.resident(), 0, "prune removed it");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_first() {
+        let c = DedupCache::new(Duration::from_secs(60), 2);
+        c.insert("t", "r1", header(1), body(&[1]));
+        c.insert("t", "r2", header(1), body(&[2]));
+        c.insert("t", "r3", header(1), body(&[3]));
+        assert!(c.get("t", "r1").is_none(), "oldest evicted at cap");
+        assert!(c.get("t", "r2").is_some());
+        assert!(c.get("t", "r3").is_some());
+        assert_eq!(c.resident(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_duplicating_order_entries() {
+        let c = DedupCache::new(Duration::from_secs(60), 4);
+        c.insert("t", "r1", header(1), body(&[1]));
+        c.insert("t", "r1", header(2), body(&[1, 2]));
+        assert_eq!(c.resident(), 1);
+        let resp = c.get("t", "r1").expect("hit");
+        match resp.header {
+            RespHeader::Ok(h) => assert_eq!(h.bytes, 2, "latest result wins"),
+            other => panic!("expected ok, got {other:?}"),
+        }
+    }
+}

@@ -16,20 +16,25 @@
 
 pub mod cache;
 pub mod client;
+pub mod dedup;
 pub mod net;
 pub mod protocol;
+pub mod resilient;
 pub mod scheduler;
 pub mod service;
 
 pub use cache::{CacheStats, CachedVolume, VolumeCache, VolumeKey};
-pub use client::Client;
+pub use client::{CancelHandle, Client};
+pub use dedup::{DedupCache, DedupStats};
 pub use net::{handle_conn, Server, ServerConfig};
 pub use protocol::{
-    error_kind, f32_bytes, bytes_f32, LayoutChoice, OkHeader, OpKind, Request, RespHeader,
+    error_kind, error_kind_is_transient, f32_bytes, bytes_f32, LayoutChoice, OkHeader, OpKind,
+    Request, RespHeader, MAX_BODY,
 };
+pub use resilient::{BreakerState, ReplicaSet, ResilientClient, RetryPolicy, SendOutcome};
 pub use scheduler::{
     FairScheduler, Job, Overloaded, Response, SchedConfig, SchedStats, Ticket, Waiter,
 };
 pub use service::{
-    filter_run, image_bytes, render_setup, DrainReport, Service, ServiceConfig,
+    filter_run, image_bytes, render_setup, Admission, DrainReport, Service, ServiceConfig,
 };

@@ -22,7 +22,7 @@ use std::time::Duration;
 
 use crate::protocol::{error_kind, RespHeader, Request, MAX_LINE};
 use crate::scheduler::{Response, Ticket};
-use crate::service::Service;
+use crate::service::{Admission, Service};
 
 /// Front-end tuning knobs.
 #[derive(Debug, Clone)]
@@ -181,8 +181,19 @@ pub fn handle_conn(
                 continue;
             }
         };
-        let ticket = match svc.submit(req) {
-            Ok(t) => t,
+        let ticket = match svc.admit(req) {
+            Ok(Admission::Ticket(t)) => t,
+            Ok(Admission::Cached(resp)) => {
+                // Idempotent replay: the dedup cache already holds this
+                // (tenant, req_id)'s completed result.
+                stream.write_all(resp.header.format().as_bytes())?;
+                stream.write_all(b"\n")?;
+                if !resp.body.is_empty() {
+                    stream.write_all(&resp.body)?;
+                }
+                stream.flush()?;
+                continue;
+            }
             Err(over) => {
                 stream.write_all(over.header().format().as_bytes())?;
                 stream.write_all(b"\n")?;

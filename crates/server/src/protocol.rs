@@ -31,6 +31,10 @@ pub const MAX_LINE: usize = 4096;
 pub const MAX_SIZE: usize = 128;
 /// Upper bound on the square image edge a render request may name.
 pub const MAX_IMAGE: usize = 1024;
+/// Upper bound on a response body a client will accept. The largest
+/// legal reply is a `MAX_IMAGE`² RGBA f32 render (16 MiB); anything past
+/// this is a corrupt or hostile header, refused before allocating.
+pub const MAX_BODY: usize = MAX_IMAGE * MAX_IMAGE * 4 * 4;
 
 /// The four memory layouts a request can ask the service to run on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -120,8 +124,21 @@ pub struct Request {
     /// Seed of the deterministic synthetic input volume.
     pub seed: u64,
     /// Optional wall-clock budget mapped to a
-    /// [`DeadlineBudget`](sfc_harness::DeadlineBudget).
+    /// [`DeadlineBudget`](sfc_harness::DeadlineBudget). The clock starts
+    /// at admission: a request still queued past its budget is refused
+    /// with a typed `expired` header instead of computed. Always `>= 1`
+    /// when present (`deadline_ms=0` is rejected at parse time — a
+    /// retrying client must treat a zero remaining budget as exhausted,
+    /// never send it).
     pub deadline_ms: Option<u64>,
+    /// Optional idempotency key: a client that retries tags every
+    /// attempt of one logical request with the same `req_id`, and the
+    /// server's dedup cache guarantees the side effects (`save=1`) are
+    /// applied exactly once per `(tenant, req_id)` within the TTL.
+    pub req_id: Option<String>,
+    /// Which delivery attempt of the logical request this is (1-based;
+    /// informational — the server counts `attempt>1` arrivals).
+    pub attempt: u32,
     /// Optional fault injection (seed + per-unit rates) applied by the
     /// server while executing this request.
     pub faults: Option<(u64, FaultRates)>,
@@ -164,6 +181,8 @@ impl Request {
         let mut fault_seed = None;
         let mut rates = FaultRates::default();
         let mut save = false;
+        let mut req_id = None;
+        let mut attempt = 1u32;
 
         for tok in tokens {
             let (key, value) = tok
@@ -185,6 +204,8 @@ impl Request {
                 "corrupt_rate" => rates.corrupt = parse_num("corrupt_rate", value)?,
                 "stall_ms" => rates.stall_ms = parse_num("stall_ms", value)?,
                 "save" => save = value == "1" || value == "true",
+                "req_id" => req_id = Some(value.to_string()),
+                "attempt" => attempt = parse_num("attempt", value)?,
                 other => {
                     return Err(bad("request", format!("unknown key {other:?}")));
                 }
@@ -194,6 +215,20 @@ impl Request {
         let tenant = tenant.ok_or_else(|| bad("tenant", "every request must name a tenant"))?;
         if tenant.is_empty() || tenant.len() > 64 || !tenant.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
             return Err(bad("tenant", "tenant must be 1..=64 chars of [A-Za-z0-9_-]"));
+        }
+        if let Some(id) = &req_id {
+            if id.is_empty() || id.len() > 64 || !id.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_') {
+                return Err(bad("req_id", "req_id must be 1..=64 chars of [A-Za-z0-9_-]"));
+            }
+        }
+        if attempt == 0 {
+            return Err(bad("attempt", "attempts are 1-based; attempt=0 is meaningless"));
+        }
+        if deadline_ms == Some(0) {
+            return Err(bad(
+                "deadline_ms",
+                "deadline_ms must be >= 1; a zero remaining budget is deadline exhaustion, not a request",
+            ));
         }
         if size == 0 || size > MAX_SIZE {
             return Err(bad("size", format!("volume edge must be in 1..={MAX_SIZE}, got {size}")));
@@ -227,6 +262,8 @@ impl Request {
             layout,
             seed,
             deadline_ms,
+            req_id,
+            attempt,
             faults,
             save,
         })
@@ -251,6 +288,12 @@ impl Request {
         ));
         if let Some(ms) = self.deadline_ms {
             line.push_str(&format!(" deadline_ms={ms}"));
+        }
+        if let Some(id) = &self.req_id {
+            line.push_str(&format!(" req_id={id}"));
+        }
+        if self.attempt != 1 {
+            line.push_str(&format!(" attempt={}", self.attempt));
         }
         if let Some((fseed, r)) = self.faults {
             line.push_str(&format!(
@@ -324,6 +367,17 @@ pub fn error_kind(err: &SfcError) -> &'static str {
     }
 }
 
+/// Whether a wire `err` kind describes a *transient* failure a retrying
+/// client may reasonably try again (on the same or another replica).
+/// Deterministic rejections (`invalid-parameter`, `invalid-dims`, …)
+/// would fail identically on every replica and must not be retried.
+pub fn error_kind_is_transient(kind: &str) -> bool {
+    matches!(
+        kind,
+        "worker-panic" | "timeout" | "cancelled" | "io" | "corrupt"
+    )
+}
+
 /// Parsed response header line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RespHeader {
@@ -351,6 +405,15 @@ pub enum RespHeader {
     Shed {
         /// Why the request was shed.
         reason: String,
+    },
+    /// The request's deadline was already exhausted when a lane picked
+    /// it up — no compute was spent on it; no body. A retrying client
+    /// must treat this as deadline exhaustion, not a transient.
+    Expired {
+        /// The budget the request carried (`deadline_ms=`).
+        deadline_ms: u64,
+        /// How long the request had waited when the lane refused it.
+        waited_ms: u64,
     },
 }
 
@@ -382,6 +445,9 @@ pub struct OkHeader {
     /// How many *other* requests were answered by this same execution
     /// (cross-request coalescing).
     pub coalesced: usize,
+    /// Whether this reply was served from the idempotency dedup cache
+    /// (a retried `req_id` whose execution already completed).
+    pub dedup: bool,
 }
 
 impl RespHeader {
@@ -389,7 +455,7 @@ impl RespHeader {
     pub fn format(&self) -> String {
         match self {
             RespHeader::Ok(h) => format!(
-                "ok bytes={} completed={} failed={} retried={} downgraded={} max_level={} shed_units={} whole={} cache={} coalesced={}",
+                "ok bytes={} completed={} failed={} retried={} downgraded={} max_level={} shed_units={} whole={} cache={} coalesced={} dedup={}",
                 h.bytes,
                 h.completed,
                 h.failed,
@@ -400,6 +466,7 @@ impl RespHeader {
                 u8::from(h.whole),
                 if h.cache_hit { "hit" } else { "miss" },
                 h.coalesced,
+                u8::from(h.dedup),
             ),
             RespHeader::Err { kind, message } => {
                 format!("err {kind}: {}", message.replace('\n', " "))
@@ -411,6 +478,10 @@ impl RespHeader {
                 limit,
             } => format!("overloaded tenant={tenant} reason={reason} queued={queued} limit={limit}"),
             RespHeader::Shed { reason } => format!("shed: {}", reason.replace('\n', " ")),
+            RespHeader::Expired {
+                deadline_ms,
+                waited_ms,
+            } => format!("expired deadline_ms={deadline_ms} waited_ms={waited_ms}"),
         }
     }
 
@@ -434,6 +505,7 @@ impl RespHeader {
                     "whole" => h.whole = value == "1",
                     "cache" => h.cache_hit = value == "hit",
                     "coalesced" => h.coalesced = parse_num("coalesced", value)?,
+                    "dedup" => h.dedup = value == "1",
                     _ => {} // forward compatible: ignore unknown fields
                 }
             }
@@ -467,6 +539,20 @@ impl RespHeader {
         } else if let Some(rest) = line.strip_prefix("shed: ") {
             Ok(RespHeader::Shed {
                 reason: rest.to_string(),
+            })
+        } else if let Some(rest) = line.strip_prefix("expired ") {
+            let mut deadline_ms = 0;
+            let mut waited_ms = 0;
+            for tok in rest.split_ascii_whitespace() {
+                match tok.split_once('=') {
+                    Some(("deadline_ms", v)) => deadline_ms = parse_num("deadline_ms", v)?,
+                    Some(("waited_ms", v)) => waited_ms = parse_num("waited_ms", v)?,
+                    _ => {}
+                }
+            }
+            Ok(RespHeader::Expired {
+                deadline_ms,
+                waited_ms,
             })
         } else {
             Err(bad("response", format!("unrecognized header {line:?}")))
@@ -511,6 +597,8 @@ mod tests {
             layout: LayoutChoice::Hilbert,
             seed: 99,
             deadline_ms: Some(250),
+            req_id: Some("r-17".into()),
+            attempt: 3,
             faults: Some((7, FaultRates { panic: 0.1, ..FaultRates::default() })),
             save: true,
         };
@@ -523,6 +611,8 @@ mod tests {
             layout: LayoutChoice::Array,
             seed: 3,
             deadline_ms: None,
+            req_id: None,
+            attempt: 1,
             faults: None,
             save: false,
         };
@@ -546,6 +636,11 @@ mod tests {
             "render tenant=a image=0",
             "render tenant=a image=16 tile=99",
             "filter tenant=no/slashes",
+            "filter tenant=a deadline_ms=0",            // zero budget is exhaustion
+            "filter tenant=a req_id=",                  // empty idempotency key
+            "filter tenant=a req_id=no/slashes",        // bad req_id charset
+            "filter tenant=a attempt=0",                // attempts are 1-based
+            "filter tenant=a attempt=x",                // not a number
         ] {
             let err = Request::parse(line).unwrap_err();
             assert!(
@@ -579,6 +674,7 @@ mod tests {
             whole: true,
             cache_hit: true,
             coalesced: 4,
+            dedup: true,
         });
         assert_eq!(RespHeader::parse(&ok.format()).unwrap(), ok);
 
@@ -600,6 +696,33 @@ mod tests {
             reason: "drain budget exhausted".into(),
         };
         assert_eq!(RespHeader::parse(&shed.format()).unwrap(), shed);
+
+        let expired = RespHeader::Expired {
+            deadline_ms: 250,
+            waited_ms: 312,
+        };
+        assert_eq!(RespHeader::parse(&expired.format()).unwrap(), expired);
+    }
+
+    #[test]
+    fn work_key_ignores_req_id_and_attempt() {
+        let a = Request::parse("filter tenant=a size=8 seed=5 radius=1 req_id=x1").unwrap();
+        let b = Request::parse("filter tenant=a size=8 seed=5 radius=1 req_id=x2 attempt=3").unwrap();
+        assert_eq!(
+            a.work_key(),
+            b.work_key(),
+            "idempotency bookkeeping must not defeat coalescing"
+        );
+    }
+
+    #[test]
+    fn transient_error_kinds_are_classified() {
+        for kind in ["worker-panic", "timeout", "cancelled", "io", "corrupt"] {
+            assert!(error_kind_is_transient(kind), "{kind}");
+        }
+        for kind in ["invalid-parameter", "invalid-dims", "shape-mismatch", "non-finite", "error"] {
+            assert!(!error_kind_is_transient(kind), "{kind}");
+        }
     }
 
     #[test]

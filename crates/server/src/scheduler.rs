@@ -146,6 +146,9 @@ pub struct Job {
     pub token: CancelToken,
     /// All waiters, primary first.
     pub waiters: Vec<Waiter>,
+    /// When the primary request was admitted — the zero point of its
+    /// `deadline_ms` budget (queue wait counts against the deadline).
+    pub submitted: Instant,
     tenant: String,
 }
 
@@ -166,6 +169,7 @@ impl Job {
 struct Pending {
     req: Request,
     waiter: Waiter,
+    submitted: Instant,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -317,6 +321,7 @@ impl FairScheduler {
                 token: token.clone(),
                 inner: inner.clone(),
             },
+            submitted: Instant::now(),
         });
         if !st.in_ring {
             st.in_ring = true;
@@ -441,6 +446,7 @@ impl FairScheduler {
                 req: primary.req,
                 token: CancelToken::new(),
                 waiters,
+                submitted: primary.submitted,
                 tenant,
             }));
         }

@@ -43,6 +43,7 @@ use sfc_volrend::{
 };
 
 use crate::cache::{VolumeCache, VolumeKey};
+use crate::dedup::DedupCache;
 use crate::protocol::{error_kind, f32_bytes, OkHeader, OpKind, Request, RespHeader};
 use crate::scheduler::{FairScheduler, Job, Overloaded, Response, SchedConfig, Ticket};
 
@@ -73,6 +74,12 @@ pub struct ServiceConfig {
     /// Reaper scan interval — the bound on how long an abandoned
     /// request keeps computing after its last client disconnects.
     pub reaper_poll: Duration,
+    /// How long a completed result is remembered for idempotent retry
+    /// (`req_id=` dedup). Must exceed a client's worst-case retry span
+    /// (attempts × backoff cap) for exactly-once `save=1` semantics.
+    pub dedup_ttl: Duration,
+    /// Upper bound on remembered results (oldest evicted past it).
+    pub dedup_cap: usize,
 }
 
 impl Default for ServiceConfig {
@@ -87,8 +94,20 @@ impl Default for ServiceConfig {
             journal: None,
             unit_timeout: Duration::from_millis(250),
             reaper_poll: Duration::from_millis(5),
+            dedup_ttl: Duration::from_secs(60),
+            dedup_cap: 1024,
         }
     }
+}
+
+/// What admission decided for a request (see [`Service::admit`]).
+pub enum Admission {
+    /// The request was queued; the reply arrives through the ticket.
+    Ticket(Ticket),
+    /// A completed result for this `(tenant, req_id)` was already
+    /// cached — the response is ready now, nothing was queued, and the
+    /// header carries `dedup=1`.
+    Cached(Response),
 }
 
 /// What [`Service::drain`] observed.
@@ -113,6 +132,14 @@ struct ActiveJob {
 /// services in the process).
 static PANICS_TOTAL: LazyCounter = LazyCounter::new("server.lane_panics");
 
+/// Requests whose deadline had already expired when a lane picked them
+/// up — refused with a typed `expired` header, no compute spent.
+static EXPIRED_TOTAL: LazyCounter = LazyCounter::new("server.expired");
+
+/// Arrivals carrying `attempt>1` — retried deliveries observed by this
+/// process (whether or not they hit the dedup cache).
+static RETRY_ARRIVALS: LazyCounter = LazyCounter::new("server.retry_arrivals");
+
 /// How often the service's [`Sampler`] folds polled state (active
 /// requests, cache residency, scheduler totals) into the global registry.
 const SAMPLE_INTERVAL: Duration = Duration::from_millis(100);
@@ -123,6 +150,7 @@ pub struct Service {
     exec: Executor,
     sched: FairScheduler,
     cache: VolumeCache,
+    dedup: DedupCache,
     journal: Option<Mutex<Journal>>,
     recovery: Option<JournalRecovery>,
     active: Mutex<Vec<(u64, ActiveJob)>>,
@@ -165,6 +193,7 @@ impl Service {
                 Some(dir) => VolumeCache::with_spill(cfg.cache_bytes, dir),
                 None => VolumeCache::new(cfg.cache_bytes),
             },
+            dedup: DedupCache::new(cfg.dedup_ttl, cfg.dedup_cap),
             journal,
             recovery,
             active: Mutex::new(Vec::new()),
@@ -220,6 +249,18 @@ impl Service {
             "store.repair_writebacks_failed",
             "store.poisoned",
             "server.lane_panics",
+            "server.expired",
+            "server.retry_arrivals",
+            "server.dedup.hits",
+            "server.dedup.inserts",
+            "server.dedup.evictions",
+            "client.retries",
+            "client.hedges",
+            "client.hedge_wins",
+            "client.failovers",
+            "client.breaker_opens",
+            "client.budget_exhausted",
+            "client.deadline_exhausted",
         ] {
             let _ = metrics::counter(name);
         }
@@ -241,7 +282,7 @@ impl Service {
 
     /// This instance's polled state as `server.*` name → value pairs
     /// (the single source both the sampler and the snapshot overlay use).
-    fn server_gauges(&self) -> [(&'static str, i64); 16] {
+    fn server_gauges(&self) -> [(&'static str, i64); 17] {
         let s = self.sched.stats();
         let c = self.cache.stats();
         [
@@ -261,6 +302,7 @@ impl Service {
             ("server.cache.resident", c.resident as i64),
             ("server.active", self.active_count() as i64),
             ("server.panics", self.panics.load(Ordering::Relaxed) as i64),
+            ("server.dedup.resident", self.dedup.resident() as i64),
         ]
     }
 
@@ -294,7 +336,24 @@ impl Service {
         sfc_harness::encode_prometheus(&self.metrics_snapshot())
     }
 
-    /// Admit a request (the net layer's entry point).
+    /// Admit a request (the net layer's entry point): consult the
+    /// idempotency dedup cache first — a retried `req_id` whose
+    /// execution already completed is answered from the cache with
+    /// `dedup=1`, queueing nothing — then fall through to the scheduler.
+    pub fn admit(&self, req: Request) -> Result<Admission, Overloaded> {
+        if let Some(id) = &req.req_id {
+            if let Some(resp) = self.dedup.get(&req.tenant, id) {
+                return Ok(Admission::Cached(resp));
+            }
+        }
+        if req.attempt > 1 {
+            RETRY_ARRIVALS.add(1);
+        }
+        self.sched.submit(req).map(Admission::Ticket)
+    }
+
+    /// Queue a request directly, bypassing the dedup cache (tests and
+    /// embedders that manage their own idempotency).
     pub fn submit(&self, req: Request) -> Result<Ticket, Overloaded> {
         self.sched.submit(req)
     }
@@ -302,6 +361,11 @@ impl Service {
     /// What journal recovery found at startup, if journaling is on.
     pub fn recovery(&self) -> Option<&JournalRecovery> {
         self.recovery.as_ref()
+    }
+
+    /// Idempotency dedup cache counters (process-wide) and residency.
+    pub fn dedup_stats(&self) -> crate::dedup::DedupStats {
+        self.dedup.stats()
     }
 
     /// Requests currently executing on a lane (tests and the `stats`
@@ -361,6 +425,13 @@ impl Service {
                     })
                 }
             };
+            // Remember completed results for retried `req_id`s *before*
+            // delivery: once a client holds the reply it may retry after
+            // a lost connection at any moment, and the cache must already
+            // be able to answer.
+            if let (Some(rid), RespHeader::Ok(h)) = (&job.req.req_id, &resp.header) {
+                self.dedup.insert(&job.req.tenant, rid, *h, resp.body.clone());
+            }
             job.deliver_all(&resp);
             self.deregister(id);
             self.sched.finish(&job);
@@ -407,6 +478,20 @@ impl Service {
     /// Run one job through the engine and build its reply.
     fn execute(&self, job: &Job) -> SfcResult<Response> {
         let req = &job.req;
+        // Deadline propagation, server half: the budget clock started at
+        // admission, so time spent queued is already gone. A request
+        // whose budget expired while waiting is refused outright — no
+        // compute — and what survives runs on the *remaining* budget.
+        let waited = job.submitted.elapsed();
+        if let Some(d) = req.deadline() {
+            if waited >= d {
+                EXPIRED_TOTAL.add(1);
+                return Ok(Response::header_only(RespHeader::Expired {
+                    deadline_ms: d.as_millis() as u64,
+                    waited_ms: waited.as_millis() as u64,
+                }));
+            }
+        }
         let key = VolumeKey {
             size: req.size,
             layout: req.layout,
@@ -420,7 +505,7 @@ impl Service {
         };
         let budget = req
             .deadline()
-            .map(DeadlineBudget::with_budget)
+            .map(|d| DeadlineBudget::with_budget(d.saturating_sub(waited)))
             .unwrap_or_else(DeadlineBudget::none);
         let supervisor = SupervisorConfig {
             nthreads: self.exec.nthreads(),
@@ -477,6 +562,7 @@ impl Service {
             whole: outcome.output_is_whole(),
             cache_hit,
             coalesced: job.waiters.len() - 1,
+            dedup: false,
         };
         Ok(Response {
             header: RespHeader::Ok(header),
@@ -491,8 +577,17 @@ impl Service {
                 reason: "server started without a data directory".into(),
             });
         };
-        let seq = self.save_seq.fetch_add(1, Ordering::Relaxed);
-        let path = dir.join(format!("{}-{:06}.vol", req.tenant, seq));
+        // Idempotent naming: a retried request (same tenant + req_id)
+        // overwrites its own file via `write_atomic`, so a duplicate
+        // execution racing past the dedup cache still publishes exactly
+        // one saved volume per logical request.
+        let path = match &req.req_id {
+            Some(rid) => dir.join(format!("{}-{}.vol", req.tenant, rid)),
+            None => {
+                let seq = self.save_seq.fetch_add(1, Ordering::Relaxed);
+                dir.join(format!("{}-{:06}.vol", req.tenant, seq))
+            }
+        };
         let values = crate::protocol::bytes_f32(body)?;
         save_volume(&path, dims, &values)
     }

@@ -1,0 +1,94 @@
+//! Client-side error hygiene against a hostile or dying server.
+//!
+//! The client must convert every malformed reply into a typed
+//! [`SfcError`] — never a panic, never an unbounded allocation, never a
+//! hang. Each test stands up a scripted fake server that replies with
+//! exactly the bytes under test and closes.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use sfc_server::{error_kind, Client, MAX_BODY};
+
+/// A fake server that accepts one connection, reads the request line,
+/// writes `reply` verbatim, and closes the socket.
+fn scripted_server(reply: Vec<u8>) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("fake bind");
+    let addr = listener.local_addr().expect("fake addr").to_string();
+    let handle = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept");
+        let mut line = String::new();
+        let _ = BufReader::new(stream.try_clone().expect("clone")).read_line(&mut line);
+        let mut stream = stream;
+        let _ = stream.write_all(&reply);
+        let _ = stream.flush();
+        // Dropping the stream closes the connection mid-conversation.
+    });
+    (addr, handle)
+}
+
+#[test]
+fn oversized_len_header_is_refused_before_allocation() {
+    // A header claiming more than MAX_BODY must be rejected typed —
+    // without the client ever allocating the claimed buffer.
+    let claim = MAX_BODY + 1;
+    let reply = format!(
+        "ok bytes={claim} completed=0 failed=0 retried=0 downgraded=0 max_level=0 \
+         shed_units=0 whole=1 cache=miss coalesced=0 dedup=0\n"
+    );
+    let (addr, handle) = scripted_server(reply.into_bytes());
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .request_line("filter tenant=t size=8 seed=1 radius=1")
+        .expect_err("oversized len must be refused");
+    assert_eq!(error_kind(&err), "corrupt", "got {err:?}");
+    assert!(
+        err.to_string().contains("protocol max"),
+        "error names the bound: {err}"
+    );
+    handle.join().expect("fake server exits");
+}
+
+#[test]
+fn short_body_read_is_a_typed_corrupt_error() {
+    // Header promises 64 bytes, the server dies after 10: the client
+    // must surface a typed short-read error recording the progress.
+    let mut reply = b"ok bytes=64 completed=1 failed=0 retried=0 downgraded=0 max_level=0 \
+                      shed_units=0 whole=1 cache=miss coalesced=0 dedup=0\n"
+        .to_vec();
+    reply.extend_from_slice(&[0u8; 10]);
+    let (addr, handle) = scripted_server(reply);
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .request_line("filter tenant=t size=8 seed=1 radius=1")
+        .expect_err("short body must fail");
+    assert_eq!(error_kind(&err), "corrupt", "got {err:?}");
+    assert!(
+        err.to_string().contains("10 of 64"),
+        "error records the progress: {err}"
+    );
+    handle.join().expect("fake server exits");
+}
+
+#[test]
+fn unparsable_header_line_is_a_typed_error_not_a_panic() {
+    let (addr, handle) = scripted_server(b"welcome to the wrong protocol\n".to_vec());
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .request_line("filter tenant=t size=8 seed=1 radius=1")
+        .expect_err("garbage header must fail");
+    // Any typed kind is acceptable; the pin is "typed, not panic/hang".
+    assert!(!error_kind(&err).is_empty(), "got {err:?}");
+    handle.join().expect("fake server exits");
+}
+
+#[test]
+fn server_closing_before_any_header_is_a_typed_io_error() {
+    let (addr, handle) = scripted_server(Vec::new());
+    let mut client = Client::connect(&addr).expect("connect");
+    let err = client
+        .request_line("filter tenant=t size=8 seed=1 radius=1")
+        .expect_err("eof before header must fail");
+    assert_eq!(error_kind(&err), "io", "got {err:?}");
+    handle.join().expect("fake server exits");
+}

@@ -1,0 +1,141 @@
+//! Fuzz-style parse sweep over the wire grammar: hostile bytes must
+//! produce typed errors, never panics.
+//!
+//! Strategy (deterministic, exhaustive rather than random): take a
+//! corpus of valid request lines and response headers covering every
+//! field the grammar knows, then parse (a) every truncation of every
+//! line and (b) every single-byte mutation of every line — each byte
+//! position replaced with a spread of hostile bytes (NUL, controls,
+//! separators, high bytes, digits, letters). Every parse must return
+//! `Ok` or a typed `Err`; a panic anywhere fails the sweep. This is the
+//! same discipline the store applies to `.sfcv` headers (PR 8), applied
+//! to the request plane.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use sfc_server::{Request, RespHeader};
+
+/// Valid request lines exercising every key the grammar accepts.
+const REQUEST_CORPUS: &[&str] = &[
+    "filter tenant=t size=8 seed=3 radius=1",
+    "filter tenant=alice-7 size=16 seed=9 radius=2 layout=hilbert save=1",
+    "render tenant=bob_2 size=12 seed=1 image=32 tile=16 layout=z",
+    "filter tenant=t size=8 seed=3 radius=1 deadline_ms=250 req_id=r-1 attempt=2",
+    "render tenant=t size=8 seed=5 image=16 deadline_ms=1000 req_id=abc_DEF-123 attempt=1",
+    "filter tenant=t size=10 seed=2 radius=1 fault_seed=7 panic_rate=0.1 flaky_rate=0.05 \
+     timeout_rate=0.2 corrupt_rate=0.01 stall_ms=50",
+];
+
+/// Valid response header lines for the reply-side parser.
+const HEADER_CORPUS: &[&str] = &[
+    "ok bytes=2048 completed=64 failed=0 retried=0 downgraded=0 max_level=0 shed_units=0 \
+     whole=1 cache=miss coalesced=0 dedup=0",
+    "ok bytes=16 completed=3 failed=1 retried=2 downgraded=1 max_level=2 shed_units=1 \
+     whole=0 cache=hit coalesced=3 dedup=1",
+    "err worker-panic: lane caught a panic",
+    "overloaded tenant=t reason=queue-full queued=8 limit=8",
+    "shed: drain budget exhausted",
+    "expired deadline_ms=250 waited_ms=312",
+];
+
+/// The byte spread substituted at every position: category boundaries
+/// rather than all 256 values (NUL/controls break tokenization, `=` and
+/// space break key=value splitting, high bytes break UTF-8, digits and
+/// letters corrupt numbers and keywords).
+const MUTATIONS: &[u8] = &[
+    0x00, 0x01, 0x09, 0x0a, 0x0d, b' ', b'=', b'-', b'.', b'/', b'0', b'9', b'A', b'z', b'~',
+    0x7f, 0x80, 0xc0, 0xff,
+];
+
+fn parses_without_panic(kind: &str, line: &str) {
+    let owned = line.to_string();
+    let result = match kind {
+        "request" => catch_unwind(AssertUnwindSafe(|| {
+            let _ = Request::parse(&owned);
+        })),
+        _ => catch_unwind(AssertUnwindSafe(|| {
+            let _ = RespHeader::parse(&owned);
+        })),
+    };
+    assert!(result.is_ok(), "{kind} parser panicked on {line:?}");
+}
+
+fn sweep(kind: &str, corpus: &[&str]) -> (usize, usize) {
+    let mut truncations = 0;
+    let mut mutations = 0;
+    for line in corpus {
+        // Sanity: the corpus itself must be valid.
+        match kind {
+            "request" => {
+                Request::parse(line).unwrap_or_else(|e| panic!("corpus line invalid ({e}): {line}"));
+            }
+            _ => {
+                RespHeader::parse(line)
+                    .unwrap_or_else(|e| panic!("corpus line invalid ({e}): {line}"));
+            }
+        }
+        // (a) Every truncation.
+        for end in 0..line.len() {
+            if line.is_char_boundary(end) {
+                parses_without_panic(kind, &line[..end]);
+                truncations += 1;
+            }
+        }
+        // (b) Every single-byte mutation across the spread.
+        let bytes = line.as_bytes();
+        for pos in 0..bytes.len() {
+            for &m in MUTATIONS {
+                if bytes[pos] == m {
+                    continue;
+                }
+                let mut mutated = bytes.to_vec();
+                mutated[pos] = m;
+                // The wire is line-oriented UTF-8-ish; a mutation that
+                // breaks UTF-8 arrives at the parser through the same
+                // lossy decode the connection handler applies.
+                let line = String::from_utf8_lossy(&mutated).into_owned();
+                parses_without_panic(kind, &line);
+                mutations += 1;
+            }
+        }
+    }
+    (truncations, mutations)
+}
+
+#[test]
+fn every_request_truncation_and_mutation_parses_without_panic() {
+    let (truncations, mutations) = sweep("request", REQUEST_CORPUS);
+    assert!(truncations > 300, "sweep too small: {truncations} truncations");
+    assert!(mutations > 5_000, "sweep too small: {mutations} mutations");
+}
+
+#[test]
+fn every_header_truncation_and_mutation_parses_without_panic() {
+    let (truncations, mutations) = sweep("header", HEADER_CORPUS);
+    assert!(truncations > 300, "sweep too small: {truncations} truncations");
+    assert!(mutations > 5_000, "sweep too small: {mutations} mutations");
+}
+
+#[test]
+fn hostile_lengths_are_rejected_typed() {
+    // Oversized numeric fields must be typed rejections, not capacity
+    // panics downstream.
+    for line in [
+        "filter tenant=t size=99999999999999999999 seed=1 radius=1",
+        "render tenant=t size=8 seed=1 image=18446744073709551615",
+        "filter tenant=t size=8 seed=1 radius=1 deadline_ms=99999999999999999999",
+        "filter tenant=t size=8 seed=1 radius=1 attempt=4294967296",
+    ] {
+        assert!(Request::parse(line).is_err(), "must reject: {line}");
+    }
+    // An oversized bytes= in a reply header parses (the count fits u64)
+    // — the *client* bounds the allocation against MAX_BODY; pin that
+    // the header-side parse stays typed for absurd values too.
+    let absurd = "ok bytes=18446744073709551615 completed=0 failed=0 retried=0 downgraded=0 \
+                  max_level=0 shed_units=0 whole=1 cache=miss coalesced=0 dedup=0";
+    let parsed = RespHeader::parse(absurd);
+    assert!(
+        parsed.is_err() || matches!(parsed, Ok(RespHeader::Ok(_))),
+        "absurd bytes= must stay typed"
+    );
+}

@@ -1,0 +1,263 @@
+//! Resilient-client conformance: the retry/hedge/failover layer must be
+//! invisible on the happy path and lossless under failures.
+//!
+//! Pinned invariants:
+//!
+//! * **Transparency** — with faults off, [`ResilientClient`] returns
+//!   bytes bitwise identical to the plain [`Client`] for the same
+//!   request, across all four memory layouts, in one attempt with no
+//!   hedge fired.
+//! * **Idempotency** — a retried `req_id` is answered from the dedup
+//!   cache with `dedup=1`, identical bytes, and exactly one saved file.
+//! * **Failover** — a dead endpoint is routed around; the reply comes
+//!   from a healthy replica.
+//! * **Hedging** — a stalled replica is raced after the hedge delay and
+//!   the healthy replica's reply wins.
+//! * **Deadline propagation** — an exhausted budget is a typed local
+//!   error, never a `deadline_ms=0` wire request; a request that
+//!   expires in the queue is refused with a typed `expired` header.
+
+use std::io::{BufRead, BufReader};
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use sfc_server::{
+    Client, LayoutChoice, Request, ResilientClient, RespHeader, RetryPolicy, SchedConfig,
+    Server, ServerConfig, Service, ServiceConfig,
+};
+
+fn start_server(
+    svc_cfg: ServiceConfig,
+) -> (
+    Arc<Service>,
+    String,
+    Arc<AtomicBool>,
+    std::thread::JoinHandle<()>,
+) {
+    let svc = Service::start(svc_cfg).expect("service starts");
+    let server =
+        Server::bind("127.0.0.1:0", svc.clone(), ServerConfig::default()).expect("ephemeral bind");
+    let addr = server.local_addr().expect("bound addr").to_string();
+    let flag = server.shutdown_flag();
+    let handle = std::thread::spawn(move || {
+        server.run().expect("accept loop");
+    });
+    (svc, addr, flag, handle)
+}
+
+fn stop_server(svc: &Arc<Service>, flag: &Arc<AtomicBool>, handle: std::thread::JoinHandle<()>) {
+    flag.store(true, Ordering::Relaxed);
+    handle.join().expect("accept loop exits");
+    svc.drain(Duration::from_secs(10));
+}
+
+/// An address that is bound to nothing: bind an ephemeral port, read it,
+/// drop the listener. Connections are refused immediately.
+fn dead_addr() -> String {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = listener.local_addr().expect("probe addr").to_string();
+    drop(listener);
+    addr
+}
+
+#[test]
+fn faults_off_resilient_bytes_match_the_plain_client_bitwise() {
+    let (svc, addr, flag, handle) = start_server(ServiceConfig::default());
+    let resilient = ResilientClient::new([addr.clone()], RetryPolicy::default(), 11);
+    for layout in LayoutChoice::ALL {
+        let line = format!(
+            "filter tenant=t size=8 seed=3 radius=1 layout={}",
+            layout.name()
+        );
+        let req = Request::parse(&line).expect("valid");
+        let mut plain = Client::connect(&addr).expect("plain connect");
+        let (ph, pbody) = plain.request(&req).expect("plain reply");
+        let (rh, rbody, outcome) = resilient.request_detailed(&req).expect("resilient reply");
+        let (RespHeader::Ok(ph), RespHeader::Ok(rh)) = (&ph, &rh) else {
+            panic!("expected ok/ok, got {ph:?} / {rh:?}");
+        };
+        assert_eq!(pbody, rbody, "layout {}: bytes must be bitwise identical", layout.name());
+        assert_eq!(ph.bytes, rh.bytes);
+        assert_eq!(outcome.attempts, 1, "happy path is one attempt");
+        assert!(!outcome.hedged, "no hedge on a healthy single replica");
+        assert!(!rh.dedup, "first execution is not a replay");
+    }
+    stop_server(&svc, &flag, handle);
+}
+
+#[test]
+fn duplicate_req_id_is_answered_from_the_dedup_cache_with_one_save() {
+    let dir = std::env::temp_dir().join(format!("sfc-dedup-it-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (svc, addr, flag, handle) = start_server(ServiceConfig {
+        data_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let mut client = Client::connect(&addr).expect("connect");
+    let line = "filter tenant=t size=8 seed=5 radius=1 save=1 req_id=retry-me";
+    let (h1, b1) = client.request_line(line).expect("first reply");
+    // The "retry": same tenant + req_id, higher attempt, new connection
+    // (the client believes the first reply was lost).
+    let mut retry = Client::connect(&addr).expect("reconnect");
+    let (h2, b2) = retry
+        .request_line(&format!("{line} attempt=2"))
+        .expect("retried reply");
+    let (RespHeader::Ok(h1), RespHeader::Ok(h2)) = (&h1, &h2) else {
+        panic!("expected ok/ok, got {h1:?} / {h2:?}");
+    };
+    assert!(!h1.dedup, "first execution is fresh");
+    assert!(h2.dedup, "second arrival must be a dedup replay");
+    assert_eq!(b1, b2, "replayed body is byte-identical");
+    let stats = svc.dedup_stats();
+    assert!(stats.hits >= 1, "{stats:?}");
+    stop_server(&svc, &flag, handle);
+    let saved: Vec<_> = std::fs::read_dir(&dir)
+        .expect("data dir")
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "vol"))
+        .collect();
+    assert_eq!(saved.len(), 1, "exactly one save for one logical request: {saved:?}");
+    assert!(
+        saved[0].file_name().is_some_and(|n| n == "t-retry-me.vol"),
+        "save is named by its idempotency key: {saved:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn failover_routes_around_a_dead_replica() {
+    let (svc, addr, flag, handle) = start_server(ServiceConfig::default());
+    let client = ResilientClient::new(
+        [dead_addr(), addr],
+        RetryPolicy {
+            hedge: false, // isolate the failover path
+            ..RetryPolicy::default()
+        },
+        23,
+    );
+    let req = Request::parse("filter tenant=t size=8 seed=7 radius=1").expect("valid");
+    let (header, _, outcome) = client.request_detailed(&req).expect("failover reply");
+    assert!(matches!(header, RespHeader::Ok(_)), "got {header:?}");
+    assert_eq!(outcome.endpoint, 1, "reply must come from the live replica");
+    assert!(outcome.attempts >= 2, "the dead endpoint consumed an attempt");
+    stop_server(&svc, &flag, handle);
+}
+
+/// A replica that accepts, reads the request line, and never answers —
+/// the stalled-server scenario hedging exists for.
+fn stalled_replica(hold: Duration) -> (String, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("stall bind");
+    let addr = listener.local_addr().expect("stall addr").to_string();
+    let handle = std::thread::spawn(move || {
+        // Serve at most a few connections, then exit with the test.
+        for stream in listener.incoming().take(4).flatten() {
+            let mut line = String::new();
+            let _ = BufReader::new(&stream).read_line(&mut line);
+            std::thread::sleep(hold); // hold the reply hostage
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn hedged_read_beats_a_stalled_primary() {
+    let (svc, addr, flag, handle) = start_server(ServiceConfig::default());
+    let (stall_addr, _stall) = stalled_replica(Duration::from_secs(20));
+    let client = ResilientClient::new(
+        [stall_addr, addr],
+        RetryPolicy {
+            hedge_min: Duration::from_millis(40),
+            request_timeout: Duration::from_secs(30),
+            ..RetryPolicy::default()
+        },
+        31,
+    );
+    let req = Request::parse("filter tenant=t size=8 seed=9 radius=1").expect("valid");
+    let (header, _, outcome) = client.request_detailed(&req).expect("hedged reply");
+    assert!(matches!(header, RespHeader::Ok(_)), "got {header:?}");
+    assert!(outcome.hedged, "the stall must trigger a hedge");
+    assert!(outcome.hedge_won, "the healthy replica must win the race");
+    assert_eq!(outcome.endpoint, 1);
+    assert_eq!(outcome.attempts, 1, "a hedge is a race within one attempt, not a retry");
+    stop_server(&svc, &flag, handle);
+}
+
+#[test]
+fn saves_are_never_hedged_but_still_fail_over() {
+    let dir = std::env::temp_dir().join(format!("sfc-savefo-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (svc, addr, flag, handle) = start_server(ServiceConfig {
+        data_dir: Some(dir.clone()),
+        ..ServiceConfig::default()
+    });
+    let client = ResilientClient::new([dead_addr(), addr], RetryPolicy::default(), 43);
+    let req = Request::parse("filter tenant=t size=8 seed=2 radius=1 save=1").expect("valid");
+    let (header, _, outcome) = client.request_detailed(&req).expect("save reply");
+    assert!(matches!(header, RespHeader::Ok(_)), "got {header:?}");
+    assert!(!outcome.hedged, "saves must not race two executions");
+    assert_eq!(outcome.endpoint, 1);
+    stop_server(&svc, &flag, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_deadline_is_a_typed_local_error_never_a_wire_request() {
+    // Both endpoints refuse connections instantly, so each attempt
+    // costs ~nothing and the loop runs until the budget is gone.
+    let client = ResilientClient::new(
+        [dead_addr(), dead_addr()],
+        RetryPolicy {
+            max_attempts: 100,
+            backoff_base: Duration::from_millis(5),
+            backoff_cap: Duration::from_millis(10),
+            budget_cap: 200.0,
+            hedge: false,
+            ..RetryPolicy::default()
+        },
+        51,
+    );
+    let req = Request::parse("filter tenant=t size=8 seed=1 radius=1 deadline_ms=40").expect("valid");
+    let err = client.request(&req).expect_err("budget must exhaust");
+    // The deadline error is typed; the wire never saw deadline_ms=0
+    // (parse would have rejected it server-side as a protocol error).
+    assert!(
+        matches!(sfc_server::error_kind(&err), "timeout" | "io"),
+        "expected timeout or io, got {err:?}"
+    );
+}
+
+#[test]
+fn queue_expired_request_gets_a_typed_expired_header_without_compute() {
+    let svc = Service::start(ServiceConfig {
+        lanes: 1,
+        sched: SchedConfig::default(),
+        ..ServiceConfig::default()
+    })
+    .expect("service starts");
+    // Occupy the single lane so the deadlined request waits in queue
+    // past its whole budget.
+    let blocker = svc
+        .submit(Request::parse("filter tenant=z size=12 seed=9 radius=2").expect("valid"))
+        .expect("admitted");
+    let doomed = svc
+        .submit(
+            Request::parse("filter tenant=t size=8 seed=1 radius=1 deadline_ms=1").expect("valid"),
+        )
+        .expect("admitted");
+    let resp = doomed
+        .wait(Duration::from_secs(30))
+        .expect("reply in time");
+    match resp.header {
+        RespHeader::Expired { deadline_ms, waited_ms } => {
+            assert_eq!(deadline_ms, 1);
+            assert!(waited_ms >= 1, "waited {waited_ms}ms");
+        }
+        other => panic!("expected expired, got {other:?}"),
+    }
+    assert!(resp.body.is_empty(), "expired replies carry no body");
+    let _ = blocker.wait(Duration::from_secs(30));
+    svc.drain(Duration::from_secs(10));
+}
